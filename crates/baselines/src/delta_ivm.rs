@@ -1,0 +1,250 @@
+//! Classical first-order IVM with full result materialization.
+//!
+//! Maintains the *entire* query result `Q(F)` as one materialized relation.
+//! A single-tuple update `δR = {x → m}` is processed with the classical
+//! delta query `δQ = R_1 ⋈ ... ⋈ δR ⋈ ... ⋈ R_n` [16], evaluated by
+//! index-nested-loop join seeded with the update's variable bindings.
+//!
+//! This is the strategy of first-order IVM systems (and the ε = 1 corner of
+//! the paper's Fig. 5): constant-delay enumeration from the stored result,
+//! but per-update cost up to O(N^δ) — e.g. O(N) for `Q(A,C) = R(A,B),
+//! S(B,C)` when the updated `B` value is heavy.
+
+use ivme_data::fx::FxHashMap;
+use ivme_data::{IndexId, Relation, Tuple, Value, Var};
+use ivme_query::Query;
+
+/// First-order IVM baseline: full result materialization + delta queries.
+pub struct DeltaIvm {
+    query: Query,
+    rels: Vec<Relation>,
+    /// Materialized result over `free(Q)`.
+    result: Relation,
+    /// Per updated atom `j`: the join order over the remaining atoms and
+    /// the probe index for each step (index on the variables bound so far).
+    delta_plans: Vec<DeltaPlan>,
+}
+
+struct DeltaPlan {
+    order: Vec<usize>,
+    probe: Vec<Option<(IndexId, Vec<Var>)>>,
+}
+
+impl DeltaIvm {
+    /// Builds the delta plans and (empty) materialized result.
+    pub fn new(query: &Query) -> DeltaIvm {
+        let mut rels: Vec<Relation> = query
+            .atoms
+            .iter()
+            .map(|a| Relation::new(a.relation.clone(), a.schema.clone()))
+            .collect();
+        let mut delta_plans = Vec::new();
+        for j in 0..query.atoms.len() {
+            // Greedy connected order over the other atoms, starting from
+            // the updated atom's variables.
+            let mut bound = query.atoms[j].schema.clone();
+            let mut used: Vec<bool> = (0..query.atoms.len()).map(|i| i == j).collect();
+            let mut order = Vec::new();
+            let mut probe = Vec::new();
+            for _ in 0..query.atoms.len() - 1 {
+                let pick = (0..query.atoms.len())
+                    .filter(|&i| !used[i])
+                    .max_by_key(|&i| query.atoms[i].schema.intersect(&bound).arity())
+                    .unwrap();
+                used[pick] = true;
+                let shared = query.atoms[pick].schema.intersect(&bound);
+                if shared.is_empty() {
+                    probe.push(None);
+                } else {
+                    let idx = rels[pick].add_index(&shared);
+                    probe.push(Some((idx, shared.vars().to_vec())));
+                }
+                bound = bound.union(&query.atoms[pick].schema);
+                order.push(pick);
+            }
+            delta_plans.push(DeltaPlan { order, probe });
+        }
+        DeltaIvm {
+            query: query.clone(),
+            rels,
+            result: Relation::new("Q", query.free.clone()),
+            delta_plans,
+        }
+    }
+
+    /// Applies a single-tuple update to every occurrence of `relation`,
+    /// maintaining the materialized result with a delta query per
+    /// occurrence.
+    pub fn apply_update(&mut self, relation: &str, tuple: Tuple, delta: i64) {
+        let atoms: Vec<usize> = (0..self.query.atoms.len())
+            .filter(|&i| self.query.atoms[i].relation == relation)
+            .collect();
+        assert!(!atoms.is_empty(), "unknown relation {relation}");
+        for j in atoms {
+            self.delta_for_atom(j, &tuple, delta);
+        }
+    }
+
+    fn delta_for_atom(&mut self, j: usize, tuple: &Tuple, delta: i64) {
+        // Seed bindings from the updated tuple, then extend over the
+        // remaining atoms; accumulate δQ and apply it to the result.
+        let mut binding: FxHashMap<Var, Value> = FxHashMap::default();
+        for (i, &v) in self.query.atoms[j].schema.vars().iter().enumerate() {
+            binding.insert(v, tuple.get(i).clone());
+        }
+        let mut dq: FxHashMap<Tuple, i64> = FxHashMap::default();
+        self.extend(j, 0, delta, &mut binding, &mut dq);
+        // Apply δR to the base relation *after* computing the delta join
+        // (the delta query must see the pre-update sibling state; the
+        // updated atom itself contributes δR, not R).
+        self.rels[j]
+            .apply(tuple.clone(), delta)
+            .expect("delta-IVM update must be valid");
+        for (t, m) in dq {
+            if m != 0 {
+                self.result
+                    .apply(t, m)
+                    .expect("result multiplicities stay non-negative");
+            }
+        }
+    }
+
+    fn extend(
+        &self,
+        j: usize,
+        step: usize,
+        mult: i64,
+        binding: &mut FxHashMap<Var, Value>,
+        dq: &mut FxHashMap<Tuple, i64>,
+    ) {
+        let plan = &self.delta_plans[j];
+        if step == plan.order.len() {
+            let t: Tuple = self
+                .query
+                .free
+                .vars()
+                .iter()
+                .map(|v| binding[v].clone())
+                .collect();
+            *dq.entry(t).or_insert(0) += mult;
+            return;
+        }
+        let atom = plan.order[step];
+        let schema = &self.query.atoms[atom].schema;
+        let rel = &self.rels[atom];
+        let step_row = |t: &Tuple, m: i64,
+                            binding: &mut FxHashMap<Var, Value>,
+                            dq: &mut FxHashMap<Tuple, i64>| {
+            let mut newly: Vec<Var> = Vec::new();
+            let mut ok = true;
+            for (i, &v) in schema.vars().iter().enumerate() {
+                match binding.get(&v) {
+                    Some(b) if b != t.get(i) => {
+                        ok = false;
+                        break;
+                    }
+                    Some(_) => {}
+                    None => {
+                        binding.insert(v, t.get(i).clone());
+                        newly.push(v);
+                    }
+                }
+            }
+            if ok {
+                self.extend(j, step + 1, mult * m, binding, dq);
+            }
+            for v in newly {
+                binding.remove(&v);
+            }
+        };
+        match &plan.probe[step] {
+            Some((idx, vars)) => {
+                let key: Tuple = vars.iter().map(|v| binding[v].clone()).collect();
+                for (t, m) in rel.group_iter(*idx, &key) {
+                    step_row(t, m, binding, dq);
+                }
+            }
+            None => {
+                for (t, m) in rel.iter() {
+                    step_row(t, m, binding, dq);
+                }
+            }
+        }
+    }
+
+    /// Constant-delay enumeration of the materialized result.
+    pub fn enumerate(&self) -> impl Iterator<Item = (&Tuple, i64)> + '_ {
+        self.result.iter()
+    }
+
+    /// Sorted snapshot of the result (test helper).
+    pub fn result_sorted(&self) -> Vec<(Tuple, i64)> {
+        self.result.to_sorted_vec()
+    }
+
+    /// Number of distinct result tuples. O(1).
+    pub fn result_len(&self) -> usize {
+        self.result.len()
+    }
+
+    /// Total number of stored base tuples.
+    pub fn db_size(&self) -> usize {
+        self.rels.iter().map(Relation::len).sum()
+    }
+
+    /// The full result size counts as this baseline's auxiliary space.
+    pub fn aux_space(&self) -> usize {
+        self.result.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ivme_query::parse_query;
+
+    #[test]
+    fn maintains_two_path_under_mixed_updates() {
+        let q = parse_query("Q(A,C) :- R(A,B), S(B,C)").unwrap();
+        let mut ivm = DeltaIvm::new(&q);
+        ivm.apply_update("R", Tuple::ints(&[1, 10]), 2);
+        assert!(ivm.result_sorted().is_empty());
+        ivm.apply_update("S", Tuple::ints(&[10, 5]), 3);
+        assert_eq!(ivm.result_sorted(), vec![(Tuple::ints(&[1, 5]), 6)]);
+        ivm.apply_update("R", Tuple::ints(&[2, 10]), 1);
+        assert_eq!(
+            ivm.result_sorted(),
+            vec![(Tuple::ints(&[1, 5]), 6), (Tuple::ints(&[2, 5]), 3)]
+        );
+        ivm.apply_update("S", Tuple::ints(&[10, 5]), -3);
+        assert!(ivm.result_sorted().is_empty());
+        assert_eq!(ivm.result_len(), 0);
+        assert_eq!(ivm.db_size(), 2);
+    }
+
+    #[test]
+    fn projections_aggregate_multiplicities() {
+        let q = parse_query("Q(A) :- R(A,B), S(B)").unwrap();
+        let mut ivm = DeltaIvm::new(&q);
+        ivm.apply_update("R", Tuple::ints(&[7, 1]), 1);
+        ivm.apply_update("R", Tuple::ints(&[7, 2]), 1);
+        ivm.apply_update("S", Tuple::ints(&[1]), 1);
+        ivm.apply_update("S", Tuple::ints(&[2]), 1);
+        assert_eq!(ivm.result_sorted(), vec![(Tuple::ints(&[7]), 2)]);
+        ivm.apply_update("S", Tuple::ints(&[1]), -1);
+        assert_eq!(ivm.result_sorted(), vec![(Tuple::ints(&[7]), 1)]);
+    }
+
+    #[test]
+    fn repeated_symbol_sequential_occurrence_updates() {
+        let q = parse_query("Q(A,C) :- E(A,B), E(B,C)").unwrap();
+        let mut ivm = DeltaIvm::new(&q);
+        ivm.apply_update("E", Tuple::ints(&[1, 1]), 1);
+        // Self-loop joins with itself: (1,1).
+        assert_eq!(ivm.result_sorted(), vec![(Tuple::ints(&[1, 1]), 1)]);
+        ivm.apply_update("E", Tuple::ints(&[1, 2]), 1);
+        let mut want = vec![(Tuple::ints(&[1, 1]), 1), (Tuple::ints(&[1, 2]), 1)];
+        want.sort();
+        assert_eq!(ivm.result_sorted(), want);
+    }
+}

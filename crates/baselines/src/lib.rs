@@ -1,0 +1,20 @@
+//! `ivme-baselines` — reference engines the paper compares against.
+//!
+//! These populate the prior-work rows of the paper's Figs. 4 and 5:
+//!
+//! * [`recompute::Recompute`] — static evaluation on demand (no state): the
+//!   classical "evaluate the query when asked" strategy; updates are O(1),
+//!   answering costs a full join.
+//! * [`delta_ivm::DeltaIvm`] — classical first-order IVM [16]: keeps the
+//!   *full* query result materialized and maintains it with delta queries
+//!   `δQ = δR ⋈ (other relations)`; constant-delay enumeration, but updates
+//!   cost up to O(N^δ) — the ε = 1 corner of the trade-off space.
+//!
+//! Both are implemented independently of `ivme-core` (separate join code),
+//! so they double as cross-checking oracles in the integration tests.
+
+pub mod delta_ivm;
+pub mod recompute;
+
+pub use delta_ivm::DeltaIvm;
+pub use recompute::Recompute;

@@ -1,0 +1,196 @@
+//! Recompute-on-demand baseline.
+//!
+//! Keeps only the base relations (indexed); every enumeration request
+//! evaluates the query from scratch with an index-nested-loop join over a
+//! greedy atom order. This is the no-preprocessing corner of the static
+//! landscape (Fig. 4): O(1) updates, full-join-cost answers.
+
+use ivme_data::fx::FxHashMap;
+use ivme_data::{IndexId, Relation, Schema, Tuple, Value, Var};
+use ivme_query::Query;
+
+/// Recompute-on-demand evaluation of a conjunctive query.
+pub struct Recompute {
+    query: Query,
+    /// One relation per atom occurrence (copies for repeated symbols).
+    rels: Vec<Relation>,
+    /// Join order: atom ids, connectivity-greedy.
+    order: Vec<usize>,
+    /// Per position in `order`: the index on the variables bound by the
+    /// prefix (`None` for full scans).
+    probe: Vec<Option<(IndexId, Vec<Var>)>>,
+}
+
+impl Recompute {
+    /// Sets up the base relations and probe indexes for `query`.
+    pub fn new(query: &Query) -> Recompute {
+        let rels: Vec<Relation> = query
+            .atoms
+            .iter()
+            .map(|a| Relation::new(a.relation.clone(), a.schema.clone()))
+            .collect();
+        // Greedy connected order: always pick the atom sharing the most
+        // variables with the already-bound set.
+        let n = query.atoms.len();
+        let mut order: Vec<usize> = Vec::with_capacity(n);
+        let mut bound = Schema::empty();
+        let mut used = vec![false; n];
+        for _ in 0..n {
+            let pick = (0..n)
+                .filter(|&i| !used[i])
+                .max_by_key(|&i| query.atoms[i].schema.intersect(&bound).arity())
+                .unwrap();
+            used[pick] = true;
+            bound = bound.union(&query.atoms[pick].schema);
+            order.push(pick);
+        }
+        let mut rc = Recompute { query: query.clone(), rels, order, probe: Vec::new() };
+        // Probe indexes on the shared-variable prefix of each join step.
+        let mut bound = Schema::empty();
+        let mut probe = Vec::with_capacity(n);
+        for &a in &rc.order {
+            let shared = rc.query.atoms[a].schema.intersect(&bound);
+            if shared.is_empty() {
+                probe.push(None);
+            } else {
+                let idx = rc.rels[a].add_index(&shared);
+                probe.push(Some((idx, shared.vars().to_vec())));
+            }
+            bound = bound.union(&rc.query.atoms[a].schema);
+        }
+        rc.probe = probe;
+        rc
+    }
+
+    /// Applies a single-tuple update to every occurrence of `relation`.
+    /// O(1) (amortized) — this baseline does no view maintenance.
+    pub fn apply_update(&mut self, relation: &str, tuple: Tuple, delta: i64) {
+        let mut found = false;
+        for (i, a) in self.query.atoms.iter().enumerate() {
+            if a.relation == relation {
+                self.rels[i]
+                    .apply(tuple.clone(), delta)
+                    .expect("baseline update must be valid");
+                found = true;
+            }
+        }
+        assert!(found, "unknown relation {relation}");
+    }
+
+    /// Evaluates the query from scratch: distinct result tuples with bag
+    /// multiplicities, sorted.
+    pub fn evaluate(&self) -> Vec<(Tuple, i64)> {
+        let mut acc: FxHashMap<Tuple, i64> = FxHashMap::default();
+        let mut binding: FxHashMap<Var, Value> = FxHashMap::default();
+        self.recurse(0, 1, &mut binding, &mut acc);
+        let mut out: Vec<(Tuple, i64)> = acc.into_iter().filter(|&(_, m)| m != 0).collect();
+        out.sort();
+        out
+    }
+
+    /// Total number of stored base tuples.
+    pub fn db_size(&self) -> usize {
+        self.rels.iter().map(Relation::len).sum()
+    }
+
+    fn recurse(
+        &self,
+        step: usize,
+        mult: i64,
+        binding: &mut FxHashMap<Var, Value>,
+        acc: &mut FxHashMap<Tuple, i64>,
+    ) {
+        if step == self.order.len() {
+            let t: Tuple = self
+                .query
+                .free
+                .vars()
+                .iter()
+                .map(|v| binding[v].clone())
+                .collect();
+            *acc.entry(t).or_insert(0) += mult;
+            return;
+        }
+        let atom = self.order[step];
+        let schema = &self.query.atoms[atom].schema;
+        let rel = &self.rels[atom];
+        let step_row = |t: &Tuple, m: i64,
+                            binding: &mut FxHashMap<Var, Value>,
+                            acc: &mut FxHashMap<Tuple, i64>| {
+            let mut newly: Vec<Var> = Vec::new();
+            let mut ok = true;
+            for (i, &v) in schema.vars().iter().enumerate() {
+                match binding.get(&v) {
+                    Some(b) if b != t.get(i) => {
+                        ok = false;
+                        break;
+                    }
+                    Some(_) => {}
+                    None => {
+                        binding.insert(v, t.get(i).clone());
+                        newly.push(v);
+                    }
+                }
+            }
+            if ok {
+                self.recurse(step + 1, mult * m, binding, acc);
+            }
+            for v in newly {
+                binding.remove(&v);
+            }
+        };
+        match &self.probe[step] {
+            Some((idx, vars)) => {
+                let key: Tuple = vars.iter().map(|v| binding[v].clone()).collect();
+                for (t, m) in rel.group_iter(*idx, &key) {
+                    step_row(t, m, binding, acc);
+                }
+            }
+            None => {
+                for (t, m) in rel.iter() {
+                    step_row(t, m, binding, acc);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ivme_query::parse_query;
+
+    #[test]
+    fn matches_hand_computed_join() {
+        let q = parse_query("Q(A,C) :- R(A,B), S(B,C)").unwrap();
+        let mut rc = Recompute::new(&q);
+        rc.apply_update("R", Tuple::ints(&[1, 10]), 2);
+        rc.apply_update("R", Tuple::ints(&[2, 10]), 1);
+        rc.apply_update("S", Tuple::ints(&[10, 5]), 3);
+        assert_eq!(
+            rc.evaluate(),
+            vec![(Tuple::ints(&[1, 5]), 6), (Tuple::ints(&[2, 5]), 3)]
+        );
+        rc.apply_update("R", Tuple::ints(&[1, 10]), -2);
+        assert_eq!(rc.evaluate(), vec![(Tuple::ints(&[2, 5]), 3)]);
+        assert_eq!(rc.db_size(), 2);
+    }
+
+    #[test]
+    fn repeated_symbols_get_copies() {
+        let q = parse_query("Q(A,C) :- E(A,B), E(B,C)").unwrap();
+        let mut rc = Recompute::new(&q);
+        rc.apply_update("E", Tuple::ints(&[1, 2]), 1);
+        rc.apply_update("E", Tuple::ints(&[2, 3]), 1);
+        assert_eq!(rc.evaluate(), vec![(Tuple::ints(&[1, 3]), 1)]);
+    }
+
+    #[test]
+    fn cartesian_component_full_scan() {
+        let q = parse_query("Q(A,C) :- R(A), S(C)").unwrap();
+        let mut rc = Recompute::new(&q);
+        rc.apply_update("R", Tuple::ints(&[1]), 1);
+        rc.apply_update("S", Tuple::ints(&[2]), 1);
+        assert_eq!(rc.evaluate(), vec![(Tuple::ints(&[1, 2]), 1)]);
+    }
+}

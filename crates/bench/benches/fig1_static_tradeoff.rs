@@ -1,0 +1,61 @@
+//! Experiment E1 — Figure 1 (left/middle): the static trade-off.
+//!
+//! For the δ1-hierarchical query `Q(A,C) = R(A,B), S(B,C)` (w = 2), the
+//! paper predicts, as functions of ε:
+//!
+//! * preprocessing time  O(N^{1+ε})   (exponent 1 + (w−1)ε),
+//! * enumeration delay   O(N^{1−ε}).
+//!
+//! This harness sweeps ε over {0, ¼, ½, ¾, 1} and N over a doubling grid,
+//! prints the measured preprocessing time and per-tuple delay, and fits
+//! log-log slopes against N so the *shape* can be compared with the paper:
+//! the preprocessing slope grows from ~1 toward ~2 and the delay slope
+//! falls from ~1 toward ~0 as ε goes from 0 to 1.
+
+use ivme_bench::{fmt_dur, fmt_ns, loglog_slope, measure_delay, time_once};
+use ivme_core::{EngineOptions, IvmEngine};
+use ivme_query::parse_query;
+use ivme_workload::two_path_db;
+
+fn main() {
+    let query = parse_query("Q(A,C) :- R(A,B), S(B,C)").unwrap();
+    let eps_grid = [0.0, 0.25, 0.5, 0.75, 1.0];
+    let n_grid = [1usize << 10, 1 << 11, 1 << 12, 1 << 13];
+    println!("# E1 / Figure 1: static trade-off for Q(A,C) = R(A,B), S(B,C)  (w = 2)");
+    println!("# data: Zipf(s=1.0) join column, |R| = |S| = N/2");
+    println!(
+        "{:<6} {:>8} {:>14} {:>14} {:>14} {:>10}",
+        "eps", "N", "preprocess", "avg delay", "max delay", "tuples"
+    );
+    for &eps in &eps_grid {
+        let mut prep_pts = Vec::new();
+        let mut delay_pts = Vec::new();
+        for &n in &n_grid {
+            let db = two_path_db(n / 2, n / 8, 1.0, 42);
+            let (engine, prep) = time_once(|| {
+                IvmEngine::new(&query, &db, EngineOptions::static_eval(eps)).unwrap()
+            });
+            let delay = measure_delay(&engine, 2000);
+            println!(
+                "{:<6} {:>8} {:>14} {:>14} {:>14} {:>10}",
+                eps,
+                n,
+                fmt_dur(prep),
+                fmt_ns(delay.avg_ns()),
+                fmt_ns(delay.max_ns as f64),
+                delay.count
+            );
+            prep_pts.push((n as f64, prep.as_nanos() as f64));
+            delay_pts.push((n as f64, delay.avg_ns()));
+        }
+        println!(
+            "  -> fitted exponents: preprocessing ~ N^{:.2} (paper: N^{:.2}), \
+             delay ~ N^{:.2} (paper: N^{:.2})",
+            loglog_slope(&prep_pts),
+            1.0 + eps,
+            loglog_slope(&delay_pts),
+            1.0 - eps
+        );
+    }
+    println!("\n# Expectation: preprocessing slope rises with eps, delay slope falls with eps.");
+}

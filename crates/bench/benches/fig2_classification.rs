@@ -1,0 +1,74 @@
+//! Experiment E3 — Figure 2: the landscape of static and dynamic query
+//! evaluation, regenerated as a classification table.
+//!
+//! For each query of the battery the harness prints its class membership
+//! and widths, from which the paper's complexity placement follows
+//! directly: preprocessing O(N^{1+(w−1)ε}), delay O(N^{1−ε}), update
+//! O(N^{δε}); q-hierarchical = δ0 gets O(N)/O(1)/O(1) at ε = 1, free-connex
+//! gets O(N)/O(1) static, etc.
+
+use ivme_query::{classify, parse_query};
+
+const BATTERY: &[&str] = &[
+    "Q(A,C) :- R(A,B), S(B,C)",
+    "Q(A) :- R(A,B), S(B)",
+    "Q(A,D,E) :- R(A,B,C), S(A,B,D), T(A,E)",
+    "Q(C,D,E,F) :- R(A,B,D), S(A,B,E), T(A,C,F), U(A,C,G)",
+    "Q(A,C,F) :- R(A,B,C), S(A,B,D), T(A,E,F), U(A,E,G)",
+    "Q(X,Y0,Y1) :- R0(X,Y0), R1(X,Y1)",
+    "Q(Y0,Y1) :- R0(X,Y0), R1(X,Y1)",
+    "Q(Y0,Y1,Y2) :- R0(X,Y0), R1(X,Y1), R2(X,Y2)",
+    "Q() :- R(A,B), S(B,C)",
+    "Q(A,B,C) :- R(A,B), S(B,C)",
+    "Q(B) :- R(A,B), S(B,C)",
+    // Non-hierarchical rows of the landscape:
+    "Q(A) :- R(A,B), S(B,C), T(C)",
+    "Q() :- R(A,B), S(B,C), T(A,C)",
+];
+
+fn main() {
+    println!("# E3 / Figure 2: classification landscape");
+    println!(
+        "{:<58} {:>5} {:>5} {:>5} {:>4} {:>3} {:>3}  {}",
+        "query", "hier", "acyc", "f.c.", "q-h", "w", "δ", "paper placement (prep/delay/update at ε=1)"
+    );
+    for src in BATTERY {
+        let q = parse_query(src).unwrap();
+        let c = classify(&q);
+        let place = match (c.hierarchical, c.q_hierarchical, c.free_connex) {
+            (true, true, _) => "q-hierarchical: O(N)/O(1)/O(1)".to_string(),
+            (true, false, true) => format!(
+                "free-connex δ{}: O(N)/O(1)/O(N^{}ε)",
+                c.dynamic_width.unwrap(),
+                c.dynamic_width.unwrap()
+            ),
+            (true, false, false) => format!(
+                "hierarchical: O(N^(1+{}ε))/O(N^(1-ε))/O(N^{}ε)",
+                c.static_width.unwrap() - 1,
+                c.dynamic_width.unwrap()
+            ),
+            (false, _, _) => "outside hierarchical class (not supported)".to_string(),
+        };
+        println!(
+            "{:<58} {:>5} {:>5} {:>5} {:>4} {:>3} {:>3}  {}",
+            src,
+            tick(c.hierarchical),
+            tick(c.alpha_acyclic),
+            tick(c.free_connex),
+            tick(c.q_hierarchical),
+            c.static_width.map_or("-".into(), |w| w.to_string()),
+            c.dynamic_width.map_or("-".into(), |d| d.to_string()),
+            place
+        );
+    }
+    println!("\n# Matches Fig. 2: q-hierarchical ⊂ free-connex ⊂ hierarchical ⊂ acyclic,");
+    println!("# with δ0 = q-hierarchical (Prop. 6) and free-connex ⇒ w = 1 (Prop. 3).");
+}
+
+fn tick(b: bool) -> &'static str {
+    if b {
+        "yes"
+    } else {
+        "no"
+    }
+}

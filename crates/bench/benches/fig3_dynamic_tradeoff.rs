@@ -1,0 +1,70 @@
+//! Experiment E2 — Figure 1 (right) / Figure 3: the dynamic trade-off for
+//! δ1-hierarchical queries.
+//!
+//! For `Q(A,C) = R(A,B), S(B,C)` (δ = 1) the paper predicts amortized
+//! update time O(N^ε) against enumeration delay O(N^{1−ε}); the point
+//! ε = ½ is weakly Pareto worst-case optimal under the OMv conjecture
+//! (update and delay both O(N^{1/2}), Prop. 10 / Fig. 3).
+//!
+//! The harness measures, per ε: amortized per-update time over a mixed
+//! insert/delete stream, and the enumeration delay — then fits both
+//! exponents in N. The measured curve should trace the blue line of
+//! Fig. 3: update exponent ≈ ε, delay exponent ≈ 1 − ε.
+
+use ivme_bench::{fmt_ns, loglog_slope, measure_delay, time_once};
+use ivme_core::{EngineOptions, IvmEngine};
+use ivme_query::parse_query;
+use ivme_workload::{two_path_db, update_stream};
+
+fn main() {
+    let query = parse_query("Q(A,C) :- R(A,B), S(B,C)").unwrap();
+    let eps_grid = [0.0, 0.25, 0.5, 0.75, 1.0];
+    let n_grid = [1usize << 10, 1 << 11, 1 << 12, 1 << 13];
+    println!("# E2 / Figures 1 (right) and 3: dynamic trade-off for the δ1 query");
+    println!("# stream: 2000 single-tuple updates (25% deletes), Zipf(s=1.0) join column");
+    println!(
+        "{:<6} {:>8} {:>14} {:>14} {:>10} {:>8}",
+        "eps", "N", "per-update", "avg delay", "minor", "major"
+    );
+    for &eps in &eps_grid {
+        let mut upd_pts = Vec::new();
+        let mut delay_pts = Vec::new();
+        for &n in &n_grid {
+            let db = two_path_db(n / 2, n / 8, 1.0, 7);
+            let mut engine =
+                IvmEngine::new(&query, &db, EngineOptions::dynamic(eps)).unwrap();
+            let ops = update_stream(2000, &[("R", 2), ("S", 2)], n / 8, 1.0, 0.25, 11);
+            let (_, upd_time) = time_once(|| {
+                for op in &ops {
+                    engine
+                        .apply_update(&op.relation, op.tuple.clone(), op.delta)
+                        .unwrap();
+                }
+            });
+            let per_update = upd_time.as_nanos() as f64 / ops.len() as f64;
+            let delay = measure_delay(&engine, 2000);
+            let stats = engine.stats();
+            println!(
+                "{:<6} {:>8} {:>14} {:>14} {:>10} {:>8}",
+                eps,
+                n,
+                fmt_ns(per_update),
+                fmt_ns(delay.avg_ns()),
+                stats.minor_rebalances,
+                stats.major_rebalances
+            );
+            upd_pts.push((n as f64, per_update));
+            delay_pts.push((n as f64, delay.avg_ns()));
+        }
+        println!(
+            "  -> fitted exponents: update ~ N^{:.2} (paper: N^{:.2}), \
+             delay ~ N^{:.2} (paper: N^{:.2})",
+            loglog_slope(&upd_pts),
+            eps,
+            loglog_slope(&delay_pts),
+            1.0 - eps
+        );
+    }
+    println!("\n# Expectation: ε = 1/2 balances both costs at ~N^0.5 (the weakly");
+    println!("# Pareto-optimal point of Fig. 3); ε = 0 minimizes updates, ε = 1 delay.");
+}

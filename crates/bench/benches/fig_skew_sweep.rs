@@ -1,0 +1,58 @@
+//! Experiment E9 (extension) — adaptivity of the heavy/light split.
+//!
+//! The paper's strategy is *adaptive*: the same query and ε produce
+//! different physical layouts depending on the data's degree distribution.
+//! Sweeping the Zipf exponent of the join column at fixed N and ε = ½
+//! shows the engine shifting work between the two representations:
+//!
+//! * uniform data (s = 0): no key exceeds θ — everything is light, the
+//!   light trees carry the result, no buckets exist;
+//! * growing skew: heavy keys appear (at most N^{1−ε} of them), the light
+//!   trees shrink, and enumeration spends more time in the Union over
+//!   buckets while staying within the O(N^{1−ε}) delay envelope;
+//! * extreme skew: few giant keys — tiny aux space, bucket-dominated.
+
+use ivme_bench::{fmt_dur, fmt_ns, measure_delay, time_once};
+use ivme_core::{EngineOptions, IvmEngine};
+use ivme_query::parse_query;
+use ivme_workload::{two_path_db, update_stream};
+
+fn main() {
+    let query = parse_query("Q(A,C) :- R(A,B), S(B,C)").unwrap();
+    let n = 1usize << 13;
+    let eps = 0.5;
+    println!("# E9: skew sweep at N = {n}, ε = {eps} (two-path query)");
+    println!(
+        "{:<7} {:>10} {:>12} {:>12} {:>12} {:>12} {:>12}",
+        "zipf s", "heavy keys", "light rows", "aux space", "preprocess", "per-update", "avg delay"
+    );
+    for s in [0.0, 0.5, 0.8, 1.0, 1.2, 1.5] {
+        let db = two_path_db(n / 2, n / 8, s, 17);
+        let (mut eng, prep) = time_once(|| {
+            IvmEngine::new(&query, &db, EngineOptions::dynamic(eps)).unwrap()
+        });
+        let heavy = eng.heavy_keys();
+        let light = eng.light_tuples();
+        let aux = eng.aux_space();
+        let ops = update_stream(1000, &[("R", 2), ("S", 2)], n / 8, s, 0.25, 23);
+        let (_, upd) = time_once(|| {
+            for op in &ops {
+                eng.apply_update(&op.relation, op.tuple.clone(), op.delta).unwrap();
+            }
+        });
+        let delay = measure_delay(&eng, 2000);
+        println!(
+            "{:<7} {:>10} {:>12} {:>12} {:>12} {:>12} {:>12}",
+            s,
+            heavy,
+            light,
+            aux,
+            fmt_dur(prep),
+            fmt_ns(upd.as_nanos() as f64 / ops.len() as f64),
+            fmt_ns(delay.avg_ns())
+        );
+    }
+    println!("\n# Expectation: heavy keys rise from 0 with skew while light rows fall;");
+    println!("# the engine never exceeds the N^(1-eps) bucket budget and stays correct");
+    println!("# (correctness under skew is covered by the test suite).");
+}

@@ -1,0 +1,36 @@
+//! Experiment E6 — Figures 9, 12, 23, 24: the constructed view trees for
+//! the paper's worked examples, printed for visual comparison with the
+//! figures (the exact structures are also pinned by golden tests in
+//! `tests/paper_examples.rs` and the plan crate's unit tests).
+
+use ivme_plan::Mode;
+use ivme_query::parse_query;
+
+fn main() {
+    for (fig, src, mode) in [
+        ("Figure 9 (Example 18, static)", "Q(A,D,E) :- R(A,B,C), S(A,B,D), T(A,E)", Mode::Static),
+        ("Figure 9 (Example 18, dynamic)", "Q(A,D,E) :- R(A,B,C), S(A,B,D), T(A,E)", Mode::Dynamic),
+        (
+            "Figure 12 (Example 19, dynamic)",
+            "Q(C,D,E,F) :- R(A,B,D), S(A,B,E), T(A,C,F), U(A,C,G)",
+            Mode::Dynamic,
+        ),
+        ("Figure 23 (Example 28, dynamic)", "Q(A,C) :- R(A,B), S(B,C)", Mode::Dynamic),
+        ("Figure 24 (Example 29, static)", "Q(A) :- R(A,B), S(B)", Mode::Static),
+        ("Figure 24 (Example 29, dynamic)", "Q(A) :- R(A,B), S(B)", Mode::Dynamic),
+    ] {
+        let q = parse_query(src).unwrap();
+        let plan = ivme_plan::compile(&q, mode).unwrap();
+        println!("== {fig} ==");
+        println!("query: {q}");
+        println!(
+            "trees: {}   indicators: {}   partitions: {}   nodes: {}",
+            plan.components.iter().map(|c| c.trees.len()).sum::<usize>(),
+            plan.indicators.len(),
+            plan.partitions.len(),
+            plan.num_nodes()
+        );
+        print!("{}", plan.render());
+        println!();
+    }
+}

@@ -1,0 +1,73 @@
+//! Criterion micro-benchmarks of the storage substrate: the O(1)
+//! operations the paper's computational model assumes (Sec. 3) — lookups,
+//! indexed inserts/deletes, group-size queries, constant-delay scans — and
+//! the engine's end-to-end single-tuple update at ε = ½.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use ivme_core::{EngineOptions, IvmEngine};
+use ivme_data::{Relation, Schema, Tuple};
+use ivme_query::parse_query;
+use ivme_workload::two_path_db;
+
+fn bench_relation_ops(c: &mut Criterion) {
+    let mut group = c.benchmark_group("relation");
+    let n = 100_000i64;
+    let mut rel = Relation::new("R", Schema::of(&["A", "B"]));
+    let idx = rel.add_index(&Schema::of(&["B"]));
+    for i in 0..n {
+        rel.insert(Tuple::ints(&[i, i % 1000]), 1);
+    }
+    group.bench_function("get_hit", |b| {
+        let t = Tuple::ints(&[n / 2, (n / 2) % 1000]);
+        b.iter(|| black_box(rel.get(black_box(&t))))
+    });
+    group.bench_function("group_len", |b| {
+        let k = Tuple::ints(&[7]);
+        b.iter(|| black_box(rel.group_len(idx, black_box(&k))))
+    });
+    group.bench_function("insert_delete_cycle", |b| {
+        let t = Tuple::ints(&[n + 1, 7]);
+        b.iter(|| {
+            rel.insert(t.clone(), 1);
+            rel.delete(t.clone(), 1);
+        })
+    });
+    group.bench_function("scan_1k", |b| {
+        b.iter(|| {
+            let mut s = 0i64;
+            for (_, m) in rel.iter().take(1000) {
+                s += m;
+            }
+            black_box(s)
+        })
+    });
+    group.bench_function("group_scan", |b| {
+        let k = Tuple::ints(&[7]);
+        b.iter(|| black_box(rel.group_iter(idx, &k).count()))
+    });
+    group.finish();
+}
+
+fn bench_engine_update(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine");
+    group.sample_size(30);
+    let q = parse_query("Q(A,C) :- R(A,B), S(B,C)").unwrap();
+    let db = two_path_db(1 << 12, 1 << 9, 1.0, 3);
+    let mut eng = IvmEngine::new(&q, &db, EngineOptions::dynamic(0.5)).unwrap();
+    let mut i = 0i64;
+    group.bench_function("single_update_eps_0.5", |b| {
+        b.iter(|| {
+            let t = Tuple::ints(&[1 << 20 | i, i % 512]);
+            eng.insert("R", t.clone()).unwrap();
+            eng.delete("R", t).unwrap();
+            i += 1;
+        })
+    });
+    group.bench_function("first_tuple_delay_eps_0.5", |b| {
+        b.iter(|| black_box(eng.enumerate().next()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_relation_ops, bench_engine_update);
+criterion_main!(benches);

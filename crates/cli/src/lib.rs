@@ -1,0 +1,8 @@
+//! `ivme-cli` — a line-oriented shell around the IVM^ε engine.
+//!
+//! See [`shell::Shell`] for the command language; the `ivme` binary wires
+//! it to stdin/stdout.
+
+pub mod shell;
+
+pub use shell::{parse_tuple, Shell};

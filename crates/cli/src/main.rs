@@ -1,0 +1,27 @@
+//! The `ivme` interactive shell (see `ivme-cli`'s `Shell` for commands).
+
+use std::io::{self, BufRead, Write};
+
+use ivme_cli::Shell;
+
+fn main() {
+    let mut shell = Shell::new();
+    let stdin = io::stdin();
+    let mut stdout = io::stdout();
+    println!("ivme — IVM^ε engine shell (type `help`)");
+    print!("> ");
+    let _ = stdout.flush();
+    for line in stdin.lock().lines() {
+        let line = match line {
+            Ok(l) => l,
+            Err(_) => break,
+        };
+        match shell.execute(&line) {
+            Ok(Some(out)) => print!("{out}"),
+            Ok(None) => break,
+            Err(e) => println!("error: {e}"),
+        }
+        print!("> ");
+        let _ = stdout.flush();
+    }
+}

@@ -1,0 +1,359 @@
+//! The `ivme` shell interpreter.
+//!
+//! A tiny line-oriented command language around [`IvmEngine`]:
+//!
+//! ```text
+//! query Q(A,C) :- R(A,B), S(B,C)    register the query
+//! epsilon 0.5                        set ε (before `build`)
+//! mode dynamic|static                set the evaluation mode
+//! load R path.csv                    stage rows for relation R
+//! row R 1,2                          stage a single row
+//! build                              compile + preprocess
+//! insert R 1,2                       single-tuple insert
+//! delete R 1,2                       single-tuple delete
+//! list [k]                           enumerate (first k) result tuples
+//! count                              number of distinct result tuples
+//! stats                              maintenance counters and sizes
+//! classify                           class membership and widths
+//! plan                               print the compiled view trees
+//! help | quit
+//! ```
+//!
+//! The interpreter is I/O-agnostic (writes to any `io::Write`) so the unit
+//! tests drive it with string scripts.
+
+use std::fmt::Write as _;
+use std::fs;
+
+use ivme_core::{Database, EngineOptions, IvmEngine, Mode};
+use ivme_data::{Tuple, Value};
+use ivme_query::{classify, parse_query, Query};
+
+/// Interpreter state.
+pub struct Shell {
+    query: Option<Query>,
+    epsilon: f64,
+    mode: Mode,
+    staged: Database,
+    engine: Option<IvmEngine>,
+}
+
+impl Default for Shell {
+    fn default() -> Self {
+        Shell::new()
+    }
+}
+
+impl Shell {
+    pub fn new() -> Shell {
+        Shell {
+            query: None,
+            epsilon: 0.5,
+            mode: Mode::Dynamic,
+            staged: Database::new(),
+            engine: None,
+        }
+    }
+
+    /// Executes one command line; returns the output text, or `Err` with a
+    /// user-facing message. `Ok(None)` signals quit.
+    pub fn execute(&mut self, line: &str) -> Result<Option<String>, String> {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            return Ok(Some(String::new()));
+        }
+        let (cmd, rest) = match line.split_once(char::is_whitespace) {
+            Some((c, r)) => (c, r.trim()),
+            None => (line, ""),
+        };
+        match cmd {
+            "quit" | "exit" => Ok(None),
+            "help" => Ok(Some(HELP.to_owned())),
+            "query" => {
+                let q = parse_query(rest).map_err(|e| e.to_string())?;
+                let c = classify(&q);
+                if !c.hierarchical {
+                    return Err(format!("query is not hierarchical: {q}"));
+                }
+                let mut out = String::new();
+                let _ = writeln!(out, "registered {q}");
+                let _ = writeln!(
+                    out,
+                    "w = {}, δ = {}, free-connex: {}, q-hierarchical: {}",
+                    c.static_width.unwrap(),
+                    c.dynamic_width.unwrap(),
+                    c.free_connex,
+                    c.q_hierarchical
+                );
+                self.query = Some(q);
+                self.engine = None;
+                Ok(Some(out))
+            }
+            "epsilon" => {
+                let e: f64 = rest.parse().map_err(|_| format!("bad epsilon: {rest}"))?;
+                if !(0.0..=1.0).contains(&e) {
+                    return Err(format!("epsilon {e} outside [0, 1]"));
+                }
+                self.epsilon = e;
+                Ok(Some(format!("epsilon = {e}\n")))
+            }
+            "mode" => {
+                self.mode = match rest {
+                    "dynamic" => Mode::Dynamic,
+                    "static" => Mode::Static,
+                    other => return Err(format!("unknown mode `{other}` (dynamic|static)")),
+                };
+                Ok(Some(format!("mode = {rest}\n")))
+            }
+            "load" => {
+                let (rel, path) = rest
+                    .split_once(char::is_whitespace)
+                    .ok_or("usage: load <relation> <path.csv>")?;
+                let text = fs::read_to_string(path.trim())
+                    .map_err(|e| format!("cannot read {path}: {e}"))?;
+                let mut n = 0;
+                for (i, row) in text.lines().enumerate() {
+                    if row.trim().is_empty() {
+                        continue;
+                    }
+                    let t = parse_tuple(row)
+                        .map_err(|e| format!("{path}:{}: {e}", i + 1))?;
+                    self.staged.insert(rel, t, 1);
+                    n += 1;
+                }
+                Ok(Some(format!("staged {n} rows into {rel}\n")))
+            }
+            "row" => {
+                let (rel, csv) = rest
+                    .split_once(char::is_whitespace)
+                    .ok_or("usage: row <relation> <v1,v2,...>")?;
+                self.staged.insert(rel, parse_tuple(csv)?, 1);
+                Ok(Some(format!("staged 1 row into {rel}\n")))
+            }
+            "build" => {
+                let q = self.query.as_ref().ok_or("no query registered")?;
+                let eng = IvmEngine::new(
+                    q,
+                    &self.staged,
+                    EngineOptions { epsilon: self.epsilon, mode: self.mode },
+                )
+                .map_err(|e| e.to_string())?;
+                let msg = format!(
+                    "built: N = {}, {} views, θ = {:.2}\n",
+                    eng.db_size(),
+                    eng.num_views(),
+                    eng.theta()
+                );
+                self.engine = Some(eng);
+                Ok(Some(msg))
+            }
+            "insert" | "delete" => {
+                let (rel, csv) = rest
+                    .split_once(char::is_whitespace)
+                    .ok_or("usage: insert|delete <relation> <v1,v2,...>")?;
+                let t = parse_tuple(csv)?;
+                let eng = self.engine.as_mut().ok_or("run `build` first")?;
+                let delta = if cmd == "insert" { 1 } else { -1 };
+                eng.apply_update(rel, t, delta).map_err(|e| e.to_string())?;
+                Ok(Some(String::new()))
+            }
+            "list" => {
+                let eng = self.engine.as_ref().ok_or("run `build` first")?;
+                let limit: usize = if rest.is_empty() {
+                    usize::MAX
+                } else {
+                    rest.parse().map_err(|_| format!("bad limit: {rest}"))?
+                };
+                let mut out = String::new();
+                let mut shown = 0;
+                for (t, m) in eng.enumerate().take(limit) {
+                    let _ = writeln!(out, "{t} x{m}");
+                    shown += 1;
+                }
+                let _ = writeln!(out, "({shown} tuples)");
+                Ok(Some(out))
+            }
+            "count" => {
+                let eng = self.engine.as_ref().ok_or("run `build` first")?;
+                Ok(Some(format!("{}\n", eng.count_distinct())))
+            }
+            "stats" => {
+                let eng = self.engine.as_ref().ok_or("run `build` first")?;
+                let s = eng.stats();
+                Ok(Some(format!(
+                    "N = {}, M = {}, θ = {:.2}, views = {}, aux space = {}\n\
+                     updates = {}, major rebalances = {}, minor rebalances = {}\n",
+                    eng.db_size(),
+                    eng.threshold_base(),
+                    eng.theta(),
+                    eng.num_views(),
+                    eng.aux_space(),
+                    s.updates,
+                    s.major_rebalances,
+                    s.minor_rebalances
+                )))
+            }
+            "classify" => {
+                let q = self.query.as_ref().ok_or("no query registered")?;
+                let c = classify(q);
+                Ok(Some(format!("{c:#?}\n")))
+            }
+            "plan" => {
+                let q = self.query.as_ref().ok_or("no query registered")?;
+                let plan =
+                    ivme_plan::compile(q, self.mode).map_err(|e| e.to_string())?;
+                Ok(Some(plan.render()))
+            }
+            other => Err(format!("unknown command `{other}` (try `help`)")),
+        }
+    }
+}
+
+/// Parses a CSV row into a tuple: integer cells become `Int`, everything
+/// else `Str`. Whitespace around cells is trimmed.
+pub fn parse_tuple(csv: &str) -> Result<Tuple, String> {
+    if csv.trim().is_empty() {
+        return Ok(Tuple::empty());
+    }
+    Ok(csv
+        .split(',')
+        .map(|cell| {
+            let cell = cell.trim();
+            match cell.parse::<i64>() {
+                Ok(v) => Value::Int(v),
+                Err(_) => Value::from(cell),
+            }
+        })
+        .collect())
+}
+
+const HELP: &str = "\
+commands:
+  query <datalog>        register a hierarchical query (Q(A,C) :- R(A,B), S(B,C))
+  epsilon <0..1>         set the trade-off knob (default 0.5)
+  mode dynamic|static    set the evaluation mode (default dynamic)
+  load <rel> <csv path>  stage rows for a relation
+  row <rel> <v1,v2,...>  stage one row
+  build                  compile the plan and preprocess the staged data
+  insert <rel> <values>  apply a single-tuple insert
+  delete <rel> <values>  apply a single-tuple delete
+  list [k]               enumerate (up to k) distinct result tuples
+  count                  count distinct result tuples
+  stats                  engine counters and sizes
+  classify               class membership and widths of the query
+  plan                   print the compiled view trees
+  quit
+";
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(shell: &mut Shell, script: &[&str]) -> String {
+        let mut out = String::new();
+        for line in script {
+            match shell.execute(line) {
+                Ok(Some(s)) => out.push_str(&s),
+                Ok(None) => break,
+                Err(e) => panic!("command `{line}` failed: {e}"),
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn end_to_end_session() {
+        let mut sh = Shell::new();
+        let out = run(
+            &mut sh,
+            &[
+                "# comment lines are ignored",
+                "query Q(A,C) :- R(A,B), S(B,C)",
+                "epsilon 0.5",
+                "row R 1,10",
+                "row R 2,10",
+                "row S 10,5",
+                "build",
+                "insert S 10,6",
+                "delete R 2,10",
+                "count",
+                "stats",
+            ],
+        );
+        assert!(out.contains("w = 2, δ = 1"), "{out}");
+        assert!(out.contains("built: N = 3"), "{out}");
+        assert!(out.contains("\n2\n"), "expected count 2 in:\n{out}");
+        assert!(out.contains("updates = 2"), "{out}");
+    }
+
+    #[test]
+    fn list_and_plan() {
+        let mut sh = Shell::new();
+        let out = run(
+            &mut sh,
+            &[
+                "query Q(A) :- R(A,B), S(B)",
+                "row R 7,1",
+                "row S 1",
+                "build",
+                "list",
+                "plan",
+            ],
+        );
+        assert!(out.contains("(7) x1"), "{out}");
+        assert!(out.contains("(1 tuples)"), "{out}");
+        assert!(out.contains("VB("), "{out}");
+    }
+
+    #[test]
+    fn csv_loading() {
+        let dir = std::env::temp_dir().join("ivme_cli_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("r.csv");
+        std::fs::write(&path, "1,foo\n2,bar\n\n3,foo\n").unwrap();
+        let mut sh = Shell::new();
+        let out = run(
+            &mut sh,
+            &[
+                "query Q(A) :- R(A,B), S(B)",
+                &format!("load R {}", path.display()),
+                "row S foo",
+                "build",
+                "count",
+            ],
+        );
+        assert!(out.contains("staged 3 rows"), "{out}");
+        assert!(out.contains("\n2\n"), "{out}");
+    }
+
+    #[test]
+    fn error_paths_are_reported() {
+        let mut sh = Shell::new();
+        assert!(sh.execute("query Q(A) :- R(A,B), S(B,C), T(C)").is_err()); // not hierarchical
+        assert!(sh.execute("epsilon 2.0").is_err());
+        assert!(sh.execute("mode sideways").is_err());
+        assert!(sh.execute("list").is_err()); // no engine yet
+        assert!(sh.execute("frobnicate").is_err());
+        assert!(sh.execute("load R /nonexistent/file.csv").is_err());
+        // Static mode rejects updates after build.
+        let _ = sh.execute("query Q(A) :- R(A,B), S(B)").unwrap();
+        let _ = sh.execute("mode static").unwrap();
+        let _ = sh.execute("build").unwrap();
+        assert!(sh.execute("insert R 1,2").is_err());
+    }
+
+    #[test]
+    fn tuple_parsing() {
+        assert_eq!(parse_tuple("1, 2").unwrap(), Tuple::ints(&[1, 2]));
+        assert_eq!(parse_tuple("").unwrap(), Tuple::empty());
+        let t = parse_tuple("x, 3").unwrap();
+        assert_eq!(t.get(0).as_str(), Some("x"));
+        assert_eq!(t.get(1).as_int(), 3);
+    }
+
+    #[test]
+    fn quit_ends_session() {
+        let mut sh = Shell::new();
+        assert!(sh.execute("quit").unwrap().is_none());
+    }
+}

@@ -1,0 +1,215 @@
+//! Delta propagation (paper Figs. 17–18).
+//!
+//! [`Runtime::propagate`] implements `Apply`: a single-leaf delta is pushed
+//! along the path from the leaf to the root of its view tree; at each view
+//! the delta is joined with the *current* state of the sibling subtrees
+//! (classical delta rules [16]). Since children share the view's join key
+//! and are disjoint elsewhere, each delta tuple costs one group lookup per
+//! sibling — O(1) after aux views, O(N^ε) inside light trees, which is what
+//! yields the O(N^{δε}) single-tuple update time of Prop. 23.
+//!
+//! [`Runtime::refresh_heavy`] realizes `UpdateIndTree` for the derived
+//! heavy indicator `H = ∃All ∧ ∄L`: after the All/L indicator trees have
+//! absorbed a delta, the support of `H` at the update's key is recomputed
+//! and the ±1 change in `∃H` is returned for further propagation.
+
+use ivme_data::fx::FxHashMap;
+use ivme_data::Tuple;
+
+use crate::runtime::{NodeId, Runtime};
+
+/// A set of per-tuple multiplicity changes over one node's schema.
+pub(crate) type Delta = Vec<(Tuple, i64)>;
+
+impl Runtime {
+    /// Applies `delta` (already applied to the leaf's backing relation) to
+    /// every ancestor view of `leaf`, bottom-up.
+    pub(crate) fn propagate(&mut self, leaf: NodeId, delta: &Delta) {
+        let mut current: Delta = delta.clone();
+        let mut child = leaf;
+        while let Some(parent) = self.nodes[child].parent {
+            if current.is_empty() {
+                return;
+            }
+            current = self.view_delta(parent, child, &current);
+            let rel = self.nodes[parent].rel;
+            for (t, m) in &current {
+                self.rels[rel]
+                    .apply(t.clone(), *m)
+                    .expect("view maintenance drove a multiplicity negative");
+            }
+            child = parent;
+        }
+    }
+
+    /// Computes the view delta `δV = V_1 ⋈ ... ⋈ δV_j ⋈ ... ⋈ V_k`
+    /// (projected onto V's schema) for a delta arriving from child `child`.
+    fn view_delta(&self, parent: NodeId, child: NodeId, delta: &Delta) -> Delta {
+        let node = &self.nodes[parent];
+        let j = node
+            .children
+            .iter()
+            .position(|&c| c == child)
+            .expect("delta child must be a child of parent");
+        let mut acc: FxHashMap<Tuple, i64> = FxHashMap::default();
+        if node.children.len() == 1 {
+            for (t, m) in delta {
+                *acc.entry(t.project(&node.project_pos)).or_insert(0) += m;
+            }
+        } else {
+            for (t, m) in delta {
+                let key = t.project(&node.child_key_pos[j]);
+                // Semi-join filter against the siblings.
+                let mut ok = true;
+                for (i, &c) in node.children.iter().enumerate() {
+                    if i != j
+                        && !self
+                            .node_rel(c)
+                            .group_contains(node.child_key_idx[i], &key)
+                    {
+                        ok = false;
+                        break;
+                    }
+                }
+                if !ok {
+                    continue;
+                }
+                // Aggregated sibling groups; the updated child contributes
+                // its single delta tuple's segment.
+                let segs: Vec<Vec<(Tuple, i64)>> = (0..node.children.len())
+                    .map(|i| {
+                        if i == j {
+                            vec![(t.project(&node.child_seg_pos[i]), *m)]
+                        } else {
+                            self.aggregated_group(parent, i, &key)
+                        }
+                    })
+                    .collect();
+                if segs.iter().any(|s| s.is_empty()) {
+                    continue;
+                }
+                self.emit_products(parent, &key, &segs, 1, &mut acc);
+            }
+        }
+        acc.into_iter().filter(|&(_, m)| m != 0).collect()
+    }
+
+    /// `UpdateIndTree` for the derived heavy indicator of `ind` at `key`:
+    /// recomputes `present(key) = key ∈ All ∧ key ∉ L` against the current
+    /// indicator-tree roots, applies the change to the `H` relation, and
+    /// returns the `δ(∃H)` to propagate (`None` when unchanged).
+    pub(crate) fn refresh_heavy(&mut self, ind: usize, key: &Tuple) -> Option<(Tuple, i64)> {
+        let all = self.node_rel(self.ind_all_root[ind]).get(key) != 0;
+        let light = self.node_rel(self.ind_light_root[ind]).get(key) != 0;
+        let desired = all && !light;
+        let h = self.heavy_rel[ind];
+        let present = self.rels[h].get(key) != 0;
+        match (present, desired) {
+            (false, true) => {
+                self.rels[h].insert(key.clone(), 1);
+                Some((key.clone(), 1))
+            }
+            (true, false) => {
+                self.rels[h].delete(key.clone(), 1);
+                Some((key.clone(), -1))
+            }
+            _ => None,
+        }
+    }
+
+    /// Brute-force recompute of one view from its children — test oracle
+    /// used to validate incremental maintenance.
+    #[cfg(test)]
+    pub(crate) fn recompute_view_oracle(&self, n: NodeId) -> Vec<(Tuple, i64)> {
+        use crate::runtime::{FieldSrc, RtKind};
+        use ivme_data::Value;
+        let node = &self.nodes[n];
+        assert!(matches!(node.kind, RtKind::View));
+        let mut acc: FxHashMap<Tuple, i64> = FxHashMap::default();
+        if node.children.len() == 1 {
+            for (t, m) in self.node_rel(node.children[0]).iter() {
+                *acc.entry(t.project(&node.project_pos)).or_insert(0) += m;
+            }
+        } else {
+            // Nested-loop join over all children (exponential; tests only).
+            let rows: Vec<Vec<(Tuple, i64)>> = node
+                .children
+                .iter()
+                .map(|&c| self.node_rel(c).iter().map(|(t, m)| (t.clone(), m)).collect())
+                .collect();
+            let mut pick = vec![0usize; rows.len()];
+            if rows.iter().all(|r| !r.is_empty()) {
+                'outer: loop {
+                    let tuples: Vec<&Tuple> =
+                        (0..rows.len()).map(|i| &rows[i][pick[i]].0).collect();
+                    let key0 = tuples[0].project(&node.child_key_pos[0]);
+                    let matches = (1..rows.len())
+                        .all(|i| tuples[i].project(&node.child_key_pos[i]) == key0);
+                    if matches {
+                        let mult: i64 = (0..rows.len()).map(|i| rows[i][pick[i]].1).product();
+                        let mut vals: Vec<Value> = Vec::new();
+                        for src in &node.assembly {
+                            match *src {
+                                FieldSrc::Key(p) => vals.push(key0.get(p).clone()),
+                                FieldSrc::Seg { c, p } => vals.push(
+                                    tuples[c].project(&node.child_seg_pos[c]).get(p).clone(),
+                                ),
+                            }
+                        }
+                        *acc.entry(Tuple::new(vals)).or_insert(0) += mult;
+                    }
+                    for i in (0..rows.len()).rev() {
+                        pick[i] += 1;
+                        if pick[i] < rows[i].len() {
+                            continue 'outer;
+                        }
+                        pick[i] = 0;
+                    }
+                    break;
+                }
+            }
+        }
+        let mut v: Vec<(Tuple, i64)> = acc.into_iter().filter(|&(_, m)| m != 0).collect();
+        v.sort();
+        v
+    }
+
+    /// Checks that every materialized view equals a from-scratch recompute
+    /// over its current children — test support for the maintenance path.
+    #[cfg(test)]
+    pub(crate) fn check_all_views(&self) -> Result<(), String> {
+        use crate::runtime::RtKind;
+        for n in 0..self.nodes.len() {
+            if !matches!(self.nodes[n].kind, RtKind::View) {
+                continue;
+            }
+            let got = self.rels[self.nodes[n].rel].to_sorted_vec();
+            let want = self.recompute_view_oracle(n);
+            if got != want {
+                return Err(format!(
+                    "view {} (node {n}) diverged from its definition:\n got {got:?}\nwant {want:?}",
+                    self.nodes[n].name
+                ));
+            }
+        }
+        // Heavy indicators equal All ∧ ¬L.
+        for i in 0..self.heavy_rel.len() {
+            let all = self.node_rel(self.ind_all_root[i]);
+            let light = self.node_rel(self.ind_light_root[i]);
+            let h = &self.rels[self.heavy_rel[i]];
+            for (t, _) in all.iter() {
+                let want = light.get(t) == 0;
+                let got = h.get(t) != 0;
+                if got != want {
+                    return Err(format!("indicator {i} wrong at {t:?}: got {got}, want {want}"));
+                }
+            }
+            for (t, m) in h.iter() {
+                if m != 1 || all.get(t) == 0 || light.get(t) != 0 {
+                    return Err(format!("indicator {i} stray entry {t:?}→{m}"));
+                }
+            }
+        }
+        Ok(())
+    }
+}

@@ -1,0 +1,472 @@
+//! The IVM^ε engine facade.
+//!
+//! [`IvmEngine`] ties everything together: it compiles a hierarchical query
+//! into skew-aware view trees (`ivme-plan`), materializes them over an
+//! input [`Database`](crate::Database) (preprocessing, Thm. 2/4:
+//! `O(N^{1+(w−1)ε})`), answers enumeration requests with `O(N^{1−ε})` delay,
+//! and — in dynamic mode — maintains everything under single-tuple updates
+//! in `O(N^{δε})` amortized time via the trigger procedure `OnUpdate`
+//! (Fig. 22) with major/minor rebalancing (Figs. 20/21).
+
+use std::fmt;
+
+use ivme_data::{NegativeMultiplicity, Tuple};
+use ivme_plan::{Mode, Plan};
+use ivme_query::{NotHierarchical, Query};
+
+use crate::database::Database;
+use crate::enumerate::{EnumNode, ResultIter};
+use crate::runtime::Runtime;
+
+/// Engine construction options.
+#[derive(Clone, Copy, Debug)]
+pub struct EngineOptions {
+    /// The trade-off knob ε ∈ [0, 1]: delay `O(N^{1−ε})`, preprocessing
+    /// `O(N^{1+(w−1)ε})`, amortized update `O(N^{δε})`.
+    pub epsilon: f64,
+    /// Static (no updates) or dynamic (updates supported) evaluation.
+    pub mode: Mode,
+}
+
+impl EngineOptions {
+    /// Dynamic evaluation at the given ε.
+    pub fn dynamic(epsilon: f64) -> EngineOptions {
+        EngineOptions { epsilon, mode: Mode::Dynamic }
+    }
+
+    /// Static evaluation at the given ε.
+    pub fn static_eval(epsilon: f64) -> EngineOptions {
+        EngineOptions { epsilon, mode: Mode::Static }
+    }
+}
+
+/// Errors surfaced while building an engine.
+#[derive(Debug)]
+pub enum EngineError {
+    /// The query is not hierarchical; this engine does not support it.
+    NotHierarchical(NotHierarchical),
+    /// ε outside [0, 1].
+    InvalidEpsilon(f64),
+    /// A database tuple does not match its relation's schema.
+    Arity(String),
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::NotHierarchical(e) => write!(f, "{e}"),
+            EngineError::InvalidEpsilon(e) => write!(f, "epsilon {e} outside [0, 1]"),
+            EngineError::Arity(m) => write!(f, "{m}"),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+/// Errors surfaced while applying an update.
+#[derive(Debug)]
+pub enum UpdateError {
+    /// No atom of the query uses this relation symbol.
+    UnknownRelation(String),
+    /// The engine was built in static mode.
+    StaticMode,
+    /// A delete exceeds the stored multiplicity (paper Sec. 3: rejected).
+    Negative(NegativeMultiplicity),
+    /// Tuple arity does not match the relation schema.
+    Arity(String),
+}
+
+impl fmt::Display for UpdateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            UpdateError::UnknownRelation(r) => write!(f, "unknown relation {r}"),
+            UpdateError::StaticMode => write!(f, "engine was built in static mode"),
+            UpdateError::Negative(e) => write!(f, "{e}"),
+            UpdateError::Arity(m) => write!(f, "{m}"),
+        }
+    }
+}
+
+impl std::error::Error for UpdateError {}
+
+/// Maintenance counters (used by the benchmark harness and EXPERIMENTS.md).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct EngineStats {
+    /// Single-tuple updates processed.
+    pub updates: u64,
+    /// Major rebalancing events (threshold-base doubling/halving).
+    pub major_rebalances: u64,
+    /// Minor rebalancing events (per-key light/heavy migrations).
+    pub minor_rebalances: u64,
+}
+
+/// The IVM^ε engine for one hierarchical query.
+pub struct IvmEngine {
+    query: Query,
+    plan: Plan,
+    rt: Runtime,
+    enums: Vec<Vec<EnumNode>>,
+    epsilon: f64,
+    mode: Mode,
+    /// Threshold base `M` with invariant `⌊M/4⌋ ≤ N < M` (Sec. 6.2).
+    m_threshold: usize,
+    /// Database size `N`: total number of distinct stored base tuples.
+    n_size: usize,
+    stats: EngineStats,
+}
+
+impl IvmEngine {
+    /// Compiles `query` and preprocesses it over `db`.
+    pub fn new(query: &Query, db: &Database, opts: EngineOptions) -> Result<IvmEngine, EngineError> {
+        if !(0.0..=1.0).contains(&opts.epsilon) {
+            return Err(EngineError::InvalidEpsilon(opts.epsilon));
+        }
+        let plan =
+            ivme_plan::compile(query, opts.mode).map_err(EngineError::NotHierarchical)?;
+        let mut rt = Runtime::build(&plan);
+        // Enumeration compilation adds its indexes before any data exists.
+        let mut enums = Vec::new();
+        for (ci, comp) in plan.components.iter().enumerate() {
+            let roots = rt.comp_roots[ci].clone();
+            let trees: Vec<EnumNode> = roots
+                .iter()
+                .map(|&r| rt.build_enum(r, &query.free))
+                .collect();
+            let _ = comp;
+            enums.push(trees);
+        }
+        // Load base relations.
+        for (ai, atom) in query.atoms.iter().enumerate() {
+            db.check_arity(&atom.relation, &atom.schema)
+                .map_err(EngineError::Arity)?;
+            let rel = rt.base_rel[ai];
+            for (t, m) in db.rows(&atom.relation) {
+                rt.rels[rel]
+                    .apply(t, m)
+                    .expect("database multiplicities are positive");
+            }
+        }
+        let n_size: usize = rt.base_rel.iter().map(|&r| rt.rels[r].len()).sum();
+        let m_threshold = match opts.mode {
+            Mode::Dynamic => 2 * n_size + 1,
+            Mode::Static => n_size.max(1),
+        };
+        let mut eng = IvmEngine {
+            query: query.clone(),
+            plan,
+            rt,
+            enums,
+            epsilon: opts.epsilon,
+            mode: opts.mode,
+            m_threshold,
+            n_size,
+            stats: EngineStats::default(),
+        };
+        eng.rt.materialize_all(eng.theta_ceil());
+        Ok(eng)
+    }
+
+    /// Convenience: parse, compile, and preprocess in one call.
+    pub fn from_sql(src: &str, db: &Database, opts: EngineOptions) -> Result<IvmEngine, String> {
+        let q = ivme_query::parse_query(src).map_err(|e| e.to_string())?;
+        IvmEngine::new(&q, db, opts).map_err(|e| e.to_string())
+    }
+
+    /// The compiled query.
+    pub fn query(&self) -> &Query {
+        &self.query
+    }
+
+    /// The compiled skew-aware plan.
+    pub fn plan(&self) -> &Plan {
+        &self.plan
+    }
+
+    /// ε as configured.
+    pub fn epsilon(&self) -> f64 {
+        self.epsilon
+    }
+
+    /// Current database size `N` (distinct stored base tuples).
+    pub fn db_size(&self) -> usize {
+        self.n_size
+    }
+
+    /// Current threshold base `M`.
+    pub fn threshold_base(&self) -> usize {
+        self.m_threshold
+    }
+
+    /// Current heavy/light threshold `θ = M^ε`.
+    pub fn theta(&self) -> f64 {
+        (self.m_threshold as f64).powf(self.epsilon)
+    }
+
+    fn theta_ceil(&self) -> usize {
+        self.theta().ceil().max(1.0) as usize
+    }
+
+    /// Maintenance counters.
+    pub fn stats(&self) -> EngineStats {
+        self.stats
+    }
+
+    /// Total entries across all materialized views, light parts, and heavy
+    /// indicators (the "extra space" of the paper's Figs. 4/5).
+    pub fn aux_space(&self) -> usize {
+        let views: usize = self
+            .rt
+            .nodes
+            .iter()
+            .filter(|n| matches!(n.kind, crate::runtime::RtKind::View))
+            .map(|n| self.rt.rels[n.rel].len())
+            .sum();
+        let lights: usize = self.rt.partitions.iter().map(|p| p.light().len()).sum();
+        let heavies: usize = self.rt.heavy_rel.iter().map(|&r| self.rt.rels[r].len()).sum();
+        views + lights + heavies
+    }
+
+    /// Total number of heavy keys across all heavy indicators — the size
+    /// of the on-the-fly portion of the representation (≤ N^{1−ε} per
+    /// indicator).
+    pub fn heavy_keys(&self) -> usize {
+        self.rt.heavy_rel.iter().map(|&r| self.rt.rels[r].len()).sum()
+    }
+
+    /// Total number of tuples across all light parts.
+    pub fn light_tuples(&self) -> usize {
+        self.rt.partitions.iter().map(|p| p.light().len()).sum()
+    }
+
+    /// Number of materialized views.
+    pub fn num_views(&self) -> usize {
+        self.rt
+            .nodes
+            .iter()
+            .filter(|n| matches!(n.kind, crate::runtime::RtKind::View))
+            .count()
+    }
+
+    // ------------------------------------------------------------------
+    // Enumeration
+    // ------------------------------------------------------------------
+
+    /// Enumerates the distinct result tuples with their multiplicities,
+    /// with `O(N^{1−ε})` delay (Prop. 22).
+    pub fn enumerate(&self) -> ResultIter<'_> {
+        ResultIter::new(&self.rt, &self.enums, self.query.free.arity())
+    }
+
+    /// Collects and sorts the full result — test/bench helper.
+    pub fn result_sorted(&self) -> Vec<(Tuple, i64)> {
+        let mut v: Vec<(Tuple, i64)> = self.enumerate().collect();
+        v.sort();
+        v
+    }
+
+    /// Number of distinct result tuples (counted via enumeration).
+    pub fn count_distinct(&self) -> usize {
+        self.enumerate().count()
+    }
+
+    // ------------------------------------------------------------------
+    // Updates (Fig. 22: OnUpdate)
+    // ------------------------------------------------------------------
+
+    /// Applies a single-tuple update `δR = {tuple → delta}` to relation
+    /// `relation`. Inserts have `delta > 0`, deletes `delta < 0`; deletes
+    /// exceeding the stored multiplicity are rejected. With repeated
+    /// relation symbols the update is applied to each occurrence in
+    /// sequence (paper footnote 2).
+    pub fn apply_update(
+        &mut self,
+        relation: &str,
+        tuple: Tuple,
+        delta: i64,
+    ) -> Result<(), UpdateError> {
+        if self.mode == Mode::Static {
+            return Err(UpdateError::StaticMode);
+        }
+        if delta == 0 {
+            return Ok(());
+        }
+        let atoms: Vec<usize> = (0..self.query.atoms.len())
+            .filter(|&a| self.query.atoms[a].relation == relation)
+            .collect();
+        if atoms.is_empty() {
+            return Err(UpdateError::UnknownRelation(relation.to_owned()));
+        }
+        for &a in &atoms {
+            if tuple.arity() != self.query.atoms[a].schema.arity() {
+                return Err(UpdateError::Arity(format!(
+                    "tuple {tuple:?} does not match schema {:?} of {relation}",
+                    self.query.atoms[a].schema
+                )));
+            }
+        }
+        for &a in &atoms {
+            self.on_update(a, tuple.clone(), delta)?;
+        }
+        Ok(())
+    }
+
+    /// Convenience insert of a unit-multiplicity tuple.
+    pub fn insert(&mut self, relation: &str, tuple: Tuple) -> Result<(), UpdateError> {
+        self.apply_update(relation, tuple, 1)
+    }
+
+    /// Convenience delete of a unit-multiplicity tuple.
+    pub fn delete(&mut self, relation: &str, tuple: Tuple) -> Result<(), UpdateError> {
+        self.apply_update(relation, tuple, -1)
+    }
+
+    /// `OnUpdate` (Fig. 22) for one atom occurrence.
+    fn on_update(&mut self, atom: usize, tuple: Tuple, delta: i64) -> Result<(), UpdateError> {
+        self.update_trees(atom, &tuple, delta)?;
+        self.stats.updates += 1;
+        if self.n_size >= self.m_threshold {
+            self.m_threshold *= 2;
+            self.major_rebalance();
+        } else if self.n_size < self.m_threshold / 4 {
+            self.m_threshold = (self.m_threshold / 2).saturating_sub(1).max(1);
+            self.major_rebalance();
+        } else {
+            self.minor_rebalance(atom, &tuple);
+        }
+        Ok(())
+    }
+
+    /// `UpdateTrees` (Fig. 19): pushes the delta through every view tree,
+    /// light part, indicator tree, and heavy indicator.
+    fn update_trees(&mut self, atom: usize, tuple: &Tuple, delta: i64) -> Result<(), UpdateError> {
+        // Decide, per partition of this atom, whether the tuple belongs to
+        // the light part: key already light, or key absent from R
+        // (Fig. 19 line 10) — evaluated before touching the base relation.
+        let mut light_parts: Vec<usize> = Vec::new();
+        for pi in 0..self.rt.partitions.len() {
+            if self.rt.part_atom[pi] != atom {
+                continue;
+            }
+            let key = self.rt.partitions[pi].key_of(tuple);
+            let base = self.rt.base_rel[atom];
+            let present =
+                self.rt.rels[base].group_contains(self.rt.base_part_idx[pi], &key);
+            if self.rt.partitions[pi].key_is_light(&key) || !present {
+                light_parts.push(pi);
+            }
+        }
+        // 1. Base relation (validates delete legality).
+        let base = self.rt.base_rel[atom];
+        let outcome = self.rt.rels[base]
+            .apply(tuple.clone(), delta)
+            .map_err(UpdateError::Negative)?;
+        if outcome.inserted() {
+            self.n_size += 1;
+        } else if outcome.deleted() {
+            self.n_size -= 1;
+        }
+        let d = vec![(tuple.clone(), delta)];
+        // 2. Propagate through every tree reading this atom directly
+        //    (component trees and indicator All-trees).
+        for leaf in self.rt.leaves_by_atom[atom].clone() {
+            self.rt.propagate(leaf, &d);
+        }
+        // 3. Light parts and the trees reading them (component light trees
+        //    and indicator L-trees).
+        for pi in light_parts {
+            self.rt.partitions[pi]
+                .light_mut()
+                .apply(tuple.clone(), delta)
+                .expect("light part mirrors the base relation");
+            for leaf in self.rt.leaves_by_part[pi].clone() {
+                self.rt.propagate(leaf, &d);
+            }
+        }
+        // 4. Refresh the heavy indicators whose key the update fixes and
+        //    propagate any δ(∃H) (Fig. 18 / Fig. 19 lines 8-14).
+        for ind in 0..self.rt.heavy_rel.len() {
+            let Some(pos) = self.rt.ind_key_pos_in_atom[ind].get(&atom).cloned() else {
+                continue;
+            };
+            let key = tuple.project(&pos);
+            if let Some(dh) = self.rt.refresh_heavy(ind, &key) {
+                let dh = vec![dh];
+                for leaf in self.rt.leaves_by_ind[ind].clone() {
+                    self.rt.propagate(leaf, &dh);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// `MajorRebalancing` (Fig. 20): strict repartition with the new
+    /// threshold and recomputation of all views.
+    fn major_rebalance(&mut self) {
+        self.stats.major_rebalances += 1;
+        self.rt.materialize_all(self.theta_ceil());
+    }
+
+    /// `MinorRebalancing` checks (Fig. 22 lines 9-15) for every partition
+    /// of the updated atom; migrations move whole keys between the light
+    /// and heavy sides and propagate the resulting deltas (Fig. 21).
+    fn minor_rebalance(&mut self, atom: usize, tuple: &Tuple) {
+        let theta = self.theta();
+        for pi in 0..self.rt.partitions.len() {
+            if self.rt.part_atom[pi] != atom {
+                continue;
+            }
+            let key = self.rt.partitions[pi].key_of(tuple);
+            let light_deg = self.rt.partitions[pi].light_degree(&key);
+            let base = self.rt.base_rel[atom];
+            let full_deg = self.rt.rels[base].group_len(self.rt.base_part_idx[pi], &key);
+            let deltas: Vec<(Tuple, i64)>;
+            if light_deg == 0 && full_deg > 0 && (full_deg as f64) < 0.5 * theta {
+                // Heavy → light.
+                let Runtime { rels, partitions, base_rel, base_part_idx, part_atom, .. } =
+                    &mut self.rt;
+                let b = &rels[base_rel[part_atom[pi]]];
+                deltas = partitions[pi].migrate_in(b, base_part_idx[pi], &key);
+            } else if (light_deg as f64) >= 1.5 * theta {
+                // Light → heavy.
+                deltas = self.rt.partitions[pi].migrate_out(&key);
+            } else {
+                continue;
+            }
+            self.stats.minor_rebalances += 1;
+            for leaf in self.rt.leaves_by_part[pi].clone() {
+                self.rt.propagate(leaf, &deltas);
+            }
+            // The migration may flip the heavy indicator at this key.
+            for ind in 0..self.rt.heavy_rel.len() {
+                if !self.rt.ind_key_pos_in_atom[ind].contains_key(&atom) {
+                    continue;
+                }
+                if !self.plan.indicators[ind].keys.same_set(self.rt.partitions[pi].key()) {
+                    continue;
+                }
+                if let Some(dh) = self.rt.refresh_heavy(ind, &key) {
+                    let dh = vec![dh];
+                    for leaf in self.rt.leaves_by_ind[ind].clone() {
+                        self.rt.propagate(leaf, &dh);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Validates every internal invariant against brute-force recomputation
+    /// — test support, O(N^k).
+    pub fn check_consistency(&self) -> Result<(), String> {
+        #[cfg(test)]
+        self.rt.check_all_views()?;
+        // Partitions satisfy Def. 11 slack conditions.
+        for pi in 0..self.rt.partitions.len() {
+            let atom = self.rt.part_atom[pi];
+            let base = &self.rt.rels[self.rt.base_rel[atom]];
+            self.rt.partitions[pi]
+                .check_invariants(base, self.rt.base_part_idx[pi], self.theta_ceil())
+                .map_err(|e| format!("partition {pi}: {e}"))?;
+        }
+        Ok(())
+    }
+}

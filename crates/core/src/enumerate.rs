@@ -1,0 +1,799 @@
+//! Enumeration of the query result from the materialized view trees
+//! (paper Sec. 5, Figs. 13–16).
+//!
+//! Each view-tree node is compiled into an [`EnumNode`]:
+//!
+//! * **Covering** — the node's schema contains every free variable of its
+//!   subtree: enumerate its stored tuples directly (Fig. 13 line 4).
+//! * **Directory** — iterate the node's distinct tuples within the parent
+//!   context; for each, form the Cartesian **Product** (Fig. 16) of the
+//!   children opened with that tuple as context.
+//! * **Buckets** — the node has a heavy-indicator child: ground `∃H` into
+//!   one shallow instance per heavy key and enumerate their **Union**
+//!   (Fig. 15, the Durand–Strozecki algorithm) with per-bucket lookups for
+//!   deduplication and multiplicity summation.
+//!
+//! The top level unions the trees of each component and takes the product
+//! across components. Every enumerator writes the variables it binds into a
+//! shared buffer indexed by the query's free schema, so tuples assemble
+//! without repeated re-projection.
+
+use ivme_data::{IndexId, Relation, Schema, SlotId, Tuple, Value};
+
+use crate::runtime::{NodeId, RtKind, Runtime};
+
+/// How one variable of a node's stored schema is obtained during lookups.
+#[derive(Clone, Copy, Debug)]
+enum SVal {
+    /// From the parent context tuple at this position.
+    Ctx(usize),
+    /// From the node's output segment at this index.
+    Seg(usize),
+}
+
+/// Compiled enumeration info for one view-tree node.
+pub(crate) struct EnumNode {
+    mat: NodeId,
+    #[allow(dead_code)]
+    schema: Schema,
+    /// Positions (in the query's free schema) of the variables this
+    /// subtree emits, ascending.
+    pub out_positions: Vec<usize>,
+    /// Variables emitted by this node itself: (position in schema,
+    /// position in the shared buffer).
+    own_emit: Vec<(usize, usize)>,
+    /// Positions, within the parent's schema, of `schema ∩ parent-schema`
+    /// (used to project the context tuple to this node's group key).
+    ctx_pos_in_parent: Vec<usize>,
+    /// Index on `schema ∩ parent-schema` in this node's storage; `None`
+    /// means full scan (roots).
+    ctx_index: Option<IndexId>,
+    /// Assembly of a full stored tuple from (context, segment) — lookups.
+    s_assembly: Vec<SVal>,
+    kind: EnumKind,
+}
+
+enum EnumKind {
+    Covering,
+    Directory {
+        children: Vec<EnumNode>,
+        /// For child `i`'s k-th output position, its index within this
+        /// node's `out_positions`.
+        child_seg_idx: Vec<Vec<usize>>,
+    },
+    Buckets {
+        ind: usize,
+        /// Index on `keys ∩ parent-schema` in the H relation.
+        h_ctx_index: Option<IndexId>,
+        children: Vec<EnumNode>,
+        child_seg_idx: Vec<Vec<usize>>,
+    },
+}
+
+impl Runtime {
+    /// Compiles the enumeration tree for a component tree root.
+    pub(crate) fn build_enum(&mut self, root: NodeId, free: &Schema) -> EnumNode {
+        self.build_enum_at(root, &Schema::empty(), free)
+    }
+
+    fn subtree_free(&self, n: NodeId, free: &Schema) -> Schema {
+        let mut vars = self.nodes[n].schema.clone();
+        let mut stack = vec![n];
+        while let Some(x) = stack.pop() {
+            vars = vars.union(&self.nodes[x].schema);
+            stack.extend(self.nodes[x].children.iter().copied());
+        }
+        free.intersect(&vars)
+    }
+
+    fn build_enum_at(&mut self, n: NodeId, parent_schema: &Schema, free: &Schema) -> EnumNode {
+        let schema = self.nodes[n].schema.clone();
+        let sub_free = self.subtree_free(n, free);
+        let out_vars = sub_free.difference(parent_schema);
+        let mut out_positions: Vec<usize> =
+            out_vars.vars().iter().map(|&v| free.position(v).unwrap()).collect();
+        out_positions.sort_unstable();
+        // Canonical out order = free-schema order.
+        let out_schema: Schema = out_positions
+            .iter()
+            .map(|&p| free.vars()[p])
+            .collect();
+
+        let own_vars = schema.intersect(free).difference(parent_schema);
+        let own_emit: Vec<(usize, usize)> = own_vars
+            .vars()
+            .iter()
+            .map(|&v| (schema.position(v).unwrap(), free.position(v).unwrap()))
+            .collect();
+
+        let ctx_schema = schema.intersect(parent_schema);
+        let ctx_pos_in_parent = parent_schema.positions_of(&ctx_schema);
+        let ctx_index = if ctx_schema.is_empty() {
+            None
+        } else {
+            Some(self.add_index_to_node(n, &ctx_schema))
+        };
+
+        let is_leaf = self.nodes[n].children.is_empty();
+        let covering = is_leaf || schema.contains_all(&sub_free);
+        let kind = if covering {
+            EnumKind::Covering
+        } else {
+            let mat_children = self.nodes[n].children.clone();
+            let h_child = mat_children
+                .iter()
+                .copied()
+                .find(|&c| matches!(self.nodes[c].kind, RtKind::LeafHeavy(_)));
+            let non_heavy: Vec<NodeId> = mat_children
+                .iter()
+                .copied()
+                .filter(|&c| !matches!(self.nodes[c].kind, RtKind::LeafHeavy(_)))
+                .collect();
+            let enum_children: Vec<EnumNode> = non_heavy
+                .into_iter()
+                .map(|c| self.build_enum_at(c, &schema, free))
+                .collect();
+            let child_seg_idx: Vec<Vec<usize>> = enum_children
+                .iter()
+                .map(|c| {
+                    c.out_positions
+                        .iter()
+                        .map(|p| out_positions.iter().position(|q| q == p).unwrap())
+                        .collect()
+                })
+                .collect();
+            match h_child {
+                None => EnumKind::Directory { children: enum_children, child_seg_idx },
+                Some(hc) => {
+                    let RtKind::LeafHeavy(ind) = self.nodes[hc].kind else { unreachable!() };
+                    assert!(
+                        own_emit.is_empty(),
+                        "indicator nodes emit nothing themselves"
+                    );
+                    let h_ctx_index = if ctx_schema.is_empty() {
+                        None
+                    } else {
+                        let h = self.heavy_rel[ind];
+                        Some(self.rels[h].add_index(&ctx_schema))
+                    };
+                    EnumKind::Buckets {
+                        ind,
+                        h_ctx_index,
+                        children: enum_children,
+                        child_seg_idx,
+                    }
+                }
+            }
+        };
+        // Assembly of the full stored tuple (for lookups): every schema
+        // variable must come from the context or from the out segment.
+        // Indicator (Buckets) nodes are exempt — their bound heavy variable
+        // is resolved by grounding, never by assembly.
+        let s_assembly: Vec<SVal> = if matches!(kind, EnumKind::Buckets { .. }) {
+            Vec::new()
+        } else {
+            schema
+                .vars()
+                .iter()
+                .map(|&v| {
+                    if let Some(p) = parent_schema.position(v) {
+                        // Lookup contexts are full parent-schema tuples.
+                        SVal::Ctx(p)
+                    } else if let Some(i) = out_schema.position(v) {
+                        SVal::Seg(i)
+                    } else {
+                        panic!(
+                            "enumeration invariant violated at {}: variable {v} is \
+                             neither context nor output",
+                            self.nodes[n].name
+                        )
+                    }
+                })
+                .collect()
+        };
+        EnumNode {
+            mat: n,
+            schema,
+            out_positions,
+            own_emit,
+            ctx_pos_in_parent,
+            ctx_index,
+            s_assembly,
+            kind,
+        }
+    }
+}
+
+impl EnumNode {
+    fn storage<'r>(&self, rt: &'r Runtime) -> &'r Relation {
+        rt.node_rel(self.mat)
+    }
+
+    fn assemble_s(&self, ctx: &Tuple, seg: &[Value]) -> Tuple {
+        self.s_assembly
+            .iter()
+            .map(|sv| match *sv {
+                SVal::Ctx(p) => ctx.get(p).clone(),
+                SVal::Seg(i) => seg[i].clone(),
+            })
+            .collect()
+    }
+
+    fn child_seg(child_idx: &[usize], seg: &[Value]) -> Vec<Value> {
+        child_idx.iter().map(|&k| seg[k].clone()).collect()
+    }
+
+    /// Stateless multiplicity lookup of an output segment under a context
+    /// (used by the Union algorithm; O(#buckets) at indicator nodes).
+    pub(crate) fn lookup(&self, rt: &Runtime, ctx: &Tuple, seg: &[Value]) -> i64 {
+        match &self.kind {
+            EnumKind::Covering => self.storage(rt).get(&self.assemble_s(ctx, seg)),
+            EnumKind::Directory { children, child_seg_idx } => {
+                let s = self.assemble_s(ctx, seg);
+                if self.storage(rt).get(&s) == 0 {
+                    return 0;
+                }
+                let mut m = 1i64;
+                for (i, c) in children.iter().enumerate() {
+                    let cs = Self::child_seg(&child_seg_idx[i], seg);
+                    let cm = c.lookup(rt, &s, &cs);
+                    if cm == 0 {
+                        return 0;
+                    }
+                    m *= cm;
+                }
+                m
+            }
+            EnumKind::Buckets { ind, h_ctx_index, children, child_seg_idx } => {
+                let h_rel = &rt.rels[rt.heavy_rel[*ind]];
+                let v_rel = self.storage(rt);
+                let mut total = 0i64;
+                let each = |h: &Tuple, total: &mut i64| {
+                    if v_rel.get(h) == 0 {
+                        return;
+                    }
+                    let mut m = 1i64;
+                    for (i, c) in children.iter().enumerate() {
+                        let cs = Self::child_seg(&child_seg_idx[i], seg);
+                        let cm = c.lookup(rt, h, &cs);
+                        if cm == 0 {
+                            return;
+                        }
+                        m *= cm;
+                    }
+                    *total += m;
+                };
+                match h_ctx_index {
+                    Some(ix) => {
+                        let key = ctx.project(&self.ctx_pos_in_parent);
+                        for (h, _) in h_rel.group_iter(*ix, &key) {
+                            each(h, &mut total);
+                        }
+                    }
+                    None => {
+                        for (h, _) in h_rel.iter() {
+                            each(h, &mut total);
+                        }
+                    }
+                }
+                total
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Iterators
+// ---------------------------------------------------------------------
+
+/// Cursor over one storage relation, either a full scan or one index group.
+pub(crate) struct Scan {
+    index: Option<IndexId>,
+    key: Tuple,
+    cur: Option<SlotId>,
+    started: bool,
+}
+
+impl Scan {
+    fn open(node: &EnumNode, ctx: &Tuple) -> Scan {
+        Scan {
+            index: node.ctx_index,
+            key: ctx.project(&node.ctx_pos_in_parent),
+            cur: None,
+            started: false,
+        }
+    }
+
+    fn next<'r>(&mut self, rel: &'r Relation) -> Option<(&'r Tuple, i64)> {
+        let next = if !self.started {
+            self.started = true;
+            match self.index {
+                Some(ix) => rel.group_first(ix, &self.key),
+                None => rel.first(),
+            }
+        } else {
+            let cur = self.cur?;
+            match self.index {
+                Some(ix) => rel.group_next(ix, cur),
+                None => rel.next(cur),
+            }
+        };
+        self.cur = next;
+        next.map(|s| (rel.tuple_at(s), rel.mult_at(s)))
+    }
+}
+
+/// Runtime iterator state for an [`EnumNode`].
+///
+/// Iterators write into a buffer shared by *all* iterators of the
+/// enumeration (including sibling union buckets over the same output
+/// positions), so each variant caches its last-emitted values and can
+/// [`NodeIter::replay`] them after siblings have clobbered the buffer.
+pub(crate) enum NodeIter<'e> {
+    Covering {
+        node: &'e EnumNode,
+        scan: Scan,
+        last: Option<Tuple>,
+    },
+    Directory {
+        node: &'e EnumNode,
+        scan: Scan,
+        cur: Option<Tuple>,
+        prod: Option<Product<'e>>,
+    },
+    Buckets {
+        node: &'e EnumNode,
+        union: Union<BucketPart<'e>>,
+    },
+}
+
+impl<'e> NodeIter<'e> {
+    pub(crate) fn open(node: &'e EnumNode, rt: &Runtime, ctx: &Tuple) -> NodeIter<'e> {
+        match &node.kind {
+            EnumKind::Covering => {
+                NodeIter::Covering { node, scan: Scan::open(node, ctx), last: None }
+            }
+            EnumKind::Directory { .. } => NodeIter::Directory {
+                node,
+                scan: Scan::open(node, ctx),
+                cur: None,
+                prod: None,
+            },
+            EnumKind::Buckets { ind, h_ctx_index, children, .. } => {
+                // Ground the heavy indicator: one bucket per heavy key in
+                // context (Fig. 13 lines 6-11).
+                let h_rel = &rt.rels[rt.heavy_rel[*ind]];
+                let v_rel = node.storage(rt);
+                let mut hs: Vec<Tuple> = Vec::new();
+                match h_ctx_index {
+                    Some(ix) => {
+                        let key = ctx.project(&node.ctx_pos_in_parent);
+                        for (h, _) in h_rel.group_iter(*ix, &key) {
+                            if v_rel.get(h) != 0 {
+                                hs.push(h.clone());
+                            }
+                        }
+                    }
+                    None => {
+                        for (h, _) in h_rel.iter() {
+                            if v_rel.get(h) != 0 {
+                                hs.push(h.clone());
+                            }
+                        }
+                    }
+                }
+                let parts: Vec<BucketPart<'e>> = hs
+                    .into_iter()
+                    .map(|h| {
+                        let prod = Product::open(children, rt, &h);
+                        BucketPart { node, h, prod }
+                    })
+                    .collect();
+                NodeIter::Buckets { node, union: Union::new(parts) }
+            }
+        }
+    }
+
+    /// Rewrites this iterator's current values into `buf` (they may have
+    /// been overwritten by sibling iterators sharing the same positions).
+    pub(crate) fn replay(&self, buf: &mut [Value]) {
+        match self {
+            NodeIter::Covering { node, last, .. } => {
+                if let Some(t) = last {
+                    for &(sp, bp) in &node.own_emit {
+                        buf[bp] = t.get(sp).clone();
+                    }
+                }
+            }
+            NodeIter::Directory { node, cur, prod, .. } => {
+                if let Some(t) = cur {
+                    for &(sp, bp) in &node.own_emit {
+                        buf[bp] = t.get(sp).clone();
+                    }
+                }
+                if let Some(p) = prod {
+                    p.replay(buf);
+                }
+            }
+            NodeIter::Buckets { node, union } => {
+                if let Some(t) = &union.last {
+                    for (i, &p) in node.out_positions.iter().enumerate() {
+                        buf[p] = t.get(i).clone();
+                    }
+                }
+            }
+        }
+    }
+
+    /// Advances to the next tuple: binds this subtree's variables in `buf`
+    /// and returns the multiplicity.
+    pub(crate) fn next(&mut self, rt: &Runtime, buf: &mut [Value]) -> Option<i64> {
+        match self {
+            NodeIter::Covering { node, scan, last } => {
+                let (t, m) = scan.next(node.storage(rt))?;
+                for &(sp, bp) in &node.own_emit {
+                    buf[bp] = t.get(sp).clone();
+                }
+                *last = Some(t.clone());
+                Some(m)
+            }
+            NodeIter::Directory { node, scan, cur, prod } => loop {
+                if cur.is_none() {
+                    let (t, _m) = scan.next(node.storage(rt))?;
+                    let t = t.clone();
+                    for &(sp, bp) in &node.own_emit {
+                        buf[bp] = t.get(sp).clone();
+                    }
+                    let EnumKind::Directory { children, .. } = &node.kind else {
+                        unreachable!()
+                    };
+                    *prod = Some(Product::open(children, rt, &t));
+                    *cur = Some(t);
+                }
+                match prod.as_mut().unwrap().next(rt, buf) {
+                    Some(m) => {
+                        // Sibling iterators may have clobbered our own
+                        // variables since the last call.
+                        if let Some(t) = cur {
+                            for &(sp, bp) in &node.own_emit {
+                                buf[bp] = t.get(sp).clone();
+                            }
+                        }
+                        return Some(m);
+                    }
+                    None => {
+                        *cur = None;
+                        *prod = None;
+                    }
+                }
+            },
+            NodeIter::Buckets { union, .. } => union.next(rt, buf).map(|(_, m)| m),
+        }
+    }
+}
+
+/// The Product algorithm (Fig. 16): odometer over child iterators sharing a
+/// common context; multiplicity is the product of the children's.
+pub(crate) struct Product<'e> {
+    children: &'e [EnumNode],
+    ctx: Tuple,
+    kids: Vec<NodeIter<'e>>,
+    mults: Vec<i64>,
+    primed: bool,
+    dead: bool,
+}
+
+impl<'e> Product<'e> {
+    pub(crate) fn open(children: &'e [EnumNode], rt: &Runtime, ctx: &Tuple) -> Product<'e> {
+        let kids = children.iter().map(|c| NodeIter::open(c, rt, ctx)).collect();
+        Product {
+            children,
+            ctx: ctx.clone(),
+            kids,
+            mults: vec![0; children.len()],
+            primed: false,
+            dead: false,
+        }
+    }
+
+    pub(crate) fn next(&mut self, rt: &Runtime, buf: &mut [Value]) -> Option<i64> {
+        if self.dead {
+            return None;
+        }
+        if !self.primed {
+            self.primed = true;
+            for i in 0..self.kids.len() {
+                match self.kids[i].next(rt, buf) {
+                    Some(m) => self.mults[i] = m,
+                    None => {
+                        self.dead = true;
+                        return None;
+                    }
+                }
+            }
+            return Some(self.mults.iter().product());
+        }
+        // Advance the odometer from the last child (Fig. 16 lines 8-11).
+        let k = self.kids.len();
+        let mut i = k;
+        loop {
+            if i == 0 {
+                self.dead = true;
+                return None;
+            }
+            i -= 1;
+            match self.kids[i].next(rt, buf) {
+                Some(m) => {
+                    self.mults[i] = m;
+                    break;
+                }
+                None => {
+                    // Reset child i and move to its predecessor.
+                    self.kids[i] = NodeIter::open(&self.children[i], rt, &self.ctx);
+                    match self.kids[i].next(rt, buf) {
+                        Some(m) => self.mults[i] = m,
+                        None => {
+                            self.dead = true;
+                            return None;
+                        }
+                    }
+                }
+            }
+        }
+        // Children before the advanced one did not move this call; restore
+        // their current values into the (shared) buffer.
+        for j in 0..i {
+            self.kids[j].replay(buf);
+        }
+        Some(self.mults.iter().product())
+    }
+
+    /// Restores every child's current values into `buf`.
+    pub(crate) fn replay(&self, buf: &mut [Value]) {
+        for kid in &self.kids {
+            kid.replay(buf);
+        }
+    }
+}
+
+/// One grounded instance `T(h)` of an indicator node (a shallow copy of the
+/// tree opened with heavy key `h`, Fig. 13 line 9).
+pub(crate) struct BucketPart<'e> {
+    node: &'e EnumNode,
+    h: Tuple,
+    prod: Product<'e>,
+}
+
+/// A participant in the Union algorithm.
+pub(crate) trait UnionPart {
+    /// Advances; on success writes the winning values into `buf` and
+    /// returns `(segment, multiplicity)`.
+    fn next_seg(&mut self, rt: &Runtime, buf: &mut [Value]) -> Option<(Tuple, i64)>;
+    /// Multiplicity of `seg` within this part (0 when absent).
+    fn lookup(&self, rt: &Runtime, seg: &[Value]) -> i64;
+    /// The output positions shared by all parts of the union.
+    fn out_positions(&self) -> &[usize];
+}
+
+impl<'e> UnionPart for BucketPart<'e> {
+    fn next_seg(&mut self, rt: &Runtime, buf: &mut [Value]) -> Option<(Tuple, i64)> {
+        let m = self.prod.next(rt, buf)?;
+        let seg: Tuple = self
+            .node
+            .out_positions
+            .iter()
+            .map(|&p| buf[p].clone())
+            .collect();
+        Some((seg, m))
+    }
+
+    fn lookup(&self, rt: &Runtime, seg: &[Value]) -> i64 {
+        let EnumKind::Buckets { children, child_seg_idx, .. } = &self.node.kind else {
+            unreachable!()
+        };
+        if self.node.storage(rt).get(&self.h) == 0 {
+            return 0;
+        }
+        let mut m = 1i64;
+        for (i, c) in children.iter().enumerate() {
+            let cs = EnumNode::child_seg(&child_seg_idx[i], seg);
+            let cm = c.lookup(rt, &self.h, &cs);
+            if cm == 0 {
+                return 0;
+            }
+            m *= cm;
+        }
+        m
+    }
+
+    fn out_positions(&self) -> &[usize] {
+        &self.node.out_positions
+    }
+}
+
+/// The Union algorithm (Fig. 15, after Durand–Strozecki): enumerates the
+/// distinct tuples of `T_1 ∪ ... ∪ T_n` with their total multiplicity,
+/// with O(n) lookups per emitted tuple.
+pub(crate) struct Union<P> {
+    parts: Vec<P>,
+    /// Last emitted segment, for replay by enclosing products.
+    pub(crate) last: Option<Tuple>,
+}
+
+impl<P: UnionPart> Union<P> {
+    pub(crate) fn new(parts: Vec<P>) -> Union<P> {
+        Union { parts, last: None }
+    }
+
+    pub(crate) fn next(&mut self, rt: &Runtime, buf: &mut [Value]) -> Option<(Tuple, i64)> {
+        let n = self.parts.len();
+        if n == 0 {
+            return None;
+        }
+        // Iterative form of the paper's recursion over T_1..T_n.
+        let mut cur: Option<(Tuple, i64)> = self.parts[0].next_seg(rt, buf);
+        for k in 1..n {
+            cur = match cur {
+                Some((t, m)) => {
+                    if self.parts[k].lookup(rt, t.values()) != 0 {
+                        // t also lives in T_k: emit T_k's next tuple with
+                        // its total multiplicity over T_1..T_k instead.
+                        let (tk, mk) = self.parts[k]
+                            .next_seg(rt, buf)
+                            .expect("T_k cannot be exhausted while it still contains t");
+                        let extra: i64 =
+                            (0..k).map(|i| self.parts[i].lookup(rt, tk.values())).sum();
+                        Some((tk, mk + extra))
+                    } else {
+                        Some((t, m))
+                    }
+                }
+                None => match self.parts[k].next_seg(rt, buf) {
+                    Some((tk, mk)) => {
+                        let extra: i64 =
+                            (0..k).map(|i| self.parts[i].lookup(rt, tk.values())).sum();
+                        Some((tk, mk + extra))
+                    }
+                    None => None,
+                },
+            };
+        }
+        // Write the winning tuple back into the buffer (lookups and
+        // sibling advances may have clobbered it).
+        if let Some((t, _)) = &cur {
+            for (i, &p) in self.parts[0].out_positions().iter().enumerate() {
+                buf[p] = t.get(i).clone();
+            }
+            self.last = Some(t.clone());
+        }
+        cur
+    }
+}
+
+/// A whole component tree as a union participant.
+pub(crate) struct TreePart<'e> {
+    pub node: &'e EnumNode,
+    pub iter: NodeIter<'e>,
+}
+
+impl<'e> UnionPart for TreePart<'e> {
+    fn next_seg(&mut self, rt: &Runtime, buf: &mut [Value]) -> Option<(Tuple, i64)> {
+        let m = self.iter.next(rt, buf)?;
+        let seg: Tuple = self
+            .node
+            .out_positions
+            .iter()
+            .map(|&p| buf[p].clone())
+            .collect();
+        Some((seg, m))
+    }
+
+    fn lookup(&self, rt: &Runtime, seg: &[Value]) -> i64 {
+        self.node.lookup(rt, &Tuple::empty(), seg)
+    }
+
+    fn out_positions(&self) -> &[usize] {
+        &self.node.out_positions
+    }
+}
+
+/// Iterator over the distinct tuples of the full query result with their
+/// multiplicities: Product across components of Union across view trees.
+pub struct ResultIter<'e> {
+    rt: &'e Runtime,
+    enums: &'e [Vec<EnumNode>],
+    comps: Vec<Union<TreePart<'e>>>,
+    comp_mults: Vec<i64>,
+    free_arity: usize,
+    buf: Vec<Value>,
+    primed: bool,
+    dead: bool,
+}
+
+fn open_component<'e>(rt: &Runtime, trees: &'e [EnumNode]) -> Union<TreePart<'e>> {
+    Union::new(
+        trees
+            .iter()
+            .map(|node| TreePart {
+                node,
+                iter: NodeIter::open(node, rt, &Tuple::empty()),
+            })
+            .collect(),
+    )
+}
+
+impl<'e> ResultIter<'e> {
+    pub(crate) fn new(rt: &'e Runtime, enums: &'e [Vec<EnumNode>], free_arity: usize) -> Self {
+        let comps: Vec<Union<TreePart<'e>>> =
+            enums.iter().map(|trees| open_component(rt, trees)).collect();
+        let n = comps.len();
+        ResultIter {
+            rt,
+            enums,
+            comps,
+            comp_mults: vec![0; n],
+            free_arity,
+            buf: vec![Value::Int(0); free_arity],
+            primed: false,
+            dead: false,
+        }
+    }
+}
+
+impl<'e> Iterator for ResultIter<'e> {
+    type Item = (Tuple, i64);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.dead {
+            return None;
+        }
+        if self.comps.is_empty() {
+            self.dead = true;
+            return None;
+        }
+        if !self.primed {
+            self.primed = true;
+            for i in 0..self.comps.len() {
+                match self.comps[i].next(self.rt, &mut self.buf) {
+                    Some((_, m)) => self.comp_mults[i] = m,
+                    None => {
+                        self.dead = true;
+                        return None;
+                    }
+                }
+            }
+        } else {
+            // Odometer across components; exhausted components are
+            // reopened from scratch.
+            let k = self.comps.len();
+            let mut i = k;
+            loop {
+                if i == 0 {
+                    self.dead = true;
+                    return None;
+                }
+                i -= 1;
+                match self.comps[i].next(self.rt, &mut self.buf) {
+                    Some((_, m)) => {
+                        self.comp_mults[i] = m;
+                        break;
+                    }
+                    None => {
+                        // Reset this component and advance its predecessor
+                        // (Fig. 16's close/open/next pattern).
+                        self.comps[i] = open_component(self.rt, &self.enums[i]);
+                        match self.comps[i].next(self.rt, &mut self.buf) {
+                            Some((_, m)) => self.comp_mults[i] = m,
+                            None => {
+                                self.dead = true;
+                                return None;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        let tuple: Tuple = (0..self.free_arity).map(|p| self.buf[p].clone()).collect();
+        Some((tuple, self.comp_mults.iter().product()))
+    }
+}

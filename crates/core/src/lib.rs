@@ -1,0 +1,50 @@
+//! `ivme-core` — the IVM^ε engine.
+//!
+//! Implementation of *Kara, Nikolic, Olteanu, Zhang: "Trade-offs in Static
+//! and Dynamic Evaluation of Hierarchical Queries"* (PODS 2020). For a
+//! hierarchical query with static width `w` and dynamic width `δ`, a
+//! database of size `N`, and a knob `ε ∈ [0, 1]`, the engine offers
+//!
+//! * preprocessing in `O(N^{1+(w−1)ε})` (Thm. 2),
+//! * enumeration of the distinct result tuples with multiplicities at
+//!   `O(N^{1−ε})` delay (Prop. 22),
+//! * single-tuple inserts/deletes in `O(N^{δε})` amortized time with
+//!   periodic major/minor rebalancing (Thm. 4, Sec. 6).
+//!
+//! # Quickstart
+//!
+//! ```
+//! use ivme_core::{Database, EngineOptions, IvmEngine};
+//! use ivme_data::Tuple;
+//!
+//! let mut db = Database::new();
+//! db.insert_ints("R", &[&[1, 10], &[2, 10]]);
+//! db.insert_ints("S", &[&[10, 7]]);
+//!
+//! let mut eng = IvmEngine::from_sql(
+//!     "Q(A, C) :- R(A, B), S(B, C)",
+//!     &db,
+//!     EngineOptions::dynamic(0.5),
+//! )
+//! .unwrap();
+//!
+//! assert_eq!(eng.count_distinct(), 2);
+//! eng.insert("S", Tuple::ints(&[10, 8])).unwrap();
+//! assert_eq!(eng.count_distinct(), 4);
+//! ```
+
+pub mod database;
+pub mod delta;
+pub mod engine;
+pub mod enumerate;
+pub mod oracle;
+pub mod runtime;
+
+pub use database::Database;
+pub use engine::{EngineError, EngineOptions, EngineStats, IvmEngine, UpdateError};
+pub use enumerate::ResultIter;
+pub use ivme_plan::Mode;
+pub use oracle::brute_force;
+
+#[cfg(test)]
+mod tests;

@@ -1,0 +1,380 @@
+//! End-to-end engine tests: every paper example, static and dynamic modes,
+//! the full ε grid, and randomized update streams — all validated against
+//! the brute-force oracle.
+
+use ivme_data::Tuple;
+use ivme_query::parse_query;
+
+use crate::database::Database;
+use crate::engine::{EngineOptions, IvmEngine};
+use crate::oracle::brute_force;
+
+
+const EPS_GRID: [f64; 5] = [0.0, 0.25, 0.5, 0.75, 1.0];
+
+fn check_engine_matches_oracle(src: &str, db: &Database, opts: EngineOptions) {
+    let q = parse_query(src).unwrap();
+    let eng = IvmEngine::new(&q, db, opts).unwrap();
+    let got = eng.result_sorted();
+    let want = brute_force(&q, db);
+    assert_eq!(
+        got, want,
+        "{src} (ε={}, {:?}): engine disagrees with oracle",
+        opts.epsilon, opts.mode
+    );
+    eng.check_consistency().unwrap();
+}
+
+fn check_all_modes(src: &str, db: &Database) {
+    for eps in EPS_GRID {
+        check_engine_matches_oracle(src, db, EngineOptions::static_eval(eps));
+        check_engine_matches_oracle(src, db, EngineOptions::dynamic(eps));
+    }
+}
+
+/// A deterministic pseudo-random sequence (xorshift) for data generation.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        x
+    }
+
+    fn below(&mut self, n: u64) -> i64 {
+        (self.next() % n) as i64
+    }
+}
+
+fn skewed_two_path_db(n: usize, seed: u64) -> Database {
+    // B-values follow a crude skew: half the tuples share few B values.
+    let mut rng = Rng(seed | 1);
+    let mut db = Database::new();
+    for _ in 0..n {
+        let b = if rng.below(2) == 0 { rng.below(3) } else { rng.below(n as u64 + 3) };
+        db.insert("R", Tuple::ints(&[rng.below(20), b]), 1 + rng.below(2));
+        let b2 = if rng.below(2) == 0 { rng.below(3) } else { rng.below(n as u64 + 3) };
+        db.insert("S", Tuple::ints(&[b2, rng.below(20)]), 1 + rng.below(2));
+    }
+    db
+}
+
+#[test]
+fn example_28_two_path_all_eps() {
+    // Q(A,C) = R(A,B), S(B,C), the paper's running δ1 example.
+    let db = skewed_two_path_db(60, 7);
+    check_all_modes("Q(A,C) :- R(A,B), S(B,C)", &db);
+}
+
+#[test]
+fn example_29_all_eps() {
+    let mut rng = Rng(11);
+    let mut db = Database::new();
+    for _ in 0..80 {
+        db.insert("R", Tuple::ints(&[rng.below(15), rng.below(10)]), 1);
+        db.insert("S", Tuple::ints(&[rng.below(10)]), 1 + rng.below(3));
+    }
+    check_all_modes("Q(A) :- R(A,B), S(B)", &db);
+}
+
+#[test]
+fn example_18_free_connex_all_eps() {
+    let mut rng = Rng(13);
+    let mut db = Database::new();
+    for _ in 0..60 {
+        db.insert(
+            "R",
+            Tuple::ints(&[rng.below(6), rng.below(6), rng.below(6)]),
+            1,
+        );
+        db.insert(
+            "S",
+            Tuple::ints(&[rng.below(6), rng.below(6), rng.below(6)]),
+            1,
+        );
+        db.insert("T", Tuple::ints(&[rng.below(6), rng.below(6)]), 1);
+    }
+    check_all_modes("Q(A,D,E) :- R(A,B,C), S(A,B,D), T(A,E)", &db);
+}
+
+#[test]
+fn example_19_four_atoms_all_eps() {
+    let mut rng = Rng(17);
+    let mut db = Database::new();
+    for _ in 0..40 {
+        db.insert("R", Tuple::ints(&[rng.below(4), rng.below(4), rng.below(5)]), 1);
+        db.insert("S", Tuple::ints(&[rng.below(4), rng.below(4), rng.below(5)]), 1);
+        db.insert("T", Tuple::ints(&[rng.below(4), rng.below(4), rng.below(5)]), 1);
+        db.insert("U", Tuple::ints(&[rng.below(4), rng.below(4), rng.below(5)]), 1);
+    }
+    check_all_modes(
+        "Q(C,D,E,F) :- R(A,B,D), S(A,B,E), T(A,C,F), U(A,C,G)",
+        &db,
+    );
+}
+
+#[test]
+fn boolean_and_full_queries() {
+    let db = skewed_two_path_db(40, 23);
+    check_all_modes("Q() :- R(A,B), S(B,C)", &db);
+    check_all_modes("Q(A,B) :- R(A,B)", &db);
+    check_all_modes("Q(B) :- R(A,B), S(B,C)", &db);
+    check_all_modes("Q(A,B,C) :- R(A,B), S(B,C)", &db);
+}
+
+#[test]
+fn cartesian_product_components() {
+    let mut db = Database::new();
+    db.insert_ints("R", &[&[1, 5], &[2, 5], &[3, 6]]);
+    db.insert_ints("S", &[&[7], &[8]]);
+    check_all_modes("Q(A,C) :- R(A,B), S(C)", &db);
+    check_all_modes("Q(C) :- R(A,B), S(C)", &db);
+}
+
+#[test]
+fn star_queries_all_eps() {
+    let mut rng = Rng(29);
+    let mut db = Database::new();
+    for _ in 0..50 {
+        db.insert("R0", Tuple::ints(&[rng.below(8), rng.below(12)]), 1);
+        db.insert("R1", Tuple::ints(&[rng.below(8), rng.below(12)]), 1);
+        db.insert("R2", Tuple::ints(&[rng.below(8), rng.below(12)]), 1);
+    }
+    // δ0 (q-hierarchical), δ1, δ2 members of the star family.
+    check_all_modes("Q(X,Y0,Y1) :- R0(X,Y0), R1(X,Y1)", &db);
+    check_all_modes("Q(Y0,Y1) :- R0(X,Y0), R1(X,Y1)", &db);
+    check_all_modes("Q(Y0,Y1,Y2) :- R0(X,Y0), R1(X,Y1), R2(X,Y2)", &db);
+}
+
+#[test]
+fn empty_database_everywhere() {
+    let db = Database::new();
+    check_all_modes("Q(A,C) :- R(A,B), S(B,C)", &db);
+    check_all_modes("Q(A) :- R(A,B), S(B)", &db);
+}
+
+#[test]
+fn multiplicities_are_reported() {
+    let mut db = Database::new();
+    db.insert("R", Tuple::ints(&[1, 10]), 2);
+    db.insert("R", Tuple::ints(&[1, 20]), 1);
+    db.insert("S", Tuple::ints(&[10, 5]), 3);
+    db.insert("S", Tuple::ints(&[20, 5]), 1);
+    let q = parse_query("Q(A,C) :- R(A,B), S(B,C)").unwrap();
+    for eps in EPS_GRID {
+        let eng = IvmEngine::new(&q, &db, EngineOptions::dynamic(eps)).unwrap();
+        // (1,5) = 2*3 (via 10) + 1*1 (via 20) = 7.
+        assert_eq!(eng.result_sorted(), vec![(Tuple::ints(&[1, 5]), 7)], "ε={eps}");
+    }
+}
+
+// ---------------------------------------------------------------------
+// Dynamic maintenance
+// ---------------------------------------------------------------------
+
+/// Runs a mixed insert/delete stream through the engine and the mirror
+/// database, checking the result after every step.
+fn run_stream(src: &str, eps: f64, steps: usize, seed: u64, arities: &[(&str, usize)]) {
+    let q = parse_query(src).unwrap();
+    let mut db = Database::new();
+    let mut eng = IvmEngine::new(&q, &db, EngineOptions::dynamic(eps)).unwrap();
+    let mut rng = Rng(seed | 1);
+    let mut inserted: Vec<(String, Tuple)> = Vec::new();
+    for step in 0..steps {
+        let do_delete = !inserted.is_empty() && rng.below(4) == 0;
+        if do_delete {
+            let i = rng.below(inserted.len() as u64) as usize;
+            let (rel, t) = inserted.swap_remove(i);
+            eng.delete(&rel, t.clone()).unwrap();
+            db.apply(&rel, t, -1);
+        } else {
+            let (rel, arity) = arities[(rng.below(arities.len() as u64)) as usize];
+            // Skewed domain: low values are frequent.
+            let t: Tuple = Tuple::ints(
+                &(0..arity)
+                    .map(|_| {
+                        if rng.below(3) == 0 {
+                            rng.below(2)
+                        } else {
+                            rng.below(12)
+                        }
+                    })
+                    .collect::<Vec<i64>>(),
+            );
+            eng.insert(rel, t.clone()).unwrap();
+            db.apply(rel, t.clone(), 1);
+            inserted.push((rel.to_owned(), t));
+        }
+        let got = eng.result_sorted();
+        let want = brute_force(&q, &db);
+        assert_eq!(got, want, "{src} ε={eps} diverged at step {step}");
+        eng.check_consistency()
+            .unwrap_or_else(|e| panic!("{src} ε={eps} step {step}: {e}"));
+    }
+    assert!(eng.stats().updates as usize >= steps);
+}
+
+#[test]
+fn stream_two_path_all_eps() {
+    for eps in EPS_GRID {
+        run_stream(
+            "Q(A,C) :- R(A,B), S(B,C)",
+            eps,
+            120,
+            41 + (eps * 100.0) as u64,
+            &[("R", 2), ("S", 2)],
+        );
+    }
+}
+
+#[test]
+fn stream_example_29() {
+    for eps in [0.0, 0.5, 1.0] {
+        run_stream(
+            "Q(A) :- R(A,B), S(B)",
+            eps,
+            120,
+            43,
+            &[("R", 2), ("S", 1)],
+        );
+    }
+}
+
+#[test]
+fn stream_q_hierarchical() {
+    run_stream(
+        "Q(X,Y0,Y1) :- R0(X,Y0), R1(X,Y1)",
+        0.5,
+        120,
+        47,
+        &[("R0", 2), ("R1", 2)],
+    );
+}
+
+#[test]
+fn stream_example_19() {
+    for eps in [0.0, 0.5, 1.0] {
+        run_stream(
+            "Q(C,D,E,F) :- R(A,B,D), S(A,B,E), T(A,C,F), U(A,C,G)",
+            eps,
+            80,
+            53,
+            &[("R", 3), ("S", 3), ("T", 3), ("U", 3)],
+        );
+    }
+}
+
+#[test]
+fn stream_free_connex_example_18() {
+    run_stream(
+        "Q(A,D,E) :- R(A,B,C), S(A,B,D), T(A,E)",
+        0.5,
+        100,
+        59,
+        &[("R", 3), ("S", 3), ("T", 2)],
+    );
+}
+
+#[test]
+fn repeated_relation_symbol_updates() {
+    let src = "Q(A,C) :- E(A,B), E(B,C)";
+    let q = parse_query(src).unwrap();
+    let mut db = Database::new();
+    let mut eng = IvmEngine::new(&q, &db, EngineOptions::dynamic(0.5)).unwrap();
+    let mut rng = Rng(61);
+    for step in 0..100 {
+        let t = Tuple::ints(&[rng.below(6), rng.below(6)]);
+        eng.insert("E", t.clone()).unwrap();
+        db.apply("E", t, 1);
+        assert_eq!(eng.result_sorted(), brute_force(&q, &db), "step {step}");
+    }
+}
+
+#[test]
+fn rebalancing_is_exercised() {
+    // Grow far beyond the initial M, then shrink: major rebalances must
+    // fire in both directions, plus minor migrations under skew.
+    let q = parse_query("Q(A,C) :- R(A,B), S(B,C)").unwrap();
+    let mut db = Database::new();
+    let mut eng = IvmEngine::new(&q, &db, EngineOptions::dynamic(0.5)).unwrap();
+    let mut all: Vec<(&str, Tuple)> = Vec::new();
+    for i in 0..200i64 {
+        // Everything shares B = 0: keys flip heavy quickly.
+        let t = Tuple::ints(&[i, i % 3]);
+        eng.insert("R", t.clone()).unwrap();
+        db.apply("R", t.clone(), 1);
+        all.push(("R", t));
+        let t = Tuple::ints(&[i % 3, i]);
+        eng.insert("S", t.clone()).unwrap();
+        db.apply("S", t.clone(), 1);
+        all.push(("S", t));
+    }
+    assert!(eng.stats().major_rebalances > 0, "growth must trigger major rebalancing");
+    assert!(eng.stats().minor_rebalances > 0, "skew must trigger minor rebalancing");
+    assert_eq!(eng.result_sorted(), brute_force(&q, &db));
+    // Shrink to trigger downward major rebalancing.
+    for (rel, t) in all.drain(..) {
+        eng.delete(rel, t.clone()).unwrap();
+        db.apply(rel, t, -1);
+    }
+    assert!(eng.result_sorted().is_empty());
+    assert!(eng.stats().major_rebalances >= 2);
+    eng.check_consistency().unwrap();
+}
+
+// ---------------------------------------------------------------------
+// Error paths
+// ---------------------------------------------------------------------
+
+#[test]
+fn static_mode_rejects_updates() {
+    let db = Database::new();
+    let mut eng = IvmEngine::from_sql(
+        "Q(A,C) :- R(A,B), S(B,C)",
+        &db,
+        EngineOptions::static_eval(0.5),
+    )
+    .unwrap();
+    assert!(eng.insert("R", Tuple::ints(&[1, 2])).is_err());
+}
+
+#[test]
+fn invalid_inputs_rejected() {
+    let db = Database::new();
+    let q = parse_query("Q(A,C) :- R(A,B), S(B,C)").unwrap();
+    assert!(IvmEngine::new(&q, &db, EngineOptions::dynamic(1.5)).is_err());
+    let nh = parse_query("Q(A) :- R(A,B), S(B,C), T(C)").unwrap();
+    assert!(IvmEngine::new(&nh, &db, EngineOptions::dynamic(0.5)).is_err());
+
+    let mut eng = IvmEngine::new(&q, &db, EngineOptions::dynamic(0.5)).unwrap();
+    assert!(eng.insert("Zap", Tuple::ints(&[1, 2])).is_err());
+    assert!(eng.insert("R", Tuple::ints(&[1])).is_err());
+    // Over-delete rejected, state unchanged.
+    eng.insert("R", Tuple::ints(&[1, 2])).unwrap();
+    assert!(eng.apply_update("R", Tuple::ints(&[1, 2]), -2).is_err());
+    assert_eq!(eng.db_size(), 1);
+}
+
+#[test]
+fn engine_stats_and_introspection() {
+    let mut db = Database::new();
+    db.insert_ints("R", &[&[1, 2], &[3, 4]]);
+    db.insert_ints("S", &[&[2, 5]]);
+    let eng = IvmEngine::from_sql(
+        "Q(A,C) :- R(A,B), S(B,C)",
+        &db,
+        EngineOptions::dynamic(0.5),
+    )
+    .unwrap();
+    assert_eq!(eng.db_size(), 3);
+    assert_eq!(eng.threshold_base(), 7);
+    assert!(eng.theta() > 1.0);
+    assert!(eng.num_views() > 0);
+    assert!(eng.aux_space() > 0);
+    assert_eq!(eng.epsilon(), 0.5);
+    assert_eq!(eng.plan().components.len(), 1);
+}

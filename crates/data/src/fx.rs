@@ -1,0 +1,124 @@
+//! Fast, non-cryptographic hashing (the `FxHash` algorithm used by rustc).
+//!
+//! The paper's computational model assumes hash tables with constant-time
+//! (expected) lookups, inserts, and deletes. The default Rust hasher
+//! (SipHash 1-3) is HashDoS-resistant but slow for the short integer-heavy
+//! keys that dominate this workload. Following the Rust Performance Book we
+//! use the FxHash multiply-xor scheme, implemented here so the crate has no
+//! external hashing dependency.
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// A `HashMap` keyed with [`FxHasher`].
+pub type FxHashMap<K, V> = HashMap<K, V, BuildHasherDefault<FxHasher>>;
+/// A `HashSet` keyed with [`FxHasher`].
+pub type FxHashSet<K> = HashSet<K, BuildHasherDefault<FxHasher>>;
+
+const SEED64: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+const ROTATE: u32 = 5;
+
+/// The rustc-Fx hasher: a word-at-a-time multiply-rotate mixer.
+///
+/// Not suitable where adversarial keys are a concern; ideal for internal
+/// analytics state keyed by small tuples of integers.
+#[derive(Default, Clone)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add_to_hash(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(ROTATE) ^ word).wrapping_mul(SEED64);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for c in chunks.by_ref() {
+            self.add_to_hash(u64::from_le_bytes(c.try_into().unwrap()));
+        }
+        let rem = chunks.remainder();
+        if !rem.is_empty() {
+            let mut buf = [0u8; 8];
+            buf[..rem.len()].copy_from_slice(rem);
+            self.add_to_hash(u64::from_le_bytes(buf));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, i: u8) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, i: u32) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, i: u64) {
+        self.add_to_hash(i);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, i: usize) {
+        self.add_to_hash(i as u64);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic() {
+        let mut a = FxHasher::default();
+        let mut b = FxHasher::default();
+        a.write_u64(42);
+        b.write_u64(42);
+        assert_eq!(a.finish(), b.finish());
+    }
+
+    #[test]
+    fn different_inputs_differ() {
+        let mut a = FxHasher::default();
+        let mut b = FxHasher::default();
+        a.write_u64(1);
+        b.write_u64(2);
+        assert_ne!(a.finish(), b.finish());
+    }
+
+    #[test]
+    fn map_roundtrip() {
+        let mut m: FxHashMap<(u64, u64), i64> = FxHashMap::default();
+        for i in 0..1000u64 {
+            m.insert((i, i * 2), i as i64);
+        }
+        for i in 0..1000u64 {
+            assert_eq!(m.get(&(i, i * 2)), Some(&(i as i64)));
+        }
+        assert_eq!(m.len(), 1000);
+    }
+
+    #[test]
+    fn byte_stream_matches_partial_blocks() {
+        // Exercise the chunked `write` path with a non-multiple-of-8 tail.
+        let mut a = FxHasher::default();
+        a.write(&[1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11]);
+        let mut b = FxHasher::default();
+        b.write(&[1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11]);
+        assert_eq!(a.finish(), b.finish());
+        let mut c = FxHasher::default();
+        c.write(&[1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 12]);
+        assert_ne!(a.finish(), c.finish());
+    }
+}

@@ -1,0 +1,23 @@
+//! `ivme-data` — storage substrate for the IVM^ε engine.
+//!
+//! Implements the computational model of *Kara, Nikolic, Olteanu, Zhang:
+//! "Trade-offs in Static and Dynamic Evaluation of Hierarchical Queries"*
+//! (PODS 2020), Sec. 3:
+//!
+//! * [`value`] — data values and cheaply-shared tuples,
+//! * [`schema`] — interned variables and ordered schemas,
+//! * [`relation`] — Z-relations with O(1) updates, constant-delay scans,
+//!   and O(1)-maintained secondary indexes,
+//! * [`partition`] — heavy/light partitions with slack thresholds (Def. 11),
+//! * [`fx`] — fast non-cryptographic hashing used throughout.
+
+pub mod fx;
+pub mod partition;
+pub mod relation;
+pub mod schema;
+pub mod value;
+
+pub use partition::Partition;
+pub use relation::{DeltaOutcome, IndexId, NegativeMultiplicity, Relation, SlotId};
+pub use schema::{Schema, Var};
+pub use value::{Tuple, Value};

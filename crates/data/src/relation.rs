@@ -1,0 +1,707 @@
+//! Z-relations: multiset relations with integer multiplicities and
+//! constant-time index maintenance.
+//!
+//! This is the data structure of the paper's computational model (Sec. 3):
+//! a relation `R` over schema `X` is a function `Dom(X) → Z` with finite
+//! support, stored so that it can
+//!
+//! 1. look up, insert, and delete entries in (expected) constant time,
+//! 2. enumerate stored entries with constant delay,
+//! 3. report `|R|` in constant time,
+//!
+//! and, per secondary index on a schema `S ⊂ X`,
+//!
+//! 4. enumerate the group `σ_{S=t} R` with constant delay,
+//! 5. check `t ∈ π_S R` in constant time,
+//! 6. report `|σ_{S=t} R|` in constant time,
+//! 7. insert and delete index entries in constant time.
+//!
+//! Entries live in a slab with an intrusive doubly-linked *live list* (for
+//! constant-delay scans and O(1) unlink) plus one intrusive doubly-linked
+//! *group list per index* (back-pointers stored inline in the entry, the
+//! paper's "back-pointers to its index entries").
+
+use std::fmt;
+
+use crate::fx::FxHashMap;
+use crate::schema::Schema;
+use crate::value::Tuple;
+
+const NIL: u32 = u32::MAX;
+
+/// Stable handle to a stored entry; valid until that entry is deleted.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct SlotId(u32);
+
+/// Handle to a secondary index of a relation.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct IndexId(u32);
+
+/// Error returned when a delete would drive a multiplicity negative.
+///
+/// The paper rejects such updates: "a delete is rejected if the existing
+/// multiplicity of x in R is less than |m|".
+#[derive(Clone, PartialEq, Eq)]
+pub struct NegativeMultiplicity {
+    pub tuple: Tuple,
+    pub present: i64,
+    pub delta: i64,
+}
+
+impl fmt::Debug for NegativeMultiplicity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "negative multiplicity: tuple {:?} has multiplicity {} but delta is {}",
+            self.tuple, self.present, self.delta
+        )
+    }
+}
+
+impl fmt::Display for NegativeMultiplicity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+impl std::error::Error for NegativeMultiplicity {}
+
+/// Outcome of applying a delta to one tuple.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct DeltaOutcome {
+    /// Multiplicity before the update.
+    pub before: i64,
+    /// Multiplicity after the update.
+    pub after: i64,
+}
+
+impl DeltaOutcome {
+    /// True if the tuple appeared (0 → positive).
+    #[inline]
+    pub fn inserted(&self) -> bool {
+        self.before == 0 && self.after != 0
+    }
+    /// True if the tuple disappeared (positive → 0).
+    #[inline]
+    pub fn deleted(&self) -> bool {
+        self.before != 0 && self.after == 0
+    }
+}
+
+#[derive(Clone, Copy, Default)]
+struct Link {
+    prev: u32,
+    next: u32,
+}
+
+struct Slot {
+    tuple: Tuple,
+    mult: i64,
+    prev: u32,
+    next: u32,
+    /// One link per index, parallel to `Relation::indexes`.
+    links: Vec<Link>,
+}
+
+struct Group {
+    head: u32,
+    len: u32,
+}
+
+struct IndexData {
+    /// Positions (within the relation schema) forming the index key.
+    positions: Vec<usize>,
+    key_schema: Schema,
+    groups: FxHashMap<Tuple, Group>,
+}
+
+/// A multiset relation with multiplicities in `Z_{>0}` and O(1)-maintained
+/// secondary indexes. See the module docs for the complexity contract.
+pub struct Relation {
+    schema: Schema,
+    slots: Vec<Slot>,
+    free_head: u32,
+    live_head: u32,
+    map: FxHashMap<Tuple, u32>,
+    indexes: Vec<IndexData>,
+    name: String,
+}
+
+impl Relation {
+    /// Creates an empty relation over `schema`.
+    pub fn new(name: impl Into<String>, schema: Schema) -> Relation {
+        Relation {
+            schema,
+            slots: Vec::new(),
+            free_head: NIL,
+            live_head: NIL,
+            map: FxHashMap::default(),
+            indexes: Vec::new(),
+            name: name.into(),
+        }
+    }
+
+    /// The relation's display name (for plans and debugging).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The relation schema.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Number of distinct stored tuples, `|R|` in the paper. O(1).
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Multiplicity of `tuple` (0 when absent). Expected O(1).
+    #[inline]
+    pub fn get(&self, tuple: &Tuple) -> i64 {
+        match self.map.get(tuple) {
+            Some(&s) => self.slots[s as usize].mult,
+            None => 0,
+        }
+    }
+
+    /// Whether `tuple` is present. Expected O(1).
+    #[inline]
+    pub fn contains(&self, tuple: &Tuple) -> bool {
+        self.map.contains_key(tuple)
+    }
+
+    /// Applies a single-tuple delta `{tuple → delta}`.
+    ///
+    /// Rejects updates that would drive the multiplicity negative, leaving
+    /// the relation unchanged. O(1) expected plus O(#indexes).
+    pub fn apply(&mut self, tuple: Tuple, delta: i64) -> Result<DeltaOutcome, NegativeMultiplicity> {
+        debug_assert_eq!(
+            tuple.arity(),
+            self.schema.arity(),
+            "tuple arity {} does not match schema {:?} of {}",
+            tuple.arity(),
+            self.schema,
+            self.name
+        );
+        if delta == 0 {
+            let m = self.get(&tuple);
+            return Ok(DeltaOutcome { before: m, after: m });
+        }
+        match self.map.get(&tuple) {
+            Some(&s) => {
+                let before = self.slots[s as usize].mult;
+                let after = before + delta;
+                if after < 0 {
+                    return Err(NegativeMultiplicity { tuple, present: before, delta });
+                }
+                if after == 0 {
+                    self.remove_slot(s);
+                } else {
+                    self.slots[s as usize].mult = after;
+                }
+                Ok(DeltaOutcome { before, after })
+            }
+            None => {
+                if delta < 0 {
+                    return Err(NegativeMultiplicity { tuple, present: 0, delta });
+                }
+                self.insert_slot(tuple, delta);
+                Ok(DeltaOutcome { before: 0, after: delta })
+            }
+        }
+    }
+
+    /// Convenience: insert with positive multiplicity, panicking on misuse.
+    pub fn insert(&mut self, tuple: Tuple, mult: i64) {
+        assert!(mult > 0, "insert requires positive multiplicity");
+        self.apply(tuple, mult).expect("insert cannot fail");
+    }
+
+    /// Convenience: delete `mult` copies, panicking if not present.
+    pub fn delete(&mut self, tuple: Tuple, mult: i64) {
+        assert!(mult > 0, "delete requires positive multiplicity");
+        self.apply(tuple, -mult).expect("delete of absent tuple");
+    }
+
+    /// Removes all tuples (keeps schema and index definitions).
+    pub fn clear(&mut self) {
+        self.slots.clear();
+        self.map.clear();
+        self.free_head = NIL;
+        self.live_head = NIL;
+        for ix in &mut self.indexes {
+            ix.groups.clear();
+        }
+    }
+
+    fn insert_slot(&mut self, tuple: Tuple, mult: i64) {
+        let s = if self.free_head != NIL {
+            let s = self.free_head;
+            self.free_head = self.slots[s as usize].next;
+            s
+        } else {
+            self.slots.push(Slot {
+                tuple: Tuple::empty(),
+                mult: 0,
+                prev: NIL,
+                next: NIL,
+                links: vec![Link::default(); self.indexes.len()],
+            });
+            (self.slots.len() - 1) as u32
+        };
+        // Live-list push-front.
+        let old_head = self.live_head;
+        {
+            let slot = &mut self.slots[s as usize];
+            slot.tuple = tuple.clone();
+            slot.mult = mult;
+            slot.prev = NIL;
+            slot.next = old_head;
+            slot.links.resize(self.indexes.len(), Link::default());
+        }
+        if old_head != NIL {
+            self.slots[old_head as usize].prev = s;
+        }
+        self.live_head = s;
+        self.map.insert(tuple, s);
+        for i in 0..self.indexes.len() {
+            self.index_link(i, s);
+        }
+    }
+
+    fn remove_slot(&mut self, s: u32) {
+        for i in 0..self.indexes.len() {
+            self.index_unlink(i, s);
+        }
+        let (prev, next) = {
+            let slot = &self.slots[s as usize];
+            (slot.prev, slot.next)
+        };
+        if prev != NIL {
+            self.slots[prev as usize].next = next;
+        } else {
+            self.live_head = next;
+        }
+        if next != NIL {
+            self.slots[next as usize].prev = prev;
+        }
+        let tuple = std::mem::replace(&mut self.slots[s as usize].tuple, Tuple::empty());
+        self.map.remove(&tuple);
+        let slot = &mut self.slots[s as usize];
+        slot.mult = 0;
+        slot.next = self.free_head;
+        self.free_head = s;
+    }
+
+    fn index_link(&mut self, i: usize, s: u32) {
+        let key = self.slots[s as usize].tuple.project(&self.indexes[i].positions);
+        let ix = &mut self.indexes[i];
+        let group = ix.groups.entry(key).or_insert(Group { head: NIL, len: 0 });
+        let old_head = group.head;
+        group.head = s;
+        group.len += 1;
+        let link = &mut self.slots[s as usize].links[i];
+        link.prev = NIL;
+        link.next = old_head;
+        if old_head != NIL {
+            self.slots[old_head as usize].links[i].prev = s;
+        }
+    }
+
+    fn index_unlink(&mut self, i: usize, s: u32) {
+        let Link { prev, next } = self.slots[s as usize].links[i];
+        if next != NIL {
+            self.slots[next as usize].links[i].prev = prev;
+        }
+        if prev != NIL {
+            self.slots[prev as usize].links[i].next = next;
+            let key = self.slots[s as usize].tuple.project(&self.indexes[i].positions);
+            let group = self.indexes[i].groups.get_mut(&key).expect("group must exist");
+            group.len -= 1;
+        } else {
+            // Head of its group: we must touch the group record anyway.
+            let key = self.slots[s as usize].tuple.project(&self.indexes[i].positions);
+            let group = self.indexes[i].groups.get_mut(&key).expect("group must exist");
+            group.head = next;
+            group.len -= 1;
+            if group.len == 0 {
+                self.indexes[i].groups.remove(&key);
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Indexes
+    // ------------------------------------------------------------------
+
+    /// Adds (or finds) a secondary index keyed on the sub-schema `key`.
+    ///
+    /// Builds over existing entries in O(|R|).
+    pub fn add_index(&mut self, key: &Schema) -> IndexId {
+        if let Some(id) = self.index_on(key) {
+            return id;
+        }
+        let positions = self.schema.positions_of(key);
+        self.indexes.push(IndexData {
+            positions,
+            key_schema: key.clone(),
+            groups: FxHashMap::default(),
+        });
+        let i = self.indexes.len() - 1;
+        for slot in self.slots.iter_mut() {
+            slot.links.push(Link::default());
+        }
+        let mut s = self.live_head;
+        while s != NIL {
+            let next = self.slots[s as usize].next;
+            self.index_link(i, s);
+            s = next;
+        }
+        IndexId(i as u32)
+    }
+
+    /// Finds an existing index on the *set* of variables of `key`.
+    pub fn index_on(&self, key: &Schema) -> Option<IndexId> {
+        self.indexes
+            .iter()
+            .position(|ix| ix.key_schema == *key)
+            .map(|i| IndexId(i as u32))
+    }
+
+    /// The key schema of an index.
+    pub fn index_key_schema(&self, idx: IndexId) -> &Schema {
+        &self.indexes[idx.0 as usize].key_schema
+    }
+
+    /// `|σ_{S=key} R|`: number of distinct tuples in a group. O(1).
+    pub fn group_len(&self, idx: IndexId, key: &Tuple) -> usize {
+        self.indexes[idx.0 as usize]
+            .groups
+            .get(key)
+            .map_or(0, |g| g.len as usize)
+    }
+
+    /// `key ∈ π_S R`. O(1).
+    pub fn group_contains(&self, idx: IndexId, key: &Tuple) -> bool {
+        self.indexes[idx.0 as usize].groups.contains_key(key)
+    }
+
+    /// Number of distinct index keys, `|π_S R|`. O(1).
+    pub fn num_groups(&self, idx: IndexId) -> usize {
+        self.indexes[idx.0 as usize].groups.len()
+    }
+
+    /// Iterates the distinct keys of an index (no particular order).
+    pub fn group_keys(&self, idx: IndexId) -> impl Iterator<Item = &Tuple> + '_ {
+        self.indexes[idx.0 as usize].groups.keys()
+    }
+
+    /// Iterates a group's entries with constant delay.
+    pub fn group_iter<'a>(&'a self, idx: IndexId, key: &Tuple) -> GroupIter<'a> {
+        let head = self.indexes[idx.0 as usize].groups.get(key).map_or(NIL, |g| g.head);
+        GroupIter { rel: self, index: idx.0 as usize, cur: head }
+    }
+
+    // ------------------------------------------------------------------
+    // Cursor access (used by the enumeration iterators)
+    // ------------------------------------------------------------------
+
+    /// First live entry, if any.
+    pub fn first(&self) -> Option<SlotId> {
+        (self.live_head != NIL).then_some(SlotId(self.live_head))
+    }
+
+    /// Successor in the live list.
+    pub fn next(&self, s: SlotId) -> Option<SlotId> {
+        let n = self.slots[s.0 as usize].next;
+        (n != NIL).then_some(SlotId(n))
+    }
+
+    /// First entry of a group, if any.
+    pub fn group_first(&self, idx: IndexId, key: &Tuple) -> Option<SlotId> {
+        self.indexes[idx.0 as usize]
+            .groups
+            .get(key)
+            .map(|g| SlotId(g.head))
+    }
+
+    /// Successor within the same group.
+    pub fn group_next(&self, idx: IndexId, s: SlotId) -> Option<SlotId> {
+        let n = self.slots[s.0 as usize].links[idx.0 as usize].next;
+        (n != NIL).then_some(SlotId(n))
+    }
+
+    /// The tuple stored at a live slot.
+    #[inline]
+    pub fn tuple_at(&self, s: SlotId) -> &Tuple {
+        &self.slots[s.0 as usize].tuple
+    }
+
+    /// The multiplicity stored at a live slot.
+    #[inline]
+    pub fn mult_at(&self, s: SlotId) -> i64 {
+        self.slots[s.0 as usize].mult
+    }
+
+    /// Iterates all entries `(tuple, multiplicity)` with constant delay.
+    pub fn iter(&self) -> RelIter<'_> {
+        RelIter { rel: self, cur: self.live_head }
+    }
+
+    /// Collects into a sorted `Vec` — test/debug helper.
+    pub fn to_sorted_vec(&self) -> Vec<(Tuple, i64)> {
+        let mut v: Vec<(Tuple, i64)> = self.iter().map(|(t, m)| (t.clone(), m)).collect();
+        v.sort();
+        v
+    }
+}
+
+impl fmt::Debug for Relation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}{:?} {{", self.name, self.schema)?;
+        for (i, (t, m)) in self.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{t:?}→{m}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+/// Constant-delay iterator over all entries of a relation.
+pub struct RelIter<'a> {
+    rel: &'a Relation,
+    cur: u32,
+}
+
+impl<'a> Iterator for RelIter<'a> {
+    type Item = (&'a Tuple, i64);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.cur == NIL {
+            return None;
+        }
+        let slot = &self.rel.slots[self.cur as usize];
+        self.cur = slot.next;
+        Some((&slot.tuple, slot.mult))
+    }
+}
+
+/// Constant-delay iterator over one index group.
+pub struct GroupIter<'a> {
+    rel: &'a Relation,
+    index: usize,
+    cur: u32,
+}
+
+impl<'a> Iterator for GroupIter<'a> {
+    type Item = (&'a Tuple, i64);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.cur == NIL {
+            return None;
+        }
+        let slot = &self.rel.slots[self.cur as usize];
+        self.cur = slot.links[self.index].next;
+        Some((&slot.tuple, slot.mult))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rel_ab() -> Relation {
+        Relation::new("R", Schema::of(&["A", "B"]))
+    }
+
+    #[test]
+    fn insert_get_delete() {
+        let mut r = rel_ab();
+        r.insert(Tuple::ints(&[1, 2]), 3);
+        assert_eq!(r.get(&Tuple::ints(&[1, 2])), 3);
+        assert_eq!(r.len(), 1);
+        r.delete(Tuple::ints(&[1, 2]), 1);
+        assert_eq!(r.get(&Tuple::ints(&[1, 2])), 2);
+        r.delete(Tuple::ints(&[1, 2]), 2);
+        assert_eq!(r.get(&Tuple::ints(&[1, 2])), 0);
+        assert_eq!(r.len(), 0);
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn negative_multiplicity_rejected() {
+        let mut r = rel_ab();
+        r.insert(Tuple::ints(&[1, 2]), 1);
+        let err = r.apply(Tuple::ints(&[1, 2]), -2).unwrap_err();
+        assert_eq!(err.present, 1);
+        assert_eq!(err.delta, -2);
+        // Relation unchanged after rejection.
+        assert_eq!(r.get(&Tuple::ints(&[1, 2])), 1);
+        assert!(r.apply(Tuple::ints(&[9, 9]), -1).is_err());
+    }
+
+    #[test]
+    fn zero_delta_is_noop() {
+        let mut r = rel_ab();
+        r.insert(Tuple::ints(&[1, 2]), 5);
+        let out = r.apply(Tuple::ints(&[1, 2]), 0).unwrap();
+        assert_eq!(out, DeltaOutcome { before: 5, after: 5 });
+    }
+
+    #[test]
+    fn slot_reuse_after_delete() {
+        let mut r = rel_ab();
+        for i in 0..10 {
+            r.insert(Tuple::ints(&[i, i]), 1);
+        }
+        for i in 0..10 {
+            r.delete(Tuple::ints(&[i, i]), 1);
+        }
+        let cap = r.slots.len();
+        for i in 0..10 {
+            r.insert(Tuple::ints(&[i, 100 + i]), 1);
+        }
+        assert_eq!(r.slots.len(), cap, "slots must be recycled");
+        assert_eq!(r.len(), 10);
+    }
+
+    #[test]
+    fn index_groups_track_degrees() {
+        let mut r = rel_ab();
+        let key = Schema::of(&["B"]);
+        let idx = r.add_index(&key);
+        for a in 0..5 {
+            r.insert(Tuple::ints(&[a, 7]), 1);
+        }
+        r.insert(Tuple::ints(&[0, 8]), 2);
+        assert_eq!(r.group_len(idx, &Tuple::ints(&[7])), 5);
+        assert_eq!(r.group_len(idx, &Tuple::ints(&[8])), 1);
+        assert_eq!(r.group_len(idx, &Tuple::ints(&[9])), 0);
+        assert!(r.group_contains(idx, &Tuple::ints(&[7])));
+        assert!(!r.group_contains(idx, &Tuple::ints(&[9])));
+        assert_eq!(r.num_groups(idx), 2);
+
+        let got: Vec<i64> = {
+            let mut v: Vec<i64> = r
+                .group_iter(idx, &Tuple::ints(&[7]))
+                .map(|(t, _)| t.get(0).as_int())
+                .collect();
+            v.sort();
+            v
+        };
+        assert_eq!(got, vec![0, 1, 2, 3, 4]);
+
+        r.delete(Tuple::ints(&[2, 7]), 1);
+        assert_eq!(r.group_len(idx, &Tuple::ints(&[7])), 4);
+        // Remove the whole group.
+        for a in [0, 1, 3, 4] {
+            r.delete(Tuple::ints(&[a, 7]), 1);
+        }
+        assert_eq!(r.group_len(idx, &Tuple::ints(&[7])), 0);
+        assert!(!r.group_contains(idx, &Tuple::ints(&[7])));
+        assert_eq!(r.num_groups(idx), 1);
+    }
+
+    #[test]
+    fn index_added_after_data_sees_existing_entries() {
+        let mut r = rel_ab();
+        for a in 0..4 {
+            r.insert(Tuple::ints(&[a, a % 2]), 1);
+        }
+        let idx = r.add_index(&Schema::of(&["B"]));
+        assert_eq!(r.group_len(idx, &Tuple::ints(&[0])), 2);
+        assert_eq!(r.group_len(idx, &Tuple::ints(&[1])), 2);
+    }
+
+    #[test]
+    fn add_index_is_idempotent() {
+        let mut r = rel_ab();
+        let i1 = r.add_index(&Schema::of(&["B"]));
+        let i2 = r.add_index(&Schema::of(&["B"]));
+        assert_eq!(i1, i2);
+        assert_eq!(r.indexes.len(), 1);
+    }
+
+    #[test]
+    fn multi_column_index_projects_in_key_order() {
+        let mut r = Relation::new("T", Schema::of(&["A", "B", "C"]));
+        let idx = r.add_index(&Schema::of(&["C", "A"]));
+        r.insert(Tuple::ints(&[1, 2, 3]), 1);
+        assert_eq!(r.group_len(idx, &Tuple::ints(&[3, 1])), 1);
+        assert_eq!(r.group_len(idx, &Tuple::ints(&[1, 3])), 0);
+    }
+
+    #[test]
+    fn iteration_sees_every_live_tuple_exactly_once() {
+        let mut r = rel_ab();
+        for a in 0..100 {
+            r.insert(Tuple::ints(&[a, a * a]), (a % 3) + 1);
+        }
+        for a in (0..100).step_by(2) {
+            r.delete(Tuple::ints(&[a, a * a]), (a % 3) + 1);
+        }
+        let seen: Vec<(Tuple, i64)> = r.to_sorted_vec();
+        assert_eq!(seen.len(), 50);
+        for (t, m) in &seen {
+            let a = t.get(0).as_int();
+            assert_eq!(a % 2, 1);
+            assert_eq!(*m, (a % 3) + 1);
+        }
+    }
+
+    #[test]
+    fn cursor_walk_matches_iter() {
+        let mut r = rel_ab();
+        for a in 0..20 {
+            r.insert(Tuple::ints(&[a, 0]), 1);
+        }
+        let mut via_cursor = Vec::new();
+        let mut cur = r.first();
+        while let Some(s) = cur {
+            via_cursor.push(r.tuple_at(s).clone());
+            cur = r.next(s);
+        }
+        let via_iter: Vec<Tuple> = r.iter().map(|(t, _)| t.clone()).collect();
+        assert_eq!(via_cursor, via_iter);
+        assert_eq!(via_cursor.len(), 20);
+    }
+
+    #[test]
+    fn clear_retains_indexes() {
+        let mut r = rel_ab();
+        let idx = r.add_index(&Schema::of(&["B"]));
+        r.insert(Tuple::ints(&[1, 1]), 1);
+        r.clear();
+        assert!(r.is_empty());
+        assert_eq!(r.group_len(idx, &Tuple::ints(&[1])), 0);
+        r.insert(Tuple::ints(&[2, 1]), 1);
+        assert_eq!(r.group_len(idx, &Tuple::ints(&[1])), 1);
+    }
+
+    #[test]
+    fn group_cursor_walk() {
+        let mut r = rel_ab();
+        let idx = r.add_index(&Schema::of(&["B"]));
+        for a in 0..5 {
+            r.insert(Tuple::ints(&[a, 1]), 1);
+        }
+        let mut n = 0;
+        let mut cur = r.group_first(idx, &Tuple::ints(&[1]));
+        while let Some(s) = cur {
+            assert_eq!(r.tuple_at(s).get(1).as_int(), 1);
+            n += 1;
+            cur = r.group_next(idx, s);
+        }
+        assert_eq!(n, 5);
+        assert!(r.group_first(idx, &Tuple::ints(&[2])).is_none());
+    }
+}

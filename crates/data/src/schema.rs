@@ -1,0 +1,245 @@
+//! Variables and schemas.
+//!
+//! A [`Var`] is a globally interned variable name (`Copy`, 4 bytes), so
+//! schemas can be compared and hashed as integer slices. A [`Schema`] is an
+//! ordered tuple of distinct variables, the paper's `X = (X1, ..., Xn)`;
+//! per the paper we "treat schemas and sets of variables interchangeably,
+//! assuming a fixed ordering of variables".
+
+use std::fmt;
+use std::sync::{Mutex, OnceLock};
+
+use crate::fx::FxHashMap;
+
+/// A globally interned variable name.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Var(u32);
+
+struct Interner {
+    names: Vec<&'static str>,
+    ids: FxHashMap<&'static str, u32>,
+}
+
+fn interner() -> &'static Mutex<Interner> {
+    static INTERNER: OnceLock<Mutex<Interner>> = OnceLock::new();
+    INTERNER.get_or_init(|| {
+        Mutex::new(Interner {
+            names: Vec::new(),
+            ids: FxHashMap::default(),
+        })
+    })
+}
+
+impl Var {
+    /// Interns `name` and returns its variable handle. Idempotent.
+    pub fn new(name: &str) -> Var {
+        let mut it = interner().lock().unwrap();
+        if let Some(&id) = it.ids.get(name) {
+            return Var(id);
+        }
+        let id = it.names.len() as u32;
+        // Interned names live for the program's lifetime.
+        let leaked: &'static str = Box::leak(name.to_owned().into_boxed_str());
+        it.names.push(leaked);
+        it.ids.insert(leaked, id);
+        Var(id)
+    }
+
+    /// The interned name.
+    pub fn name(self) -> &'static str {
+        interner().lock().unwrap().names[self.0 as usize]
+    }
+}
+
+impl fmt::Debug for Var {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.name())
+    }
+}
+
+impl fmt::Display for Var {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.name())
+    }
+}
+
+/// An ordered schema of distinct variables.
+#[derive(Clone, PartialEq, Eq, Hash, Default)]
+pub struct Schema(Vec<Var>);
+
+impl Schema {
+    /// Builds a schema, asserting that variables are distinct.
+    pub fn new(vars: Vec<Var>) -> Schema {
+        debug_assert!(
+            {
+                let mut seen = crate::fx::FxHashSet::default();
+                vars.iter().all(|v| seen.insert(*v))
+            },
+            "schema variables must be distinct: {vars:?}"
+        );
+        Schema(vars)
+    }
+
+    /// Convenience constructor from names.
+    pub fn of(names: &[&str]) -> Schema {
+        Schema::new(names.iter().map(|n| Var::new(n)).collect())
+    }
+
+    /// The empty schema.
+    pub fn empty() -> Schema {
+        Schema(Vec::new())
+    }
+
+    /// Number of variables.
+    #[inline]
+    pub fn arity(&self) -> usize {
+        self.0.len()
+    }
+
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// The variables in order.
+    #[inline]
+    pub fn vars(&self) -> &[Var] {
+        &self.0
+    }
+
+    /// Membership test.
+    #[inline]
+    pub fn contains(&self, v: Var) -> bool {
+        self.0.contains(&v)
+    }
+
+    /// Position of `v` within the schema, if present.
+    #[inline]
+    pub fn position(&self, v: Var) -> Option<usize> {
+        self.0.iter().position(|&x| x == v)
+    }
+
+    /// Whether every variable of `other` appears in `self` (set semantics).
+    pub fn contains_all(&self, other: &Schema) -> bool {
+        other.0.iter().all(|&v| self.contains(v))
+    }
+
+    /// Positions (in `self`) of the variables of `sub`, in `sub`'s order.
+    ///
+    /// Panics if some variable of `sub` is absent — callers are expected to
+    /// project only onto sub-schemas.
+    pub fn positions_of(&self, sub: &Schema) -> Vec<usize> {
+        sub.0
+            .iter()
+            .map(|&v| {
+                self.position(v)
+                    .unwrap_or_else(|| panic!("variable {v} not in schema {self:?}"))
+            })
+            .collect()
+    }
+
+    /// Set intersection, keeping `self`'s order.
+    pub fn intersect(&self, other: &Schema) -> Schema {
+        Schema(self.0.iter().copied().filter(|&v| other.contains(v)).collect())
+    }
+
+    /// Set difference `self − other`, keeping `self`'s order.
+    pub fn difference(&self, other: &Schema) -> Schema {
+        Schema(self.0.iter().copied().filter(|&v| !other.contains(v)).collect())
+    }
+
+    /// Union: `self` followed by the variables of `other` not already present.
+    pub fn union(&self, other: &Schema) -> Schema {
+        let mut v = self.0.clone();
+        for &x in &other.0 {
+            if !v.contains(&x) {
+                v.push(x);
+            }
+        }
+        Schema(v)
+    }
+
+    /// Appends a variable if absent.
+    pub fn with(&self, var: Var) -> Schema {
+        if self.contains(var) {
+            self.clone()
+        } else {
+            let mut v = self.0.clone();
+            v.push(var);
+            Schema(v)
+        }
+    }
+
+    /// Whether the two schemas contain the same variable *sets*.
+    pub fn same_set(&self, other: &Schema) -> bool {
+        self.arity() == other.arity() && self.contains_all(other)
+    }
+}
+
+impl fmt::Debug for Schema {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[")?;
+        for (i, v) in self.0.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{v}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+impl FromIterator<Var> for Schema {
+    fn from_iter<T: IntoIterator<Item = Var>>(iter: T) -> Self {
+        let mut s = Schema::empty();
+        for v in iter {
+            s = s.with(v);
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_is_stable() {
+        let a1 = Var::new("IA");
+        let a2 = Var::new("IA");
+        let b = Var::new("IB");
+        assert_eq!(a1, a2);
+        assert_ne!(a1, b);
+        assert_eq!(a1.name(), "IA");
+    }
+
+    #[test]
+    fn set_operations() {
+        let s1 = Schema::of(&["A", "B", "C"]);
+        let s2 = Schema::of(&["B", "D"]);
+        assert_eq!(s1.intersect(&s2), Schema::of(&["B"]));
+        assert_eq!(s1.difference(&s2), Schema::of(&["A", "C"]));
+        assert_eq!(s1.union(&s2), Schema::of(&["A", "B", "C", "D"]));
+        assert!(s1.contains_all(&Schema::of(&["C", "A"])));
+        assert!(!s1.contains_all(&s2));
+    }
+
+    #[test]
+    fn positions_follow_sub_order() {
+        let s = Schema::of(&["A", "B", "C"]);
+        assert_eq!(s.positions_of(&Schema::of(&["C", "A"])), vec![2, 0]);
+    }
+
+    #[test]
+    fn same_set_ignores_order() {
+        assert!(Schema::of(&["A", "B"]).same_set(&Schema::of(&["B", "A"])));
+        assert!(!Schema::of(&["A", "B"]).same_set(&Schema::of(&["A"])));
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "distinct")]
+    fn duplicate_vars_rejected() {
+        let _ = Schema::new(vec![Var::new("DupX"), Var::new("DupX")]);
+    }
+}

@@ -1,0 +1,243 @@
+//! Data values and tuples.
+//!
+//! A [`Value`] is one cell of a tuple; a [`Tuple`] is an immutable,
+//! cheaply-clonable sequence of values (`Arc<[Value]>`), so that tuples can
+//! be shared between base relations, views, and enumeration cursors without
+//! deep copies.
+
+use std::fmt;
+use std::sync::Arc;
+
+/// A single data value.
+///
+/// The fast path is `Int`; `Str` values are interned behind an `Arc` so
+/// cloning is a refcount bump.
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Value {
+    /// 64-bit signed integer (also used to encode categorical ids).
+    Int(i64),
+    /// Shared immutable string.
+    Str(Arc<str>),
+}
+
+impl Value {
+    /// Returns the integer payload, panicking on strings.
+    ///
+    /// Intended for workloads that are known to be integer-only.
+    #[inline]
+    pub fn as_int(&self) -> i64 {
+        match self {
+            Value::Int(v) => *v,
+            Value::Str(s) => panic!("expected Int value, found Str({s:?})"),
+        }
+    }
+
+    /// Returns the string payload if this is a `Str` value.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            Value::Int(_) => None,
+        }
+    }
+}
+
+impl From<i64> for Value {
+    #[inline]
+    fn from(v: i64) -> Self {
+        Value::Int(v)
+    }
+}
+
+impl From<i32> for Value {
+    #[inline]
+    fn from(v: i32) -> Self {
+        Value::Int(v as i64)
+    }
+}
+
+impl From<u32> for Value {
+    #[inline]
+    fn from(v: u32) -> Self {
+        Value::Int(v as i64)
+    }
+}
+
+impl From<usize> for Value {
+    #[inline]
+    fn from(v: usize) -> Self {
+        Value::Int(v as i64)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::Str(Arc::from(v))
+    }
+}
+
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::Str(Arc::from(v.as_str()))
+    }
+}
+
+impl fmt::Debug for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Int(v) => write!(f, "{v}"),
+            Value::Str(s) => write!(f, "{s:?}"),
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Int(v) => write!(f, "{v}"),
+            Value::Str(s) => write!(f, "{s}"),
+        }
+    }
+}
+
+/// An immutable tuple of values over some schema.
+///
+/// Equality and hashing are structural; clones share the underlying
+/// allocation. The empty tuple is a valid value (used for nullary views and
+/// as the root enumeration context).
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Tuple(Arc<[Value]>);
+
+impl Tuple {
+    /// Builds a tuple from an owned vector of values.
+    pub fn new(values: Vec<Value>) -> Self {
+        Tuple(values.into())
+    }
+
+    /// The empty (nullary) tuple.
+    pub fn empty() -> Self {
+        Tuple(Arc::from(Vec::new()))
+    }
+
+    /// Builds an integer tuple — the common case in benchmarks and tests.
+    pub fn ints(values: &[i64]) -> Self {
+        Tuple(values.iter().map(|&v| Value::Int(v)).collect())
+    }
+
+    /// Number of fields.
+    #[inline]
+    pub fn arity(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Whether this is the nullary tuple.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// Field access.
+    #[inline]
+    pub fn get(&self, i: usize) -> &Value {
+        &self.0[i]
+    }
+
+    /// All fields as a slice.
+    #[inline]
+    pub fn values(&self) -> &[Value] {
+        &self.0
+    }
+
+    /// Projects this tuple onto the given positions, in the given order.
+    ///
+    /// This is the `x[S]` restriction of the paper (Sec. 3): the result
+    /// follows the ordering of `positions`, not of `self`.
+    pub fn project(&self, positions: &[usize]) -> Tuple {
+        Tuple(positions.iter().map(|&p| self.0[p].clone()).collect())
+    }
+
+    /// Concatenates two tuples (the `◦` operator of the Product algorithm).
+    pub fn concat(&self, other: &Tuple) -> Tuple {
+        if other.is_empty() {
+            return self.clone();
+        }
+        if self.is_empty() {
+            return other.clone();
+        }
+        let mut v = Vec::with_capacity(self.0.len() + other.0.len());
+        v.extend_from_slice(&self.0);
+        v.extend_from_slice(&other.0);
+        Tuple(v.into())
+    }
+}
+
+impl fmt::Debug for Tuple {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        for (i, v) in self.0.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{v:?}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+impl fmt::Display for Tuple {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+impl FromIterator<Value> for Tuple {
+    fn from_iter<T: IntoIterator<Item = Value>>(iter: T) -> Self {
+        Tuple(iter.into_iter().collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn project_reorders() {
+        let t = Tuple::ints(&[10, 20, 30]);
+        assert_eq!(t.project(&[2, 0]), Tuple::ints(&[30, 10]));
+        assert_eq!(t.project(&[]), Tuple::empty());
+    }
+
+    #[test]
+    fn concat_identities() {
+        let t = Tuple::ints(&[1, 2]);
+        assert_eq!(t.concat(&Tuple::empty()), t);
+        assert_eq!(Tuple::empty().concat(&t), t);
+        assert_eq!(t.concat(&Tuple::ints(&[3])), Tuple::ints(&[1, 2, 3]));
+    }
+
+    #[test]
+    fn value_conversions() {
+        assert_eq!(Value::from(7i64), Value::Int(7));
+        assert_eq!(Value::from("x").as_str(), Some("x"));
+        assert_eq!(Value::from(5usize).as_int(), 5);
+    }
+
+    #[test]
+    fn mixed_tuple_equality_and_hash() {
+        use std::collections::HashSet;
+        let a = Tuple::new(vec![Value::from(1i64), Value::from("ab")]);
+        let b = Tuple::new(vec![Value::from(1i64), Value::from("ab")]);
+        let c = Tuple::new(vec![Value::from(1i64), Value::from("ac")]);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        let mut s = HashSet::new();
+        s.insert(a.clone());
+        assert!(s.contains(&b));
+        assert!(!s.contains(&c));
+    }
+
+    #[test]
+    #[should_panic(expected = "expected Int")]
+    fn as_int_panics_on_str() {
+        let _ = Value::from("nope").as_int();
+    }
+}

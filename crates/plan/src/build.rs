@@ -1,0 +1,148 @@
+//! `BuildVT` (Fig. 6), `NewVT` (Fig. 7), and `AuxView` (Fig. 8).
+//!
+//! `BuildVT` constructs a single view tree for a (sub-)variable-order: one
+//! view per inner variable, defined over the join of its child views. Free
+//! variables stay in view schemas until they reach a view whose schema has
+//! no bound variables; bound variables are aggregated away. In dynamic mode
+//! `AuxView` inserts auxiliary views that aggregate a child down to its
+//! ancestor schema, enabling constant-time sibling lookups during delta
+//! propagation (paper Sec. 6.1).
+
+use ivme_data::Schema;
+use ivme_query::VoNode;
+
+use crate::ir::{Mode, Node, NodeKind};
+
+/// How `BuildVT` turns a variable-order atom leaf into a plan leaf.
+///
+/// `Base` reads the original relations; `ωkeys` variants (indicator light
+/// trees, the `τ` light tree) read light parts instead.
+pub(crate) type LeafFactory<'a> = dyn Fn(usize) -> Node + 'a;
+
+pub(crate) struct BuildCtx<'a> {
+    pub mode: Mode,
+    /// View-name prefix: `V` for result trees, `All`/`L` for indicators.
+    pub prefix: &'a str,
+    pub leaf: &'a LeafFactory<'a>,
+}
+
+/// `NewVT` (Fig. 7): wraps `children` under a view named `name` with schema
+/// `schema` — except when there is a single child with the same schema
+/// (as a set), in which case the child is returned unchanged.
+pub(crate) fn new_vt(name: String, schema: Schema, mut children: Vec<Node>) -> Node {
+    debug_assert!(!children.is_empty());
+    if children.len() == 1 && children[0].schema.same_set(&schema) {
+        return children.pop().unwrap();
+    }
+    Node { name, schema, kind: NodeKind::View { children } }
+}
+
+/// `AuxView` (Fig. 8): in dynamic mode, if the variable-order node `Z`
+/// backing `tree` has siblings and `anc(Z)` is a strict subset of the root
+/// view's schema, adds a view named `<root>'` aggregating the root down to
+/// `anc(Z)`.
+pub(crate) fn aux_view(mode: Mode, has_sibling: bool, anc_z: &Schema, tree: Node) -> Node {
+    let strict_subset =
+        tree.schema.contains_all(anc_z) && anc_z.arity() < tree.schema.arity();
+    if mode == Mode::Dynamic && has_sibling && strict_subset {
+        let name = format!("{}'", tree.name);
+        new_vt(name, anc_z.clone(), vec![tree])
+    } else {
+        tree
+    }
+}
+
+/// `BuildVT` (Fig. 6) on the variable-order node `node` whose ancestors are
+/// `anc`, with free variables `free`.
+pub(crate) fn build_vt(ctx: &BuildCtx<'_>, node: &VoNode, anc: &Schema, free: &Schema) -> Node {
+    match node {
+        VoNode::Atom { atom } => (ctx.leaf)(*atom),
+        VoNode::Var { var, children } => {
+            let keys = anc.with(*var);
+            let child_anc = keys.clone();
+            let subtrees: Vec<Node> = children
+                .iter()
+                .map(|c| build_vt(ctx, c, &child_anc, free))
+                .collect();
+            let name = format!("{}{}", ctx.prefix, var.name());
+            if free.contains_all(&keys) {
+                // Lines 3-6: X and all its ancestors are free.
+                let has_sibling = children.len() >= 2;
+                let subtrees = subtrees
+                    .into_iter()
+                    .map(|t| aux_view(ctx.mode, has_sibling, &keys, t))
+                    .collect();
+                new_vt(name, keys, subtrees)
+            } else {
+                // Lines 7-9: aggregate away bound variables.
+                let fx = anc.union(&free.intersect(&node.subtree_vars()));
+                new_vt(name, fx, subtrees)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::Source;
+    use ivme_query::{canonical_var_order, parse_query};
+
+    fn base_leaf(q: &ivme_query::Query) -> impl Fn(usize) -> Node + '_ {
+        move |a| {
+            Node::leaf(
+                q.atoms[a].relation.clone(),
+                q.atoms[a].schema.clone(),
+                Source::Base(a),
+            )
+        }
+    }
+
+    #[test]
+    fn example_18_static_tree_matches_figure_9() {
+        let q = parse_query("Q(A,D,E) :- R(A,B,C), S(A,B,D), T(A,E)").unwrap();
+        let vo = canonical_var_order(&q).unwrap();
+        let leaf = base_leaf(&q);
+        let ctx = BuildCtx { mode: Mode::Static, prefix: "V", leaf: &leaf };
+        let t = build_vt(&ctx, &vo.roots[0], &Schema::empty(), &q.free);
+        assert_eq!(
+            t.render(),
+            "VA(A)\n\
+             \x20 VB(A,D)\n\
+             \x20   VC(A,B)\n\
+             \x20     R(A,B,C)\n\
+             \x20   S(A,B,D)\n\
+             \x20 T(A,E)\n"
+        );
+    }
+
+    #[test]
+    fn example_18_dynamic_tree_adds_aux_views() {
+        // Figure 9 right: V'B(A) and T'(A) appear in the dynamic case.
+        let q = parse_query("Q(A,D,E) :- R(A,B,C), S(A,B,D), T(A,E)").unwrap();
+        let vo = canonical_var_order(&q).unwrap();
+        let leaf = base_leaf(&q);
+        let ctx = BuildCtx { mode: Mode::Dynamic, prefix: "V", leaf: &leaf };
+        let t = build_vt(&ctx, &vo.roots[0], &Schema::empty(), &q.free);
+        assert_eq!(
+            t.render(),
+            "VA(A)\n\
+             \x20 VB'(A)\n\
+             \x20   VB(A,D)\n\
+             \x20     VC(A,B)\n\
+             \x20       R(A,B,C)\n\
+             \x20     S(A,B,D)\n\
+             \x20 T'(A)\n\
+             \x20   T(A,E)\n"
+        );
+    }
+
+    #[test]
+    fn new_vt_collapses_identity_projection() {
+        let leaf = Node::leaf("R", Schema::of(&["A", "B"]), Source::Base(0));
+        let out = new_vt("V".into(), Schema::of(&["B", "A"]), vec![leaf.clone()]);
+        assert_eq!(out, leaf);
+        let kept = new_vt("V".into(), Schema::of(&["A"]), vec![leaf]);
+        assert!(matches!(kept.kind, NodeKind::View { .. }));
+    }
+}

@@ -1,0 +1,235 @@
+//! Plan intermediate representation: view trees.
+//!
+//! A *view tree* (paper Sec. 4) is a tree whose leaves are base relations,
+//! light parts of base relations, or heavy-indicator views, and whose inner
+//! nodes are materialized views, each defined as the join of its children
+//! projected onto the node's schema (aggregating multiplicities over the
+//! projected-away variables).
+
+use std::fmt;
+
+use ivme_data::Schema;
+use ivme_query::Query;
+
+/// Evaluation mode of the planner (Fig. 11's global `mode` parameter).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Mode {
+    /// Static evaluation: preprocessing + enumeration only.
+    Static,
+    /// Dynamic evaluation: adds auxiliary views for O(1) sibling lookups
+    /// during delta propagation.
+    Dynamic,
+}
+
+/// What a leaf of a view tree reads from.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum Source {
+    /// A base relation occurrence (index into `Query::atoms`).
+    Base(usize),
+    /// The light part of atom `atom`'s relation, partitioned on the key of
+    /// `Plan::partitions[part]`.
+    Light { atom: usize, part: usize },
+    /// The heavy indicator `∃H` of `Plan::indicators[indicator]`
+    /// (set semantics: multiplicity 1 for each present key).
+    HeavyIndicator(usize),
+}
+
+/// A node of a view tree.
+#[derive(Clone, PartialEq, Eq)]
+pub struct Node {
+    /// Display name (paper-style, e.g. `VB`, `AllA`, `R'`).
+    pub name: String,
+    /// The node's schema (`F_X` for views).
+    pub schema: Schema,
+    pub kind: NodeKind,
+}
+
+/// Node payload.
+#[derive(Clone, PartialEq, Eq)]
+pub enum NodeKind {
+    /// Leaf reading from a shared source relation.
+    Leaf(Source),
+    /// Materialized view over the join of `children`.
+    View { children: Vec<Node> },
+}
+
+impl Node {
+    /// Leaf constructor.
+    pub fn leaf(name: impl Into<String>, schema: Schema, source: Source) -> Node {
+        Node { name: name.into(), schema, kind: NodeKind::Leaf(source) }
+    }
+
+    /// View constructor.
+    pub fn view(name: impl Into<String>, schema: Schema, children: Vec<Node>) -> Node {
+        debug_assert!(!children.is_empty());
+        Node { name: name.into(), schema, kind: NodeKind::View { children } }
+    }
+
+    /// Children (empty slice for leaves).
+    pub fn children(&self) -> &[Node] {
+        match &self.kind {
+            NodeKind::Leaf(_) => &[],
+            NodeKind::View { children } => children,
+        }
+    }
+
+    /// All variables appearing anywhere in the subtree.
+    pub fn subtree_vars(&self) -> Schema {
+        let mut s = self.schema.clone();
+        for c in self.children() {
+            s = s.union(&c.subtree_vars());
+        }
+        s
+    }
+
+    /// Atom indices of the base/light leaves in this subtree (heavy
+    /// indicators excluded) — the leaf atoms used in Prop. 20's equivalence.
+    pub fn leaf_atoms(&self) -> Vec<usize> {
+        let mut out = Vec::new();
+        self.visit(&mut |n| {
+            if let NodeKind::Leaf(Source::Base(a) | Source::Light { atom: a, .. }) = &n.kind {
+                out.push(*a);
+            }
+        });
+        out.sort_unstable();
+        out
+    }
+
+    /// Pre-order visit of all nodes.
+    pub fn visit<'a>(&'a self, f: &mut impl FnMut(&'a Node)) {
+        f(self);
+        for c in self.children() {
+            c.visit(f);
+        }
+    }
+
+    /// Number of nodes in the subtree.
+    pub fn size(&self) -> usize {
+        1 + self.children().iter().map(Node::size).sum::<usize>()
+    }
+
+    /// Paper-style one-line rendering of this node's head, e.g. `VB(A,D,E)`.
+    pub fn head(&self) -> String {
+        let vars: Vec<&str> = self.schema.vars().iter().map(|v| v.name()).collect();
+        format!("{}({})", self.name, vars.join(","))
+    }
+
+    /// Multi-line indented rendering of the whole tree (used by golden
+    /// tests against the paper's figures).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.render_into(&mut out, 0);
+        out
+    }
+
+    fn render_into(&self, out: &mut String, depth: usize) {
+        for _ in 0..depth {
+            out.push_str("  ");
+        }
+        out.push_str(&self.head());
+        out.push('\n');
+        for c in self.children() {
+            c.render_into(out, depth + 1);
+        }
+    }
+}
+
+impl fmt::Debug for Node {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.render())
+    }
+}
+
+/// A relation partition required by the plan: the light part of `atom`'s
+/// relation on `key` (the paper's `R^keys`).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct PartitionSpec {
+    pub atom: usize,
+    pub key: Schema,
+}
+
+/// An indicator triple (Fig. 10): `All(keys)`, the light view `L(keys)`,
+/// and the derived heavy indicator `H(keys) = All ∧ ∄L`.
+#[derive(Clone, PartialEq, Eq)]
+pub struct IndicatorSpec {
+    /// `keys = anc(X) ∪ {X}` at the bound variable X that triggered it.
+    pub keys: Schema,
+    /// Display base name, e.g. `B` for `AllB`/`LB`/`HB`.
+    pub tag: String,
+    /// View tree computing `All(keys)` over base relations.
+    pub all_tree: Node,
+    /// View tree computing `L(keys)` over light parts.
+    pub light_tree: Node,
+}
+
+/// Trees for one connected component of the query.
+#[derive(Clone, PartialEq, Eq)]
+pub struct ComponentPlan {
+    /// Atom indices of this component.
+    pub atoms: Vec<usize>,
+    /// Free variables of this component.
+    pub free: Schema,
+    /// The skew-aware view trees whose union covers the component's result
+    /// (Prop. 20).
+    pub trees: Vec<Node>,
+}
+
+/// The full compiled plan for a hierarchical query.
+pub struct Plan {
+    pub query: Query,
+    pub mode: Mode,
+    /// Distinct relation partitions used by light leaves.
+    pub partitions: Vec<PartitionSpec>,
+    /// Indicator triples, in creation order.
+    pub indicators: Vec<IndicatorSpec>,
+    /// Per-component skew-aware trees; the query result is the Cartesian
+    /// product over components of the union over trees.
+    pub components: Vec<ComponentPlan>,
+}
+
+impl Plan {
+    /// Total number of view-tree nodes (diagnostics).
+    pub fn num_nodes(&self) -> usize {
+        let mut n = 0;
+        for c in &self.components {
+            n += c.trees.iter().map(Node::size).sum::<usize>();
+        }
+        for i in &self.indicators {
+            n += i.all_tree.size() + i.light_tree.size();
+        }
+        n
+    }
+
+    /// Renders every tree of the plan (components then indicators).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for (ci, c) in self.components.iter().enumerate() {
+            for (ti, t) in c.trees.iter().enumerate() {
+                out.push_str(&format!("-- component {ci} tree {ti} --\n"));
+                out.push_str(&t.render());
+            }
+        }
+        for ind in &self.indicators {
+            out.push_str(&format!("-- indicator All{} --\n", ind.tag));
+            out.push_str(&ind.all_tree.render());
+            out.push_str(&format!("-- indicator L{} --\n", ind.tag));
+            out.push_str(&ind.light_tree.render());
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_and_size() {
+        let leaf = Node::leaf("R", Schema::of(&["A", "B"]), Source::Base(0));
+        let view = Node::view("V", Schema::of(&["A"]), vec![leaf]);
+        assert_eq!(view.render(), "V(A)\n  R(A,B)\n");
+        assert_eq!(view.size(), 2);
+        assert_eq!(view.leaf_atoms(), vec![0]);
+        assert_eq!(view.subtree_vars(), Schema::of(&["A", "B"]));
+    }
+}

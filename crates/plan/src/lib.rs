@@ -1,0 +1,20 @@
+//! `ivme-plan` — skew-aware view-tree compilation for hierarchical queries.
+//!
+//! Implements Sec. 4 of the paper:
+//!
+//! * [`ir`] — the view-tree plan representation,
+//! * [`build`] — `BuildVT` (Fig. 6), `NewVT` (Fig. 7), `AuxView` (Fig. 8),
+//! * [`tau`] — `IndicatorVTs` (Fig. 10) and the planner `τ` (Fig. 11).
+//!
+//! The output [`Plan`](ir::Plan) lists, per connected component of the
+//! query, the set of view trees whose union is equivalent to the query
+//! (Prop. 20), plus the heavy/light partitions and indicator triples the
+//! trees depend on. Materialization, maintenance, and enumeration live in
+//! `ivme-core`.
+
+pub mod build;
+pub mod ir;
+pub mod tau;
+
+pub use ir::{ComponentPlan, IndicatorSpec, Mode, Node, NodeKind, PartitionSpec, Plan, Source};
+pub use tau::compile;

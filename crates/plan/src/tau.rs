@@ -1,0 +1,461 @@
+//! The skew-aware planner `τ` (Fig. 11) and `IndicatorVTs` (Fig. 10).
+//!
+//! `τ` walks a canonical variable order top-down, maintaining the invariant
+//! that all ancestors of the current node are free (or heavy-grounded bound
+//! variables treated as free). At each node it either
+//!
+//! * emits a single `BuildVT` tree when the residual query is free-connex
+//!   (static mode) / δ0-hierarchical (dynamic mode),
+//! * recurses through a free variable, forming one tree per combination of
+//!   child strategies, or
+//! * splits on a *violating bound variable* `X`: a set of *heavy* trees
+//!   guarded by the heavy indicator `∃H` over `anc(X) ∪ {X}`, plus one
+//!   *light* tree over the light parts of the relations partitioned on the
+//!   same key.
+//!
+//! The union of the produced trees covers the query result exactly
+//! (Prop. 20), not necessarily disjointly — the enumeration layer
+//! deduplicates with the Union algorithm.
+
+use ivme_data::Schema;
+use ivme_query::{canonical_var_order, NotHierarchical, Query, VoNode};
+
+use crate::build::{aux_view, build_vt, new_vt, BuildCtx};
+use crate::ir::{ComponentPlan, IndicatorSpec, Mode, Node, PartitionSpec, Plan, Source};
+
+struct Planner<'a> {
+    q: &'a Query,
+    mode: Mode,
+    partitions: Vec<PartitionSpec>,
+    indicators: Vec<IndicatorSpec>,
+}
+
+impl<'a> Planner<'a> {
+    fn intern_partition(&mut self, atom: usize, key: &Schema) -> usize {
+        if let Some(i) = self
+            .partitions
+            .iter()
+            .position(|p| p.atom == atom && p.key.same_set(key))
+        {
+            return i;
+        }
+        self.partitions.push(PartitionSpec { atom, key: key.clone() });
+        self.partitions.len() - 1
+    }
+
+    fn key_tag(key: &Schema) -> String {
+        key.vars().iter().map(|v| v.name()).collect()
+    }
+
+    /// Builds a leaf for the light part `R^keys` of an atom.
+    fn light_leaf(&mut self, atom: usize, keys: &Schema) -> Node {
+        let part = self.intern_partition(atom, keys);
+        let a = &self.q.atoms[atom];
+        Node::leaf(
+            format!("{}^{}", a.relation, Self::key_tag(keys)),
+            a.schema.clone(),
+            Source::Light { atom, part },
+        )
+    }
+
+    fn base_leaf(&self, atom: usize) -> Node {
+        let a = &self.q.atoms[atom];
+        Node::leaf(a.relation.clone(), a.schema.clone(), Source::Base(atom))
+    }
+
+    /// `IndicatorVTs` (Fig. 10): registers the indicator triple for the
+    /// subtree rooted at the bound variable of `node`, returning its id.
+    fn indicator_vts(&mut self, node: &VoNode, anc: &Schema) -> usize {
+        let VoNode::Var { var, .. } = node else {
+            unreachable!("indicators are created at variable nodes")
+        };
+        let keys = anc.with(*var);
+        // alltree: over base relations, head schema `keys`.
+        let all_tree = {
+            let leaf = |a: usize| self.base_leaf(a);
+            let ctx = BuildCtx { mode: self.mode, prefix: "All", leaf: &leaf };
+            build_vt(&ctx, node, anc, &keys)
+        };
+        // ltree: over light parts partitioned on `keys` (the ω^keys order).
+        let light_tree = {
+            // Pre-intern the partitions (cannot borrow self mutably inside
+            // the closure).
+            for a in node.subtree_atoms() {
+                self.intern_partition(a, &keys);
+            }
+            let parts: Vec<(usize, Node)> = node
+                .subtree_atoms()
+                .iter()
+                .map(|&a| {
+                    let part = self
+                        .partitions
+                        .iter()
+                        .position(|p| p.atom == a && p.key.same_set(&keys))
+                        .unwrap();
+                    let atom = &self.q.atoms[a];
+                    (
+                        a,
+                        Node::leaf(
+                            format!("{}^{}", atom.relation, Self::key_tag(&keys)),
+                            atom.schema.clone(),
+                            Source::Light { atom: a, part },
+                        ),
+                    )
+                })
+                .collect();
+            let leaf = move |a: usize| {
+                parts
+                    .iter()
+                    .find(|(atom, _)| *atom == a)
+                    .map(|(_, n)| n.clone())
+                    .expect("light leaf registered")
+            };
+            let ctx = BuildCtx { mode: self.mode, prefix: "L", leaf: &leaf };
+            build_vt(&ctx, node, anc, &keys)
+        };
+        self.indicators.push(IndicatorSpec {
+            keys,
+            tag: var.name().to_string(),
+            all_tree,
+            light_tree,
+        });
+        self.indicators.len() - 1
+    }
+
+    /// The residual query `Q_X(F_X)` at a variable-order node (Fig. 11,
+    /// line 4): the join of the subtree's atoms with free variables
+    /// `anc(X) ∪ (F ∩ vars(ω_X))`.
+    fn residual(&self, node: &VoNode, anc: &Schema) -> Query {
+        let atoms: Vec<_> = node
+            .subtree_atoms()
+            .iter()
+            .map(|&a| self.q.atoms[a].clone())
+            .collect();
+        let fx = anc.union(&self.q.free.intersect(&node.subtree_vars()));
+        Query::new("Qx", fx, atoms)
+    }
+
+    /// The `τ` recursion (Fig. 11).
+    fn tau(&mut self, node: &VoNode, anc: &Schema) -> Vec<Node> {
+        let VoNode::Var { var, children } = node else {
+            // Line 1: a bare atom leaf.
+            let VoNode::Atom { atom } = node else { unreachable!() };
+            return vec![self.base_leaf(*atom)];
+        };
+        let keys = anc.with(*var);
+        let fx = anc.union(&self.q.free.intersect(&node.subtree_vars()));
+        let residual = self.residual(node, anc);
+        let easy = match self.mode {
+            // Lines 5-7: free-connex residual in static mode,
+            // δ0-hierarchical (= q-hierarchical, Prop. 6) in dynamic mode.
+            Mode::Static => ivme_query::is_free_connex(&residual),
+            Mode::Dynamic => ivme_query::is_q_hierarchical(&residual),
+        };
+        if easy {
+            let leaf = |a: usize| self.base_leaf(a);
+            let ctx = BuildCtx { mode: self.mode, prefix: "V", leaf: &leaf };
+            return vec![build_vt(&ctx, node, anc, &fx)];
+        }
+
+        let has_sibling = children.len() >= 2;
+        let child_sets: Vec<Vec<Node>> =
+            children.iter().map(|c| self.tau(c, &keys)).collect();
+        let name = format!("V{}", var.name());
+
+        if self.q.is_free(*var) {
+            // Lines 8-11.
+            return combinations(&child_sets)
+                .into_iter()
+                .map(|combo| {
+                    let subtrees: Vec<Node> = combo
+                        .into_iter()
+                        .map(|t| aux_view(self.mode, has_sibling, &keys, t))
+                        .collect();
+                    new_vt(name.clone(), keys.clone(), subtrees)
+                })
+                .collect();
+        }
+
+        // Lines 12-17: violating bound variable.
+        let ind = self.indicator_vts(node, anc);
+        let h_leaf = Node::leaf(
+            format!("∃H{}", var.name()),
+            keys.clone(),
+            Source::HeavyIndicator(ind),
+        );
+        let mut trees: Vec<Node> = combinations(&child_sets)
+            .into_iter()
+            .map(|combo| {
+                let mut subtrees = vec![h_leaf.clone()];
+                subtrees.extend(
+                    combo
+                        .into_iter()
+                        .map(|t| aux_view(self.mode, has_sibling, &keys, t)),
+                );
+                new_vt(name.clone(), keys.clone(), subtrees)
+            })
+            .collect();
+        // Line 16: the all-light tree over ω^keys.
+        let ltree = {
+            for a in node.subtree_atoms() {
+                self.intern_partition(a, &keys);
+            }
+            let mut planner_parts: Vec<(usize, Node)> = Vec::new();
+            for a in node.subtree_atoms() {
+                let leaf = self.light_leaf(a, &keys);
+                planner_parts.push((a, leaf));
+            }
+            let leaf = move |a: usize| {
+                planner_parts
+                    .iter()
+                    .find(|(atom, _)| *atom == a)
+                    .map(|(_, n)| n.clone())
+                    .expect("light leaf registered")
+            };
+            let ctx = BuildCtx { mode: self.mode, prefix: "V", leaf: &leaf };
+            build_vt(&ctx, node, anc, &fx)
+        };
+        trees.push(ltree);
+        trees
+    }
+}
+
+/// Cartesian product of the child tree sets (Fig. 11's "for each
+/// combination of the child view trees").
+fn combinations(sets: &[Vec<Node>]) -> Vec<Vec<Node>> {
+    let mut out: Vec<Vec<Node>> = vec![Vec::new()];
+    for set in sets {
+        let mut next = Vec::with_capacity(out.len() * set.len());
+        for prefix in &out {
+            for item in set {
+                let mut v = prefix.clone();
+                v.push(item.clone());
+                next.push(v);
+            }
+        }
+        out = next;
+    }
+    out
+}
+
+/// Compiles a hierarchical query into its skew-aware view-tree plan.
+pub fn compile(q: &Query, mode: Mode) -> Result<Plan, NotHierarchical> {
+    let vo = canonical_var_order(q)?;
+    let mut planner = Planner {
+        q,
+        mode,
+        partitions: Vec::new(),
+        indicators: Vec::new(),
+    };
+    let mut components = Vec::new();
+    for root in &vo.roots {
+        let trees = planner.tau(root, &Schema::empty());
+        components.push(ComponentPlan {
+            atoms: root.subtree_atoms(),
+            free: q.free.intersect(&root.subtree_vars()),
+            trees,
+        });
+    }
+    Ok(Plan {
+        query: q.clone(),
+        mode,
+        partitions: planner.partitions,
+        indicators: planner.indicators,
+        components,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ivme_query::parse_query;
+
+    fn plan(src: &str, mode: Mode) -> Plan {
+        compile(&parse_query(src).unwrap(), mode).unwrap()
+    }
+
+    #[test]
+    fn example_28_dynamic_matches_figure_23() {
+        // Q(A,C) = R(A,B), S(B,C).
+        let p = plan("Q(A,C) :- R(A,B), S(B,C)", Mode::Dynamic);
+        assert_eq!(p.components.len(), 1);
+        let trees = &p.components[0].trees;
+        assert_eq!(trees.len(), 2);
+        assert_eq!(
+            trees[0].render(),
+            "VB(B)\n  ∃HB(B)\n  R'(B)\n    R(A,B)\n  S'(B)\n    S(B,C)\n"
+        );
+        assert_eq!(trees[1].render(), "VB(A,C)\n  R^B(A,B)\n  S^B(B,C)\n");
+        assert_eq!(p.indicators.len(), 1);
+        let ind = &p.indicators[0];
+        assert_eq!(ind.keys, Schema::of(&["B"]));
+        assert_eq!(
+            ind.all_tree.render(),
+            "AllB(B)\n  AllA(B)\n    R(A,B)\n  AllC(B)\n    S(B,C)\n"
+        );
+        assert_eq!(
+            ind.light_tree.render(),
+            "LB(B)\n  LA(B)\n    R^B(A,B)\n  LC(B)\n    S^B(B,C)\n"
+        );
+        // Both R and S are partitioned on B.
+        assert_eq!(p.partitions.len(), 2);
+    }
+
+    #[test]
+    fn example_28_static_has_no_aux_views() {
+        let p = plan("Q(A,C) :- R(A,B), S(B,C)", Mode::Static);
+        let trees = &p.components[0].trees;
+        assert_eq!(
+            trees[0].render(),
+            "VB(B)\n  ∃HB(B)\n  R(A,B)\n  S(B,C)\n"
+        );
+        assert_eq!(trees[1].render(), "VB(A,C)\n  R^B(A,B)\n  S^B(B,C)\n");
+    }
+
+    #[test]
+    fn example_29_static_single_tree() {
+        // Q(A) = R(A,B), S(B) is free-connex: one BuildVT tree, no
+        // partitions (Fig. 24 bottom-left).
+        let p = plan("Q(A) :- R(A,B), S(B)", Mode::Static);
+        let trees = &p.components[0].trees;
+        assert_eq!(trees.len(), 1);
+        assert_eq!(trees[0].render(), "VB(A)\n  R(A,B)\n  S(B)\n");
+        assert!(p.partitions.is_empty());
+        assert!(p.indicators.is_empty());
+    }
+
+    #[test]
+    fn example_29_dynamic_matches_figure_24() {
+        let p = plan("Q(A) :- R(A,B), S(B)", Mode::Dynamic);
+        let trees = &p.components[0].trees;
+        assert_eq!(trees.len(), 2);
+        // Heavy tree (Fig. 24 bottom-right).
+        assert_eq!(
+            trees[0].render(),
+            "VB(B)\n  ∃HB(B)\n  R'(B)\n    R(A,B)\n  S(B)\n"
+        );
+        // Light tree (Fig. 24 bottom-middle).
+        assert_eq!(trees[1].render(), "VB(A)\n  R^B(A,B)\n  S^B(B)\n");
+        let ind = &p.indicators[0];
+        assert_eq!(
+            ind.all_tree.render(),
+            "AllB(B)\n  AllA(B)\n    R(A,B)\n  S(B)\n"
+        );
+        assert_eq!(
+            ind.light_tree.render(),
+            "LB(B)\n  LA(B)\n    R^B(A,B)\n  S^B(B)\n"
+        );
+    }
+
+    #[test]
+    fn example_19_dynamic_matches_figure_12() {
+        let p = plan(
+            "Q(C,D,E,F) :- R(A,B,D), S(A,B,E), T(A,C,F), U(A,C,G)",
+            Mode::Dynamic,
+        );
+        let trees = &p.components[0].trees;
+        // Three trees: heavy-A×heavy-B, heavy-A×light-B, light-A.
+        assert_eq!(trees.len(), 3);
+        let rendered: Vec<String> = trees.iter().map(|t| t.render()).collect();
+        // Heavy (A,B) tree (Fig. 12 second row right).
+        assert!(
+            rendered.iter().any(|r| r
+                == "VA(A)\n\
+                    \x20 ∃HA(A)\n\
+                    \x20 VB'(A)\n\
+                    \x20   VB(A,B)\n\
+                    \x20     ∃HB(A,B)\n\
+                    \x20     R'(A,B)\n\
+                    \x20       R(A,B,D)\n\
+                    \x20     S'(A,B)\n\
+                    \x20       S(A,B,E)\n\
+                    \x20 VC'(A)\n\
+                    \x20   VC(A,C)\n\
+                    \x20     T'(A,C)\n\
+                    \x20       T(A,C,F)\n\
+                    \x20     VG(A,C)\n\
+                    \x20       U(A,C,G)\n"),
+            "missing heavy-heavy tree; got:\n{}",
+            rendered.join("\n")
+        );
+        // Heavy-A × light-B tree (Fig. 12 second row left).
+        assert!(
+            rendered.iter().any(|r| r
+                == "VA(A)\n\
+                    \x20 ∃HA(A)\n\
+                    \x20 VB'(A)\n\
+                    \x20   VB(A,D,E)\n\
+                    \x20     R^AB(A,B,D)\n\
+                    \x20     S^AB(A,B,E)\n\
+                    \x20 VC'(A)\n\
+                    \x20   VC(A,C)\n\
+                    \x20     T'(A,C)\n\
+                    \x20       T(A,C,F)\n\
+                    \x20     VG(A,C)\n\
+                    \x20       U(A,C,G)\n"),
+            "missing heavy-light tree; got:\n{}",
+            rendered.join("\n")
+        );
+        // All-light tree (Fig. 12 top right / bottom-left layout).
+        assert!(
+            rendered.iter().any(|r| r
+                == "VA(C,D,E,F)\n\
+                    \x20 VB(A,D,E)\n\
+                    \x20   R^A(A,B,D)\n\
+                    \x20   S^A(A,B,E)\n\
+                    \x20 VC(A,C,F)\n\
+                    \x20   T^A(A,C,F)\n\
+                    \x20   VG(A,C)\n\
+                    \x20     U^A(A,C,G)\n"),
+            "missing light tree; got:\n{}",
+            rendered.join("\n")
+        );
+        // Indicators at A (keys {A}) and B (keys {A,B}).
+        assert_eq!(p.indicators.len(), 2);
+        assert_eq!(p.indicators[0].keys, Schema::of(&["A", "B"]));
+        assert_eq!(p.indicators[1].keys, Schema::of(&["A"]));
+        // Partitions: R,S,T,U on A and R,S on (A,B).
+        assert_eq!(p.partitions.len(), 6);
+    }
+
+    #[test]
+    fn free_connex_static_is_single_linear_tree() {
+        let p = plan("Q(A,D,E) :- R(A,B,C), S(A,B,D), T(A,E)", Mode::Static);
+        assert_eq!(p.components[0].trees.len(), 1);
+        assert!(p.partitions.is_empty());
+    }
+
+    #[test]
+    fn prop20_leaf_atoms_cover_query() {
+        // Every tree's leaf atoms are exactly the query atoms (Prop. 20).
+        for (src, mode) in [
+            ("Q(A,C) :- R(A,B), S(B,C)", Mode::Dynamic),
+            ("Q(C,D,E,F) :- R(A,B,D), S(A,B,E), T(A,C,F), U(A,C,G)", Mode::Dynamic),
+            ("Q(A) :- R(A,B), S(B)", Mode::Static),
+        ] {
+            let p = plan(src, mode);
+            let n_atoms = p.query.atoms.len();
+            for c in &p.components {
+                for t in &c.trees {
+                    assert_eq!(t.leaf_atoms(), (0..n_atoms).collect::<Vec<_>>(), "{src}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn cartesian_product_queries_get_one_component_each() {
+        let p = plan("Q(A,C) :- R(A,B), S(C)", Mode::Static);
+        assert_eq!(p.components.len(), 2);
+        assert_eq!(p.components[0].free, Schema::of(&["A"]));
+        assert_eq!(p.components[1].free, Schema::of(&["C"]));
+    }
+
+    #[test]
+    fn boolean_two_path_is_free_connex_single_tree() {
+        let p = plan("Q() :- R(A,B), S(B,C)", Mode::Static);
+        assert_eq!(p.components[0].trees.len(), 1);
+        let root = &p.components[0].trees[0];
+        assert!(root.schema.is_empty());
+    }
+}

@@ -1,0 +1,277 @@
+//! Conjunctive query AST.
+//!
+//! A conjunctive query (CQ) has the form `Q(F) = R1(X1), ..., Rn(Xn)`
+//! (paper Sec. 3). Relation symbols may repeat; the paper handles an update
+//! to a repeated symbol as a sequence of per-occurrence updates (footnote 2),
+//! so each [`Atom`] carries both the relation symbol and its occurrence id.
+
+use std::fmt;
+
+use ivme_data::fx::FxHashSet;
+use ivme_data::{Schema, Var};
+
+/// One atom `R(Y)` of a conjunctive query.
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct Atom {
+    /// Relation symbol (the name of a base relation).
+    pub relation: String,
+    /// Occurrence index among atoms with the same relation symbol (0-based).
+    pub occurrence: usize,
+    /// The atom schema `Y`.
+    pub schema: Schema,
+}
+
+impl Atom {
+    /// Builds the first occurrence of `relation` over `schema`.
+    pub fn new(relation: impl Into<String>, schema: Schema) -> Atom {
+        Atom { relation: relation.into(), occurrence: 0, schema }
+    }
+}
+
+impl fmt::Debug for Atom {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}(", self.relation)?;
+        for (i, v) in self.schema.vars().iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{v}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+/// A conjunctive query `Q(F) = R1(X1), ..., Rn(Xn)`.
+#[derive(Clone, PartialEq, Eq)]
+pub struct Query {
+    /// Query name (head symbol).
+    pub name: String,
+    /// Free variables `F` (the head schema).
+    pub free: Schema,
+    /// Body atoms.
+    pub atoms: Vec<Atom>,
+}
+
+impl Query {
+    /// Builds a query, normalizing occurrence ids and validating that free
+    /// variables appear in the body.
+    pub fn new(name: impl Into<String>, free: Schema, mut atoms: Vec<Atom>) -> Query {
+        let mut counts: std::collections::HashMap<String, usize> = std::collections::HashMap::new();
+        for a in &mut atoms {
+            let c = counts.entry(a.relation.clone()).or_insert(0);
+            a.occurrence = *c;
+            *c += 1;
+        }
+        let q = Query { name: name.into(), free, atoms };
+        for v in q.free.vars() {
+            assert!(
+                q.atoms.iter().any(|a| a.schema.contains(*v)),
+                "free variable {v} does not appear in the body of {}",
+                q.name
+            );
+        }
+        q
+    }
+
+    /// All variables of the query, in first-appearance order.
+    pub fn vars(&self) -> Schema {
+        let mut s = Schema::empty();
+        for a in &self.atoms {
+            s = s.union(&a.schema);
+        }
+        s
+    }
+
+    /// The bound (non-free) variables.
+    pub fn bound_vars(&self) -> Schema {
+        self.vars().difference(&self.free)
+    }
+
+    /// Whether `v` is free.
+    pub fn is_free(&self, v: Var) -> bool {
+        self.free.contains(v)
+    }
+
+    /// Whether the query is full (`free(Q) = vars(Q)`).
+    pub fn is_full(&self) -> bool {
+        self.vars().arity() == self.free.arity()
+    }
+
+    /// Indices of the atoms containing variable `v` — `atoms(X)` in the
+    /// paper.
+    pub fn atoms_of(&self, v: Var) -> Vec<usize> {
+        (0..self.atoms.len())
+            .filter(|&i| self.atoms[i].schema.contains(v))
+            .collect()
+    }
+
+    /// `vars(atoms(X))`: all variables co-occurring with `v` in its atoms.
+    pub fn vars_of_atoms_of(&self, v: Var) -> Schema {
+        let mut s = Schema::empty();
+        for i in self.atoms_of(v) {
+            s = s.union(&self.atoms[i].schema);
+        }
+        s
+    }
+
+    /// `free(atoms(X))`: free variables among [`Self::vars_of_atoms_of`].
+    pub fn free_of_atoms_of(&self, v: Var) -> Schema {
+        self.vars_of_atoms_of(v).intersect(&self.free)
+    }
+
+    /// Whether any relation symbol repeats.
+    pub fn has_repeating_symbols(&self) -> bool {
+        let mut seen = FxHashSet::default();
+        self.atoms.iter().any(|a| !seen.insert(a.relation.as_str()))
+    }
+
+    /// Splits the atoms into connected components of the query hypergraph
+    /// (two atoms are connected if they share a variable). Returns atom
+    /// indices per component, in first-appearance order.
+    pub fn connected_components(&self) -> Vec<Vec<usize>> {
+        let n = self.atoms.len();
+        let mut comp: Vec<Option<usize>> = vec![None; n];
+        let mut components: Vec<Vec<usize>> = Vec::new();
+        for start in 0..n {
+            if comp[start].is_some() {
+                continue;
+            }
+            let id = components.len();
+            let mut stack = vec![start];
+            comp[start] = Some(id);
+            let mut members = vec![start];
+            while let Some(i) = stack.pop() {
+                for j in 0..n {
+                    if comp[j].is_none()
+                        && !self.atoms[i].schema.intersect(&self.atoms[j].schema).is_empty()
+                    {
+                        comp[j] = Some(id);
+                        stack.push(j);
+                        members.push(j);
+                    }
+                }
+            }
+            members.sort_unstable();
+            components.push(members);
+        }
+        components
+    }
+
+    /// The sub-query induced by a set of atom indices, with free variables
+    /// restricted to those occurring in the sub-query.
+    pub fn restrict_to_atoms(&self, atom_ids: &[usize], name: impl Into<String>) -> Query {
+        let atoms: Vec<Atom> = atom_ids.iter().map(|&i| self.atoms[i].clone()).collect();
+        let mut vars = Schema::empty();
+        for a in &atoms {
+            vars = vars.union(&a.schema);
+        }
+        let free = self.free.intersect(&vars);
+        Query::new(name, free, atoms)
+    }
+}
+
+impl fmt::Debug for Query {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}(", self.name)?;
+        for (i, v) in self.free.vars().iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{v}")?;
+        }
+        write!(f, ") :- ")?;
+        for (i, a) in self.atoms.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{a:?}")?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for Query {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_path() -> Query {
+        // Q(A,C) :- R(A,B), S(B,C)
+        Query::new(
+            "Q",
+            Schema::of(&["A", "C"]),
+            vec![
+                Atom::new("R", Schema::of(&["A", "B"])),
+                Atom::new("S", Schema::of(&["B", "C"])),
+            ],
+        )
+    }
+
+    #[test]
+    fn vars_and_bound() {
+        let q = two_path();
+        assert_eq!(q.vars(), Schema::of(&["A", "B", "C"]));
+        assert_eq!(q.bound_vars(), Schema::of(&["B"]));
+        assert!(!q.is_full());
+        assert!(q.is_free(Var::new("A")));
+        assert!(!q.is_free(Var::new("B")));
+    }
+
+    #[test]
+    fn atoms_of_variable() {
+        let q = two_path();
+        assert_eq!(q.atoms_of(Var::new("B")), vec![0, 1]);
+        assert_eq!(q.atoms_of(Var::new("A")), vec![0]);
+        assert_eq!(q.vars_of_atoms_of(Var::new("B")), Schema::of(&["A", "B", "C"]));
+        assert_eq!(q.free_of_atoms_of(Var::new("B")), Schema::of(&["A", "C"]));
+    }
+
+    #[test]
+    fn occurrences_are_numbered() {
+        let q = Query::new(
+            "Q",
+            Schema::of(&["A"]),
+            vec![
+                Atom::new("R", Schema::of(&["A", "B"])),
+                Atom::new("R", Schema::of(&["B", "C"])),
+            ],
+        );
+        assert_eq!(q.atoms[0].occurrence, 0);
+        assert_eq!(q.atoms[1].occurrence, 1);
+        assert!(q.has_repeating_symbols());
+        assert!(!two_path().has_repeating_symbols());
+    }
+
+    #[test]
+    fn components_split_cartesian_products() {
+        let q = Query::new(
+            "Q",
+            Schema::of(&["A", "C"]),
+            vec![
+                Atom::new("R", Schema::of(&["A", "B"])),
+                Atom::new("S", Schema::of(&["C"])),
+                Atom::new("T", Schema::of(&["B"])),
+            ],
+        );
+        let comps = q.connected_components();
+        assert_eq!(comps, vec![vec![0, 2], vec![1]]);
+        let sub = q.restrict_to_atoms(&comps[0], "Q0");
+        assert_eq!(sub.atoms.len(), 2);
+        assert_eq!(sub.free, Schema::of(&["A"]));
+    }
+
+    #[test]
+    #[should_panic(expected = "does not appear")]
+    fn head_vars_must_occur() {
+        let _ = Query::new(
+            "Q",
+            Schema::of(&["Z"]),
+            vec![Atom::new("R", Schema::of(&["A"]))],
+        );
+    }
+}

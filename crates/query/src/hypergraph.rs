@@ -1,0 +1,222 @@
+//! Query hypergraphs: α-acyclicity (GYO reduction) and free-connexity.
+//!
+//! These are the generic CQ notions of Sec. 3 of the paper. The hierarchical
+//! specializations (with cheaper tests) live in [`crate::hierarchy`]; the two
+//! are cross-checked by property tests.
+
+use ivme_data::{Schema, Var};
+
+use crate::cq::Query;
+
+/// GYO (Graham–Yu–Özsoyoğlu) reduction on a multiset of variable sets.
+///
+/// Repeatedly removes *ears*: a hyperedge `E` is an ear if the variables it
+/// shares with the rest of the hypergraph are all contained in some other
+/// hyperedge `W`. The hypergraph is α-acyclic iff the reduction ends with at
+/// most one hyperedge.
+fn gyo_reduces(edges: &[Schema]) -> bool {
+    let mut edges: Vec<Schema> = edges.to_vec();
+    loop {
+        if edges.len() <= 1 {
+            return true;
+        }
+        let mut removed = None;
+        'search: for i in 0..edges.len() {
+            // Variables of edges[i] shared with any other edge.
+            let shared: Schema = edges[i]
+                .vars()
+                .iter()
+                .copied()
+                .filter(|&v| {
+                    edges
+                        .iter()
+                        .enumerate()
+                        .any(|(j, e)| j != i && e.contains(v))
+                })
+                .collect();
+            for (j, w) in edges.iter().enumerate() {
+                if j != i && w.contains_all(&shared) {
+                    removed = Some(i);
+                    break 'search;
+                }
+            }
+        }
+        match removed {
+            Some(i) => {
+                edges.swap_remove(i);
+            }
+            None => return false,
+        }
+    }
+}
+
+/// Whether the query is α-acyclic (admits a join tree).
+pub fn is_alpha_acyclic(q: &Query) -> bool {
+    let edges: Vec<Schema> = q.atoms.iter().map(|a| a.schema.clone()).collect();
+    gyo_reduces(&edges)
+}
+
+/// Whether the query is free-connex: α-acyclic and still α-acyclic after
+/// adding the head atom `Q(F)` as a hyperedge (paper Sec. 3, citing [14]).
+pub fn is_free_connex(q: &Query) -> bool {
+    if !is_alpha_acyclic(q) {
+        return false;
+    }
+    let mut edges: Vec<Schema> = q.atoms.iter().map(|a| a.schema.clone()).collect();
+    edges.push(q.free.clone());
+    gyo_reduces(&edges)
+}
+
+/// Whether the query is hierarchical (Def. 1): for any two variables, their
+/// atom sets are disjoint or one contains the other.
+pub fn is_hierarchical(q: &Query) -> bool {
+    let vars = q.vars();
+    let atom_sets: Vec<(Var, Vec<usize>)> =
+        vars.vars().iter().map(|&v| (v, q.atoms_of(v))).collect();
+    for (i, (_, si)) in atom_sets.iter().enumerate() {
+        for (_, sj) in atom_sets.iter().skip(i + 1) {
+            let inter = si.iter().filter(|x| sj.contains(x)).count();
+            let disjoint = inter == 0;
+            let i_in_j = inter == si.len();
+            let j_in_i = inter == sj.len();
+            if !(disjoint || i_in_j || j_in_i) {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+/// Whether the query is q-hierarchical (paper Sec. 3, citing [10]):
+/// hierarchical, and whenever `atoms(A) ⊂ atoms(B)` with `A` free, `B` is
+/// free too.
+pub fn is_q_hierarchical(q: &Query) -> bool {
+    if !is_hierarchical(q) {
+        return false;
+    }
+    let vars = q.vars();
+    for &a in vars.vars() {
+        if !q.is_free(a) {
+            continue;
+        }
+        let sa = q.atoms_of(a);
+        for &b in vars.vars() {
+            if b == a || q.is_free(b) {
+                continue;
+            }
+            let sb = q.atoms_of(b);
+            let a_strict_in_b = sa.len() < sb.len() && sa.iter().all(|x| sb.contains(x));
+            if a_strict_in_b {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+/// Test helper: builds a query from parts.
+#[cfg(test)]
+pub(crate) fn q(free: &[&str], atoms: &[(&str, &[&str])]) -> Query {
+    use crate::cq::Atom;
+    Query::new(
+        "Q",
+        Schema::of(free),
+        atoms
+            .iter()
+            .map(|(r, vs)| Atom::new(*r, Schema::of(vs)))
+            .collect(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_query;
+
+    #[test]
+    fn path_queries_acyclicity() {
+        // R(A,B), S(B,C) is α-acyclic; the triangle is not.
+        assert!(is_alpha_acyclic(&q(&[], &[("R", &["A", "B"]), ("S", &["B", "C"])])));
+        let triangle = q(
+            &[],
+            &[("R", &["A", "B"]), ("S", &["B", "C"]), ("T", &["A", "C"])],
+        );
+        assert!(!is_alpha_acyclic(&triangle));
+    }
+
+    #[test]
+    fn paper_example_12_is_acyclic_free_connex_hierarchical() {
+        // Q(A,C,F) = R(A,B,C), S(A,B,D), T(A,E,F), U(A,E,G)  (Example 12)
+        let ex = parse_query("Q(A,C,F) :- R(A,B,C), S(A,B,D), T(A,E,F), U(A,E,G)").unwrap();
+        assert!(is_alpha_acyclic(&ex));
+        assert!(is_free_connex(&ex));
+        assert!(is_hierarchical(&ex));
+        // Bound B dominates free C; bound E dominates free F → not q-hier.
+        assert!(!is_q_hierarchical(&ex));
+    }
+
+    #[test]
+    fn intro_examples_hierarchical_or_not() {
+        // Q(F) = R(A,B), S(B,C) is hierarchical (Def. 1 discussion) ...
+        assert!(is_hierarchical(&q(&["A"], &[("R", &["A", "B"]), ("S", &["B", "C"])])));
+        // ... while R(A,B), S(B,C), T(C) is not.
+        let not_h = q(
+            &["A"],
+            &[("R", &["A", "B"]), ("S", &["B", "C"]), ("T", &["C"])],
+        );
+        assert!(!is_hierarchical(&not_h));
+    }
+
+    #[test]
+    fn two_path_not_free_connex() {
+        // Example 28: Q(A,C) = R(A,B), S(B,C) is not free-connex.
+        let q28 = parse_query("Q(A,C) :- R(A,B), S(B,C)").unwrap();
+        assert!(is_alpha_acyclic(&q28));
+        assert!(!is_free_connex(&q28));
+        // Q(A) = R(A,B), S(B) (Example 29) is free-connex.
+        let q29 = parse_query("Q(A) :- R(A,B), S(B)").unwrap();
+        assert!(is_free_connex(&q29));
+        // Boolean two-path is free-connex (empty head is an ear).
+        let qb = parse_query("Q() :- R(A,B), S(B,C)").unwrap();
+        assert!(is_free_connex(&qb));
+    }
+
+    #[test]
+    fn example_18_free_connex() {
+        let q18 = parse_query("Q(A,D,E) :- R(A,B,C), S(A,B,D), T(A,E)").unwrap();
+        assert!(is_free_connex(&q18));
+        assert!(is_hierarchical(&q18));
+    }
+
+    #[test]
+    fn example_19_not_free_connex() {
+        let q19 =
+            parse_query("Q(C,D,E,F) :- R(A,B,D), S(A,B,E), T(A,C,F), U(A,C,G)").unwrap();
+        assert!(is_hierarchical(&q19));
+        assert!(!is_free_connex(&q19));
+        assert!(!is_q_hierarchical(&q19));
+    }
+
+    #[test]
+    fn q_hierarchical_examples() {
+        // Full join of two atoms sharing X: q-hierarchical.
+        let full = q(
+            &["X", "Y0", "Y1"],
+            &[("R0", &["X", "Y0"]), ("R1", &["X", "Y1"])],
+        );
+        assert!(is_q_hierarchical(&full));
+        // Same with X bound: the δ1-hierarchical family of Def. 5, not δ0.
+        let bound_x = q(&["Y0", "Y1"], &[("R0", &["X", "Y0"]), ("R1", &["X", "Y1"])]);
+        assert!(is_hierarchical(&bound_x));
+        assert!(!is_q_hierarchical(&bound_x));
+    }
+
+    #[test]
+    fn single_atom_always_everything() {
+        let one = q(&["A"], &[("R", &["A", "B"])]);
+        assert!(is_alpha_acyclic(&one));
+        assert!(is_free_connex(&one));
+        assert!(is_hierarchical(&one));
+        assert!(is_q_hierarchical(&one));
+    }
+}

@@ -1,0 +1,22 @@
+//! `ivme-query` — conjunctive query representation and analysis.
+//!
+//! * [`cq`] — the CQ AST (`Q(F) = R1(X1), ..., Rn(Xn)`),
+//! * [`parser`] — datalog-style text syntax,
+//! * [`hypergraph`] — α-acyclicity (GYO), free-connexity, hierarchical and
+//!   q-hierarchical tests,
+//! * [`varorder`] — canonical variable orders and the free-top
+//!   transformation (App. B.1 of the paper),
+//! * [`width`] — edge covers, static width `w`, dynamic width `δ`, the
+//!   δi-hierarchical rank, and the full Fig. 2 classification.
+
+pub mod cq;
+pub mod hypergraph;
+pub mod parser;
+pub mod varorder;
+pub mod width;
+
+pub use cq::{Atom, Query};
+pub use hypergraph::{is_alpha_acyclic, is_free_connex, is_hierarchical, is_q_hierarchical};
+pub use parser::{parse_query, ParseError};
+pub use varorder::{canonical_var_order, free_top, vo_info, NotHierarchical, VarOrder, VoNode};
+pub use width::{classify, delta_rank, dynamic_width, edge_cover_number, static_width, Classification};

@@ -1,0 +1,242 @@
+//! A small datalog-style parser for conjunctive queries.
+//!
+//! Grammar (whitespace-insensitive):
+//!
+//! ```text
+//! query  :=  head (":-" | "=") atom ("," atom)* "."?
+//! head   :=  ident "(" varlist? ")"
+//! atom   :=  ident "(" varlist? ")"
+//! varlist:=  ident ("," ident)*
+//! ident  :=  [A-Za-z_][A-Za-z0-9_']*
+//! ```
+//!
+//! Example: `Q(A, C) :- R(A, B), S(B, C)`.
+
+use std::fmt;
+
+use ivme_data::{Schema, Var};
+
+use crate::cq::{Atom, Query};
+
+/// Parse error with byte offset into the input.
+#[derive(Clone, PartialEq, Eq)]
+pub struct ParseError {
+    pub offset: usize,
+    pub message: String,
+}
+
+impl fmt::Debug for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+struct Parser<'a> {
+    src: &'a str,
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn err<T>(&self, message: impl Into<String>) -> Result<T, ParseError> {
+        Err(ParseError { offset: self.pos, message: message.into() })
+    }
+
+    fn skip_ws(&mut self) {
+        while let Some(c) = self.peek() {
+            if c.is_whitespace() {
+                self.pos += c.len_utf8();
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<char> {
+        self.src[self.pos..].chars().next()
+    }
+
+    fn eat(&mut self, token: &str) -> bool {
+        self.skip_ws();
+        if self.src[self.pos..].starts_with(token) {
+            self.pos += token.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, token: &str) -> Result<(), ParseError> {
+        if self.eat(token) {
+            Ok(())
+        } else {
+            self.err(format!("expected `{token}`"))
+        }
+    }
+
+    fn ident(&mut self) -> Result<&'a str, ParseError> {
+        self.skip_ws();
+        let start = self.pos;
+        let mut chars = self.src[self.pos..].char_indices();
+        match chars.next() {
+            Some((_, c)) if c.is_ascii_alphabetic() || c == '_' => {}
+            _ => return self.err("expected identifier"),
+        }
+        let mut end = self.src.len();
+        for (i, c) in chars {
+            if !(c.is_ascii_alphanumeric() || c == '_' || c == '\'') {
+                end = start + i;
+                break;
+            }
+        }
+        self.pos = end;
+        Ok(&self.src[start..end])
+    }
+
+    fn varlist(&mut self) -> Result<Vec<Var>, ParseError> {
+        let mut vars = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(')') {
+            return Ok(vars);
+        }
+        loop {
+            let name = self.ident()?;
+            vars.push(Var::new(name));
+            if !self.eat(",") {
+                break;
+            }
+        }
+        Ok(vars)
+    }
+
+    fn atom_like(&mut self) -> Result<(String, Vec<Var>), ParseError> {
+        let name = self.ident()?.to_owned();
+        self.expect("(")?;
+        let vars = self.varlist()?;
+        self.expect(")")?;
+        Ok((name, vars))
+    }
+}
+
+/// Parses a conjunctive query from its datalog-style text form.
+pub fn parse_query(src: &str) -> Result<Query, ParseError> {
+    let mut p = Parser { src, pos: 0 };
+    let (name, head_vars) = p.atom_like()?;
+    {
+        let mut seen = std::collections::HashSet::new();
+        for v in &head_vars {
+            if !seen.insert(*v) {
+                return p.err(format!("duplicate head variable {v}"));
+            }
+        }
+    }
+    if !p.eat(":-") && !p.eat("=") {
+        return p.err("expected `:-` or `=` after query head");
+    }
+    let mut atoms = Vec::new();
+    loop {
+        let (rel, vars) = p.atom_like()?;
+        let mut seen = std::collections::HashSet::new();
+        for v in &vars {
+            if !seen.insert(*v) {
+                return p.err(format!(
+                    "self-join variable {v} repeated within one atom is not supported"
+                ));
+            }
+        }
+        atoms.push(Atom::new(rel, Schema::new(vars)));
+        if !p.eat(",") {
+            break;
+        }
+    }
+    let _ = p.eat(".");
+    p.skip_ws();
+    if p.pos != src.len() {
+        return p.err("trailing input after query");
+    }
+    if atoms.is_empty() {
+        return p.err("query must have at least one atom");
+    }
+    // Query::new validates head variables against the body; convert its
+    // panic into a parse error by checking here first.
+    for v in &head_vars {
+        if !atoms.iter().any(|a| a.schema.contains(*v)) {
+            return Err(ParseError {
+                offset: 0,
+                message: format!("head variable {v} does not appear in the body"),
+            });
+        }
+    }
+    Ok(Query::new(name, Schema::new(head_vars), atoms))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_two_path() {
+        let q = parse_query("Q(A, C) :- R(A, B), S(B, C)").unwrap();
+        assert_eq!(q.name, "Q");
+        assert_eq!(q.free, Schema::of(&["A", "C"]));
+        assert_eq!(q.atoms.len(), 2);
+        assert_eq!(q.atoms[1].relation, "S");
+        assert_eq!(q.atoms[1].schema, Schema::of(&["B", "C"]));
+    }
+
+    #[test]
+    fn parses_equals_form_and_trailing_dot() {
+        let q = parse_query("Q(A) = R(A, B), S(B).").unwrap();
+        assert_eq!(q.free, Schema::of(&["A"]));
+        assert_eq!(q.atoms.len(), 2);
+    }
+
+    #[test]
+    fn parses_boolean_query() {
+        let q = parse_query("Q() :- R(A, B)").unwrap();
+        assert!(q.free.is_empty());
+    }
+
+    #[test]
+    fn parses_nullary_atom() {
+        let q = parse_query("Q() :- R()").unwrap();
+        assert!(q.atoms[0].schema.is_empty());
+    }
+
+    #[test]
+    fn roundtrips_display() {
+        let src = "Q(A,D,E) :- R(A,B,C), S(A,B,D), T(A,E)";
+        let q = parse_query(src).unwrap();
+        let q2 = parse_query(&format!("{q}")).unwrap();
+        assert_eq!(q, q2);
+    }
+
+    #[test]
+    fn rejects_unbound_head_var() {
+        let e = parse_query("Q(Z) :- R(A)").unwrap_err();
+        assert!(e.message.contains("does not appear"), "{e}");
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(parse_query("Q(A) :-").is_err());
+        assert!(parse_query("Q(A) R(A)").is_err());
+        assert!(parse_query("Q(A) :- R(A) extra").is_err());
+        assert!(parse_query("").is_err());
+        assert!(parse_query("Q(A,A) :- R(A)").is_err());
+        assert!(parse_query("Q(A) :- R(A,A)").is_err());
+    }
+
+    #[test]
+    fn primes_in_identifiers() {
+        let q = parse_query("Q(A') :- R'(A', B)").unwrap();
+        assert_eq!(q.atoms[0].relation, "R'");
+    }
+}

@@ -1,0 +1,544 @@
+//! Variable orders (Def. 13 of the paper).
+//!
+//! A variable order `ω` for a query `Q` is a forest with one node per
+//! variable or atom; the variables of each atom lie on one root-to-leaf
+//! path, and each atom hangs below its lowest variable. Hierarchical queries
+//! admit *canonical* variable orders (the variables of the leaf atom of each
+//! root-to-leaf path are exactly the inner nodes of that path), unique up to
+//! the ordering of variables that share the same atom set.
+//!
+//! This module builds canonical variable orders, computes ancestor/dep sets,
+//! and implements the canonical → free-top transformation of App. B.1 used
+//! to determine static and dynamic widths.
+
+use std::fmt;
+
+use ivme_data::fx::FxHashMap;
+use ivme_data::{Schema, Var};
+
+use crate::cq::Query;
+
+/// A node of a variable order: an inner variable or a leaf atom
+/// (identified by its index in the query's atom list).
+#[derive(Clone, PartialEq, Eq)]
+pub enum VoNode {
+    Var { var: Var, children: Vec<VoNode> },
+    Atom { atom: usize },
+}
+
+impl VoNode {
+    /// The variables of this subtree (inner nodes only).
+    pub fn subtree_vars(&self) -> Schema {
+        match self {
+            VoNode::Atom { .. } => Schema::empty(),
+            VoNode::Var { var, children } => {
+                let mut s = Schema::empty().with(*var);
+                for c in children {
+                    s = s.union(&c.subtree_vars());
+                }
+                s
+            }
+        }
+    }
+
+    /// Atom indices at the leaves of this subtree — `atoms(ω_X)`.
+    pub fn subtree_atoms(&self) -> Vec<usize> {
+        let mut out = Vec::new();
+        self.collect_atoms(&mut out);
+        out.sort_unstable();
+        out
+    }
+
+    fn collect_atoms(&self, out: &mut Vec<usize>) {
+        match self {
+            VoNode::Atom { atom } => out.push(*atom),
+            VoNode::Var { children, .. } => {
+                for c in children {
+                    c.collect_atoms(out);
+                }
+            }
+        }
+    }
+
+    fn fmt_indent(&self, f: &mut fmt::Formatter<'_>, q: Option<&Query>, depth: usize) -> fmt::Result {
+        for _ in 0..depth {
+            write!(f, "  ")?;
+        }
+        match self {
+            VoNode::Var { var, children } => {
+                writeln!(f, "{var}")?;
+                for c in children {
+                    c.fmt_indent(f, q, depth + 1)?;
+                }
+                Ok(())
+            }
+            VoNode::Atom { atom } => match q {
+                Some(q) => writeln!(f, "{:?}", q.atoms[*atom]),
+                None => writeln!(f, "atom#{atom}"),
+            },
+        }
+    }
+}
+
+impl fmt::Debug for VoNode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.fmt_indent(f, None, 0)
+    }
+}
+
+/// A variable order: a forest of [`VoNode`] trees, one per connected
+/// component of the query (plus one bare leaf per nullary atom).
+#[derive(Clone, PartialEq, Eq)]
+pub struct VarOrder {
+    pub roots: Vec<VoNode>,
+}
+
+impl fmt::Debug for VarOrder {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for r in &self.roots {
+            r.fmt_indent(f, None, 0)?;
+        }
+        Ok(())
+    }
+}
+
+/// Error: the query is not hierarchical, so no canonical variable order
+/// exists.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct NotHierarchical(pub String);
+
+impl fmt::Display for NotHierarchical {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "query is not hierarchical: {}", self.0)
+    }
+}
+
+impl std::error::Error for NotHierarchical {}
+
+/// Builds the canonical variable order of a hierarchical query
+/// (deterministic: variables sharing an atom set are ordered by name).
+pub fn canonical_var_order(q: &Query) -> Result<VarOrder, NotHierarchical> {
+    if !crate::hypergraph::is_hierarchical(q) {
+        return Err(NotHierarchical(format!("{q}")));
+    }
+    let all: Vec<usize> = (0..q.atoms.len()).collect();
+    let placed = Schema::empty();
+    let roots = build_forest(q, &all, &placed)?;
+    Ok(VarOrder { roots })
+}
+
+/// Recursive step: builds the forest for `atom_ids` given already-placed
+/// ancestor variables.
+fn build_forest(q: &Query, atom_ids: &[usize], placed: &Schema) -> Result<Vec<VoNode>, NotHierarchical> {
+    // Split into connected components w.r.t. the not-yet-placed variables.
+    let remaining = |a: usize| q.atoms[a].schema.difference(placed);
+    let mut comp: FxHashMap<usize, usize> = FxHashMap::default();
+    let mut comps: Vec<Vec<usize>> = Vec::new();
+    for &start in atom_ids {
+        if comp.contains_key(&start) {
+            continue;
+        }
+        let id = comps.len();
+        let mut stack = vec![start];
+        comp.insert(start, id);
+        let mut members = vec![start];
+        while let Some(i) = stack.pop() {
+            for &j in atom_ids {
+                if !comp.contains_key(&j)
+                    && !remaining(i).intersect(&remaining(j)).is_empty()
+                {
+                    comp.insert(j, id);
+                    stack.push(j);
+                    members.push(j);
+                }
+            }
+        }
+        members.sort_unstable();
+        comps.push(members);
+    }
+
+    let mut roots = Vec::new();
+    for members in comps {
+        // Atoms with no remaining variables become bare leaves.
+        if members.len() == 1 && remaining(members[0]).is_empty() {
+            roots.push(VoNode::Atom { atom: members[0] });
+            continue;
+        }
+        // Variables common to every atom of the component.
+        let mut common = remaining(members[0]);
+        for &a in &members[1..] {
+            common = common.intersect(&remaining(a));
+        }
+        if common.is_empty() {
+            return Err(NotHierarchical(format!(
+                "connected atoms {members:?} share no common variable"
+            )));
+        }
+        // Deterministic ordering of the shared chain.
+        let mut chain: Vec<Var> = common.vars().to_vec();
+        chain.sort_by_key(|v| v.name());
+        let new_placed = placed.union(&common);
+        let children = build_forest(q, &members, &new_placed)?;
+        // Build the chain bottom-up: last chain variable owns the children.
+        let mut node = VoNode::Var { var: *chain.last().unwrap(), children };
+        for &v in chain.iter().rev().skip(1) {
+            node = VoNode::Var { var: v, children: vec![node] };
+        }
+        roots.push(node);
+    }
+    Ok(roots)
+}
+
+// ---------------------------------------------------------------------
+// Free-top transformation (App. B.1)
+// ---------------------------------------------------------------------
+
+/// Transforms a canonical variable order into a free-top one: within each
+/// subtree rooted at a highest bound variable that dominates free variables,
+/// the free variables are moved above the bound ones (App. B.1).
+pub fn free_top(q: &Query, vo: &VarOrder) -> VarOrder {
+    VarOrder {
+        roots: vo
+            .roots
+            .iter()
+            .map(|r| free_top_node(q, r, /*has_bound_anc=*/ false))
+            .collect(),
+    }
+}
+
+fn free_top_node(q: &Query, node: &VoNode, has_bound_anc: bool) -> VoNode {
+    match node {
+        VoNode::Atom { atom } => VoNode::Atom { atom: *atom },
+        VoNode::Var { var, children } => {
+            let bound = !q.is_free(*var);
+            let frees_below = node
+                .subtree_vars()
+                .vars()
+                .iter()
+                .any(|&v| v != *var && q.is_free(v));
+            if bound && !has_bound_anc && frees_below {
+                // `var ∈ hBF(ω)`: restructure this subtree.
+                restructure(q, node)
+            } else {
+                VoNode::Var {
+                    var: *var,
+                    children: children
+                        .iter()
+                        .map(|c| free_top_node(q, c, has_bound_anc || bound))
+                        .collect(),
+                }
+            }
+        }
+    }
+}
+
+/// Pulls the free variables of `sub` (rooted at a bound variable) into a
+/// path on top, followed by the restriction of `sub` to its bound part.
+fn restructure(q: &Query, sub: &VoNode) -> VoNode {
+    // Free variables of the subtree, ordered by (depth, name): a linear
+    // extension of the tree partial order with lexicographic tie-breaks.
+    let mut frees: Vec<(usize, &'static str, Var)> = Vec::new();
+    collect_frees(q, sub, 0, &mut frees);
+    frees.sort();
+    let keep: Schema = sub
+        .subtree_vars()
+        .vars()
+        .iter()
+        .copied()
+        .filter(|&v| !q.is_free(v))
+        .collect();
+    let rest = restrict(sub, &keep);
+    debug_assert!(!frees.is_empty());
+    let mut node_children = rest;
+    let mut node = None;
+    for &(_, _, v) in frees.iter().rev() {
+        let children = match node.take() {
+            Some(n) => vec![n],
+            None => std::mem::take(&mut node_children),
+        };
+        node = Some(VoNode::Var { var: v, children });
+    }
+    node.unwrap()
+}
+
+fn collect_frees(q: &Query, node: &VoNode, depth: usize, out: &mut Vec<(usize, &'static str, Var)>) {
+    if let VoNode::Var { var, children } = node {
+        if q.is_free(*var) {
+            out.push((depth, var.name(), *var));
+        }
+        for c in children {
+            collect_frees(q, c, depth + 1, out);
+        }
+    }
+}
+
+/// Restriction `ω|X` (App. B.1): eliminates variables outside `keep`,
+/// splicing their children into their parents; orphaned subtrees become
+/// independent trees.
+pub fn restrict(node: &VoNode, keep: &Schema) -> Vec<VoNode> {
+    match node {
+        VoNode::Atom { atom } => vec![VoNode::Atom { atom: *atom }],
+        VoNode::Var { var, children } => {
+            let mut new_children = Vec::new();
+            for c in children {
+                new_children.extend(restrict(c, keep));
+            }
+            if keep.contains(*var) {
+                vec![VoNode::Var { var: *var, children: new_children }]
+            } else {
+                new_children
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Ancestor and dep sets
+// ---------------------------------------------------------------------
+
+/// Per-variable structural info of a variable order.
+pub struct VoInfo {
+    /// `anc(X)`: ancestor variables, root-first.
+    pub anc: FxHashMap<Var, Schema>,
+    /// `dep(X)`: ancestors that co-occur (in some atom) with a variable of
+    /// the subtree rooted at X (Def. 13).
+    pub dep: FxHashMap<Var, Schema>,
+    /// Subtree variables per variable (including the variable itself).
+    pub subtree: FxHashMap<Var, Schema>,
+    /// Atom indices in the subtree rooted at each variable.
+    pub subtree_atoms: FxHashMap<Var, Vec<usize>>,
+    /// All variables, pre-order.
+    pub vars: Vec<Var>,
+}
+
+/// Computes ancestor/dep/subtree info for a variable order of `q`.
+pub fn vo_info(q: &Query, vo: &VarOrder) -> VoInfo {
+    let mut info = VoInfo {
+        anc: FxHashMap::default(),
+        dep: FxHashMap::default(),
+        subtree: FxHashMap::default(),
+        subtree_atoms: FxHashMap::default(),
+        vars: Vec::new(),
+    };
+    for r in &vo.roots {
+        walk(q, r, &Schema::empty(), &mut info);
+    }
+    info
+}
+
+fn walk(q: &Query, node: &VoNode, anc: &Schema, info: &mut VoInfo) {
+    if let VoNode::Var { var, children } = node {
+        let sub_vars = node.subtree_vars();
+        let sub_atoms = node.subtree_atoms();
+        // dep(X): ancestors sharing an atom with a subtree variable.
+        let dep: Schema = anc
+            .vars()
+            .iter()
+            .copied()
+            .filter(|&a| {
+                q.atoms.iter().any(|at| {
+                    at.schema.contains(a)
+                        && at.schema.vars().iter().any(|&v| sub_vars.contains(v))
+                })
+            })
+            .collect();
+        info.vars.push(*var);
+        info.anc.insert(*var, anc.clone());
+        info.dep.insert(*var, dep);
+        info.subtree.insert(*var, sub_vars);
+        info.subtree_atoms.insert(*var, sub_atoms);
+        let child_anc = anc.with(*var);
+        for c in children {
+            walk(q, c, &child_anc, info);
+        }
+    }
+}
+
+/// Checks that `vo` is a valid variable order for `q` (Def. 13): one node
+/// per variable and atom, each atom's variables on its root path, each atom
+/// a child of its lowest variable. Test helper.
+pub fn validate(q: &Query, vo: &VarOrder) -> Result<(), String> {
+    let mut seen_atoms = vec![false; q.atoms.len()];
+    let mut seen_vars: Vec<Var> = Vec::new();
+    for r in &vo.roots {
+        validate_node(q, r, &Schema::empty(), &mut seen_atoms, &mut seen_vars)?;
+    }
+    if !seen_atoms.iter().all(|&b| b) {
+        return Err("missing atoms in variable order".into());
+    }
+    let qvars = q.vars();
+    if seen_vars.len() != qvars.arity() {
+        return Err(format!(
+            "variable order has {} variables, query has {}",
+            seen_vars.len(),
+            qvars.arity()
+        ));
+    }
+    Ok(())
+}
+
+fn validate_node(
+    q: &Query,
+    node: &VoNode,
+    anc: &Schema,
+    seen_atoms: &mut [bool],
+    seen_vars: &mut Vec<Var>,
+) -> Result<(), String> {
+    match node {
+        VoNode::Atom { atom } => {
+            if seen_atoms[*atom] {
+                return Err(format!("atom #{atom} appears twice"));
+            }
+            seen_atoms[*atom] = true;
+            let sch = &q.atoms[*atom].schema;
+            if !anc.contains_all(sch) {
+                return Err(format!(
+                    "atom {:?} not covered by its root path {anc:?}",
+                    q.atoms[*atom]
+                ));
+            }
+            // Child of its lowest variable: the last ancestor must belong to
+            // the atom (unless the atom is nullary).
+            if !sch.is_empty() {
+                let lowest = *anc.vars().last().unwrap();
+                if !sch.contains(lowest) {
+                    return Err(format!(
+                        "atom {:?} is not a child of its lowest variable",
+                        q.atoms[*atom]
+                    ));
+                }
+            }
+            Ok(())
+        }
+        VoNode::Var { var, children } => {
+            if seen_vars.contains(var) {
+                return Err(format!("variable {var} appears twice"));
+            }
+            seen_vars.push(*var);
+            let next = anc.with(*var);
+            for c in children {
+                validate_node(q, c, &next, seen_atoms, seen_vars)?;
+            }
+            Ok(())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_query;
+
+    fn names(node: &VoNode) -> String {
+        match node {
+            VoNode::Atom { atom } => format!("#{atom}"),
+            VoNode::Var { var, children } => {
+                let mut kids: Vec<String> = children.iter().map(names).collect();
+                kids.sort();
+                format!("{}[{}]", var, kids.join(" "))
+            }
+        }
+    }
+
+    #[test]
+    fn canonical_vo_example_14() {
+        // Example 14: A−{B−{C−R(ABC); D−S(ABD)}; E−{F−T(AEF); G−U(AEG)}}.
+        let q = parse_query("Q(A,C,F) :- R(A,B,C), S(A,B,D), T(A,E,F), U(A,E,G)").unwrap();
+        let vo = canonical_var_order(&q).unwrap();
+        assert_eq!(vo.roots.len(), 1);
+        assert_eq!(names(&vo.roots[0]), "A[B[C[#0] D[#1]] E[F[#2] G[#3]]]");
+        validate(&q, &vo).unwrap();
+    }
+
+    #[test]
+    fn canonical_vo_example_18() {
+        // Figure 9 (left): A − {B − {C − R, D(under B) S}, E − T}.
+        let q = parse_query("Q(A,D,E) :- R(A,B,C), S(A,B,D), T(A,E)").unwrap();
+        let vo = canonical_var_order(&q).unwrap();
+        assert_eq!(names(&vo.roots[0]), "A[B[C[#0] D[#1]] E[#2]]");
+        validate(&q, &vo).unwrap();
+    }
+
+    #[test]
+    fn canonical_vo_two_path() {
+        // Q(A,C) :- R(A,B), S(B,C): root B with children A−R and C−S.
+        let q = parse_query("Q(A,C) :- R(A,B), S(B,C)").unwrap();
+        let vo = canonical_var_order(&q).unwrap();
+        assert_eq!(names(&vo.roots[0]), "B[A[#0] C[#1]]");
+        validate(&q, &vo).unwrap();
+    }
+
+    #[test]
+    fn non_hierarchical_is_rejected() {
+        let q = parse_query("Q(A) :- R(A,B), S(B,C), T(C)").unwrap();
+        assert!(canonical_var_order(&q).is_err());
+    }
+
+    #[test]
+    fn nullary_atom_is_bare_leaf() {
+        let q = parse_query("Q(A) :- R(A), S()").unwrap();
+        let vo = canonical_var_order(&q).unwrap();
+        assert_eq!(vo.roots.len(), 2);
+        validate(&q, &vo).unwrap();
+    }
+
+    #[test]
+    fn free_top_moves_frees_up() {
+        // Example 14's free-top order: bound B/E pushed below free C/F.
+        let q = parse_query("Q(A,C,F) :- R(A,B,C), S(A,B,D), T(A,E,F), U(A,E,G)").unwrap();
+        let vo = canonical_var_order(&q).unwrap();
+        let ft = free_top(&q, &vo);
+        assert_eq!(names(&ft.roots[0]), "A[C[B[#0 D[#1]]] F[E[#2 G[#3]]]]");
+        // The transform keeps it a valid variable order (Lemma 33).
+        validate(&q, &ft).unwrap();
+    }
+
+    #[test]
+    fn free_top_noop_when_already_free_top() {
+        let q = parse_query("Q(A,B) :- R(A,B), S(B)").unwrap();
+        let vo = canonical_var_order(&q).unwrap();
+        let ft = free_top(&q, &vo);
+        assert_eq!(names(&vo.roots[0]), names(&ft.roots[0]));
+    }
+
+    #[test]
+    fn two_path_free_top() {
+        // Q(A,C) :- R(A,B), S(B,C): canonical root B is bound with frees
+        // below → free-top pulls A, C above B.
+        let q = parse_query("Q(A,C) :- R(A,B), S(B,C)").unwrap();
+        let vo = canonical_var_order(&q).unwrap();
+        let ft = free_top(&q, &vo);
+        assert_eq!(names(&ft.roots[0]), "A[C[B[#0 #1]]]");
+        validate(&q, &ft).unwrap();
+    }
+
+    #[test]
+    fn dep_sets_follow_definition() {
+        let q = parse_query("Q(A,C) :- R(A,B), S(B,C)").unwrap();
+        let vo = canonical_var_order(&q).unwrap();
+        let info = vo_info(&q, &vo);
+        let (a, b, c) = (Var::new("A"), Var::new("B"), Var::new("C"));
+        assert_eq!(info.anc[&b], Schema::empty());
+        assert_eq!(info.anc[&a], Schema::of(&["B"]));
+        assert_eq!(info.dep[&a], Schema::of(&["B"]));
+        assert_eq!(info.dep[&c], Schema::of(&["B"]));
+        assert_eq!(info.subtree[&b], Schema::of(&["B", "A", "C"]).union(&Schema::empty()));
+        assert_eq!(info.subtree_atoms[&b], vec![0, 1]);
+        assert_eq!(info.subtree_atoms[&a], vec![0]);
+        let _ = (a, c);
+    }
+
+    #[test]
+    fn free_top_dep_in_transformed_order() {
+        // In free-top(two-path) = A−C−B−{R,S}: dep(B) = {A, C} (B co-occurs
+        // with A in R and C in S); dep(C) = {A}? No: C and A never share an
+        // atom, but the subtree of C contains B which shares atoms with A.
+        let q = parse_query("Q(A,C) :- R(A,B), S(B,C)").unwrap();
+        let ft = free_top(&q, &canonical_var_order(&q).unwrap());
+        let info = vo_info(&q, &ft);
+        let (a, b, c) = (Var::new("A"), Var::new("B"), Var::new("C"));
+        assert_eq!(info.dep[&b].intersect(&Schema::of(&["A", "C"])).arity(), 2);
+        assert_eq!(info.dep[&c], Schema::of(&["A"]));
+        let _ = (a, b, c);
+    }
+}

@@ -1,0 +1,289 @@
+//! Width measures: edge cover numbers, static width `w`, dynamic width `δ`,
+//! and the δi-hierarchical rank (Defs. 5, 15, 16 of the paper).
+//!
+//! For hierarchical queries the fractional and integral edge cover numbers
+//! coincide (Lemma 30), so all widths are computed with an exact *integral*
+//! minimum set cover over atom bitmasks (queries are tiny; exponential in
+//! the number of target variables is fine).
+
+use ivme_data::{Schema, Var};
+
+use crate::cq::Query;
+use crate::varorder::{canonical_var_order, free_top, vo_info, NotHierarchical, VarOrder};
+
+/// Exact integral edge cover number `ρ(F)` of the variable set `target`
+/// using the atoms of `q`; `None` if some variable of `target` appears in
+/// no atom.
+///
+/// Uses BFS over covered-subset bitmasks: O(2^|F| · #atoms) — exact, and
+/// equal to `ρ*` on hierarchical queries (Lemma 30).
+pub fn edge_cover_number(q: &Query, target: &Schema) -> Option<usize> {
+    let k = target.arity();
+    if k == 0 {
+        return Some(0);
+    }
+    assert!(k < 64, "edge cover target too large: {k} variables");
+    let bit = |v: Var| -> Option<u64> { target.position(v).map(|p| 1u64 << p) };
+    let full: u64 = (1u64 << k) - 1;
+    // Atom masks over the target variables; drop empty and dominated ones.
+    let mut masks: Vec<u64> = q
+        .atoms
+        .iter()
+        .map(|a| {
+            a.schema
+                .vars()
+                .iter()
+                .filter_map(|&v| bit(v))
+                .fold(0u64, |m, b| m | b)
+        })
+        .filter(|&m| m != 0)
+        .collect();
+    masks.sort_unstable();
+    masks.dedup();
+    let coverable = masks.iter().fold(0u64, |m, b| m | b);
+    if coverable != full {
+        return None;
+    }
+    // BFS from mask 0 to `full`.
+    let mut dist: Vec<u8> = vec![u8::MAX; 1 << k];
+    dist[0] = 0;
+    let mut frontier = vec![0u64];
+    let mut d = 0u8;
+    while !frontier.is_empty() {
+        d += 1;
+        let mut next = Vec::new();
+        for &m in &frontier {
+            for &am in &masks {
+                let nm = m | am;
+                if dist[nm as usize] == u8::MAX {
+                    if nm == full {
+                        return Some(d as usize);
+                    }
+                    dist[nm as usize] = d;
+                    next.push(nm);
+                }
+            }
+        }
+        frontier = next;
+    }
+    unreachable!("full mask must be reachable once coverable == full")
+}
+
+/// Static width `w(ω)` of a variable order (Def. 15):
+/// `max_X ρ({X} ∪ dep(X))`.
+pub fn static_width_of(q: &Query, vo: &VarOrder) -> usize {
+    let info = vo_info(q, vo);
+    let mut w = 0;
+    for &x in &info.vars {
+        let target = info.dep[&x].with(x);
+        let rho = edge_cover_number(q, &target).expect("variables must be coverable");
+        w = w.max(rho);
+    }
+    w.max(1) // Queries with at least one non-nullary atom have width ≥ 1.
+}
+
+/// Dynamic width `δ(ω)` of a variable order (Def. 16):
+/// `max_X max_{R(Y) ∈ atoms(ω_X)} ρ(({X} ∪ dep(X)) − Y)`.
+pub fn dynamic_width_of(q: &Query, vo: &VarOrder) -> usize {
+    let info = vo_info(q, vo);
+    let mut d = 0;
+    for &x in &info.vars {
+        let base = info.dep[&x].with(x);
+        for &atom in &info.subtree_atoms[&x] {
+            let target = base.difference(&q.atoms[atom].schema);
+            let rho = edge_cover_number(q, &target).expect("variables must be coverable");
+            d = d.max(rho);
+        }
+    }
+    d
+}
+
+/// Static width `w(Q)` of a hierarchical query (Def. 15): computed on the
+/// free-top transformation of the canonical variable order, which attains
+/// the minimum for hierarchical queries (App. B.3, B.7).
+pub fn static_width(q: &Query) -> Result<usize, NotHierarchical> {
+    let vo = canonical_var_order(q)?;
+    Ok(static_width_of(q, &free_top(q, &vo)))
+}
+
+/// Dynamic width `δ(Q)` of a hierarchical query (Def. 16).
+pub fn dynamic_width(q: &Query) -> Result<usize, NotHierarchical> {
+    let vo = canonical_var_order(q)?;
+    Ok(dynamic_width_of(q, &free_top(q, &vo)))
+}
+
+/// The δi-hierarchical rank of a hierarchical query, straight from Def. 5:
+/// the smallest `i` such that for each bound variable `X` and atom
+/// `R(Y) ∈ atoms(X)` there are `i` atoms whose schemas together with `Y`
+/// cover `free(atoms(X))`.
+///
+/// By Prop. 8 this equals the dynamic width; both are computed
+/// independently and cross-checked in tests.
+pub fn delta_rank(q: &Query) -> Result<usize, NotHierarchical> {
+    if !crate::hypergraph::is_hierarchical(q) {
+        return Err(NotHierarchical(format!("{q}")));
+    }
+    let mut rank = 0;
+    for &x in q.bound_vars().vars() {
+        let free_x = q.free_of_atoms_of(x);
+        for &a in &q.atoms_of(x) {
+            let residual = free_x.difference(&q.atoms[a].schema);
+            let need = edge_cover_number(q, &residual)
+                .expect("free variables of atoms(X) are coverable");
+            rank = rank.max(need);
+        }
+    }
+    Ok(rank)
+}
+
+/// Full classification of a query, used by the Fig. 2 experiment.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Classification {
+    pub hierarchical: bool,
+    pub alpha_acyclic: bool,
+    pub free_connex: bool,
+    pub q_hierarchical: bool,
+    /// `Some(w)` if hierarchical.
+    pub static_width: Option<usize>,
+    /// `Some(δ)` if hierarchical.
+    pub dynamic_width: Option<usize>,
+    /// `Some(i)` for δi-hierarchical queries.
+    pub delta_rank: Option<usize>,
+}
+
+/// Classifies `q` against every class in the paper's Fig. 2 landscape.
+pub fn classify(q: &Query) -> Classification {
+    let hierarchical = crate::hypergraph::is_hierarchical(q);
+    Classification {
+        hierarchical,
+        alpha_acyclic: crate::hypergraph::is_alpha_acyclic(q),
+        free_connex: crate::hypergraph::is_free_connex(q),
+        q_hierarchical: crate::hypergraph::is_q_hierarchical(q),
+        static_width: hierarchical.then(|| static_width(q).unwrap()),
+        dynamic_width: hierarchical.then(|| dynamic_width(q).unwrap()),
+        delta_rank: hierarchical.then(|| delta_rank(q).unwrap()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_query;
+
+    fn p(s: &str) -> Query {
+        parse_query(s).unwrap()
+    }
+
+    #[test]
+    fn edge_cover_basics() {
+        let q = p("Q(A,C) :- R(A,B), S(B,C)");
+        assert_eq!(edge_cover_number(&q, &Schema::empty()), Some(0));
+        assert_eq!(edge_cover_number(&q, &Schema::of(&["A", "B"])), Some(1));
+        assert_eq!(edge_cover_number(&q, &Schema::of(&["A", "C"])), Some(2));
+        assert_eq!(edge_cover_number(&q, &Schema::of(&["Zmissing"])), None);
+    }
+
+    #[test]
+    fn two_path_widths() {
+        // Example 28: Q(A,C) = R(A,B), S(B,C) — w = 2, δ = 1 (δ1-hier.).
+        let q = p("Q(A,C) :- R(A,B), S(B,C)");
+        assert_eq!(static_width(&q).unwrap(), 2);
+        assert_eq!(dynamic_width(&q).unwrap(), 1);
+        assert_eq!(delta_rank(&q).unwrap(), 1);
+    }
+
+    #[test]
+    fn example_29_widths() {
+        // Q(A) = R(A,B), S(B): free-connex ⇒ w = 1 (Prop. 3); δ1 ⇒ δ = 1.
+        let q = p("Q(A) :- R(A,B), S(B)");
+        assert_eq!(static_width(&q).unwrap(), 1);
+        assert_eq!(dynamic_width(&q).unwrap(), 1);
+        assert_eq!(delta_rank(&q).unwrap(), 1);
+    }
+
+    #[test]
+    fn q_hierarchical_is_delta0() {
+        // Full two-atom star: q-hierarchical ⇔ δ0 (Prop. 6), w = 1.
+        let q = p("Q(X,Y0,Y1) :- R0(X,Y0), R1(X,Y1)");
+        assert_eq!(static_width(&q).unwrap(), 1);
+        assert_eq!(dynamic_width(&q).unwrap(), 0);
+        assert_eq!(delta_rank(&q).unwrap(), 0);
+    }
+
+    #[test]
+    fn star_family_is_delta_i() {
+        // Q(Y0,...,Yi) = R0(X,Y0), ..., Ri(X,Yi) is δi-hierarchical
+        // (example after Def. 5).
+        for i in 0..4usize {
+            let atoms: Vec<String> =
+                (0..=i).map(|j| format!("R{j}(X, Y{j})")).collect();
+            let head: Vec<String> = (0..=i).map(|j| format!("Y{j}")).collect();
+            let src = format!("Q({}) :- {}", head.join(","), atoms.join(", "));
+            let q = p(&src);
+            assert_eq!(delta_rank(&q).unwrap(), i, "query {src}");
+            assert_eq!(dynamic_width(&q).unwrap(), i, "query {src}");
+        }
+    }
+
+    #[test]
+    fn free_connex_has_width_one() {
+        // Prop. 3 instances.
+        for src in [
+            "Q(A,D,E) :- R(A,B,C), S(A,B,D), T(A,E)",
+            "Q(A) :- R(A,B), S(B)",
+            "Q(A,B) :- R(A,B)",
+            "Q() :- R(A,B), S(B,C)",
+        ] {
+            let q = p(src);
+            assert!(crate::hypergraph::is_free_connex(&q), "{src}");
+            assert_eq!(static_width(&q).unwrap(), 1, "{src}");
+            // Prop. 7: free-connex hierarchical ⇒ δ0 or δ1.
+            assert!(dynamic_width(&q).unwrap() <= 1, "{src}");
+        }
+    }
+
+    #[test]
+    fn example_19_widths() {
+        // Q(C,D,E,F) = R(A,B,D), S(A,B,E), T(A,C,F), U(A,C,G): the paper
+        // computes views in O(N^{1+2ε}) ⇒ w = 3; updates O(N^{3ε})... the
+        // slowest single-tuple update path is O(N^{2ε}) per view tree with
+        // the root delta O(N^{3ε}) for U — dynamic width δ ∈ {w-1, w}.
+        let q = p("Q(C,D,E,F) :- R(A,B,D), S(A,B,E), T(A,C,F), U(A,C,G)");
+        let w = static_width(&q).unwrap();
+        let d = dynamic_width(&q).unwrap();
+        assert_eq!(w, 3);
+        assert_eq!(d, 3);
+        assert_eq!(delta_rank(&q).unwrap(), d);
+    }
+
+    #[test]
+    fn prop17_delta_in_w_minus_one_w() {
+        for src in [
+            "Q(A,C) :- R(A,B), S(B,C)",
+            "Q(A) :- R(A,B), S(B)",
+            "Q(A,B) :- R(A,B), S(B)",
+            "Q(C,D,E,F) :- R(A,B,D), S(A,B,E), T(A,C,F), U(A,C,G)",
+            "Q(A,C,F) :- R(A,B,C), S(A,B,D), T(A,E,F), U(A,E,G)",
+            "Q() :- R(A,B), S(B,C)",
+            "Q(Y0,Y1,Y2) :- R0(X,Y0), R1(X,Y1), R2(X,Y2)",
+        ] {
+            let q = p(src);
+            let w = static_width(&q).unwrap();
+            let d = dynamic_width(&q).unwrap();
+            assert!(d == w || d + 1 == w, "{src}: w={w} δ={d}");
+            assert_eq!(delta_rank(&q).unwrap(), d, "{src}: Prop. 8 violated");
+        }
+    }
+
+    #[test]
+    fn classify_fills_all_fields() {
+        let c = classify(&p("Q(A,C) :- R(A,B), S(B,C)"));
+        assert!(c.hierarchical && c.alpha_acyclic && !c.free_connex && !c.q_hierarchical);
+        assert_eq!(c.static_width, Some(2));
+        assert_eq!(c.dynamic_width, Some(1));
+        assert_eq!(c.delta_rank, Some(1));
+        let t = classify(&p("Q() :- R(A,B), S(B,C), T(A,C)"));
+        assert!(!t.hierarchical && !t.alpha_acyclic);
+        assert_eq!(t.static_width, None);
+    }
+}

@@ -1,0 +1,146 @@
+//! Relation and update-stream generators.
+
+use ivme_core::Database;
+use ivme_data::Tuple;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::zipf::Zipf;
+
+/// Generates a two-path database `R(A,B), S(B,C)` with `n` tuples per
+/// relation; the join column `B` is Zipf-skewed with exponent `skew` over a
+/// domain of `b_domain` values; `A`/`C` are uniform over `n` values.
+pub fn two_path_db(n: usize, b_domain: usize, skew: f64, seed: u64) -> Database {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let z = Zipf::new(b_domain.max(1), skew);
+    let mut db = Database::new();
+    let mut i = 0usize;
+    while db.len("R") < n {
+        let b = z.sample(&mut rng) as i64;
+        db.insert("R", Tuple::ints(&[rng.gen_range(0..n.max(2)) as i64, b]), 1);
+        i += 1;
+        assert!(i < 100 * n + 100, "generator failed to fill R");
+    }
+    i = 0;
+    while db.len("S") < n {
+        let b = z.sample(&mut rng) as i64;
+        db.insert("S", Tuple::ints(&[b, rng.gen_range(0..n.max(2)) as i64]), 1);
+        i += 1;
+        assert!(i < 100 * n + 100, "generator failed to fill S");
+    }
+    db
+}
+
+/// Generates a star database `R0(X,Y0), ..., Rk-1(X,Yk-1)` with `n` tuples
+/// per relation and Zipf-skewed `X`.
+pub fn star_db(k: usize, n: usize, x_domain: usize, skew: f64, seed: u64) -> Database {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let z = Zipf::new(x_domain.max(1), skew);
+    let mut db = Database::new();
+    for j in 0..k {
+        let name = format!("R{j}");
+        let mut guard = 0;
+        while db.len(&name) < n {
+            let x = z.sample(&mut rng) as i64;
+            let y = rng.gen_range(0..n.max(2)) as i64;
+            db.insert(&name, Tuple::ints(&[x, y]), 1);
+            guard += 1;
+            assert!(guard < 100 * n + 100, "generator failed to fill {name}");
+        }
+    }
+    db
+}
+
+/// One operation of an update stream.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct StreamOp {
+    pub relation: String,
+    pub tuple: Tuple,
+    /// +1 for insert, −1 for delete.
+    pub delta: i64,
+}
+
+/// Generates a mixed insert/delete stream over the given relations.
+///
+/// `arities` lists `(relation, arity)`. Values are Zipf-skewed over
+/// `domain`; a fraction `delete_ratio` of operations delete a previously
+/// inserted (and not yet deleted) tuple, so the stream is always valid.
+pub fn update_stream(
+    len: usize,
+    arities: &[(&str, usize)],
+    domain: usize,
+    skew: f64,
+    delete_ratio: f64,
+    seed: u64,
+) -> Vec<StreamOp> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let z = Zipf::new(domain.max(1), skew);
+    let mut live: Vec<(String, Tuple)> = Vec::new();
+    let mut ops = Vec::with_capacity(len);
+    for _ in 0..len {
+        let delete = !live.is_empty() && rng.gen::<f64>() < delete_ratio;
+        if delete {
+            let i = rng.gen_range(0..live.len());
+            let (relation, tuple) = live.swap_remove(i);
+            ops.push(StreamOp { relation, tuple, delta: -1 });
+        } else {
+            let (rel, arity) = arities[rng.gen_range(0..arities.len())];
+            let tuple: Tuple =
+                Tuple::ints(&(0..arity).map(|_| z.sample(&mut rng) as i64).collect::<Vec<_>>());
+            live.push((rel.to_owned(), tuple.clone()));
+            ops.push(StreamOp { relation: rel.to_owned(), tuple, delta: 1 });
+        }
+    }
+    ops
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn two_path_sizes_and_determinism() {
+        let db1 = two_path_db(100, 20, 1.0, 42);
+        let db2 = two_path_db(100, 20, 1.0, 42);
+        assert_eq!(db1.len("R"), 100);
+        assert_eq!(db1.len("S"), 100);
+        assert_eq!(db1.rows("R").len(), db2.rows("R").len());
+        let mut a = db1.rows("R");
+        let mut b = db2.rows("R");
+        a.sort();
+        b.sort();
+        assert_eq!(a, b, "same seed must reproduce the same data");
+    }
+
+    #[test]
+    fn skew_creates_heavy_values() {
+        let db = two_path_db(500, 500, 1.2, 7);
+        // Count the most frequent B in R.
+        let mut counts = std::collections::HashMap::new();
+        for (t, _) in db.rows("R") {
+            *counts.entry(t.get(1).as_int()).or_insert(0usize) += 1;
+        }
+        let max = counts.values().copied().max().unwrap();
+        assert!(max > 50, "expected a heavy B value, max degree {max}");
+    }
+
+    #[test]
+    fn star_db_shapes() {
+        let db = star_db(3, 50, 10, 0.5, 9);
+        for j in 0..3 {
+            assert_eq!(db.len(&format!("R{j}")), 50);
+        }
+    }
+
+    #[test]
+    fn streams_never_overdelete() {
+        let ops = update_stream(500, &[("R", 2), ("S", 2)], 10, 1.0, 0.4, 3);
+        assert_eq!(ops.len(), 500);
+        let mut db = Database::new();
+        for op in &ops {
+            db.apply(&op.relation, op.tuple.clone(), op.delta); // panics if invalid
+        }
+        let deletes = ops.iter().filter(|o| o.delta < 0).count();
+        assert!(deletes > 100, "delete ratio not respected: {deletes}");
+    }
+}

@@ -1,0 +1,17 @@
+//! `ivme-workload` — data and update-stream generators for the experiments.
+//!
+//! * [`zipf`] — inverse-CDF Zipf sampler (implemented here; `rand` has no
+//!   Zipf distribution in the sanctioned version),
+//! * [`gen`] — relation generators: uniform/Zipf two-path joins, star
+//!   queries, the matrix encoding of Example 28, and mixed
+//!   insert/delete streams,
+//! * [`omv`] — the Online Matrix-Vector Multiplication workload used by the
+//!   lower-bound experiment (Prop. 10).
+
+pub mod gen;
+pub mod omv;
+pub mod zipf;
+
+pub use gen::{two_path_db, star_db, update_stream, StreamOp};
+pub use omv::OmvInstance;
+pub use zipf::Zipf;

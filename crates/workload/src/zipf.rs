@@ -1,0 +1,89 @@
+//! Zipf-distributed sampling via inverse CDF with a precomputed table.
+//!
+//! Used to generate skewed join columns: rank `k` (1-based) is drawn with
+//! probability proportional to `k^{-s}`. `s = 0` degenerates to uniform;
+//! larger `s` concentrates mass on few heavy values — exactly the regime
+//! where the paper's heavy/light split pays off.
+
+use rand::Rng;
+
+/// A Zipf(n, s) sampler over ranks `0..n` (0-based).
+pub struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// Builds the inverse-CDF table for `n` ranks with exponent `s ≥ 0`.
+    pub fn new(n: usize, s: f64) -> Zipf {
+        assert!(n > 0, "Zipf needs a non-empty domain");
+        assert!(s >= 0.0, "Zipf exponent must be non-negative");
+        let mut cdf = Vec::with_capacity(n);
+        let mut total = 0.0;
+        for k in 1..=n {
+            total += (k as f64).powf(-s);
+            cdf.push(total);
+        }
+        for c in &mut cdf {
+            *c /= total;
+        }
+        Zipf { cdf }
+    }
+
+    /// Draws a rank in `0..n` (binary search over the CDF).
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let u: f64 = rng.gen();
+        match self.cdf.binary_search_by(|c| c.partial_cmp(&u).unwrap()) {
+            Ok(i) => i,
+            Err(i) => i.min(self.cdf.len() - 1),
+        }
+    }
+
+    /// Number of ranks.
+    pub fn domain(&self) -> usize {
+        self.cdf.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn uniform_when_s_zero() {
+        let z = Zipf::new(10, 0.0);
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut counts = [0usize; 10];
+        for _ in 0..10_000 {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        for &c in &counts {
+            assert!((700..1300).contains(&c), "uniform counts skewed: {counts:?}");
+        }
+    }
+
+    #[test]
+    fn skewed_when_s_large() {
+        let z = Zipf::new(100, 1.5);
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut first = 0usize;
+        for _ in 0..10_000 {
+            if z.sample(&mut rng) == 0 {
+                first += 1;
+            }
+        }
+        // Rank 1 should carry a large constant fraction of the mass.
+        assert!(first > 2_000, "rank-1 mass too small: {first}");
+    }
+
+    #[test]
+    fn samples_stay_in_domain() {
+        let z = Zipf::new(7, 1.0);
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..1000 {
+            assert!(z.sample(&mut rng) < 7);
+        }
+        assert_eq!(z.domain(), 7);
+    }
+}

@@ -1,0 +1,62 @@
+//! Quickstart: compile a hierarchical query, preprocess a small database,
+//! enumerate, apply updates, and inspect the trade-off knob ε.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use ivme_core::{Database, EngineOptions, IvmEngine};
+use ivme_data::Tuple;
+
+fn main() {
+    // The paper's running example (Example 28, δ1-hierarchical):
+    //   Q(A, C) = R(A, B), S(B, C)
+    // — not free-connex, so constant delay after linear preprocessing is
+    // conjectured impossible. IVM^ε trades preprocessing O(N^{1+ε}),
+    // update O(N^ε), and delay O(N^{1−ε}) via ε.
+    let query = "Q(A, C) :- R(A, B), S(B, C)";
+
+    let mut db = Database::new();
+    db.insert_ints("R", &[&[1, 10], &[2, 10], &[1, 20], &[3, 30]]);
+    db.insert_ints("S", &[&[10, 100], &[20, 100], &[20, 200]]);
+
+    let mut engine = IvmEngine::from_sql(query, &db, EngineOptions::dynamic(0.5))
+        .expect("hierarchical query compiles");
+
+    println!("query:     {}", engine.query());
+    println!("ε:         {}", engine.epsilon());
+    println!("N:         {}", engine.db_size());
+    println!("θ = M^ε:   {:.2}", engine.theta());
+    println!("views:     {}", engine.num_views());
+    println!();
+
+    println!("initial result (distinct tuples with multiplicities):");
+    for (tuple, mult) in engine.enumerate() {
+        println!("  {tuple} -> {mult}");
+    }
+
+    // Single-tuple updates: inserts and deletes, maintained incrementally.
+    engine.insert("S", Tuple::ints(&[30, 300])).unwrap();
+    engine.delete("R", Tuple::ints(&[1, 10])).unwrap();
+
+    println!("\nafter insert S(30,300) and delete R(1,10):");
+    for (tuple, mult) in engine.enumerate() {
+        println!("  {tuple} -> {mult}");
+    }
+
+    let stats = engine.stats();
+    println!(
+        "\nmaintenance: {} updates, {} major / {} minor rebalances",
+        stats.updates, stats.major_rebalances, stats.minor_rebalances
+    );
+
+    // The same query at the two extremes of the trade-off:
+    // ε = 0 → linear preprocessing, O(N) delay (α-acyclic behaviour);
+    // ε = 1 → full materialization O(N²), O(1) delay (conjunctive corner).
+    for eps in [0.0, 1.0] {
+        let e = IvmEngine::from_sql(query, &db, EngineOptions::static_eval(eps)).unwrap();
+        println!(
+            "ε = {eps}: {} result tuples, {} entries of auxiliary state",
+            e.count_distinct(),
+            e.aux_space()
+        );
+    }
+}

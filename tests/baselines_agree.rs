@@ -1,0 +1,107 @@
+//! The three independent evaluation paths — IVM^ε, the delta-IVM baseline,
+//! the recompute baseline — and the brute-force oracle must agree on every
+//! database and after every update.
+
+use ivme_baselines::{DeltaIvm, Recompute};
+use ivme_core::{brute_force, Database, EngineOptions, IvmEngine};
+use ivme_query::parse_query;
+use ivme_workload::{two_path_db, update_stream};
+
+fn load_baselines(q: &ivme_query::Query, db: &Database) -> (DeltaIvm, Recompute) {
+    let mut ivm = DeltaIvm::new(q);
+    let mut rc = Recompute::new(q);
+    for a in &q.atoms {
+        if a.occurrence > 0 {
+            continue; // baselines fan out occurrences internally
+        }
+        for (t, m) in db.rows(&a.relation) {
+            ivm.apply_update(&a.relation, t.clone(), m);
+            rc.apply_update(&a.relation, t, m);
+        }
+    }
+    (ivm, rc)
+}
+
+#[test]
+fn all_four_agree_statically() {
+    for (src, db) in [
+        ("Q(A,C) :- R(A,B), S(B,C)", two_path_db(300, 25, 1.0, 1)),
+        ("Q(A) :- R(A,B), S(B,C)", two_path_db(200, 25, 0.8, 2)),
+        ("Q(B) :- R(A,B), S(B,C)", two_path_db(200, 25, 1.2, 3)),
+    ] {
+        let q = parse_query(src).unwrap();
+        let want = brute_force(&q, &db);
+        let eng = IvmEngine::new(&q, &db, EngineOptions::dynamic(0.5)).unwrap();
+        assert_eq!(eng.result_sorted(), want, "{src}: engine");
+        let (ivm, rc) = load_baselines(&q, &db);
+        assert_eq!(ivm.result_sorted(), want, "{src}: delta-IVM");
+        assert_eq!(rc.evaluate(), want, "{src}: recompute");
+    }
+}
+
+#[test]
+fn all_four_agree_under_streams() {
+    let src = "Q(A,C) :- R(A,B), S(B,C)";
+    let q = parse_query(src).unwrap();
+    let db = Database::new();
+    let mut eng = IvmEngine::new(&q, &db, EngineOptions::dynamic(0.5)).unwrap();
+    let mut ivm = DeltaIvm::new(&q);
+    let mut rc = Recompute::new(&q);
+    let mut mirror = Database::new();
+    let ops = update_stream(250, &[("R", 2), ("S", 2)], 12, 1.0, 0.3, 77);
+    for (i, op) in ops.iter().enumerate() {
+        eng.apply_update(&op.relation, op.tuple.clone(), op.delta).unwrap();
+        ivm.apply_update(&op.relation, op.tuple.clone(), op.delta);
+        rc.apply_update(&op.relation, op.tuple.clone(), op.delta);
+        mirror.apply(&op.relation, op.tuple.clone(), op.delta);
+        if i % 10 == 0 || i + 1 == ops.len() {
+            let want = brute_force(&q, &mirror);
+            assert_eq!(eng.result_sorted(), want, "step {i}: engine");
+            assert_eq!(ivm.result_sorted(), want, "step {i}: delta-IVM");
+            assert_eq!(rc.evaluate(), want, "step {i}: recompute");
+        }
+    }
+}
+
+#[test]
+fn q_hierarchical_stream_three_ways() {
+    let src = "Q(X,Y0,Y1) :- R0(X,Y0), R1(X,Y1)";
+    let q = parse_query(src).unwrap();
+    let mut eng = IvmEngine::new(&q, &Database::new(), EngineOptions::dynamic(1.0)).unwrap();
+    let mut ivm = DeltaIvm::new(&q);
+    let mut mirror = Database::new();
+    let ops = update_stream(200, &[("R0", 2), ("R1", 2)], 8, 0.7, 0.25, 13);
+    for op in &ops {
+        eng.apply_update(&op.relation, op.tuple.clone(), op.delta).unwrap();
+        ivm.apply_update(&op.relation, op.tuple.clone(), op.delta);
+        mirror.apply(&op.relation, op.tuple.clone(), op.delta);
+    }
+    let want = brute_force(&q, &mirror);
+    assert_eq!(eng.result_sorted(), want);
+    assert_eq!(ivm.result_sorted(), want);
+}
+
+#[test]
+fn delta_ivm_and_engine_agree_on_four_atom_query() {
+    let src = "Q(C,D,E,F) :- R(A,B,D), S(A,B,E), T(A,C,F), U(A,C,G)";
+    let q = parse_query(src).unwrap();
+    let mut eng = IvmEngine::new(&q, &Database::new(), EngineOptions::dynamic(0.5)).unwrap();
+    let mut ivm = DeltaIvm::new(&q);
+    let mut mirror = Database::new();
+    let ops = update_stream(
+        150,
+        &[("R", 3), ("S", 3), ("T", 3), ("U", 3)],
+        4,
+        0.8,
+        0.2,
+        31,
+    );
+    for op in &ops {
+        eng.apply_update(&op.relation, op.tuple.clone(), op.delta).unwrap();
+        ivm.apply_update(&op.relation, op.tuple.clone(), op.delta);
+        mirror.apply(&op.relation, op.tuple.clone(), op.delta);
+    }
+    let want = brute_force(&q, &mirror);
+    assert_eq!(eng.result_sorted(), want, "engine");
+    assert_eq!(ivm.result_sorted(), want, "delta-IVM");
+}

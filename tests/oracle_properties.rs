@@ -1,0 +1,203 @@
+//! Property-based tests: randomized hierarchical queries, databases, and
+//! update streams, validated against the brute-force oracle; plus the
+//! paper's structural propositions on random queries.
+//!
+//! Queries are generated from a random variable-order tree, which makes
+//! them hierarchical *by construction* (every atom's schema is a
+//! root-to-node path, so atom sets of any two variables are nested or
+//! disjoint).
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use ivme_core::{brute_force, Database, EngineOptions, IvmEngine};
+use ivme_data::{Schema, Tuple, Var};
+use ivme_query::{classify, parse_query, Atom, Query};
+
+/// Builds a random hierarchical query from a seed: a random forest of
+/// variables with atoms attached along root-to-node paths.
+fn random_hierarchical_query(seed: u64) -> Query {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut atoms: Vec<Atom> = Vec::new();
+    let mut var_counter = 0usize;
+    let mut rel_counter = 0usize;
+    let components = 1 + rng.gen_range(0..2);
+    for _ in 0..components {
+        let root = fresh_var(&mut var_counter);
+        grow(&mut rng, vec![root], 0, &mut atoms, &mut var_counter, &mut rel_counter);
+        if atoms.len() >= 5 {
+            break;
+        }
+    }
+    // Random free set; ensure determinism by iterating vars in order.
+    let mut vars = Schema::empty();
+    for a in &atoms {
+        vars = vars.union(&a.schema);
+    }
+    let free: Schema = vars
+        .vars()
+        .iter()
+        .copied()
+        .filter(|_| rng.gen_bool(0.5))
+        .collect();
+    Query::new("Q", free, atoms)
+}
+
+fn fresh_var(counter: &mut usize) -> Var {
+    let v = Var::new(&format!("PV{counter}"));
+    *counter += 1;
+    v
+}
+
+fn grow(
+    rng: &mut StdRng,
+    path: Vec<Var>,
+    depth: usize,
+    atoms: &mut Vec<Atom>,
+    var_counter: &mut usize,
+    rel_counter: &mut usize,
+) {
+    let kids = if depth >= 2 || atoms.len() >= 4 {
+        0
+    } else {
+        rng.gen_range(0..=2)
+    };
+    if kids == 0 || rng.gen_bool(0.3) {
+        let name = format!("PR{rel_counter}");
+        *rel_counter += 1;
+        atoms.push(Atom::new(name, Schema::new(path.clone())));
+    }
+    for _ in 0..kids {
+        let mut p = path.clone();
+        p.push(fresh_var(var_counter));
+        grow(rng, p, depth + 1, atoms, var_counter, rel_counter);
+    }
+}
+
+/// Random database over a tiny domain (dense joins) for a query.
+fn random_db(q: &Query, seed: u64, rows: usize) -> Database {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut db = Database::new();
+    for a in &q.atoms {
+        for _ in 0..rows {
+            let t: Tuple = Tuple::ints(
+                &(0..a.schema.arity())
+                    .map(|_| rng.gen_range(0..4i64))
+                    .collect::<Vec<_>>(),
+            );
+            db.insert(&a.relation, t, 1);
+        }
+    }
+    db
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 48, ..ProptestConfig::default() })]
+
+    /// Engine result == oracle for random hierarchical queries/databases,
+    /// across the ε grid and both modes.
+    #[test]
+    fn engine_matches_oracle_on_random_queries(seed in 0u64..5000, eps_i in 0usize..3) {
+        let q = random_hierarchical_query(seed);
+        prop_assume!(classify(&q).hierarchical);
+        let db = random_db(&q, seed.wrapping_mul(31), 12);
+        let eps = [0.0, 0.5, 1.0][eps_i];
+        let want = brute_force(&q, &db);
+        let st = IvmEngine::new(&q, &db, EngineOptions::static_eval(eps)).unwrap();
+        prop_assert_eq!(st.result_sorted(), want.clone(), "static {} ε={}", q, eps);
+        let dy = IvmEngine::new(&q, &db, EngineOptions::dynamic(eps)).unwrap();
+        prop_assert_eq!(dy.result_sorted(), want, "dynamic {} ε={}", q, eps);
+    }
+
+    /// Engine stays equal to the oracle under a random update stream.
+    #[test]
+    fn engine_matches_oracle_under_updates(seed in 0u64..3000) {
+        let q = random_hierarchical_query(seed);
+        prop_assume!(classify(&q).hierarchical);
+        let mut db = random_db(&q, seed.wrapping_mul(17), 6);
+        let mut eng = IvmEngine::new(&q, &db, EngineOptions::dynamic(0.5)).unwrap();
+        let mut rng = StdRng::seed_from_u64(seed.wrapping_mul(97));
+        let mut live: Vec<(String, Tuple)> = Vec::new();
+        for step in 0..30 {
+            if !live.is_empty() && rng.gen_bool(0.3) {
+                let i = rng.gen_range(0..live.len());
+                let (rel, t) = live.swap_remove(i);
+                eng.delete(&rel, t.clone()).unwrap();
+                db.apply(&rel, t, -1);
+            } else {
+                let a = &q.atoms[rng.gen_range(0..q.atoms.len())];
+                let t: Tuple = Tuple::ints(
+                    &(0..a.schema.arity())
+                        .map(|_| rng.gen_range(0..4i64))
+                        .collect::<Vec<_>>(),
+                );
+                eng.insert(&a.relation, t.clone()).unwrap();
+                db.apply(&a.relation, t.clone(), 1);
+                live.push((a.relation.clone(), t));
+            }
+            prop_assert_eq!(
+                eng.result_sorted(),
+                brute_force(&q, &db),
+                "{} diverged at step {}", q, step
+            );
+        }
+        eng.check_consistency().unwrap();
+    }
+
+    /// Structural propositions of the paper on random hierarchical queries:
+    /// Prop. 3 (free-connex ⇒ w = 1), Prop. 6 (q-hier ⇔ δ0),
+    /// Prop. 7 (free-connex ⇒ δ ≤ 1), Prop. 8 (δi rank = δ),
+    /// Prop. 17 (δ ∈ {w−1, w}).
+    #[test]
+    fn width_propositions_hold(seed in 0u64..20000) {
+        let q = random_hierarchical_query(seed);
+        let c = classify(&q);
+        prop_assert!(c.hierarchical);
+        let w = c.static_width.unwrap();
+        let d = c.dynamic_width.unwrap();
+        prop_assert!(d == w || d + 1 == w, "{}: w={} δ={}", q, w, d);
+        prop_assert_eq!(c.delta_rank.unwrap(), d, "{}: Prop. 8", q);
+        if c.free_connex {
+            prop_assert_eq!(w, 1, "{}: Prop. 3", q);
+            prop_assert!(d <= 1, "{}: Prop. 7", q);
+        }
+        prop_assert_eq!(c.q_hierarchical, d == 0, "{}: Prop. 6", q);
+    }
+
+    /// Partition invariants (Def. 11) survive random maintenance.
+    #[test]
+    fn partition_invariants_survive_streams(seed in 0u64..2000) {
+        let src = "Q(A,C) :- R(A,B), S(B,C)";
+        let q = parse_query(src).unwrap();
+        let mut eng = IvmEngine::new(&q, &Database::new(), EngineOptions::dynamic(0.5)).unwrap();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut live: Vec<(&str, Tuple)> = Vec::new();
+        for _ in 0..60 {
+            if !live.is_empty() && rng.gen_bool(0.25) {
+                let i = rng.gen_range(0..live.len());
+                let (rel, t) = live.swap_remove(i);
+                eng.delete(rel, t).unwrap();
+            } else {
+                let rel = if rng.gen_bool(0.5) { "R" } else { "S" };
+                // Heavy skew: most tuples share one join value.
+                let b = if rng.gen_bool(0.6) { 0 } else { rng.gen_range(0..8) };
+                let o = rng.gen_range(0..50i64);
+                let t = if rel == "R" { Tuple::ints(&[o, b]) } else { Tuple::ints(&[b, o]) };
+                eng.insert(rel, t.clone()).unwrap();
+                live.push((rel, t));
+            }
+            eng.check_consistency().map_err(|e| TestCaseError::fail(e))?;
+        }
+    }
+}
+
+#[test]
+fn generator_yields_hierarchical_queries() {
+    // Sanity: the generator's by-construction claim holds across seeds.
+    for seed in 0..500u64 {
+        let q = random_hierarchical_query(seed);
+        assert!(classify(&q).hierarchical, "seed {seed}: {q}");
+        assert!(!q.atoms.is_empty());
+    }
+}

@@ -1,0 +1,154 @@
+//! Cross-crate golden tests pinning every worked example of the paper:
+//! classifications (Fig. 2), widths, view trees (Figs. 9, 12, 23, 24), and
+//! the end-to-end results of Examples 18, 19, 28, 29.
+
+use ivme_core::{brute_force, Database, EngineOptions, IvmEngine, Mode};
+use ivme_data::Schema;
+use ivme_query::{classify, parse_query};
+
+/// The query battery used across the experiments, with the paper's
+/// expected classification: (source, hierarchical, free-connex,
+/// q-hierarchical, w, δ).
+pub const BATTERY: &[(&str, bool, bool, bool, usize, usize)] = &[
+    // Example 28: the δ1 two-path.
+    ("Q(A,C) :- R(A,B), S(B,C)", true, false, false, 2, 1),
+    // Example 29: free-connex but δ1.
+    ("Q(A) :- R(A,B), S(B)", true, true, false, 1, 1),
+    // Example 18: free-connex hierarchical.
+    ("Q(A,D,E) :- R(A,B,C), S(A,B,D), T(A,E)", true, true, false, 1, 1),
+    // Example 19 / Fig. 12.
+    ("Q(C,D,E,F) :- R(A,B,D), S(A,B,E), T(A,C,F), U(A,C,G)", true, false, false, 3, 3),
+    // Example 12/14: hierarchical, free-connex, not q-hierarchical.
+    ("Q(A,C,F) :- R(A,B,C), S(A,B,D), T(A,E,F), U(A,E,G)", true, true, false, 1, 1),
+    // δ0 (q-hierarchical) star.
+    ("Q(X,Y0,Y1) :- R0(X,Y0), R1(X,Y1)", true, true, true, 1, 0),
+    // δ2 star (Def. 5 family).
+    ("Q(Y0,Y1,Y2) :- R0(X,Y0), R1(X,Y1), R2(X,Y2)", true, false, false, 3, 2),
+    // Boolean two-path: free-connex, w = 1; with no free variables the
+    // q-hierarchical condition holds vacuously and δ = 0.
+    ("Q() :- R(A,B), S(B,C)", true, true, true, 1, 0),
+    // Full two-path: q-hierarchical.
+    ("Q(A,B,C) :- R(A,B), S(B,C)", true, true, true, 1, 0),
+    // Single atom.
+    ("Q(A,B) :- R(A,B)", true, true, true, 1, 0),
+];
+
+#[test]
+fn figure2_classification_battery() {
+    for &(src, hier, fc, qh, w, d) in BATTERY {
+        let q = parse_query(src).unwrap();
+        let c = classify(&q);
+        assert_eq!(c.hierarchical, hier, "{src}: hierarchical");
+        assert_eq!(c.free_connex, fc, "{src}: free-connex");
+        assert_eq!(c.q_hierarchical, qh, "{src}: q-hierarchical");
+        assert_eq!(c.static_width, Some(w), "{src}: w");
+        assert_eq!(c.dynamic_width, Some(d), "{src}: δ");
+        assert_eq!(c.delta_rank, Some(d), "{src}: Prop. 8 (δi rank = δ)");
+        // Prop. 17: δ ∈ {w−1, w}; Prop. 3: free-connex ⇒ w = 1;
+        // Prop. 7: free-connex ⇒ δ ≤ 1; Prop. 6: q-hierarchical ⇔ δ0.
+        assert!(d == w || d + 1 == w, "{src}: Prop. 17");
+        if fc {
+            assert_eq!(w, 1, "{src}: Prop. 3");
+            assert!(d <= 1, "{src}: Prop. 7");
+        }
+        assert_eq!(qh, d == 0, "{src}: Prop. 6");
+    }
+}
+
+#[test]
+fn non_hierarchical_queries_are_rejected_by_planner() {
+    for src in [
+        "Q(A) :- R(A,B), S(B,C), T(C)",
+        "Q() :- R(A,B), S(B,C), T(A,C)", // triangle
+    ] {
+        let q = parse_query(src).unwrap();
+        assert!(!classify(&q).hierarchical, "{src}");
+        assert!(ivme_plan::compile(&q, Mode::Dynamic).is_err(), "{src}");
+    }
+}
+
+#[test]
+fn figure23_view_trees_example_28() {
+    let q = parse_query("Q(A,C) :- R(A,B), S(B,C)").unwrap();
+    let p = ivme_plan::compile(&q, Mode::Dynamic).unwrap();
+    let rendered = p.render();
+    for expected in [
+        "VB(B)\n  ∃HB(B)\n  R'(B)\n    R(A,B)\n  S'(B)\n    S(B,C)\n",
+        "VB(A,C)\n  R^B(A,B)\n  S^B(B,C)\n",
+        "AllB(B)\n  AllA(B)\n    R(A,B)\n  AllC(B)\n    S(B,C)\n",
+        "LB(B)\n  LA(B)\n    R^B(A,B)\n  LC(B)\n    S^B(B,C)\n",
+    ] {
+        assert!(rendered.contains(expected), "missing tree:\n{expected}\ngot:\n{rendered}");
+    }
+    assert_eq!(p.indicators[0].keys, Schema::of(&["B"]));
+}
+
+#[test]
+fn figure24_view_trees_example_29() {
+    let q = parse_query("Q(A) :- R(A,B), S(B)").unwrap();
+    let st = ivme_plan::compile(&q, Mode::Static).unwrap();
+    assert_eq!(st.components[0].trees.len(), 1, "static: single tree (Fig. 24)");
+    assert_eq!(st.components[0].trees[0].render(), "VB(A)\n  R(A,B)\n  S(B)\n");
+    let dy = ivme_plan::compile(&q, Mode::Dynamic).unwrap();
+    assert_eq!(dy.components[0].trees.len(), 2);
+    assert_eq!(dy.indicators.len(), 1);
+}
+
+#[test]
+fn figure9_example_18_static_and_dynamic() {
+    let q = parse_query("Q(A,D,E) :- R(A,B,C), S(A,B,D), T(A,E)").unwrap();
+    // Static: free-connex, so a single BuildVT tree (Fig. 9 left tree).
+    let st = ivme_plan::compile(&q, Mode::Static).unwrap();
+    assert_eq!(st.components[0].trees.len(), 1);
+    assert!(st.partitions.is_empty() && st.indicators.is_empty());
+    // Dynamic: the query is free-connex but NOT δ0-hierarchical (bound B
+    // dominates free D), so τ splits on the key (A,B): a heavy and a
+    // light tree plus one indicator triple. The auxiliary views V'B(A)
+    // and T'(A) of Fig. 9 appear inside the dynamic trees.
+    let dy = ivme_plan::compile(&q, Mode::Dynamic).unwrap();
+    assert_eq!(dy.components[0].trees.len(), 2);
+    assert_eq!(dy.indicators.len(), 1);
+    assert_eq!(dy.indicators[0].keys, Schema::of(&["A", "B"]));
+    assert_eq!(dy.partitions.len(), 2, "R and S partitioned on (A,B)");
+    let rendered = dy.render();
+    assert!(rendered.contains("VB'(A)"), "aux view V'B missing:\n{rendered}");
+    assert!(rendered.contains("T'(A)"), "aux view T' missing:\n{rendered}");
+}
+
+#[test]
+fn figure12_example_19_tree_count_and_partitions() {
+    let q =
+        parse_query("Q(C,D,E,F) :- R(A,B,D), S(A,B,E), T(A,C,F), U(A,C,G)").unwrap();
+    let p = ivme_plan::compile(&q, Mode::Dynamic).unwrap();
+    assert_eq!(p.components[0].trees.len(), 3, "three view trees (Example 19)");
+    assert_eq!(p.indicators.len(), 2, "indicators at A and (A,B)");
+    assert_eq!(p.partitions.len(), 6, "R,S,T,U on A plus R,S on (A,B)");
+}
+
+#[test]
+fn example_28_narrative_end_to_end() {
+    // The matrix-multiplication narrative of Example 28: results and
+    // multiplicities must match the oracle at the paper's ε = 1/2.
+    let q = parse_query("Q(A,C) :- R(A,B), S(B,C)").unwrap();
+    let mut db = Database::new();
+    let n = 12i64;
+    for i in 0..n {
+        for j in 0..n {
+            if (i + j) % 3 == 0 {
+                db.insert("R", ivme_data::Tuple::ints(&[i, j]), 1);
+            }
+            if (i * j) % 4 == 1 {
+                db.insert("S", ivme_data::Tuple::ints(&[i, j]), 1);
+            }
+        }
+    }
+    let mut eng = IvmEngine::new(&q, &db, EngineOptions::dynamic(0.5)).unwrap();
+    assert_eq!(eng.result_sorted(), brute_force(&q, &db));
+    // A burst of updates touching both heavy and light B values.
+    for i in 0..n {
+        let t = ivme_data::Tuple::ints(&[i, 0]);
+        eng.insert("R", t.clone()).unwrap();
+        db.apply("R", t, 1);
+    }
+    assert_eq!(eng.result_sorted(), brute_force(&q, &db));
+}
