@@ -11,7 +11,7 @@
 //! S(B,C)` when the updated `B` value is heavy.
 
 use ivme_data::fx::FxHashMap;
-use ivme_data::{IndexId, Relation, Tuple, Value, Var};
+use ivme_data::{DeltaBatch, IndexId, NegativeMultiplicity, Relation, Tuple, Update, Value, Var};
 use ivme_query::Query;
 
 /// First-order IVM baseline: full result materialization + delta queries.
@@ -85,6 +85,45 @@ impl DeltaIvm {
         }
     }
 
+    /// Applies a batch of updates: consolidated per tuple (cancelling
+    /// pairs vanish), validated **atomically** against the stored
+    /// multiplicities, then maintained with one delta query per distinct
+    /// surviving entry — the batched counterpart of [`DeltaIvm::apply_update`],
+    /// so engine-vs-baseline comparisons stay apples-to-apples.
+    pub fn apply_batch(&mut self, updates: &[Update]) -> Result<(), NegativeMultiplicity> {
+        self.apply_delta_batch(&DeltaBatch::from_updates(updates))
+    }
+
+    /// [`DeltaIvm::apply_batch`] for a pre-consolidated batch.
+    pub fn apply_delta_batch(&mut self, batch: &DeltaBatch) -> Result<(), NegativeMultiplicity> {
+        // Validate the net deltas first so rejection leaves no trace.
+        let mut relations: Vec<&str> = batch.relations().collect();
+        relations.sort_unstable();
+        for &relation in &relations {
+            let atom = (0..self.query.atoms.len())
+                .find(|&i| self.query.atoms[i].relation == relation)
+                .unwrap_or_else(|| panic!("unknown relation {relation}"));
+            for (t, d) in batch.deltas(relation) {
+                let present = self.rels[atom].get(t);
+                if present + d < 0 {
+                    return Err(NegativeMultiplicity {
+                        tuple: t.clone(),
+                        present,
+                        delta: d,
+                    });
+                }
+            }
+        }
+        // Distinct consolidated entries cannot interact, so per-entry
+        // sequential application realizes the batch exactly.
+        for &relation in &relations {
+            for (t, d) in batch.deltas_vec(relation) {
+                self.apply_update(relation, t, d);
+            }
+        }
+        Ok(())
+    }
+
     fn delta_for_atom(&mut self, j: usize, tuple: &Tuple, delta: i64) {
         // Seed bindings from the updated tuple, then extend over the
         // remaining atoms; accumulate δQ and apply it to the result.
@@ -132,9 +171,10 @@ impl DeltaIvm {
         let atom = plan.order[step];
         let schema = &self.query.atoms[atom].schema;
         let rel = &self.rels[atom];
-        let step_row = |t: &Tuple, m: i64,
-                            binding: &mut FxHashMap<Var, Value>,
-                            dq: &mut FxHashMap<Tuple, i64>| {
+        let step_row = |t: &Tuple,
+                        m: i64,
+                        binding: &mut FxHashMap<Var, Value>,
+                        dq: &mut FxHashMap<Tuple, i64>| {
             let mut newly: Vec<Var> = Vec::new();
             let mut ok = true;
             for (i, &v) in schema.vars().iter().enumerate() {

@@ -6,7 +6,9 @@
 //! landscape (Fig. 4): O(1) updates, full-join-cost answers.
 
 use ivme_data::fx::FxHashMap;
-use ivme_data::{IndexId, Relation, Schema, Tuple, Value, Var};
+use ivme_data::{
+    DeltaBatch, IndexId, NegativeMultiplicity, Relation, Schema, Tuple, Update, Value, Var,
+};
 use ivme_query::Query;
 
 /// Recompute-on-demand evaluation of a conjunctive query.
@@ -44,7 +46,12 @@ impl Recompute {
             bound = bound.union(&query.atoms[pick].schema);
             order.push(pick);
         }
-        let mut rc = Recompute { query: query.clone(), rels, order, probe: Vec::new() };
+        let mut rc = Recompute {
+            query: query.clone(),
+            rels,
+            order,
+            probe: Vec::new(),
+        };
         // Probe indexes on the shared-variable prefix of each join step.
         let mut bound = Schema::empty();
         let mut probe = Vec::with_capacity(n);
@@ -75,6 +82,46 @@ impl Recompute {
             }
         }
         assert!(found, "unknown relation {relation}");
+    }
+
+    /// Applies a batch of updates atomically: consolidated, validated, and
+    /// pushed into every occurrence's base relation in one pass per
+    /// relation. The batched counterpart of [`Recompute::apply_update`].
+    pub fn apply_batch(&mut self, updates: &[Update]) -> Result<(), NegativeMultiplicity> {
+        self.apply_delta_batch(&DeltaBatch::from_updates(updates))
+    }
+
+    /// [`Recompute::apply_batch`] for a pre-consolidated batch.
+    pub fn apply_delta_batch(&mut self, batch: &DeltaBatch) -> Result<(), NegativeMultiplicity> {
+        let mut relations: Vec<&str> = batch.relations().collect();
+        relations.sort_unstable();
+        // Validate against the first occurrence (occurrences are copies).
+        for &relation in &relations {
+            let atom = (0..self.query.atoms.len())
+                .find(|&i| self.query.atoms[i].relation == relation)
+                .unwrap_or_else(|| panic!("unknown relation {relation}"));
+            for (t, d) in batch.deltas(relation) {
+                let present = self.rels[atom].get(t);
+                if present + d < 0 {
+                    return Err(NegativeMultiplicity {
+                        tuple: t.clone(),
+                        present,
+                        delta: d,
+                    });
+                }
+            }
+        }
+        for &relation in &relations {
+            let deltas = batch.deltas_vec(relation);
+            for (i, a) in self.query.atoms.iter().enumerate() {
+                if a.relation == relation {
+                    self.rels[i]
+                        .apply_batch(&deltas)
+                        .expect("batch validated before application");
+                }
+            }
+        }
+        Ok(())
     }
 
     /// Evaluates the query from scratch: distinct result tuples with bag
@@ -114,9 +161,10 @@ impl Recompute {
         let atom = self.order[step];
         let schema = &self.query.atoms[atom].schema;
         let rel = &self.rels[atom];
-        let step_row = |t: &Tuple, m: i64,
-                            binding: &mut FxHashMap<Var, Value>,
-                            acc: &mut FxHashMap<Tuple, i64>| {
+        let step_row = |t: &Tuple,
+                        m: i64,
+                        binding: &mut FxHashMap<Var, Value>,
+                        acc: &mut FxHashMap<Tuple, i64>| {
             let mut newly: Vec<Var> = Vec::new();
             let mut ok = true;
             for (i, &v) in schema.vars().iter().enumerate() {

@@ -32,9 +32,8 @@ fn main() {
         let mut delay_pts = Vec::new();
         for &n in &n_grid {
             let db = two_path_db(n / 2, n / 8, 1.0, 42);
-            let (engine, prep) = time_once(|| {
-                IvmEngine::new(&query, &db, EngineOptions::static_eval(eps)).unwrap()
-            });
+            let (engine, prep) =
+                time_once(|| IvmEngine::new(&query, &db, EngineOptions::static_eval(eps)).unwrap());
             let delay = measure_delay(&engine, 2000);
             println!(
                 "{:<6} {:>8} {:>14} {:>14} {:>14} {:>10}",

@@ -29,8 +29,8 @@ const BATTERY: &[&str] = &[
 fn main() {
     println!("# E3 / Figure 2: classification landscape");
     println!(
-        "{:<58} {:>5} {:>5} {:>5} {:>4} {:>3} {:>3}  {}",
-        "query", "hier", "acyc", "f.c.", "q-h", "w", "δ", "paper placement (prep/delay/update at ε=1)"
+        "{:<58} {:>5} {:>5} {:>5} {:>4} {:>3} {:>3}  paper placement (prep/delay/update at ε=1)",
+        "query", "hier", "acyc", "f.c.", "q-h", "w", "δ",
     );
     for src in BATTERY {
         let q = parse_query(src).unwrap();

@@ -31,8 +31,7 @@ fn main() {
         let mut delay_pts = Vec::new();
         for &n in &n_grid {
             let db = two_path_db(n / 2, n / 8, 1.0, 7);
-            let mut engine =
-                IvmEngine::new(&query, &db, EngineOptions::dynamic(eps)).unwrap();
+            let mut engine = IvmEngine::new(&query, &db, EngineOptions::dynamic(eps)).unwrap();
             let ops = update_stream(2000, &[("R", 2), ("S", 2)], n / 8, 1.0, 0.25, 11);
             let (_, upd_time) = time_once(|| {
                 for op in &ops {

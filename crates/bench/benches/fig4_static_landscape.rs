@@ -77,12 +77,20 @@ fn main() {
     for _ in 0..n / 3 {
         dbfc.insert(
             "R",
-            ivme_data::Tuple::ints(&[rng.gen_range(0..64), rng.gen_range(0..64), rng.gen_range(0..1 << 20)]),
+            ivme_data::Tuple::ints(&[
+                rng.gen_range(0..64),
+                rng.gen_range(0..64),
+                rng.gen_range(0..1 << 20),
+            ]),
             1,
         );
         dbfc.insert(
             "S",
-            ivme_data::Tuple::ints(&[rng.gen_range(0..64), rng.gen_range(0..64), rng.gen_range(0..1 << 20)]),
+            ivme_data::Tuple::ints(&[
+                rng.gen_range(0..64),
+                rng.gen_range(0..64),
+                rng.gen_range(0..1 << 20),
+            ]),
             1,
         );
         dbfc.insert(
@@ -92,9 +100,8 @@ fn main() {
         );
     }
     for eps in [0.0, 1.0] {
-        let (eng, prep) = time_once(|| {
-            IvmEngine::new(&qfc, &dbfc, EngineOptions::static_eval(eps)).unwrap()
-        });
+        let (eng, prep) =
+            time_once(|| IvmEngine::new(&qfc, &dbfc, EngineOptions::static_eval(eps)).unwrap());
         let d = measure_delay(&eng, 2000);
         println!(
             "{:<44} {:>13} {:>13} {:>13} {:>12}",

@@ -32,7 +32,8 @@ fn main() {
         let mut eng = IvmEngine::new(&q, &db, EngineOptions::dynamic(1.0)).unwrap();
         let (_, t) = time_once(|| {
             for op in &ops {
-                eng.apply_update(&op.relation, op.tuple.clone(), op.delta).unwrap();
+                eng.apply_update(&op.relation, op.tuple.clone(), op.delta)
+                    .unwrap();
             }
         });
         let d = measure_delay(&eng, 2000);
@@ -54,7 +55,8 @@ fn main() {
         let mut eng = IvmEngine::new(&q, &db, EngineOptions::dynamic(eps)).unwrap();
         let (_, t) = time_once(|| {
             for op in &ops {
-                eng.apply_update(&op.relation, op.tuple.clone(), op.delta).unwrap();
+                eng.apply_update(&op.relation, op.tuple.clone(), op.delta)
+                    .unwrap();
             }
         });
         let d = measure_delay(&eng, 2000);

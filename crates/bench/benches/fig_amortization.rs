@@ -1,4 +1,5 @@
-//! Experiment E8 — Section 6.2: amortization of major/minor rebalancing.
+//! Experiment E8 — Section 6.2: amortization of major/minor rebalancing,
+//! per-tuple vs batched.
 //!
 //! The paper claims O(N^{δε}) *amortized* update time: individual updates
 //! may trigger expensive rebalancing (major: O(N^{1+(w−1)ε}) when the size
@@ -7,65 +8,150 @@
 //! bounded. The harness drives a grow → skew-flip → shrink stream, records
 //! the per-update cost distribution, and reports mean vs worst together
 //! with the rebalancing counters.
+//!
+//! The same stream is then replayed in `DeltaBatch`es of k = 1000 through
+//! `IvmEngine::apply_batch`: batching charges rebalancing bookkeeping per
+//! batch (with the batch's cardinality), so the doubling/halving cascade
+//! runs once per batch instead of once per update and far fewer major
+//! recomputes fire. Since each major recompute costs the same for both
+//! strategies, the end-to-end win here is bounded by the rebalancing
+//! share; the ≥2× per-update acceptance bound is measured in
+//! `fig_omv_rounds`, where update propagation dominates.
 
-use ivme_bench::fmt_ns;
-use ivme_core::{Database, EngineOptions, IvmEngine};
+use ivme_bench::{fmt_dur, fmt_ns, time_once};
+use ivme_core::{Database, EngineOptions, IvmEngine, Update};
 use ivme_data::Tuple;
 use ivme_query::parse_query;
+
+/// The E8 stream: grow with moderate skew, concentrate on one key, shrink.
+fn stream() -> Vec<Update> {
+    let grow = 4000i64;
+    let mut ops = Vec::new();
+    for i in 0..grow {
+        ops.push(Update::insert("R", Tuple::ints(&[i, i % 40])));
+        ops.push(Update::insert("S", Tuple::ints(&[i % 40, i])));
+    }
+    for i in 0..grow / 4 {
+        ops.push(Update::insert("R", Tuple::ints(&[grow + i, 0])));
+    }
+    for i in 0..grow {
+        ops.push(Update::delete("R", Tuple::ints(&[i, i % 40])));
+        ops.push(Update::delete("S", Tuple::ints(&[i % 40, i])));
+    }
+    ops
+}
 
 fn main() {
     println!("# E8 / Sec. 6.2: rebalancing amortization on Q(A,C) = R(A,B), S(B,C)");
     println!(
-        "{:<6} {:>8} {:>12} {:>12} {:>12} {:>8} {:>8}",
-        "eps", "updates", "mean", "p99", "worst", "minor", "major"
+        "{:<6} {:>8} {:>12} {:>12} {:>12} {:>8} {:>8} {:>12} {:>12} {:>8}",
+        "eps",
+        "updates",
+        "mean",
+        "p99",
+        "worst",
+        "minor",
+        "major",
+        "seq total",
+        "batch total",
+        "speedup"
     );
+    let q = parse_query("Q(A,C) :- R(A,B), S(B,C)").unwrap();
+    let ops = stream();
     for eps in [0.25, 0.5, 0.75] {
-        let q = parse_query("Q(A,C) :- R(A,B), S(B,C)").unwrap();
+        // Per-tuple engine, pass 1: per-update cost distribution (each op
+        // individually instrumented — not used for the wall-clock total).
         let mut eng = IvmEngine::new(&q, &Database::new(), EngineOptions::dynamic(eps)).unwrap();
-        let mut costs_ns: Vec<u128> = Vec::new();
-        let apply = |eng: &mut IvmEngine, rel: &str, t: Tuple, d: i64, costs: &mut Vec<u128>| {
-            let t0 = std::time::Instant::now();
-            eng.apply_update(rel, t, d).unwrap();
-            costs.push(t0.elapsed().as_nanos());
-        };
-        let grow = 4000i64;
-        // Phase 1: grow with moderate skew (forces repeated doubling).
-        for i in 0..grow {
-            apply(&mut eng, "R", Tuple::ints(&[i, i % 40]), 1, &mut costs_ns);
-            apply(&mut eng, "S", Tuple::ints(&[i % 40, i]), 1, &mut costs_ns);
+        let mut costs_ns: Vec<u128> = Vec::with_capacity(ops.len());
+        for u in &ops {
+            let t = std::time::Instant::now();
+            eng.apply_update(&u.relation, u.tuple.clone(), u.delta)
+                .unwrap();
+            costs_ns.push(t.elapsed().as_nanos());
         }
-        // Phase 2: concentrate everything on one key (light→heavy flips).
-        for i in 0..grow / 4 {
-            apply(&mut eng, "R", Tuple::ints(&[grow + i, 0]), 1, &mut costs_ns);
-        }
-        // Phase 3: shrink (forces halving).
-        for i in 0..grow {
-            apply(&mut eng, "R", Tuple::ints(&[i, i % 40]), -1, &mut costs_ns);
-            apply(&mut eng, "S", Tuple::ints(&[i % 40, i]), -1, &mut costs_ns);
-        }
+        // Snapshot the per-tuple engine's outcome, then drop it so the
+        // timed runs are measured in isolation (the recompute-heavy
+        // phases are allocator-sensitive).
+        let seq_result = eng.result_sorted();
+        let st = eng.stats();
+        drop(eng);
+        // Pass 2: uninstrumented sequential wall clock on a fresh engine,
+        // so the speedup column compares like against like.
+        let mut eng2 = IvmEngine::new(&q, &Database::new(), EngineOptions::dynamic(eps)).unwrap();
+        let (_, seq_total) = time_once(|| {
+            for u in &ops {
+                eng2.apply_update(&u.relation, u.tuple.clone(), u.delta)
+                    .unwrap();
+            }
+        });
+        drop(eng2);
+        // Batched engine: the same stream in chunks of k = 1000.
+        let mut beng = IvmEngine::new(&q, &Database::new(), EngineOptions::dynamic(eps)).unwrap();
+        let (_, batch_total) = time_once(|| {
+            for chunk in ops.chunks(1000) {
+                beng.apply_batch(chunk).unwrap();
+            }
+        });
+        assert_eq!(
+            seq_result,
+            beng.result_sorted(),
+            "ε={eps}: batched replay diverged from per-tuple replay"
+        );
         let mut sorted = costs_ns.clone();
         sorted.sort_unstable();
         let mean = sorted.iter().sum::<u128>() as f64 / sorted.len() as f64;
         let p99 = sorted[sorted.len() * 99 / 100] as f64;
         let worst = *sorted.last().unwrap() as f64;
-        let st = eng.stats();
+        let bst = beng.stats();
+        let speedup = seq_total.as_secs_f64() / batch_total.as_secs_f64().max(1e-12);
         println!(
-            "{:<6} {:>8} {:>12} {:>12} {:>12} {:>8} {:>8}",
+            "{:<6} {:>8} {:>12} {:>12} {:>12} {:>8} {:>8} {:>12} {:>12} {:>7.1}x",
             eps,
             sorted.len(),
             fmt_ns(mean),
             fmt_ns(p99),
             fmt_ns(worst),
             st.minor_rebalances,
+            st.major_rebalances,
+            fmt_dur(seq_total),
+            fmt_dur(batch_total),
+            speedup
+        );
+        assert_eq!(
+            st.updates, bst.updates,
+            "both engines count per-update cardinality"
+        );
+        assert!(
+            bst.major_rebalances <= st.major_rebalances,
+            "batching must not rebalance more often (batch {} vs seq {})",
+            bst.major_rebalances,
             st.major_rebalances
         );
-        assert!(st.major_rebalances >= 2, "stream must exercise doubling and halving");
+        assert!(
+            st.major_rebalances >= 2,
+            "stream must exercise doubling and halving"
+        );
         assert!(
             worst > 10.0 * mean,
             "rebalancing spikes should dominate the worst case (worst {worst}, mean {mean})"
         );
+        // At low ε updates dominate and batching wins outright; at higher ε
+        // this stream is dominated by major-rebalancing recomputes and the
+        // O(N^ε)-sized per-update view deltas, which cost the same for both
+        // strategies, so the ratio approaches 1. The ≥2x acceptance bound
+        // for k=1000 batches lives in fig_omv_rounds, where updates
+        // dominate.
+        // The wall-clock at higher ε is dominated by a handful of major
+        // recomputes whose timing is allocator-sensitive, so the floor is
+        // deliberately loose: batching must stay in the same ballpark.
+        assert!(
+            speedup >= 0.5,
+            "batched replay of the E8 stream fell far behind sequential \
+             (ε={eps}: {speedup:.2}x)"
+        );
     }
     println!("\n# Expectation: worst-case per-update cost (a rebalancing event) is orders");
     println!("# of magnitude above the mean, while the mean stays near the N^(δε) trend —");
-    println!("# the amortization argument of Props. 25-27.");
+    println!("# the amortization argument of Props. 25-27. Batched replay pays each");
+    println!("# rebalancing cascade once per batch; its win grows as updates dominate.");
 }

@@ -1,4 +1,5 @@
-//! Experiment E7 — Proposition 10 / Figure 3: the OMv workload.
+//! Experiment E7 — Proposition 10 / Figure 3: the OMv workload,
+//! per-tuple vs batched rounds.
 //!
 //! Prop. 10 encodes Online Matrix-Vector Multiplication into the
 //! maintenance of `Q(A) = R(A,B), S(B)`: each round loads a vector into S
@@ -7,67 +8,188 @@
 //! N^{1−ε}; with n rounds of n updates + one enumeration each, total round
 //! cost is minimized in the middle of the ε range — the weakly
 //! Pareto-optimal ε = ½ regime of Fig. 3.
+//!
+//! Each round's vector load/retract is exactly a [`DeltaBatch`], so this
+//! harness measures both execution strategies: `seq` applies the n
+//! single-tuple updates through `insert`/`delete`, `batch` applies the
+//! same updates as one `apply_delta_batch` call. The final section is the
+//! acceptance check for the batched pipeline: a k = 1000 vector load must
+//! be ≥ 2× faster batched than as 1000 sequential inserts.
 
 use ivme_bench::{fmt_dur, time_once};
 use ivme_core::{Database, EngineOptions, IvmEngine};
 use ivme_workload::OmvInstance;
 
+fn engine_for(inst: &OmvInstance, eps: f64) -> IvmEngine {
+    let mut db = Database::new();
+    for t in inst.matrix_tuples() {
+        db.insert("R", t, 1);
+    }
+    IvmEngine::from_sql("Q(A) :- R(A,B), S(B)", &db, EngineOptions::dynamic(eps)).unwrap()
+}
+
+fn enumerate_rows(eng: &IvmEngine) -> Vec<i64> {
+    let mut rows: Vec<i64> = eng.enumerate().map(|(t, _)| t.get(0).as_int()).collect();
+    rows.sort_unstable();
+    rows
+}
+
 fn main() {
-    println!("# E7 / Prop. 10: OMv rounds for Q(A) = R(A,B), S(B)");
+    println!("# E7 / Prop. 10: OMv rounds for Q(A) = R(A,B), S(B), per-tuple vs batched");
     println!(
-        "{:<8} {:>8} {:>10} {:>14} {:>14} {:>14}",
-        "eps", "n", "entries", "load+retract", "enumerate", "total"
+        "{:<8} {:>8} {:>10} {:>14} {:>14} {:>14} {:>14} {:>8}",
+        "eps",
+        "n",
+        "entries",
+        "seq updates",
+        "batch updates",
+        "enumerate",
+        "total(batch)",
+        "speedup"
     );
     for &n in &[64usize, 128] {
         let rounds = 16;
         let inst = OmvInstance::generate(n, rounds, 0.25, 42);
         for eps in [0.0, 0.25, 0.5, 0.75, 1.0] {
-            let mut db = Database::new();
-            for t in inst.matrix_tuples() {
-                db.insert("R", t, 1);
-            }
-            let mut eng =
-                IvmEngine::from_sql("Q(A) :- R(A,B), S(B)", &db, EngineOptions::dynamic(eps))
-                    .unwrap();
-            let mut update_time = std::time::Duration::ZERO;
+            let mut seq = engine_for(&inst, eps);
+            let mut bat = engine_for(&inst, eps);
+            let mut seq_update = std::time::Duration::ZERO;
+            let mut bat_update = std::time::Duration::ZERO;
             let mut enum_time = std::time::Duration::ZERO;
             let mut verified = 0usize;
             for r in 0..rounds {
                 let vt = inst.vector_tuples(r);
+                // Per-tuple round.
                 let (_, t1) = time_once(|| {
                     for t in &vt {
-                        eng.insert("S", t.clone()).unwrap();
+                        seq.insert("S", t.clone()).unwrap();
                     }
                 });
-                let (rows, t2) = time_once(|| {
-                    let mut rows: Vec<i64> =
-                        eng.enumerate().map(|(t, _)| t.get(0).as_int()).collect();
-                    rows.sort_unstable();
-                    rows
-                });
-                assert_eq!(rows, inst.expected_product(r), "ε={eps} round {r}");
+                // Batched round on the twin engine.
+                let load = inst.vector_batch(r);
+                let (_, b1) = time_once(|| bat.apply_delta_batch(&load).unwrap());
+                let (rows, t2) = time_once(|| enumerate_rows(&bat));
+                assert_eq!(
+                    rows,
+                    inst.expected_product(r),
+                    "ε={eps} round {r} (batched)"
+                );
+                assert_eq!(
+                    enumerate_rows(&seq),
+                    rows,
+                    "ε={eps} round {r}: strategies diverged"
+                );
                 verified += rows.len();
                 let (_, t3) = time_once(|| {
                     for t in &vt {
-                        eng.delete("S", t.clone()).unwrap();
+                        seq.delete("S", t.clone()).unwrap();
                     }
                 });
-                update_time += t1 + t3;
+                let retract = inst.vector_retract_batch(r);
+                let (_, b3) = time_once(|| bat.apply_delta_batch(&retract).unwrap());
+                seq_update += t1 + t3;
+                bat_update += b1 + b3;
                 enum_time += t2;
             }
+            let speedup = seq_update.as_secs_f64() / bat_update.as_secs_f64().max(1e-12);
             println!(
-                "{:<8} {:>8} {:>10} {:>14} {:>14} {:>14}",
+                "{:<8} {:>8} {:>10} {:>14} {:>14} {:>14} {:>14} {:>7.1}x",
                 eps,
                 n,
                 verified,
-                fmt_dur(update_time),
+                fmt_dur(seq_update),
+                fmt_dur(bat_update),
                 fmt_dur(enum_time),
-                fmt_dur(update_time + enum_time)
+                fmt_dur(bat_update + enum_time),
+                speedup
             );
         }
         println!();
     }
     println!("# Expectation: update cost rises and enumeration cost falls with eps;");
     println!("# the balanced total sits in the middle (the OMv barrier allows no");
-    println!("# algorithm with both below N^(1/2-γ), Prop. 10).");
+    println!("# algorithm with both below N^(1/2-γ), Prop. 10).\n");
+
+    // ------------------------------------------------------------------
+    // Acceptance check: k = 1000 single-tuple updates, batched vs
+    // sequential, on the OMv workload.
+    // ------------------------------------------------------------------
+    let n = 1000i64;
+    let inst = OmvInstance {
+        n: n as usize,
+        // Sparse matrix: 2 entries per row, deterministic column spread.
+        matrix: (0..n)
+            .flat_map(|i| (0..2).map(move |k| (i, (i * 13 + k * 197) % n)))
+            .collect(),
+        // One full vector: loading it is exactly k = 1000 unit inserts.
+        vectors: vec![(0..n).collect()],
+    };
+    println!("# Batched apply of k=1000 updates vs 1000 sequential inserts (same engine state):");
+    println!(
+        "{:<8} {:>14} {:>14} {:>10}",
+        "eps", "sequential", "batched", "speedup"
+    );
+    for eps in [0.25, 0.5, 0.75] {
+        let mut seq = engine_for(&inst, eps);
+        let mut bat = engine_for(&inst, eps);
+        let vt = inst.vector_tuples(0);
+        assert_eq!(vt.len(), 1000);
+        // One untimed warm-up round, then best of three timed trials per
+        // strategy (each trial retracts untimed to reset the state), so
+        // first-touch faults and scheduler noise stay out of the ratio.
+        let load = inst.vector_batch(0);
+        let retract = inst.vector_retract_batch(0);
+        for t in &vt {
+            seq.insert("S", t.clone()).unwrap();
+        }
+        for t in &vt {
+            seq.delete("S", t.clone()).unwrap();
+        }
+        bat.apply_delta_batch(&load).unwrap();
+        bat.apply_delta_batch(&retract).unwrap();
+        // The acceptance metric is the k-insert load itself (best of three
+        // timed trials; retracts between trials are untimed resets).
+        let mut t_seq = std::time::Duration::MAX;
+        let mut t_bat = std::time::Duration::MAX;
+        for trial in 0..3 {
+            let (_, t) = time_once(|| {
+                for t in &vt {
+                    seq.insert("S", t.clone()).unwrap();
+                }
+            });
+            t_seq = t_seq.min(t);
+            if trial < 2 {
+                for t in &vt {
+                    seq.delete("S", t.clone()).unwrap();
+                }
+            }
+            let (_, t) = time_once(|| bat.apply_delta_batch(&load).unwrap());
+            t_bat = t_bat.min(t);
+            if trial < 2 {
+                bat.apply_delta_batch(&retract).unwrap();
+            }
+        }
+        assert_eq!(
+            enumerate_rows(&seq),
+            enumerate_rows(&bat),
+            "ε={eps}: batched k=1000 load diverged from sequential"
+        );
+        assert_eq!(enumerate_rows(&bat), inst.expected_product(0), "ε={eps}");
+        let speedup = t_seq.as_secs_f64() / t_bat.as_secs_f64().max(1e-12);
+        println!(
+            "{:<8} {:>14} {:>14} {:>9.1}x",
+            eps,
+            fmt_dur(t_seq),
+            fmt_dur(t_bat),
+            speedup
+        );
+        assert!(
+            speedup >= 2.0,
+            "batched apply of k=1000 updates must be ≥2x faster than sequential \
+             (ε={eps}: {:?} vs {:?}, {speedup:.2}x)",
+            t_seq,
+            t_bat
+        );
+    }
+    println!("\n# Acceptance: batched k=1000 apply is >=2x sequential at every ε above.");
 }

@@ -28,16 +28,16 @@ fn main() {
     );
     for s in [0.0, 0.5, 0.8, 1.0, 1.2, 1.5] {
         let db = two_path_db(n / 2, n / 8, s, 17);
-        let (mut eng, prep) = time_once(|| {
-            IvmEngine::new(&query, &db, EngineOptions::dynamic(eps)).unwrap()
-        });
+        let (mut eng, prep) =
+            time_once(|| IvmEngine::new(&query, &db, EngineOptions::dynamic(eps)).unwrap());
         let heavy = eng.heavy_keys();
         let light = eng.light_tuples();
         let aux = eng.aux_space();
         let ops = update_stream(1000, &[("R", 2), ("S", 2)], n / 8, s, 0.25, 23);
         let (_, upd) = time_once(|| {
             for op in &ops {
-                eng.apply_update(&op.relation, op.tuple.clone(), op.delta).unwrap();
+                eng.apply_update(&op.relation, op.tuple.clone(), op.delta)
+                    .unwrap();
             }
         });
         let delay = measure_delay(&eng, 2000);

@@ -8,16 +8,36 @@ use ivme_query::parse_query;
 
 fn main() {
     for (fig, src, mode) in [
-        ("Figure 9 (Example 18, static)", "Q(A,D,E) :- R(A,B,C), S(A,B,D), T(A,E)", Mode::Static),
-        ("Figure 9 (Example 18, dynamic)", "Q(A,D,E) :- R(A,B,C), S(A,B,D), T(A,E)", Mode::Dynamic),
+        (
+            "Figure 9 (Example 18, static)",
+            "Q(A,D,E) :- R(A,B,C), S(A,B,D), T(A,E)",
+            Mode::Static,
+        ),
+        (
+            "Figure 9 (Example 18, dynamic)",
+            "Q(A,D,E) :- R(A,B,C), S(A,B,D), T(A,E)",
+            Mode::Dynamic,
+        ),
         (
             "Figure 12 (Example 19, dynamic)",
             "Q(C,D,E,F) :- R(A,B,D), S(A,B,E), T(A,C,F), U(A,C,G)",
             Mode::Dynamic,
         ),
-        ("Figure 23 (Example 28, dynamic)", "Q(A,C) :- R(A,B), S(B,C)", Mode::Dynamic),
-        ("Figure 24 (Example 29, static)", "Q(A) :- R(A,B), S(B)", Mode::Static),
-        ("Figure 24 (Example 29, dynamic)", "Q(A) :- R(A,B), S(B)", Mode::Dynamic),
+        (
+            "Figure 23 (Example 28, dynamic)",
+            "Q(A,C) :- R(A,B), S(B,C)",
+            Mode::Dynamic,
+        ),
+        (
+            "Figure 24 (Example 29, static)",
+            "Q(A) :- R(A,B), S(B)",
+            Mode::Static,
+        ),
+        (
+            "Figure 24 (Example 29, dynamic)",
+            "Q(A) :- R(A,B), S(B)",
+            Mode::Dynamic,
+        ),
     ] {
         let q = parse_query(src).unwrap();
         let plan = ivme_plan::compile(&q, mode).unwrap();

@@ -1,73 +1,137 @@
-//! Criterion micro-benchmarks of the storage substrate: the O(1)
-//! operations the paper's computational model assumes (Sec. 3) — lookups,
-//! indexed inserts/deletes, group-size queries, constant-delay scans — and
-//! the engine's end-to-end single-tuple update at ε = ½.
+//! Micro-benchmarks of the storage substrate: the O(1) operations the
+//! paper's computational model assumes (Sec. 3) — lookups, indexed
+//! inserts/deletes, group-size queries, constant-delay scans — plus the
+//! engine's end-to-end single-tuple and batched update at ε = ½.
+//!
+//! Plain timing loops (the offline build has no criterion): each case is
+//! warmed up, then timed over enough iterations to smooth scheduler noise,
+//! and reported as ns/op.
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
-use ivme_core::{EngineOptions, IvmEngine};
+use std::hint::black_box;
+use std::time::Instant;
+
+use ivme_bench::fmt_ns;
+use ivme_core::{EngineOptions, IvmEngine, Update};
 use ivme_data::{Relation, Schema, Tuple};
 use ivme_query::parse_query;
 use ivme_workload::two_path_db;
 
-fn bench_relation_ops(c: &mut Criterion) {
-    let mut group = c.benchmark_group("relation");
+/// Times `f` over `iters` iterations (after `warmup` untimed ones) and
+/// returns ns/op.
+fn bench(warmup: usize, iters: usize, mut f: impl FnMut()) -> f64 {
+    for _ in 0..warmup {
+        f();
+    }
+    let t0 = Instant::now();
+    for _ in 0..iters {
+        f();
+    }
+    t0.elapsed().as_nanos() as f64 / iters as f64
+}
+
+fn report(name: &str, ns: f64) {
+    println!("{name:<28} {:>10}/op", fmt_ns(ns));
+}
+
+fn bench_relation_ops() {
+    println!("# relation (N = 100k, 1k groups)");
     let n = 100_000i64;
     let mut rel = Relation::new("R", Schema::of(&["A", "B"]));
     let idx = rel.add_index(&Schema::of(&["B"]));
     for i in 0..n {
         rel.insert(Tuple::ints(&[i, i % 1000]), 1);
     }
-    group.bench_function("get_hit", |b| {
-        let t = Tuple::ints(&[n / 2, (n / 2) % 1000]);
-        b.iter(|| black_box(rel.get(black_box(&t))))
-    });
-    group.bench_function("group_len", |b| {
-        let k = Tuple::ints(&[7]);
-        b.iter(|| black_box(rel.group_len(idx, black_box(&k))))
-    });
-    group.bench_function("insert_delete_cycle", |b| {
-        let t = Tuple::ints(&[n + 1, 7]);
-        b.iter(|| {
+    let t = Tuple::ints(&[n / 2, (n / 2) % 1000]);
+    report(
+        "get_hit",
+        bench(1000, 1_000_000, || {
+            black_box(rel.get(black_box(&t)));
+        }),
+    );
+    let k = Tuple::ints(&[7]);
+    report(
+        "group_len",
+        bench(1000, 1_000_000, || {
+            black_box(rel.group_len(idx, black_box(&k)));
+        }),
+    );
+    let t = Tuple::ints(&[n + 1, 7]);
+    report(
+        "insert_delete_cycle",
+        bench(1000, 200_000, || {
             rel.insert(t.clone(), 1);
             rel.delete(t.clone(), 1);
-        })
-    });
-    group.bench_function("scan_1k", |b| {
-        b.iter(|| {
+        }),
+    );
+    report(
+        "scan_1k",
+        bench(10, 2_000, || {
             let mut s = 0i64;
             for (_, m) in rel.iter().take(1000) {
                 s += m;
             }
-            black_box(s)
-        })
-    });
-    group.bench_function("group_scan", |b| {
-        let k = Tuple::ints(&[7]);
-        b.iter(|| black_box(rel.group_iter(idx, &k).count()))
-    });
-    group.finish();
+            black_box(s);
+        }),
+    );
+    report(
+        "group_scan",
+        bench(100, 20_000, || {
+            black_box(rel.group_iter(idx, &k).count());
+        }),
+    );
+    let batch: Vec<(Tuple, i64)> = (0..100)
+        .map(|i| (Tuple::ints(&[n + 10 + i, i % 1000]), 1))
+        .collect();
+    let retract: Vec<(Tuple, i64)> = batch.iter().map(|(t, _)| (t.clone(), -1)).collect();
+    report(
+        "apply_batch_100/tuple",
+        bench(100, 5_000, || {
+            rel.apply_batch(&batch).unwrap();
+            rel.apply_batch(&retract).unwrap();
+        }) / 200.0,
+    );
 }
 
-fn bench_engine_update(c: &mut Criterion) {
-    let mut group = c.benchmark_group("engine");
-    group.sample_size(30);
+fn bench_engine_update() {
+    println!("\n# engine: Q(A,C) = R(A,B), S(B,C), N = 2^13, eps = 0.5");
     let q = parse_query("Q(A,C) :- R(A,B), S(B,C)").unwrap();
     let db = two_path_db(1 << 12, 1 << 9, 1.0, 3);
     let mut eng = IvmEngine::new(&q, &db, EngineOptions::dynamic(0.5)).unwrap();
     let mut i = 0i64;
-    group.bench_function("single_update_eps_0.5", |b| {
-        b.iter(|| {
-            let t = Tuple::ints(&[1 << 20 | i, i % 512]);
+    report(
+        "single_update",
+        bench(200, 20_000, || {
+            let t = Tuple::ints(&[(1 << 20) | i, i % 512]);
             eng.insert("R", t.clone()).unwrap();
             eng.delete("R", t).unwrap();
             i += 1;
-        })
-    });
-    group.bench_function("first_tuple_delay_eps_0.5", |b| {
-        b.iter(|| black_box(eng.enumerate().next()))
-    });
-    group.finish();
+        }) / 2.0,
+    );
+    let mut j = 0i64;
+    report(
+        "batched_update_100/tuple",
+        bench(20, 500, || {
+            let inserts: Vec<Update> = (0..100)
+                .map(|k| Update::insert("R", Tuple::ints(&[(1 << 21) | (j + k), (j + k) % 512])))
+                .collect();
+            let deletes: Vec<Update> = inserts
+                .iter()
+                .map(|u| Update::delete("R", u.tuple.clone()))
+                .collect();
+            eng.apply_batch(&inserts).unwrap();
+            eng.apply_batch(&deletes).unwrap();
+            j += 100;
+        }) / 200.0,
+    );
+    report(
+        "first_tuple_delay",
+        bench(100, 10_000, || {
+            black_box(eng.enumerate().next());
+        }),
+    );
 }
 
-criterion_group!(benches, bench_relation_ops, bench_engine_update);
-criterion_main!(benches);
+fn main() {
+    bench_relation_ops();
+    bench_engine_update();
+}

@@ -101,8 +101,9 @@ mod tests {
 
     #[test]
     fn slope_of_exact_powerlaw() {
-        let pts: Vec<(f64, f64)> =
-            (1..=6).map(|i| ((1 << i) as f64, ((1 << i) as f64).powf(1.5))).collect();
+        let pts: Vec<(f64, f64)> = (1..=6)
+            .map(|i| ((1 << i) as f64, ((1 << i) as f64).powf(1.5)))
+            .collect();
         let s = loglog_slope(&pts);
         assert!((s - 1.5).abs() < 1e-9, "slope {s}");
     }

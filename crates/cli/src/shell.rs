@@ -11,6 +11,8 @@
 //! build                              compile + preprocess
 //! insert R 1,2                       single-tuple insert
 //! delete R 1,2                       single-tuple delete
+//! .load R path.csv                   bulk-load a CSV as ONE batch (timed)
+//! .batch begin|commit|abort          stage inserts/deletes, apply atomically
 //! list [k]                           enumerate (first k) result tuples
 //! count                              number of distinct result tuples
 //! stats                              maintenance counters and sizes
@@ -19,13 +21,19 @@
 //! help | quit
 //! ```
 //!
+//! While a `.batch` is open, `insert`/`delete` stage into the pending
+//! [`DeltaBatch`] instead of applying immediately; `.batch commit` applies
+//! the consolidated batch atomically through [`IvmEngine::apply_batch`]'s
+//! delta-batch entry point and reports the apply time, so batched
+//! throughput is demoable interactively.
+//!
 //! The interpreter is I/O-agnostic (writes to any `io::Write`) so the unit
 //! tests drive it with string scripts.
 
 use std::fmt::Write as _;
 use std::fs;
 
-use ivme_core::{Database, EngineOptions, IvmEngine, Mode};
+use ivme_core::{Database, DeltaBatch, EngineOptions, IvmEngine, Mode};
 use ivme_data::{Tuple, Value};
 use ivme_query::{classify, parse_query, Query};
 
@@ -36,6 +44,8 @@ pub struct Shell {
     mode: Mode,
     staged: Database,
     engine: Option<IvmEngine>,
+    /// Open `.batch` staging area, if any.
+    pending: Option<DeltaBatch>,
 }
 
 impl Default for Shell {
@@ -52,6 +62,7 @@ impl Shell {
             mode: Mode::Dynamic,
             staged: Database::new(),
             engine: None,
+            pending: None,
         }
     }
 
@@ -116,8 +127,7 @@ impl Shell {
                     if row.trim().is_empty() {
                         continue;
                     }
-                    let t = parse_tuple(row)
-                        .map_err(|e| format!("{path}:{}: {e}", i + 1))?;
+                    let t = parse_tuple(row).map_err(|e| format!("{path}:{}: {e}", i + 1))?;
                     self.staged.insert(rel, t, 1);
                     n += 1;
                 }
@@ -135,7 +145,10 @@ impl Shell {
                 let eng = IvmEngine::new(
                     q,
                     &self.staged,
-                    EngineOptions { epsilon: self.epsilon, mode: self.mode },
+                    EngineOptions {
+                        epsilon: self.epsilon,
+                        mode: self.mode,
+                    },
                 )
                 .map_err(|e| e.to_string())?;
                 let msg = format!(
@@ -152,11 +165,98 @@ impl Shell {
                     .split_once(char::is_whitespace)
                     .ok_or("usage: insert|delete <relation> <v1,v2,...>")?;
                 let t = parse_tuple(csv)?;
-                let eng = self.engine.as_mut().ok_or("run `build` first")?;
                 let delta = if cmd == "insert" { 1 } else { -1 };
+                if let Some(batch) = self.pending.as_mut() {
+                    batch.push(rel, t, delta);
+                    return Ok(Some(format!(
+                        "staged ({} updates, {} net entries pending)\n",
+                        batch.cardinality(),
+                        batch.distinct_len()
+                    )));
+                }
+                let eng = self.engine.as_mut().ok_or("run `build` first")?;
                 eng.apply_update(rel, t, delta).map_err(|e| e.to_string())?;
                 Ok(Some(String::new()))
             }
+            ".load" => {
+                let (rel, path) = rest
+                    .split_once(char::is_whitespace)
+                    .ok_or("usage: .load <relation> <path.csv>")?;
+                let eng = self.engine.as_mut().ok_or("run `build` first")?;
+                let text = fs::read_to_string(path.trim())
+                    .map_err(|e| format!("cannot read {path}: {e}"))?;
+                let mut batch = DeltaBatch::new();
+                for (i, row) in text.lines().enumerate() {
+                    if row.trim().is_empty() {
+                        continue;
+                    }
+                    let t = parse_tuple(row).map_err(|e| format!("{path}:{}: {e}", i + 1))?;
+                    batch.insert(rel, t);
+                }
+                let t0 = std::time::Instant::now();
+                eng.apply_delta_batch(&batch).map_err(|e| e.to_string())?;
+                let dt = t0.elapsed();
+                Ok(Some(format!(
+                    "applied batch of {} rows into {rel} in {:.3}ms ({:.0} rows/s)\n",
+                    batch.cardinality(),
+                    dt.as_secs_f64() * 1e3,
+                    batch.cardinality() as f64 / dt.as_secs_f64().max(1e-9)
+                )))
+            }
+            ".batch" => match rest {
+                "begin" => {
+                    if self.pending.is_some() {
+                        return Err("a batch is already open (`.batch commit|abort`)".into());
+                    }
+                    self.engine.as_ref().ok_or("run `build` first")?;
+                    self.pending = Some(DeltaBatch::new());
+                    Ok(Some(
+                        "batch open: insert/delete now stage until `.batch commit`\n".to_owned(),
+                    ))
+                }
+                "commit" => {
+                    let batch = self
+                        .pending
+                        .take()
+                        .ok_or("no open batch (`.batch begin`)")?;
+                    let eng = self.engine.as_mut().ok_or("run `build` first")?;
+                    let t0 = std::time::Instant::now();
+                    match eng.apply_delta_batch(&batch) {
+                        Ok(()) => {
+                            let dt = t0.elapsed();
+                            Ok(Some(format!(
+                                "committed {} updates ({} net entries) in {:.3}ms ({:.0} updates/s)\n",
+                                batch.cardinality(),
+                                batch.distinct_len(),
+                                dt.as_secs_f64() * 1e3,
+                                batch.cardinality() as f64 / dt.as_secs_f64().max(1e-9)
+                            )))
+                        }
+                        Err(e) => Err(format!("batch rejected (engine unchanged): {e}")),
+                    }
+                }
+                "abort" => {
+                    let batch = self
+                        .pending
+                        .take()
+                        .ok_or("no open batch (`.batch begin`)")?;
+                    Ok(Some(format!(
+                        "aborted batch of {} staged updates\n",
+                        batch.cardinality()
+                    )))
+                }
+                "" | "status" => match &self.pending {
+                    Some(b) => Ok(Some(format!(
+                        "open batch: {} updates, {} net entries\n",
+                        b.cardinality(),
+                        b.distinct_len()
+                    ))),
+                    None => Ok(Some("no open batch\n".to_owned())),
+                },
+                other => Err(format!(
+                    "usage: .batch begin|commit|abort|status (got `{other}`)"
+                )),
+            },
             "list" => {
                 let eng = self.engine.as_ref().ok_or("run `build` first")?;
                 let limit: usize = if rest.is_empty() {
@@ -182,13 +282,14 @@ impl Shell {
                 let s = eng.stats();
                 Ok(Some(format!(
                     "N = {}, M = {}, θ = {:.2}, views = {}, aux space = {}\n\
-                     updates = {}, major rebalances = {}, minor rebalances = {}\n",
+                     updates = {}, batches = {}, major rebalances = {}, minor rebalances = {}\n",
                     eng.db_size(),
                     eng.threshold_base(),
                     eng.theta(),
                     eng.num_views(),
                     eng.aux_space(),
                     s.updates,
+                    s.batches,
                     s.major_rebalances,
                     s.minor_rebalances
                 )))
@@ -200,8 +301,7 @@ impl Shell {
             }
             "plan" => {
                 let q = self.query.as_ref().ok_or("no query registered")?;
-                let plan =
-                    ivme_plan::compile(q, self.mode).map_err(|e| e.to_string())?;
+                let plan = ivme_plan::compile(q, self.mode).map_err(|e| e.to_string())?;
                 Ok(Some(plan.render()))
             }
             other => Err(format!("unknown command `{other}` (try `help`)")),
@@ -235,8 +335,12 @@ commands:
   load <rel> <csv path>  stage rows for a relation
   row <rel> <v1,v2,...>  stage one row
   build                  compile the plan and preprocess the staged data
-  insert <rel> <values>  apply a single-tuple insert
-  delete <rel> <values>  apply a single-tuple delete
+  insert <rel> <values>  apply a single-tuple insert (stages while a batch is open)
+  delete <rel> <values>  apply a single-tuple delete (stages while a batch is open)
+  .load <rel> <csv path> bulk-load a CSV into the built engine as one timed batch
+  .batch begin           open a batch: insert/delete stage instead of applying
+  .batch commit          apply the staged batch atomically and report timing
+  .batch abort|status    discard / inspect the staged batch
   list [k]               enumerate (up to k) distinct result tuples
   count                  count distinct result tuples
   stats                  engine counters and sizes
@@ -324,6 +428,106 @@ mod tests {
         );
         assert!(out.contains("staged 3 rows"), "{out}");
         assert!(out.contains("\n2\n"), "{out}");
+    }
+
+    #[test]
+    fn batch_staging_commits_atomically() {
+        let mut sh = Shell::new();
+        let out = run(
+            &mut sh,
+            &[
+                "query Q(A,C) :- R(A,B), S(B,C)",
+                "row R 1,10",
+                "build",
+                ".batch begin",
+                "insert S 10,5",
+                "insert R 2,10",
+                "insert R 3,10",
+                "delete R 3,10",
+                ".batch status",
+                ".batch commit",
+                "count",
+                "stats",
+            ],
+        );
+        assert!(out.contains("batch open"), "{out}");
+        assert!(
+            out.contains("open batch: 4 updates, 2 net entries"),
+            "{out}"
+        );
+        assert!(out.contains("committed 4 updates (2 net entries)"), "{out}");
+        assert!(out.contains("\n2\n"), "expected count 2 in:\n{out}");
+        assert!(out.contains("updates = 4"), "{out}");
+        assert!(out.contains("batches = 1"), "{out}");
+    }
+
+    #[test]
+    fn rejected_batch_leaves_engine_unchanged() {
+        let mut sh = Shell::new();
+        let _ = run(
+            &mut sh,
+            &[
+                "query Q(A,C) :- R(A,B), S(B,C)",
+                "row R 1,10",
+                "row S 10,5",
+                "build",
+                ".batch begin",
+                "insert R 2,10",
+            ],
+        );
+        // Over-delete: net -1 on an absent tuple must reject the whole batch.
+        let _ = sh.execute("delete R 9,9").unwrap();
+        let err = sh.execute(".batch commit").unwrap_err();
+        assert!(err.contains("rejected"), "{err}");
+        let out = run(&mut sh, &["count", "stats"]);
+        assert!(
+            out.starts_with("1\n"),
+            "engine state leaked from rejected batch:\n{out}"
+        );
+        assert!(out.contains("updates = 0"), "{out}");
+    }
+
+    #[test]
+    fn batch_abort_and_misuse() {
+        let mut sh = Shell::new();
+        let _ = run(&mut sh, &["query Q(A) :- R(A,B), S(B)", "build"]);
+        assert!(sh.execute(".batch commit").is_err());
+        let _ = sh.execute(".batch begin").unwrap();
+        assert!(sh.execute(".batch begin").is_err());
+        let _ = sh.execute("insert R 1,2").unwrap();
+        let out = sh.execute(".batch abort").unwrap().unwrap();
+        assert!(out.contains("aborted batch of 1"), "{out}");
+        assert!(sh.execute(".batch frobnicate").is_err());
+        assert!(sh
+            .execute(".batch")
+            .unwrap()
+            .unwrap()
+            .contains("no open batch"));
+    }
+
+    #[test]
+    fn dot_load_applies_csv_as_one_batch() {
+        let dir = std::env::temp_dir().join("ivme_cli_batch_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("s.csv");
+        std::fs::write(&path, "1\n2\n\n3\n").unwrap();
+        let mut sh = Shell::new();
+        let out = run(
+            &mut sh,
+            &[
+                "query Q(A) :- R(A,B), S(B)",
+                "row R 7,1",
+                "row R 8,2",
+                "build",
+                &format!(".load S {}", path.display()),
+                "count",
+                "stats",
+            ],
+        );
+        assert!(out.contains("applied batch of 3 rows into S"), "{out}");
+        assert!(out.contains("\n2\n"), "{out}");
+        assert!(out.contains("updates = 3"), "{out}");
+        assert!(out.contains("batches = 1"), "{out}");
     }
 
     #[test]

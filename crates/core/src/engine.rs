@@ -10,7 +10,8 @@
 
 use std::fmt;
 
-use ivme_data::{NegativeMultiplicity, Tuple};
+use ivme_data::fx::{FxHashMap, FxHashSet};
+use ivme_data::{DeltaBatch, NegativeMultiplicity, Tuple, Update};
 use ivme_plan::{Mode, Plan};
 use ivme_query::{NotHierarchical, Query};
 
@@ -31,12 +32,18 @@ pub struct EngineOptions {
 impl EngineOptions {
     /// Dynamic evaluation at the given ε.
     pub fn dynamic(epsilon: f64) -> EngineOptions {
-        EngineOptions { epsilon, mode: Mode::Dynamic }
+        EngineOptions {
+            epsilon,
+            mode: Mode::Dynamic,
+        }
     }
 
     /// Static evaluation at the given ε.
     pub fn static_eval(epsilon: f64) -> EngineOptions {
-        EngineOptions { epsilon, mode: Mode::Static }
+        EngineOptions {
+            epsilon,
+            mode: Mode::Static,
+        }
     }
 }
 
@@ -92,8 +99,10 @@ impl std::error::Error for UpdateError {}
 /// Maintenance counters (used by the benchmark harness and EXPERIMENTS.md).
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct EngineStats {
-    /// Single-tuple updates processed.
+    /// Single-tuple updates processed (a batch of cardinality k counts k).
     pub updates: u64,
+    /// Batches applied (a single-tuple update counts as a batch of one).
+    pub batches: u64,
     /// Major rebalancing events (threshold-base doubling/halving).
     pub major_rebalances: u64,
     /// Minor rebalancing events (per-key light/heavy migrations).
@@ -117,12 +126,15 @@ pub struct IvmEngine {
 
 impl IvmEngine {
     /// Compiles `query` and preprocesses it over `db`.
-    pub fn new(query: &Query, db: &Database, opts: EngineOptions) -> Result<IvmEngine, EngineError> {
+    pub fn new(
+        query: &Query,
+        db: &Database,
+        opts: EngineOptions,
+    ) -> Result<IvmEngine, EngineError> {
         if !(0.0..=1.0).contains(&opts.epsilon) {
             return Err(EngineError::InvalidEpsilon(opts.epsilon));
         }
-        let plan =
-            ivme_plan::compile(query, opts.mode).map_err(EngineError::NotHierarchical)?;
+        let plan = ivme_plan::compile(query, opts.mode).map_err(EngineError::NotHierarchical)?;
         let mut rt = Runtime::build(&plan);
         // Enumeration compilation adds its indexes before any data exists.
         let mut enums = Vec::new();
@@ -222,7 +234,12 @@ impl IvmEngine {
             .map(|n| self.rt.rels[n.rel].len())
             .sum();
         let lights: usize = self.rt.partitions.iter().map(|p| p.light().len()).sum();
-        let heavies: usize = self.rt.heavy_rel.iter().map(|&r| self.rt.rels[r].len()).sum();
+        let heavies: usize = self
+            .rt
+            .heavy_rel
+            .iter()
+            .map(|&r| self.rt.rels[r].len())
+            .sum();
         views + lights + heavies
     }
 
@@ -230,7 +247,11 @@ impl IvmEngine {
     /// of the on-the-fly portion of the representation (≤ N^{1−ε} per
     /// indicator).
     pub fn heavy_keys(&self) -> usize {
-        self.rt.heavy_rel.iter().map(|&r| self.rt.rels[r].len()).sum()
+        self.rt
+            .heavy_rel
+            .iter()
+            .map(|&r| self.rt.rels[r].len())
+            .sum()
     }
 
     /// Total number of tuples across all light parts.
@@ -270,7 +291,7 @@ impl IvmEngine {
     }
 
     // ------------------------------------------------------------------
-    // Updates (Fig. 22: OnUpdate)
+    // Updates (Fig. 22: OnUpdate, generalized to batches)
     // ------------------------------------------------------------------
 
     /// Applies a single-tuple update `δR = {tuple → delta}` to relation
@@ -278,36 +299,26 @@ impl IvmEngine {
     /// exceeding the stored multiplicity are rejected. With repeated
     /// relation symbols the update is applied to each occurrence in
     /// sequence (paper footnote 2).
+    ///
+    /// This is a batch of one: see [`IvmEngine::apply_batch`] for the
+    /// general entry point and the shared semantics.
     pub fn apply_update(
         &mut self,
         relation: &str,
         tuple: Tuple,
         delta: i64,
     ) -> Result<(), UpdateError> {
-        if self.mode == Mode::Static {
-            return Err(UpdateError::StaticMode);
-        }
         if delta == 0 {
+            // Historical fast path: a zero delta succeeds without even
+            // resolving the relation name.
+            if self.mode == Mode::Static {
+                return Err(UpdateError::StaticMode);
+            }
             return Ok(());
         }
-        let atoms: Vec<usize> = (0..self.query.atoms.len())
-            .filter(|&a| self.query.atoms[a].relation == relation)
-            .collect();
-        if atoms.is_empty() {
-            return Err(UpdateError::UnknownRelation(relation.to_owned()));
-        }
-        for &a in &atoms {
-            if tuple.arity() != self.query.atoms[a].schema.arity() {
-                return Err(UpdateError::Arity(format!(
-                    "tuple {tuple:?} does not match schema {:?} of {relation}",
-                    self.query.atoms[a].schema
-                )));
-            }
-        }
-        for &a in &atoms {
-            self.on_update(a, tuple.clone(), delta)?;
-        }
-        Ok(())
+        let mut batch = DeltaBatch::new();
+        batch.push(relation, tuple, delta);
+        self.apply_delta_batch(&batch)
     }
 
     /// Convenience insert of a unit-multiplicity tuple.
@@ -320,83 +331,212 @@ impl IvmEngine {
         self.apply_update(relation, tuple, -1)
     }
 
-    /// `OnUpdate` (Fig. 22) for one atom occurrence.
-    fn on_update(&mut self, atom: usize, tuple: Tuple, delta: i64) -> Result<(), UpdateError> {
-        self.update_trees(atom, &tuple, delta)?;
-        self.stats.updates += 1;
-        if self.n_size >= self.m_threshold {
+    /// Applies a batch of single-tuple updates as one maintenance round.
+    ///
+    /// The updates are consolidated per relation and tuple (a +1/−1 pair
+    /// on the same tuple cancels), validated, and applied **atomically**:
+    /// if any *net* delta would drive a stored multiplicity negative, or
+    /// names an unknown relation, or has the wrong arity, the engine is
+    /// left untouched and the error returned. For valid batches the final
+    /// state is exactly the state that sequentially applying the updates
+    /// would reach, but maintenance does one group-product per *distinct
+    /// dirty key* per view node instead of one trigger walk per tuple, and
+    /// rebalancing bookkeeping is charged once with the batch's
+    /// cardinality, preserving the amortized `O(N^{δε})` bound per update.
+    pub fn apply_batch(&mut self, updates: &[Update]) -> Result<(), UpdateError> {
+        let batch = DeltaBatch::from_updates(updates);
+        self.apply_delta_batch(&batch)
+    }
+
+    /// [`IvmEngine::apply_batch`] for a pre-consolidated [`DeltaBatch`].
+    pub fn apply_delta_batch(&mut self, batch: &DeltaBatch) -> Result<(), UpdateError> {
+        if self.mode == Mode::Static {
+            return Err(UpdateError::StaticMode);
+        }
+        // Resolve and validate everything up front so rejection is atomic.
+        let mut relations: Vec<&str> = batch.relations().collect();
+        relations.sort_unstable(); // deterministic application order
+                                   // Per batched relation: its atom occurrences and consolidated deltas.
+        type RelationWork = (Vec<usize>, Vec<(Tuple, i64)>);
+        let mut work: Vec<RelationWork> = Vec::new();
+        for relation in relations {
+            let atoms: Vec<usize> = (0..self.query.atoms.len())
+                .filter(|&a| self.query.atoms[a].relation == relation)
+                .collect();
+            if atoms.is_empty() {
+                return Err(UpdateError::UnknownRelation(relation.to_owned()));
+            }
+            let deltas = batch.deltas_vec(relation);
+            for &a in &atoms {
+                let arity = self.query.atoms[a].schema.arity();
+                for (t, _) in &deltas {
+                    if t.arity() != arity {
+                        return Err(UpdateError::Arity(format!(
+                            "tuple {t:?} does not match schema {:?} of {relation}",
+                            self.query.atoms[a].schema
+                        )));
+                    }
+                }
+            }
+            // Negative-multiplicity dry run against the first occurrence:
+            // occurrences are identical copies receiving identical deltas,
+            // so one check covers them all.
+            let base = self.rt.base_rel[atoms[0]];
+            for (t, d) in &deltas {
+                let present = self.rt.rels[base].get(t);
+                if present + d < 0 {
+                    return Err(UpdateError::Negative(NegativeMultiplicity {
+                        tuple: t.clone(),
+                        present,
+                        delta: *d,
+                    }));
+                }
+            }
+            work.push((atoms, deltas));
+        }
+        // Apply per atom occurrence: trees, light parts, and indicators.
+        for (atoms, deltas) in &work {
+            for &a in atoms {
+                self.update_trees_batch(a, deltas);
+            }
+        }
+        self.stats.updates += batch.cardinality() as u64;
+        self.stats.batches += 1;
+        // Restore the size invariant ⌊M/4⌋ ≤ N < M. A batch can overshoot
+        // the thresholds by more than 2×, so double/halve to a fixpoint and
+        // recompute once (`MajorRebalancing`, Fig. 20, charged per batch).
+        let mut resized = false;
+        while self.n_size >= self.m_threshold {
             self.m_threshold *= 2;
-            self.major_rebalance();
-        } else if self.n_size < self.m_threshold / 4 {
+            resized = true;
+        }
+        while self.n_size < self.m_threshold / 4 {
             self.m_threshold = (self.m_threshold / 2).saturating_sub(1).max(1);
+            resized = true;
+        }
+        if resized {
+            // The strict rebuild restores every partition invariant, so the
+            // per-key minor checks below would be wasted propagation work.
             self.major_rebalance();
         } else {
-            self.minor_rebalance(atom, &tuple);
+            for (atoms, deltas) in &work {
+                for &a in atoms {
+                    self.minor_rebalance_batch(a, deltas);
+                }
+            }
         }
         Ok(())
     }
 
-    /// `UpdateTrees` (Fig. 19): pushes the delta through every view tree,
-    /// light part, indicator tree, and heavy indicator.
-    fn update_trees(&mut self, atom: usize, tuple: &Tuple, delta: i64) -> Result<(), UpdateError> {
-        // Decide, per partition of this atom, whether the tuple belongs to
-        // the light part: key already light, or key absent from R
-        // (Fig. 19 line 10) — evaluated before touching the base relation.
-        let mut light_parts: Vec<usize> = Vec::new();
+    /// `UpdateTrees` (Fig. 19) for a consolidated per-atom delta set:
+    /// pushes the deltas through every view tree, light part, indicator
+    /// tree, and heavy indicator, grouping per-node work by dirty key.
+    fn update_trees_batch(&mut self, atom: usize, deltas: &[(Tuple, i64)]) {
+        // Split out, per partition of this atom, the sub-batch that belongs
+        // to the light part: key already light, or key absent from R
+        // (Fig. 19 line 10) — decided per key. Unlike the single-tuple
+        // trigger, the decision is **batch-aware**: if a key's light degree
+        // would cross the 1.5·θ migration threshold by batch end, the key
+        // is treated as heavy up front (its existing light tuples are
+        // migrated out now), instead of pushing the whole sub-batch through
+        // the light trees only for minor rebalancing to rip it back out —
+        // the per-key work a sequence of single-tuple triggers would also
+        // avoid by migrating mid-stream.
+        let theta = self.theta();
+        let mut light_sub: Vec<(usize, Vec<(Tuple, i64)>)> = Vec::new();
         for pi in 0..self.rt.partitions.len() {
             if self.rt.part_atom[pi] != atom {
                 continue;
             }
-            let key = self.rt.partitions[pi].key_of(tuple);
             let base = self.rt.base_rel[atom];
-            let present =
-                self.rt.rels[base].group_contains(self.rt.base_part_idx[pi], &key);
-            if self.rt.partitions[pi].key_is_light(&key) || !present {
-                light_parts.push(pi);
+            let idx = self.rt.base_part_idx[pi];
+            // Pass 1 — upper estimate of each key's net change in distinct
+            // light tuples (inserts of already-present tuples only
+            // overestimate; the post-batch minor checks restore the
+            // invariants exactly).
+            let mut keys: FxHashMap<Tuple, i64> =
+                FxHashMap::with_capacity_and_hasher(deltas.len(), Default::default());
+            for (t, d) in deltas {
+                *keys.entry(self.rt.partitions[pi].key_of(t)).or_insert(0) +=
+                    if *d > 0 { 1 } else { -1 };
+            }
+            // Pass 2 — decide light/heavy once per key, in place (the
+            // entry's value becomes the decision), queueing pre-migrations.
+            let mut migrate: Vec<Tuple> = Vec::new();
+            for (key, v) in keys.iter_mut() {
+                let light_deg = self.rt.partitions[pi].light_degree(key) as i64;
+                let light = if ((light_deg + *v) as f64) >= 1.5 * theta {
+                    // Will be heavy by batch end: migrate out now.
+                    if light_deg > 0 {
+                        migrate.push(key.clone());
+                    }
+                    false
+                } else {
+                    self.rt.partitions[pi].key_is_light(key)
+                        || !self.rt.rels[base].group_contains(idx, key)
+                };
+                *v = light as i64;
+            }
+            for key in migrate {
+                self.stats.minor_rebalances += 1;
+                let out = self.rt.partitions[pi].migrate_out(&key);
+                for leaf in self.rt.leaves_by_part[pi].clone() {
+                    self.rt.propagate(leaf, &out);
+                }
+            }
+            // Pass 3 — route each delta by its key's decision.
+            let mut sub: Vec<(Tuple, i64)> = Vec::new();
+            for (t, d) in deltas {
+                if keys[&self.rt.partitions[pi].key_of(t)] == 1 {
+                    sub.push((t.clone(), *d));
+                }
+            }
+            if !sub.is_empty() {
+                light_sub.push((pi, sub));
             }
         }
-        // 1. Base relation (validates delete legality).
+        // 1. Base relation, atomically (legality was validated up front).
         let base = self.rt.base_rel[atom];
-        let outcome = self.rt.rels[base]
-            .apply(tuple.clone(), delta)
-            .map_err(UpdateError::Negative)?;
-        if outcome.inserted() {
-            self.n_size += 1;
-        } else if outcome.deleted() {
-            self.n_size -= 1;
-        }
-        let d = vec![(tuple.clone(), delta)];
+        let outcome = self.rt.rels[base].apply_batch_unchecked(deltas);
+        self.n_size = (self.n_size as i64 + outcome.net_size_change()) as usize;
         // 2. Propagate through every tree reading this atom directly
         //    (component trees and indicator All-trees).
         for leaf in self.rt.leaves_by_atom[atom].clone() {
-            self.rt.propagate(leaf, &d);
+            self.rt.propagate(leaf, deltas);
         }
         // 3. Light parts and the trees reading them (component light trees
         //    and indicator L-trees).
-        for pi in light_parts {
+        for (pi, sub) in light_sub {
             self.rt.partitions[pi]
                 .light_mut()
-                .apply(tuple.clone(), delta)
-                .expect("light part mirrors the base relation");
+                .apply_batch_unchecked(&sub);
             for leaf in self.rt.leaves_by_part[pi].clone() {
-                self.rt.propagate(leaf, &d);
+                self.rt.propagate(leaf, &sub);
             }
         }
-        // 4. Refresh the heavy indicators whose key the update fixes and
-        //    propagate any δ(∃H) (Fig. 18 / Fig. 19 lines 8-14).
+        // 4. Refresh the heavy indicators at every distinct touched key and
+        //    propagate the collected δ(∃H) (Fig. 18 / Fig. 19 lines 8-14).
         for ind in 0..self.rt.heavy_rel.len() {
             let Some(pos) = self.rt.ind_key_pos_in_atom[ind].get(&atom).cloned() else {
                 continue;
             };
-            let key = tuple.project(&pos);
-            if let Some(dh) = self.rt.refresh_heavy(ind, &key) {
-                let dh = vec![dh];
+            let mut seen: FxHashSet<Tuple> =
+                FxHashSet::with_capacity_and_hasher(deltas.len(), Default::default());
+            let mut dh: Vec<(Tuple, i64)> = Vec::new();
+            for (t, _) in deltas {
+                let key = t.project(&pos);
+                if seen.insert(key.clone()) {
+                    if let Some(d) = self.rt.refresh_heavy(ind, &key) {
+                        dh.push(d);
+                    }
+                }
+            }
+            if !dh.is_empty() {
                 for leaf in self.rt.leaves_by_ind[ind].clone() {
                     self.rt.propagate(leaf, &dh);
                 }
             }
         }
-        Ok(())
     }
 
     /// `MajorRebalancing` (Fig. 20): strict repartition with the new
@@ -407,48 +547,69 @@ impl IvmEngine {
     }
 
     /// `MinorRebalancing` checks (Fig. 22 lines 9-15) for every partition
-    /// of the updated atom; migrations move whole keys between the light
-    /// and heavy sides and propagate the resulting deltas (Fig. 21).
-    fn minor_rebalance(&mut self, atom: usize, tuple: &Tuple) {
+    /// of the updated atom, once per **distinct key** the batch touched;
+    /// migrations move whole keys between the light and heavy sides and
+    /// propagate the resulting deltas (Fig. 21).
+    fn minor_rebalance_batch(&mut self, atom: usize, deltas: &[(Tuple, i64)]) {
         let theta = self.theta();
         for pi in 0..self.rt.partitions.len() {
             if self.rt.part_atom[pi] != atom {
                 continue;
             }
-            let key = self.rt.partitions[pi].key_of(tuple);
-            let light_deg = self.rt.partitions[pi].light_degree(&key);
-            let base = self.rt.base_rel[atom];
-            let full_deg = self.rt.rels[base].group_len(self.rt.base_part_idx[pi], &key);
-            let deltas: Vec<(Tuple, i64)>;
-            if light_deg == 0 && full_deg > 0 && (full_deg as f64) < 0.5 * theta {
-                // Heavy → light.
-                let Runtime { rels, partitions, base_rel, base_part_idx, part_atom, .. } =
-                    &mut self.rt;
-                let b = &rels[base_rel[part_atom[pi]]];
-                deltas = partitions[pi].migrate_in(b, base_part_idx[pi], &key);
-            } else if (light_deg as f64) >= 1.5 * theta {
-                // Light → heavy.
-                deltas = self.rt.partitions[pi].migrate_out(&key);
-            } else {
+            let mut seen: FxHashSet<Tuple> =
+                FxHashSet::with_capacity_and_hasher(deltas.len(), Default::default());
+            for (t, _) in deltas {
+                let key = self.rt.partitions[pi].key_of(t);
+                if seen.insert(key.clone()) {
+                    self.minor_rebalance_key(pi, atom, &key, theta);
+                }
+            }
+        }
+    }
+
+    /// One minor-rebalancing check for one partition key.
+    fn minor_rebalance_key(&mut self, pi: usize, atom: usize, key: &Tuple, theta: f64) {
+        let light_deg = self.rt.partitions[pi].light_degree(key);
+        let base = self.rt.base_rel[atom];
+        let full_deg = self.rt.rels[base].group_len(self.rt.base_part_idx[pi], key);
+        let deltas: Vec<(Tuple, i64)>;
+        if light_deg == 0 && full_deg > 0 && (full_deg as f64) < 0.5 * theta {
+            // Heavy → light.
+            let Runtime {
+                rels,
+                partitions,
+                base_rel,
+                base_part_idx,
+                part_atom,
+                ..
+            } = &mut self.rt;
+            let b = &rels[base_rel[part_atom[pi]]];
+            deltas = partitions[pi].migrate_in(b, base_part_idx[pi], key);
+        } else if (light_deg as f64) >= 1.5 * theta {
+            // Light → heavy.
+            deltas = self.rt.partitions[pi].migrate_out(key);
+        } else {
+            return;
+        }
+        self.stats.minor_rebalances += 1;
+        for leaf in self.rt.leaves_by_part[pi].clone() {
+            self.rt.propagate(leaf, &deltas);
+        }
+        // The migration may flip the heavy indicator at this key.
+        for ind in 0..self.rt.heavy_rel.len() {
+            if !self.rt.ind_key_pos_in_atom[ind].contains_key(&atom) {
                 continue;
             }
-            self.stats.minor_rebalances += 1;
-            for leaf in self.rt.leaves_by_part[pi].clone() {
-                self.rt.propagate(leaf, &deltas);
+            if !self.plan.indicators[ind]
+                .keys
+                .same_set(self.rt.partitions[pi].key())
+            {
+                continue;
             }
-            // The migration may flip the heavy indicator at this key.
-            for ind in 0..self.rt.heavy_rel.len() {
-                if !self.rt.ind_key_pos_in_atom[ind].contains_key(&atom) {
-                    continue;
-                }
-                if !self.plan.indicators[ind].keys.same_set(self.rt.partitions[pi].key()) {
-                    continue;
-                }
-                if let Some(dh) = self.rt.refresh_heavy(ind, &key) {
-                    let dh = vec![dh];
-                    for leaf in self.rt.leaves_by_ind[ind].clone() {
-                        self.rt.propagate(leaf, &dh);
-                    }
+            if let Some(dh) = self.rt.refresh_heavy(ind, key) {
+                let dh = vec![dh];
+                for leaf in self.rt.leaves_by_ind[ind].clone() {
+                    self.rt.propagate(leaf, &dh);
                 }
             }
         }

@@ -90,14 +90,14 @@ impl Runtime {
         let schema = self.nodes[n].schema.clone();
         let sub_free = self.subtree_free(n, free);
         let out_vars = sub_free.difference(parent_schema);
-        let mut out_positions: Vec<usize> =
-            out_vars.vars().iter().map(|&v| free.position(v).unwrap()).collect();
+        let mut out_positions: Vec<usize> = out_vars
+            .vars()
+            .iter()
+            .map(|&v| free.position(v).unwrap())
+            .collect();
         out_positions.sort_unstable();
         // Canonical out order = free-schema order.
-        let out_schema: Schema = out_positions
-            .iter()
-            .map(|&p| free.vars()[p])
-            .collect();
+        let out_schema: Schema = out_positions.iter().map(|&p| free.vars()[p]).collect();
 
         let own_vars = schema.intersect(free).difference(parent_schema);
         let own_emit: Vec<(usize, usize)> = own_vars
@@ -143,9 +143,14 @@ impl Runtime {
                 })
                 .collect();
             match h_child {
-                None => EnumKind::Directory { children: enum_children, child_seg_idx },
+                None => EnumKind::Directory {
+                    children: enum_children,
+                    child_seg_idx,
+                },
                 Some(hc) => {
-                    let RtKind::LeafHeavy(ind) = self.nodes[hc].kind else { unreachable!() };
+                    let RtKind::LeafHeavy(ind) = self.nodes[hc].kind else {
+                        unreachable!()
+                    };
                     assert!(
                         own_emit.is_empty(),
                         "indicator nodes emit nothing themselves"
@@ -228,7 +233,10 @@ impl EnumNode {
     pub(crate) fn lookup(&self, rt: &Runtime, ctx: &Tuple, seg: &[Value]) -> i64 {
         match &self.kind {
             EnumKind::Covering => self.storage(rt).get(&self.assemble_s(ctx, seg)),
-            EnumKind::Directory { children, child_seg_idx } => {
+            EnumKind::Directory {
+                children,
+                child_seg_idx,
+            } => {
                 let s = self.assemble_s(ctx, seg);
                 if self.storage(rt).get(&s) == 0 {
                     return 0;
@@ -244,7 +252,12 @@ impl EnumNode {
                 }
                 m
             }
-            EnumKind::Buckets { ind, h_ctx_index, children, child_seg_idx } => {
+            EnumKind::Buckets {
+                ind,
+                h_ctx_index,
+                children,
+                child_seg_idx,
+            } => {
                 let h_rel = &rt.rels[rt.heavy_rel[*ind]];
                 let v_rel = self.storage(rt);
                 let mut total = 0i64;
@@ -350,16 +363,23 @@ pub(crate) enum NodeIter<'e> {
 impl<'e> NodeIter<'e> {
     pub(crate) fn open(node: &'e EnumNode, rt: &Runtime, ctx: &Tuple) -> NodeIter<'e> {
         match &node.kind {
-            EnumKind::Covering => {
-                NodeIter::Covering { node, scan: Scan::open(node, ctx), last: None }
-            }
+            EnumKind::Covering => NodeIter::Covering {
+                node,
+                scan: Scan::open(node, ctx),
+                last: None,
+            },
             EnumKind::Directory { .. } => NodeIter::Directory {
                 node,
                 scan: Scan::open(node, ctx),
                 cur: None,
                 prod: None,
             },
-            EnumKind::Buckets { ind, h_ctx_index, children, .. } => {
+            EnumKind::Buckets {
+                ind,
+                h_ctx_index,
+                children,
+                ..
+            } => {
                 // Ground the heavy indicator: one bucket per heavy key in
                 // context (Fig. 13 lines 6-11).
                 let h_rel = &rt.rels[rt.heavy_rel[*ind]];
@@ -389,7 +409,10 @@ impl<'e> NodeIter<'e> {
                         BucketPart { node, h, prod }
                     })
                     .collect();
-                NodeIter::Buckets { node, union: Union::new(parts) }
+                NodeIter::Buckets {
+                    node,
+                    union: Union::new(parts),
+                }
             }
         }
     }
@@ -405,7 +428,9 @@ impl<'e> NodeIter<'e> {
                     }
                 }
             }
-            NodeIter::Directory { node, cur, prod, .. } => {
+            NodeIter::Directory {
+                node, cur, prod, ..
+            } => {
                 if let Some(t) = cur {
                     for &(sp, bp) in &node.own_emit {
                         buf[bp] = t.get(sp).clone();
@@ -437,7 +462,12 @@ impl<'e> NodeIter<'e> {
                 *last = Some(t.clone());
                 Some(m)
             }
-            NodeIter::Directory { node, scan, cur, prod } => loop {
+            NodeIter::Directory {
+                node,
+                scan,
+                cur,
+                prod,
+            } => loop {
                 if cur.is_none() {
                     let (t, _m) = scan.next(node.storage(rt))?;
                     let t = t.clone();
@@ -485,7 +515,10 @@ pub(crate) struct Product<'e> {
 
 impl<'e> Product<'e> {
     pub(crate) fn open(children: &'e [EnumNode], rt: &Runtime, ctx: &Tuple) -> Product<'e> {
-        let kids = children.iter().map(|c| NodeIter::open(c, rt, ctx)).collect();
+        let kids = children
+            .iter()
+            .map(|c| NodeIter::open(c, rt, ctx))
+            .collect();
         Product {
             children,
             ctx: ctx.clone(),
@@ -588,7 +621,12 @@ impl<'e> UnionPart for BucketPart<'e> {
     }
 
     fn lookup(&self, rt: &Runtime, seg: &[Value]) -> i64 {
-        let EnumKind::Buckets { children, child_seg_idx, .. } = &self.node.kind else {
+        let EnumKind::Buckets {
+            children,
+            child_seg_idx,
+            ..
+        } = &self.node.kind
+        else {
             unreachable!()
         };
         if self.node.storage(rt).get(&self.h) == 0 {
@@ -724,8 +762,10 @@ fn open_component<'e>(rt: &Runtime, trees: &'e [EnumNode]) -> Union<TreePart<'e>
 
 impl<'e> ResultIter<'e> {
     pub(crate) fn new(rt: &'e Runtime, enums: &'e [Vec<EnumNode>], free_arity: usize) -> Self {
-        let comps: Vec<Union<TreePart<'e>>> =
-            enums.iter().map(|trees| open_component(rt, trees)).collect();
+        let comps: Vec<Union<TreePart<'e>>> = enums
+            .iter()
+            .map(|trees| open_component(rt, trees))
+            .collect();
         let n = comps.len();
         ResultIter {
             rt,

@@ -14,8 +14,7 @@ use crate::database::Database;
 /// Computes the full result of `q` over `db`: the distinct tuples over
 /// `free(q)` with their bag multiplicities, sorted.
 pub fn brute_force(q: &Query, db: &Database) -> Vec<(Tuple, i64)> {
-    let rows: Vec<Vec<(Tuple, i64)>> =
-        q.atoms.iter().map(|a| db.rows(&a.relation)).collect();
+    let rows: Vec<Vec<(Tuple, i64)>> = q.atoms.iter().map(|a| db.rows(&a.relation)).collect();
     let mut acc: FxHashMap<Tuple, i64> = FxHashMap::default();
     let mut binding: FxHashMap<Var, Value> = FxHashMap::default();
     search(q, &rows, 0, 1, &mut binding, &mut acc);

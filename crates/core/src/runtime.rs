@@ -60,9 +60,21 @@ pub(crate) struct MatNode {
     /// Per child: positions (in the child schema) of the segment variables
     /// the view retains, i.e. `(S_i − K) ∩ S`.
     pub child_seg_pos: Vec<Vec<usize>>,
+    /// Per child: true when key ∪ segment spans the child schema, so the
+    /// tuples of a key group are already distinct on the segment and need
+    /// no aggregation map.
+    pub child_seg_distinct: Vec<bool>,
     /// For each variable of `schema`: where to read it from during
     /// assembly (key tuple or some child's segment).
     pub assembly: Vec<FieldSrc>,
+    /// True when `assembly` is exactly the join-key tuple in order — the
+    /// assembled view tuple *is* the key (hot in indicator trees, where
+    /// every view is keyed on the indicator variables).
+    pub assembly_is_key: bool,
+    /// `Some(c)` when `assembly` is exactly child `c`'s segment tuple in
+    /// order — the assembled view tuple *is* that segment (hot in light
+    /// component trees, where the root retains one child's free vars).
+    pub assembly_is_seg: Option<usize>,
     /// Single-child views: positions of `schema` within the child schema.
     pub project_pos: Vec<usize>,
 }
@@ -153,8 +165,8 @@ impl Runtime {
         // Indicator trees first (their nodes precede component trees so a
         // simple in-order materialization pass is bottom-up overall).
         for ind in &plan.indicators {
-            let all_root = rt.lower(&ind.all_tree, None, plan);
-            let light_root = rt.lower(&ind.light_tree, None, plan);
+            let all_root = rt.lower(&ind.all_tree, None);
+            let light_root = rt.lower(&ind.light_tree, None);
             rt.ind_all_root.push(all_root);
             rt.ind_light_root.push(light_root);
         }
@@ -162,7 +174,7 @@ impl Runtime {
         for comp in &plan.components {
             let mut roots = Vec::new();
             for tree in &comp.trees {
-                roots.push(rt.lower(tree, None, plan));
+                roots.push(rt.lower(tree, None));
             }
             rt.comp_roots.push(roots);
         }
@@ -170,7 +182,7 @@ impl Runtime {
     }
 
     /// Recursively lowers a plan node, post-order (children first).
-    fn lower(&mut self, node: &Node, parent: Option<NodeId>, plan: &Plan) -> NodeId {
+    fn lower(&mut self, node: &Node, parent: Option<NodeId>) -> NodeId {
         let id = self.nodes.len();
         // Reserve the slot so children can record `parent = id`.
         self.nodes.push(MatNode {
@@ -184,7 +196,10 @@ impl Runtime {
             child_key_idx: Vec::new(),
             child_key_pos: Vec::new(),
             child_seg_pos: Vec::new(),
+            child_seg_distinct: Vec::new(),
             assembly: Vec::new(),
+            assembly_is_key: false,
+            assembly_is_seg: None,
             project_pos: Vec::new(),
         });
         match &node.kind {
@@ -210,7 +225,7 @@ impl Runtime {
             }
             NodeKind::View { children } => {
                 let child_ids: Vec<NodeId> =
-                    children.iter().map(|c| self.lower(c, Some(id), plan)).collect();
+                    children.iter().map(|c| self.lower(c, Some(id))).collect();
                 let rel = {
                     self.rels
                         .push(Relation::new(node.name.clone(), node.schema.clone()));
@@ -266,6 +281,23 @@ impl Runtime {
                         }
                         panic!("view {} variable {v} not covered by children", node.name);
                     }
+                    self.nodes[id].assembly_is_key = node.schema.arity() == key.arity()
+                        && assembly
+                            .iter()
+                            .enumerate()
+                            .all(|(i, src)| matches!(src, FieldSrc::Key(p) if *p == i));
+                    self.nodes[id].assembly_is_seg = (0..child_ids.len()).find(|&c| {
+                        node.schema.arity() == seg_pos[c].len()
+                            && assembly.iter().enumerate().all(|(i, src)| {
+                                matches!(src, FieldSrc::Seg { c: sc, p } if *sc == c && *p == i)
+                            })
+                    });
+                    self.nodes[id].child_seg_distinct = (0..child_ids.len())
+                        .map(|c| {
+                            let arity = self.nodes[child_ids[c]].schema.arity();
+                            key_pos[c].len() + seg_pos[c].len() == arity
+                        })
+                        .collect();
                     self.nodes[id].join_key = key;
                     self.nodes[id].child_key_idx = key_idx;
                     self.nodes[id].child_key_pos = key_pos;
@@ -330,7 +362,12 @@ impl Runtime {
     /// Recomputes one view from its (already materialized) children.
     fn materialize_view(&mut self, n: NodeId) {
         let children = self.nodes[n].children.clone();
-        let mut acc: FxHashMap<Tuple, i64> = FxHashMap::default();
+        // The view's current size is a good capacity estimate for the
+        // recompute (major rebalancing changes it only marginally).
+        let mut acc: FxHashMap<Tuple, i64> = FxHashMap::with_capacity_and_hasher(
+            self.rels[self.nodes[n].rel].len(),
+            Default::default(),
+        );
         if children.len() == 1 {
             let pos = self.nodes[n].project_pos.clone();
             let child = self.node_rel(children[0]);
@@ -386,6 +423,39 @@ impl Runtime {
         let idx = node.child_key_idx[i];
         let seg_pos = &node.child_seg_pos[i];
         let rel = self.node_rel(child);
+        // Fast paths for the shapes that dominate delta propagation:
+        // nothing retained (sum the group) and unit groups (no aggregation
+        // needed) — both skip the hash-map round trip.
+        if seg_pos.is_empty() {
+            let mut sum = 0i64;
+            for (_, m) in rel.group_iter(idx, key) {
+                sum += m;
+            }
+            return if sum == 0 {
+                Vec::new()
+            } else {
+                vec![(Tuple::empty(), sum)]
+            };
+        }
+        if rel.group_len(idx, key) == 1 {
+            let (t, m) = rel
+                .group_iter(idx, key)
+                .next()
+                .expect("group_len == 1 implies one entry");
+            return if m == 0 {
+                Vec::new()
+            } else {
+                vec![(t.project(seg_pos), m)]
+            };
+        }
+        if node.child_seg_distinct[i] {
+            // key ∪ segment spans the child schema: group entries are
+            // already distinct on the segment, so projection is enough.
+            return rel
+                .group_iter(idx, key)
+                .map(|(t, m)| (t.project(seg_pos), m))
+                .collect();
+        }
         let mut agg: FxHashMap<Tuple, i64> = FxHashMap::default();
         for (t, m) in rel.group_iter(idx, key) {
             *agg.entry(t.project(seg_pos)).or_insert(0) += m;
@@ -405,22 +475,51 @@ impl Runtime {
     ) {
         let node = &self.nodes[n];
         let k = segs.len();
+        // Fast path: every segment is a single entry (the common case in
+        // key-schema views such as indicator trees) — one product, and
+        // when the view tuple is the key itself, no assembly at all.
+        if segs.iter().all(|s| s.len() == 1) {
+            let mut mult = scale;
+            for s in segs {
+                mult *= s[0].1;
+            }
+            let tuple = if node.assembly_is_key {
+                key.clone()
+            } else if let Some(c) = node.assembly_is_seg {
+                segs[c][0].0.clone()
+            } else {
+                let mut values: Vec<Value> = Vec::with_capacity(node.schema.arity());
+                for src in &node.assembly {
+                    match *src {
+                        FieldSrc::Key(p) => values.push(key.get(p).clone()),
+                        FieldSrc::Seg { c, p } => values.push(segs[c][0].0.get(p).clone()),
+                    }
+                }
+                Tuple::new(values)
+            };
+            *acc.entry(tuple).or_insert(0) += mult;
+            return;
+        }
         let mut pick = vec![0usize; k];
         'outer: loop {
             let mut mult = scale;
             for i in 0..k {
                 mult *= segs[i][pick[i]].1;
             }
-            let mut values: Vec<Value> = Vec::with_capacity(node.schema.arity());
-            for src in &node.assembly {
-                match *src {
-                    FieldSrc::Key(p) => values.push(key.get(p).clone()),
-                    FieldSrc::Seg { c, p } => {
-                        values.push(segs[c][pick[c]].0.get(p).clone())
+            let tuple = if let Some(c) = node.assembly_is_seg {
+                // The view tuple *is* child c's segment tuple: reuse it.
+                segs[c][pick[c]].0.clone()
+            } else {
+                let mut values: Vec<Value> = Vec::with_capacity(node.schema.arity());
+                for src in &node.assembly {
+                    match *src {
+                        FieldSrc::Key(p) => values.push(key.get(p).clone()),
+                        FieldSrc::Seg { c, p } => values.push(segs[c][pick[c]].0.get(p).clone()),
                     }
                 }
-            }
-            *acc.entry(Tuple::new(values)).or_insert(0) += mult;
+                Tuple::new(values)
+            };
+            *acc.entry(tuple).or_insert(0) += mult;
             // Odometer.
             for i in (0..k).rev() {
                 pick[i] += 1;
@@ -436,7 +535,14 @@ impl Runtime {
     /// Rebuilds partition `pi` as a strict partition with threshold
     /// `theta` against its base relation (Fig. 20 line 3).
     pub(crate) fn rebuild_partition(&mut self, pi: usize, theta: usize) {
-        let Runtime { rels, partitions, base_rel, base_part_idx, part_atom, .. } = self;
+        let Runtime {
+            rels,
+            partitions,
+            base_rel,
+            base_part_idx,
+            part_atom,
+            ..
+        } = self;
         let base = &rels[base_rel[part_atom[pi]]];
         partitions[pi].rebuild_strict(base, base_part_idx[pi], theta);
     }

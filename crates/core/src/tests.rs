@@ -9,7 +9,6 @@ use crate::database::Database;
 use crate::engine::{EngineOptions, IvmEngine};
 use crate::oracle::brute_force;
 
-
 const EPS_GRID: [f64; 5] = [0.0, 0.25, 0.5, 0.75, 1.0];
 
 fn check_engine_matches_oracle(src: &str, db: &Database, opts: EngineOptions) {
@@ -55,9 +54,17 @@ fn skewed_two_path_db(n: usize, seed: u64) -> Database {
     let mut rng = Rng(seed | 1);
     let mut db = Database::new();
     for _ in 0..n {
-        let b = if rng.below(2) == 0 { rng.below(3) } else { rng.below(n as u64 + 3) };
+        let b = if rng.below(2) == 0 {
+            rng.below(3)
+        } else {
+            rng.below(n as u64 + 3)
+        };
         db.insert("R", Tuple::ints(&[rng.below(20), b]), 1 + rng.below(2));
-        let b2 = if rng.below(2) == 0 { rng.below(3) } else { rng.below(n as u64 + 3) };
+        let b2 = if rng.below(2) == 0 {
+            rng.below(3)
+        } else {
+            rng.below(n as u64 + 3)
+        };
         db.insert("S", Tuple::ints(&[b2, rng.below(20)]), 1 + rng.below(2));
     }
     db
@@ -106,15 +113,28 @@ fn example_19_four_atoms_all_eps() {
     let mut rng = Rng(17);
     let mut db = Database::new();
     for _ in 0..40 {
-        db.insert("R", Tuple::ints(&[rng.below(4), rng.below(4), rng.below(5)]), 1);
-        db.insert("S", Tuple::ints(&[rng.below(4), rng.below(4), rng.below(5)]), 1);
-        db.insert("T", Tuple::ints(&[rng.below(4), rng.below(4), rng.below(5)]), 1);
-        db.insert("U", Tuple::ints(&[rng.below(4), rng.below(4), rng.below(5)]), 1);
+        db.insert(
+            "R",
+            Tuple::ints(&[rng.below(4), rng.below(4), rng.below(5)]),
+            1,
+        );
+        db.insert(
+            "S",
+            Tuple::ints(&[rng.below(4), rng.below(4), rng.below(5)]),
+            1,
+        );
+        db.insert(
+            "T",
+            Tuple::ints(&[rng.below(4), rng.below(4), rng.below(5)]),
+            1,
+        );
+        db.insert(
+            "U",
+            Tuple::ints(&[rng.below(4), rng.below(4), rng.below(5)]),
+            1,
+        );
     }
-    check_all_modes(
-        "Q(C,D,E,F) :- R(A,B,D), S(A,B,E), T(A,C,F), U(A,C,G)",
-        &db,
-    );
+    check_all_modes("Q(C,D,E,F) :- R(A,B,D), S(A,B,E), T(A,C,F), U(A,C,G)", &db);
 }
 
 #[test]
@@ -168,7 +188,11 @@ fn multiplicities_are_reported() {
     for eps in EPS_GRID {
         let eng = IvmEngine::new(&q, &db, EngineOptions::dynamic(eps)).unwrap();
         // (1,5) = 2*3 (via 10) + 1*1 (via 20) = 7.
-        assert_eq!(eng.result_sorted(), vec![(Tuple::ints(&[1, 5]), 7)], "ε={eps}");
+        assert_eq!(
+            eng.result_sorted(),
+            vec![(Tuple::ints(&[1, 5]), 7)],
+            "ε={eps}"
+        );
     }
 }
 
@@ -234,13 +258,7 @@ fn stream_two_path_all_eps() {
 #[test]
 fn stream_example_29() {
     for eps in [0.0, 0.5, 1.0] {
-        run_stream(
-            "Q(A) :- R(A,B), S(B)",
-            eps,
-            120,
-            43,
-            &[("R", 2), ("S", 1)],
-        );
+        run_stream("Q(A) :- R(A,B), S(B)", eps, 120, 43, &[("R", 2), ("S", 1)]);
     }
 }
 
@@ -313,8 +331,14 @@ fn rebalancing_is_exercised() {
         db.apply("S", t.clone(), 1);
         all.push(("S", t));
     }
-    assert!(eng.stats().major_rebalances > 0, "growth must trigger major rebalancing");
-    assert!(eng.stats().minor_rebalances > 0, "skew must trigger minor rebalancing");
+    assert!(
+        eng.stats().major_rebalances > 0,
+        "growth must trigger major rebalancing"
+    );
+    assert!(
+        eng.stats().minor_rebalances > 0,
+        "skew must trigger minor rebalancing"
+    );
     assert_eq!(eng.result_sorted(), brute_force(&q, &db));
     // Shrink to trigger downward major rebalancing.
     for (rel, t) in all.drain(..) {
@@ -364,12 +388,8 @@ fn engine_stats_and_introspection() {
     let mut db = Database::new();
     db.insert_ints("R", &[&[1, 2], &[3, 4]]);
     db.insert_ints("S", &[&[2, 5]]);
-    let eng = IvmEngine::from_sql(
-        "Q(A,C) :- R(A,B), S(B,C)",
-        &db,
-        EngineOptions::dynamic(0.5),
-    )
-    .unwrap();
+    let eng =
+        IvmEngine::from_sql("Q(A,C) :- R(A,B), S(B,C)", &db, EngineOptions::dynamic(0.5)).unwrap();
     assert_eq!(eng.db_size(), 3);
     assert_eq!(eng.threshold_base(), 7);
     assert!(eng.theta() > 1.0);

@@ -108,7 +108,12 @@ impl Partition {
     /// Moves every base tuple with the given key *into* the light part
     /// (heavy → light migration). Returns the inserted `(tuple, mult)`
     /// deltas so the caller can propagate them to views.
-    pub fn migrate_in(&mut self, base: &Relation, base_key_index: IndexId, key: &Tuple) -> Vec<(Tuple, i64)> {
+    pub fn migrate_in(
+        &mut self,
+        base: &Relation,
+        base_key_index: IndexId,
+        key: &Tuple,
+    ) -> Vec<(Tuple, i64)> {
         let mut deltas = Vec::new();
         for (t, m) in base.group_iter(base_key_index, key) {
             deltas.push((t.clone(), m));
@@ -135,12 +140,20 @@ impl Partition {
 
     /// Checks the (slack) partition invariants of Def. 11 against `base`.
     /// Test/debug helper; O(|R|).
-    pub fn check_invariants(&self, base: &Relation, base_key_index: IndexId, theta: usize) -> Result<(), String> {
+    pub fn check_invariants(
+        &self,
+        base: &Relation,
+        base_key_index: IndexId,
+        theta: usize,
+    ) -> Result<(), String> {
         // Union + light-part containment: L ⊆ R with equal multiplicities
         // on light keys, and every base tuple with a light key is in L.
         for (t, m) in self.light.iter() {
             if base.get(t) != m {
-                return Err(format!("light tuple {t:?} has mult {m} but base has {}", base.get(t)));
+                return Err(format!(
+                    "light tuple {t:?} has mult {m} but base has {}",
+                    base.get(t)
+                ));
             }
         }
         let mut seen_keys: Vec<Tuple> = Vec::new();
@@ -157,7 +170,9 @@ impl Partition {
             }
             // Light part condition: degree < 3/2 θ.
             if 2 * l >= 3 * theta {
-                return Err(format!("light key {key:?} has degree {l} ≥ 3/2·θ (θ={theta})"));
+                return Err(format!(
+                    "light key {key:?} has degree {l} ≥ 3/2·θ (θ={theta})"
+                ));
             }
         }
         // Heavy part condition: every base key not in L has degree ≥ ½ θ.
@@ -165,7 +180,9 @@ impl Partition {
             if !self.key_is_light(key) {
                 let d = base.group_len(base_key_index, key);
                 if 2 * d < theta {
-                    return Err(format!("heavy key {key:?} has degree {d} < ½·θ (θ={theta})"));
+                    return Err(format!(
+                        "heavy key {key:?} has degree {d} < ½·θ (θ={theta})"
+                    ));
                 }
             }
         }

@@ -88,6 +88,25 @@ impl DeltaOutcome {
     }
 }
 
+/// Aggregate outcome of an atomically applied batch.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct BatchOutcome {
+    /// Distinct tuples whose multiplicity changed.
+    pub changed: usize,
+    /// Tuples that appeared (0 → positive): the growth in `|R|`.
+    pub inserted: usize,
+    /// Tuples that disappeared (positive → 0): the shrinkage of `|R|`.
+    pub deleted: usize,
+}
+
+impl BatchOutcome {
+    /// Net change in the number of distinct stored tuples.
+    #[inline]
+    pub fn net_size_change(&self) -> i64 {
+        self.inserted as i64 - self.deleted as i64
+    }
+}
+
 #[derive(Clone, Copy, Default)]
 struct Link {
     prev: u32,
@@ -181,7 +200,11 @@ impl Relation {
     ///
     /// Rejects updates that would drive the multiplicity negative, leaving
     /// the relation unchanged. O(1) expected plus O(#indexes).
-    pub fn apply(&mut self, tuple: Tuple, delta: i64) -> Result<DeltaOutcome, NegativeMultiplicity> {
+    pub fn apply(
+        &mut self,
+        tuple: Tuple,
+        delta: i64,
+    ) -> Result<DeltaOutcome, NegativeMultiplicity> {
         debug_assert_eq!(
             tuple.arity(),
             self.schema.arity(),
@@ -192,14 +215,21 @@ impl Relation {
         );
         if delta == 0 {
             let m = self.get(&tuple);
-            return Ok(DeltaOutcome { before: m, after: m });
+            return Ok(DeltaOutcome {
+                before: m,
+                after: m,
+            });
         }
         match self.map.get(&tuple) {
             Some(&s) => {
                 let before = self.slots[s as usize].mult;
                 let after = before + delta;
                 if after < 0 {
-                    return Err(NegativeMultiplicity { tuple, present: before, delta });
+                    return Err(NegativeMultiplicity {
+                        tuple,
+                        present: before,
+                        delta,
+                    });
                 }
                 if after == 0 {
                     self.remove_slot(s);
@@ -210,12 +240,101 @@ impl Relation {
             }
             None => {
                 if delta < 0 {
-                    return Err(NegativeMultiplicity { tuple, present: 0, delta });
+                    return Err(NegativeMultiplicity {
+                        tuple,
+                        present: 0,
+                        delta,
+                    });
                 }
                 self.insert_slot(tuple, delta);
-                Ok(DeltaOutcome { before: 0, after: delta })
+                Ok(DeltaOutcome {
+                    before: 0,
+                    after: delta,
+                })
             }
         }
+    }
+
+    /// Applies a consolidated multi-tuple delta **atomically**.
+    ///
+    /// The slice may contain repeated tuples; entries are first
+    /// consolidated (self-cancellation), then validated against the stored
+    /// multiplicities, and only if *every* entry is legal is the relation
+    /// touched — the slab, live list, and all secondary indexes are updated
+    /// in one pass over the consolidated batch. If any net delta would
+    /// drive a multiplicity negative the whole batch is rejected and the
+    /// relation is left exactly as it was (the batched form of the paper's
+    /// per-update rejection rule, Sec. 3).
+    ///
+    /// Cost: O(|batch|) expected, plus O(#indexes) per tuple whose support
+    /// changes.
+    pub fn apply_batch(
+        &mut self,
+        deltas: &[(Tuple, i64)],
+    ) -> Result<BatchOutcome, NegativeMultiplicity> {
+        // Phase 1: consolidate. Most callers pass already-consolidated
+        // batches (one entry per tuple); skip the rebuild in that case.
+        let mut consolidated: Vec<(&Tuple, i64)>;
+        {
+            let mut net: FxHashMap<&Tuple, i64> = FxHashMap::default();
+            let mut duplicates = false;
+            for (t, d) in deltas {
+                let e = net.entry(t).or_insert(0);
+                duplicates |= *e != 0;
+                *e += d;
+            }
+            consolidated = if duplicates || net.len() != deltas.len() {
+                net.into_iter().filter(|&(_, d)| d != 0).collect()
+            } else {
+                deltas.iter().map(|(t, d)| (t, *d)).collect()
+            };
+        }
+        // Phase 2: validate every net delta against the current state.
+        for &(t, d) in &consolidated {
+            let present = self.get(t);
+            if present + d < 0 {
+                return Err(NegativeMultiplicity {
+                    tuple: t.clone(),
+                    present,
+                    delta: d,
+                });
+            }
+        }
+        // Phase 3: apply — infallible after validation.
+        Ok(self.apply_validated(consolidated.drain(..)))
+    }
+
+    /// [`Relation::apply_batch`] minus consolidation and validation, for
+    /// batches the caller has **already consolidated and validated**
+    /// against this relation's current state (the engine dry-runs every
+    /// relation of a cross-relation batch before touching any of them).
+    /// Panics if a delta drives a multiplicity negative — a caller bug.
+    pub fn apply_batch_unchecked(&mut self, deltas: &[(Tuple, i64)]) -> BatchOutcome {
+        self.apply_validated(deltas.iter().map(|(t, d)| (t, *d)))
+    }
+
+    /// Shared application pass: one `apply` per non-zero entry, tallying
+    /// support changes. Entries must be pre-validated.
+    fn apply_validated<'a>(
+        &mut self,
+        deltas: impl Iterator<Item = (&'a Tuple, i64)>,
+    ) -> BatchOutcome {
+        let mut out = BatchOutcome::default();
+        for (t, d) in deltas {
+            if d == 0 {
+                continue;
+            }
+            let o = self
+                .apply(t.clone(), d)
+                .expect("batch must be validated before application");
+            out.changed += 1;
+            if o.inserted() {
+                out.inserted += 1;
+            } else if o.deleted() {
+                out.deleted += 1;
+            }
+        }
+        out
     }
 
     /// Convenience: insert with positive multiplicity, panicking on misuse.
@@ -301,7 +420,9 @@ impl Relation {
     }
 
     fn index_link(&mut self, i: usize, s: u32) {
-        let key = self.slots[s as usize].tuple.project(&self.indexes[i].positions);
+        let key = self.slots[s as usize]
+            .tuple
+            .project(&self.indexes[i].positions);
         let ix = &mut self.indexes[i];
         let group = ix.groups.entry(key).or_insert(Group { head: NIL, len: 0 });
         let old_head = group.head;
@@ -322,13 +443,23 @@ impl Relation {
         }
         if prev != NIL {
             self.slots[prev as usize].links[i].next = next;
-            let key = self.slots[s as usize].tuple.project(&self.indexes[i].positions);
-            let group = self.indexes[i].groups.get_mut(&key).expect("group must exist");
+            let key = self.slots[s as usize]
+                .tuple
+                .project(&self.indexes[i].positions);
+            let group = self.indexes[i]
+                .groups
+                .get_mut(&key)
+                .expect("group must exist");
             group.len -= 1;
         } else {
             // Head of its group: we must touch the group record anyway.
-            let key = self.slots[s as usize].tuple.project(&self.indexes[i].positions);
-            let group = self.indexes[i].groups.get_mut(&key).expect("group must exist");
+            let key = self.slots[s as usize]
+                .tuple
+                .project(&self.indexes[i].positions);
+            let group = self.indexes[i]
+                .groups
+                .get_mut(&key)
+                .expect("group must exist");
             group.head = next;
             group.len -= 1;
             if group.len == 0 {
@@ -405,8 +536,15 @@ impl Relation {
 
     /// Iterates a group's entries with constant delay.
     pub fn group_iter<'a>(&'a self, idx: IndexId, key: &Tuple) -> GroupIter<'a> {
-        let head = self.indexes[idx.0 as usize].groups.get(key).map_or(NIL, |g| g.head);
-        GroupIter { rel: self, index: idx.0 as usize, cur: head }
+        let head = self.indexes[idx.0 as usize]
+            .groups
+            .get(key)
+            .map_or(NIL, |g| g.head);
+        GroupIter {
+            rel: self,
+            index: idx.0 as usize,
+            cur: head,
+        }
     }
 
     // ------------------------------------------------------------------
@@ -452,7 +590,10 @@ impl Relation {
 
     /// Iterates all entries `(tuple, multiplicity)` with constant delay.
     pub fn iter(&self) -> RelIter<'_> {
-        RelIter { rel: self, cur: self.live_head }
+        RelIter {
+            rel: self,
+            cur: self.live_head,
+        }
     }
 
     /// Collects into a sorted `Vec` — test/debug helper.
@@ -550,11 +691,83 @@ mod tests {
     }
 
     #[test]
+    fn apply_batch_updates_indexes_in_one_pass() {
+        let mut r = rel_ab();
+        let idx = r.add_index(&Schema::of(&["B"]));
+        r.insert(Tuple::ints(&[0, 7]), 2);
+        let out = r
+            .apply_batch(&[
+                (Tuple::ints(&[1, 7]), 1),
+                (Tuple::ints(&[2, 7]), 3),
+                (Tuple::ints(&[0, 7]), -2),
+                (Tuple::ints(&[5, 8]), 1),
+            ])
+            .unwrap();
+        assert_eq!(
+            out,
+            BatchOutcome {
+                changed: 4,
+                inserted: 3,
+                deleted: 1
+            }
+        );
+        assert_eq!(out.net_size_change(), 2);
+        assert_eq!(r.len(), 3);
+        assert_eq!(r.group_len(idx, &Tuple::ints(&[7])), 2);
+        assert_eq!(r.group_len(idx, &Tuple::ints(&[8])), 1);
+        assert_eq!(r.get(&Tuple::ints(&[2, 7])), 3);
+    }
+
+    #[test]
+    fn apply_batch_consolidates_and_cancels() {
+        let mut r = rel_ab();
+        let out = r
+            .apply_batch(&[
+                (Tuple::ints(&[1, 1]), 1),
+                (Tuple::ints(&[1, 1]), -1),
+                (Tuple::ints(&[2, 2]), 2),
+                (Tuple::ints(&[2, 2]), 3),
+            ])
+            .unwrap();
+        assert_eq!(out.changed, 1);
+        assert!(
+            r.get(&Tuple::ints(&[1, 1])) == 0,
+            "cancelled pair stored nothing"
+        );
+        assert_eq!(r.get(&Tuple::ints(&[2, 2])), 5);
+    }
+
+    #[test]
+    fn apply_batch_rejects_atomically() {
+        let mut r = rel_ab();
+        r.insert(Tuple::ints(&[1, 1]), 1);
+        let before = r.to_sorted_vec();
+        // Second entry over-deletes: the whole batch must be a no-op.
+        let err = r
+            .apply_batch(&[(Tuple::ints(&[9, 9]), 4), (Tuple::ints(&[1, 1]), -2)])
+            .unwrap_err();
+        assert_eq!(err.present, 1);
+        assert_eq!(err.delta, -2);
+        assert_eq!(r.to_sorted_vec(), before, "rejected batch left a trace");
+        assert_eq!(r.get(&Tuple::ints(&[9, 9])), 0);
+        // A net-valid batch containing an over-delete that cancels out is fine.
+        r.apply_batch(&[(Tuple::ints(&[1, 1]), -2), (Tuple::ints(&[1, 1]), 2)])
+            .unwrap();
+        assert_eq!(r.get(&Tuple::ints(&[1, 1])), 1);
+    }
+
+    #[test]
     fn zero_delta_is_noop() {
         let mut r = rel_ab();
         r.insert(Tuple::ints(&[1, 2]), 5);
         let out = r.apply(Tuple::ints(&[1, 2]), 0).unwrap();
-        assert_eq!(out, DeltaOutcome { before: 5, after: 5 });
+        assert_eq!(
+            out,
+            DeltaOutcome {
+                before: 5,
+                after: 5
+            }
+        );
     }
 
     #[test]

@@ -140,12 +140,24 @@ impl Schema {
 
     /// Set intersection, keeping `self`'s order.
     pub fn intersect(&self, other: &Schema) -> Schema {
-        Schema(self.0.iter().copied().filter(|&v| other.contains(v)).collect())
+        Schema(
+            self.0
+                .iter()
+                .copied()
+                .filter(|&v| other.contains(v))
+                .collect(),
+        )
     }
 
     /// Set difference `self − other`, keeping `self`'s order.
     pub fn difference(&self, other: &Schema) -> Schema {
-        Schema(self.0.iter().copied().filter(|&v| !other.contains(v)).collect())
+        Schema(
+            self.0
+                .iter()
+                .copied()
+                .filter(|&v| !other.contains(v))
+                .collect(),
+        )
     }
 
     /// Union: `self` followed by the variables of `other` not already present.

@@ -113,9 +113,11 @@ impl Tuple {
         Tuple(values.into())
     }
 
-    /// The empty (nullary) tuple.
+    /// The empty (nullary) tuple. Shares one static allocation — nullary
+    /// view keys and empty projections are hot in delta propagation.
     pub fn empty() -> Self {
-        Tuple(Arc::from(Vec::new()))
+        static EMPTY: std::sync::OnceLock<Tuple> = std::sync::OnceLock::new();
+        EMPTY.get_or_init(|| Tuple(Arc::from(Vec::new()))).clone()
     }
 
     /// Builds an integer tuple — the common case in benchmarks and tests.
@@ -150,8 +152,17 @@ impl Tuple {
     /// Projects this tuple onto the given positions, in the given order.
     ///
     /// This is the `x[S]` restriction of the paper (Sec. 3): the result
-    /// follows the ordering of `positions`, not of `self`.
+    /// follows the ordering of `positions`, not of `self`. The empty and
+    /// identity projections reuse existing allocations (both are hot in
+    /// delta propagation: join keys of single-column relations are
+    /// identity projections).
     pub fn project(&self, positions: &[usize]) -> Tuple {
+        if positions.is_empty() {
+            return Tuple::empty();
+        }
+        if positions.len() == self.0.len() && positions.iter().enumerate().all(|(i, &p)| i == p) {
+            return self.clone();
+        }
         Tuple(positions.iter().map(|&p| self.0[p].clone()).collect())
     }
 

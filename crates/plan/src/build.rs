@@ -34,7 +34,11 @@ pub(crate) fn new_vt(name: String, schema: Schema, mut children: Vec<Node>) -> N
     if children.len() == 1 && children[0].schema.same_set(&schema) {
         return children.pop().unwrap();
     }
-    Node { name, schema, kind: NodeKind::View { children } }
+    Node {
+        name,
+        schema,
+        kind: NodeKind::View { children },
+    }
 }
 
 /// `AuxView` (Fig. 8): in dynamic mode, if the variable-order node `Z`
@@ -42,8 +46,7 @@ pub(crate) fn new_vt(name: String, schema: Schema, mut children: Vec<Node>) -> N
 /// view's schema, adds a view named `<root>'` aggregating the root down to
 /// `anc(Z)`.
 pub(crate) fn aux_view(mode: Mode, has_sibling: bool, anc_z: &Schema, tree: Node) -> Node {
-    let strict_subset =
-        tree.schema.contains_all(anc_z) && anc_z.arity() < tree.schema.arity();
+    let strict_subset = tree.schema.contains_all(anc_z) && anc_z.arity() < tree.schema.arity();
     if mode == Mode::Dynamic && has_sibling && strict_subset {
         let name = format!("{}'", tree.name);
         new_vt(name, anc_z.clone(), vec![tree])
@@ -103,7 +106,11 @@ mod tests {
         let q = parse_query("Q(A,D,E) :- R(A,B,C), S(A,B,D), T(A,E)").unwrap();
         let vo = canonical_var_order(&q).unwrap();
         let leaf = base_leaf(&q);
-        let ctx = BuildCtx { mode: Mode::Static, prefix: "V", leaf: &leaf };
+        let ctx = BuildCtx {
+            mode: Mode::Static,
+            prefix: "V",
+            leaf: &leaf,
+        };
         let t = build_vt(&ctx, &vo.roots[0], &Schema::empty(), &q.free);
         assert_eq!(
             t.render(),
@@ -122,7 +129,11 @@ mod tests {
         let q = parse_query("Q(A,D,E) :- R(A,B,C), S(A,B,D), T(A,E)").unwrap();
         let vo = canonical_var_order(&q).unwrap();
         let leaf = base_leaf(&q);
-        let ctx = BuildCtx { mode: Mode::Dynamic, prefix: "V", leaf: &leaf };
+        let ctx = BuildCtx {
+            mode: Mode::Dynamic,
+            prefix: "V",
+            leaf: &leaf,
+        };
         let t = build_vt(&ctx, &vo.roots[0], &Schema::empty(), &q.free);
         assert_eq!(
             t.render(),

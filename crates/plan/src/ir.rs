@@ -56,13 +56,21 @@ pub enum NodeKind {
 impl Node {
     /// Leaf constructor.
     pub fn leaf(name: impl Into<String>, schema: Schema, source: Source) -> Node {
-        Node { name: name.into(), schema, kind: NodeKind::Leaf(source) }
+        Node {
+            name: name.into(),
+            schema,
+            kind: NodeKind::Leaf(source),
+        }
     }
 
     /// View constructor.
     pub fn view(name: impl Into<String>, schema: Schema, children: Vec<Node>) -> Node {
         debug_assert!(!children.is_empty());
-        Node { name: name.into(), schema, kind: NodeKind::View { children } }
+        Node {
+            name: name.into(),
+            schema,
+            kind: NodeKind::View { children },
+        }
     }
 
     /// Children (empty slice for leaves).

@@ -39,7 +39,10 @@ impl<'a> Planner<'a> {
         {
             return i;
         }
-        self.partitions.push(PartitionSpec { atom, key: key.clone() });
+        self.partitions.push(PartitionSpec {
+            atom,
+            key: key.clone(),
+        });
         self.partitions.len() - 1
     }
 
@@ -73,7 +76,11 @@ impl<'a> Planner<'a> {
         // alltree: over base relations, head schema `keys`.
         let all_tree = {
             let leaf = |a: usize| self.base_leaf(a);
-            let ctx = BuildCtx { mode: self.mode, prefix: "All", leaf: &leaf };
+            let ctx = BuildCtx {
+                mode: self.mode,
+                prefix: "All",
+                leaf: &leaf,
+            };
             build_vt(&ctx, node, anc, &keys)
         };
         // ltree: over light parts partitioned on `keys` (the ω^keys order).
@@ -110,7 +117,11 @@ impl<'a> Planner<'a> {
                     .map(|(_, n)| n.clone())
                     .expect("light leaf registered")
             };
-            let ctx = BuildCtx { mode: self.mode, prefix: "L", leaf: &leaf };
+            let ctx = BuildCtx {
+                mode: self.mode,
+                prefix: "L",
+                leaf: &leaf,
+            };
             build_vt(&ctx, node, anc, &keys)
         };
         self.indicators.push(IndicatorSpec {
@@ -139,7 +150,9 @@ impl<'a> Planner<'a> {
     fn tau(&mut self, node: &VoNode, anc: &Schema) -> Vec<Node> {
         let VoNode::Var { var, children } = node else {
             // Line 1: a bare atom leaf.
-            let VoNode::Atom { atom } = node else { unreachable!() };
+            let VoNode::Atom { atom } = node else {
+                unreachable!()
+            };
             return vec![self.base_leaf(*atom)];
         };
         let keys = anc.with(*var);
@@ -153,13 +166,16 @@ impl<'a> Planner<'a> {
         };
         if easy {
             let leaf = |a: usize| self.base_leaf(a);
-            let ctx = BuildCtx { mode: self.mode, prefix: "V", leaf: &leaf };
+            let ctx = BuildCtx {
+                mode: self.mode,
+                prefix: "V",
+                leaf: &leaf,
+            };
             return vec![build_vt(&ctx, node, anc, &fx)];
         }
 
         let has_sibling = children.len() >= 2;
-        let child_sets: Vec<Vec<Node>> =
-            children.iter().map(|c| self.tau(c, &keys)).collect();
+        let child_sets: Vec<Vec<Node>> = children.iter().map(|c| self.tau(c, &keys)).collect();
         let name = format!("V{}", var.name());
 
         if self.q.is_free(*var) {
@@ -212,7 +228,11 @@ impl<'a> Planner<'a> {
                     .map(|(_, n)| n.clone())
                     .expect("light leaf registered")
             };
-            let ctx = BuildCtx { mode: self.mode, prefix: "V", leaf: &leaf };
+            let ctx = BuildCtx {
+                mode: self.mode,
+                prefix: "V",
+                leaf: &leaf,
+            };
             build_vt(&ctx, node, anc, &fx)
         };
         trees.push(ltree);
@@ -305,10 +325,7 @@ mod tests {
     fn example_28_static_has_no_aux_views() {
         let p = plan("Q(A,C) :- R(A,B), S(B,C)", Mode::Static);
         let trees = &p.components[0].trees;
-        assert_eq!(
-            trees[0].render(),
-            "VB(B)\n  ∃HB(B)\n  R(A,B)\n  S(B,C)\n"
-        );
+        assert_eq!(trees[0].render(), "VB(B)\n  ∃HB(B)\n  R(A,B)\n  S(B,C)\n");
         assert_eq!(trees[1].render(), "VB(A,C)\n  R^B(A,B)\n  S^B(B,C)\n");
     }
 
@@ -430,7 +447,10 @@ mod tests {
         // Every tree's leaf atoms are exactly the query atoms (Prop. 20).
         for (src, mode) in [
             ("Q(A,C) :- R(A,B), S(B,C)", Mode::Dynamic),
-            ("Q(C,D,E,F) :- R(A,B,D), S(A,B,E), T(A,C,F), U(A,C,G)", Mode::Dynamic),
+            (
+                "Q(C,D,E,F) :- R(A,B,D), S(A,B,E), T(A,C,F), U(A,C,G)",
+                Mode::Dynamic,
+            ),
             ("Q(A) :- R(A,B), S(B)", Mode::Static),
         ] {
             let p = plan(src, mode);

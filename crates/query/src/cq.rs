@@ -24,7 +24,11 @@ pub struct Atom {
 impl Atom {
     /// Builds the first occurrence of `relation` over `schema`.
     pub fn new(relation: impl Into<String>, schema: Schema) -> Atom {
-        Atom { relation: relation.into(), occurrence: 0, schema }
+        Atom {
+            relation: relation.into(),
+            occurrence: 0,
+            schema,
+        }
     }
 }
 
@@ -62,7 +66,11 @@ impl Query {
             a.occurrence = *c;
             *c += 1;
         }
-        let q = Query { name: name.into(), free, atoms };
+        let q = Query {
+            name: name.into(),
+            free,
+            atoms,
+        };
         for v in q.free.vars() {
             assert!(
                 q.atoms.iter().any(|a| a.schema.contains(*v)),
@@ -143,7 +151,10 @@ impl Query {
             while let Some(i) = stack.pop() {
                 for j in 0..n {
                     if comp[j].is_none()
-                        && !self.atoms[i].schema.intersect(&self.atoms[j].schema).is_empty()
+                        && !self.atoms[i]
+                            .schema
+                            .intersect(&self.atoms[j].schema)
+                            .is_empty()
                     {
                         comp[j] = Some(id);
                         stack.push(j);
@@ -227,7 +238,10 @@ mod tests {
         let q = two_path();
         assert_eq!(q.atoms_of(Var::new("B")), vec![0, 1]);
         assert_eq!(q.atoms_of(Var::new("A")), vec![0]);
-        assert_eq!(q.vars_of_atoms_of(Var::new("B")), Schema::of(&["A", "B", "C"]));
+        assert_eq!(
+            q.vars_of_atoms_of(Var::new("B")),
+            Schema::of(&["A", "B", "C"])
+        );
         assert_eq!(q.free_of_atoms_of(Var::new("B")), Schema::of(&["A", "C"]));
     }
 

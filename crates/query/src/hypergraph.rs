@@ -136,7 +136,10 @@ mod tests {
     #[test]
     fn path_queries_acyclicity() {
         // R(A,B), S(B,C) is α-acyclic; the triangle is not.
-        assert!(is_alpha_acyclic(&q(&[], &[("R", &["A", "B"]), ("S", &["B", "C"])])));
+        assert!(is_alpha_acyclic(&q(
+            &[],
+            &[("R", &["A", "B"]), ("S", &["B", "C"])]
+        )));
         let triangle = q(
             &[],
             &[("R", &["A", "B"]), ("S", &["B", "C"]), ("T", &["A", "C"])],
@@ -158,7 +161,10 @@ mod tests {
     #[test]
     fn intro_examples_hierarchical_or_not() {
         // Q(F) = R(A,B), S(B,C) is hierarchical (Def. 1 discussion) ...
-        assert!(is_hierarchical(&q(&["A"], &[("R", &["A", "B"]), ("S", &["B", "C"])])));
+        assert!(is_hierarchical(&q(
+            &["A"],
+            &[("R", &["A", "B"]), ("S", &["B", "C"])]
+        )));
         // ... while R(A,B), S(B,C), T(C) is not.
         let not_h = q(
             &["A"],
@@ -190,8 +196,7 @@ mod tests {
 
     #[test]
     fn example_19_not_free_connex() {
-        let q19 =
-            parse_query("Q(C,D,E,F) :- R(A,B,D), S(A,B,E), T(A,C,F), U(A,C,G)").unwrap();
+        let q19 = parse_query("Q(C,D,E,F) :- R(A,B,D), S(A,B,E), T(A,C,F), U(A,C,G)").unwrap();
         assert!(is_hierarchical(&q19));
         assert!(!is_free_connex(&q19));
         assert!(!is_q_hierarchical(&q19));

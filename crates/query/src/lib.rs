@@ -19,4 +19,6 @@ pub use cq::{Atom, Query};
 pub use hypergraph::{is_alpha_acyclic, is_free_connex, is_hierarchical, is_q_hierarchical};
 pub use parser::{parse_query, ParseError};
 pub use varorder::{canonical_var_order, free_top, vo_info, NotHierarchical, VarOrder, VoNode};
-pub use width::{classify, delta_rank, dynamic_width, edge_cover_number, static_width, Classification};
+pub use width::{
+    classify, delta_rank, dynamic_width, edge_cover_number, static_width, Classification,
+};

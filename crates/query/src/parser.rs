@@ -46,7 +46,10 @@ struct Parser<'a> {
 
 impl<'a> Parser<'a> {
     fn err<T>(&self, message: impl Into<String>) -> Result<T, ParseError> {
-        Err(ParseError { offset: self.pos, message: message.into() })
+        Err(ParseError {
+            offset: self.pos,
+            message: message.into(),
+        })
     }
 
     fn skip_ws(&mut self) {

@@ -60,7 +60,12 @@ impl VoNode {
         }
     }
 
-    fn fmt_indent(&self, f: &mut fmt::Formatter<'_>, q: Option<&Query>, depth: usize) -> fmt::Result {
+    fn fmt_indent(
+        &self,
+        f: &mut fmt::Formatter<'_>,
+        q: Option<&Query>,
+        depth: usize,
+    ) -> fmt::Result {
         for _ in 0..depth {
             write!(f, "  ")?;
         }
@@ -129,7 +134,11 @@ pub fn canonical_var_order(q: &Query) -> Result<VarOrder, NotHierarchical> {
 
 /// Recursive step: builds the forest for `atom_ids` given already-placed
 /// ancestor variables.
-fn build_forest(q: &Query, atom_ids: &[usize], placed: &Schema) -> Result<Vec<VoNode>, NotHierarchical> {
+fn build_forest(
+    q: &Query,
+    atom_ids: &[usize],
+    placed: &Schema,
+) -> Result<Vec<VoNode>, NotHierarchical> {
     // Split into connected components w.r.t. the not-yet-placed variables.
     let remaining = |a: usize| q.atoms[a].schema.difference(placed);
     let mut comp: FxHashMap<usize, usize> = FxHashMap::default();
@@ -144,9 +153,7 @@ fn build_forest(q: &Query, atom_ids: &[usize], placed: &Schema) -> Result<Vec<Vo
         let mut members = vec![start];
         while let Some(i) = stack.pop() {
             for &j in atom_ids {
-                if !comp.contains_key(&j)
-                    && !remaining(i).intersect(&remaining(j)).is_empty()
-                {
+                if !comp.contains_key(&j) && !remaining(i).intersect(&remaining(j)).is_empty() {
                     comp.insert(j, id);
                     stack.push(j);
                     members.push(j);
@@ -180,9 +187,15 @@ fn build_forest(q: &Query, atom_ids: &[usize], placed: &Schema) -> Result<Vec<Vo
         let new_placed = placed.union(&common);
         let children = build_forest(q, &members, &new_placed)?;
         // Build the chain bottom-up: last chain variable owns the children.
-        let mut node = VoNode::Var { var: *chain.last().unwrap(), children };
+        let mut node = VoNode::Var {
+            var: *chain.last().unwrap(),
+            children,
+        };
         for &v in chain.iter().rev().skip(1) {
-            node = VoNode::Var { var: v, children: vec![node] };
+            node = VoNode::Var {
+                var: v,
+                children: vec![node],
+            };
         }
         roots.push(node);
     }
@@ -261,7 +274,12 @@ fn restructure(q: &Query, sub: &VoNode) -> VoNode {
     node.unwrap()
 }
 
-fn collect_frees(q: &Query, node: &VoNode, depth: usize, out: &mut Vec<(usize, &'static str, Var)>) {
+fn collect_frees(
+    q: &Query,
+    node: &VoNode,
+    depth: usize,
+    out: &mut Vec<(usize, &'static str, Var)>,
+) {
     if let VoNode::Var { var, children } = node {
         if q.is_free(*var) {
             out.push((depth, var.name(), *var));
@@ -284,7 +302,10 @@ pub fn restrict(node: &VoNode, keep: &Schema) -> Vec<VoNode> {
                 new_children.extend(restrict(c, keep));
             }
             if keep.contains(*var) {
-                vec![VoNode::Var { var: *var, children: new_children }]
+                vec![VoNode::Var {
+                    var: *var,
+                    children: new_children,
+                }]
             } else {
                 new_children
             }
@@ -337,8 +358,7 @@ fn walk(q: &Query, node: &VoNode, anc: &Schema, info: &mut VoInfo) {
             .copied()
             .filter(|&a| {
                 q.atoms.iter().any(|at| {
-                    at.schema.contains(a)
-                        && at.schema.vars().iter().any(|&v| sub_vars.contains(v))
+                    at.schema.contains(a) && at.schema.vars().iter().any(|&v| sub_vars.contains(v))
                 })
             })
             .collect();
@@ -522,7 +542,10 @@ mod tests {
         assert_eq!(info.anc[&a], Schema::of(&["B"]));
         assert_eq!(info.dep[&a], Schema::of(&["B"]));
         assert_eq!(info.dep[&c], Schema::of(&["B"]));
-        assert_eq!(info.subtree[&b], Schema::of(&["B", "A", "C"]).union(&Schema::empty()));
+        assert_eq!(
+            info.subtree[&b],
+            Schema::of(&["B", "A", "C"]).union(&Schema::empty())
+        );
         assert_eq!(info.subtree_atoms[&b], vec![0, 1]);
         assert_eq!(info.subtree_atoms[&a], vec![0]);
         let _ = (a, c);

@@ -128,8 +128,8 @@ pub fn delta_rank(q: &Query) -> Result<usize, NotHierarchical> {
         let free_x = q.free_of_atoms_of(x);
         for &a in &q.atoms_of(x) {
             let residual = free_x.difference(&q.atoms[a].schema);
-            let need = edge_cover_number(q, &residual)
-                .expect("free variables of atoms(X) are coverable");
+            let need =
+                edge_cover_number(q, &residual).expect("free variables of atoms(X) are coverable");
             rank = rank.max(need);
         }
     }
@@ -215,8 +215,7 @@ mod tests {
         // Q(Y0,...,Yi) = R0(X,Y0), ..., Ri(X,Yi) is δi-hierarchical
         // (example after Def. 5).
         for i in 0..4usize {
-            let atoms: Vec<String> =
-                (0..=i).map(|j| format!("R{j}(X, Y{j})")).collect();
+            let atoms: Vec<String> = (0..=i).map(|j| format!("R{j}(X, Y{j})")).collect();
             let head: Vec<String> = (0..=i).map(|j| format!("Y{j}")).collect();
             let src = format!("Q({}) :- {}", head.join(","), atoms.join(", "));
             let q = p(&src);

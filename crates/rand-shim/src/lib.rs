@@ -1,0 +1,225 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! The build environment has no access to crates.io, so this workspace
+//! ships the small slice of the `rand` 0.8 API it actually uses:
+//! [`Rng::gen`], [`Rng::gen_range`], [`Rng::gen_bool`], [`SeedableRng`],
+//! and [`rngs::StdRng`]. The generator core is xoshiro256** seeded via
+//! SplitMix64 — deterministic, fast, and statistically solid for the
+//! workload generators and property tests (it is *not* cryptographic,
+//! which `rand`'s `StdRng` would be; nothing here needs that).
+//!
+//! Swapping the real `rand` back in is a one-line change in the workspace
+//! manifest: every call site uses the upstream names and signatures.
+
+/// Types whose uniform samples [`Rng::gen`] can produce.
+pub trait Standard: Sized {
+    /// Draws one sample from `next` (a source of uniform `u64`s).
+    fn sample(next: &mut dyn FnMut() -> u64) -> Self;
+}
+
+impl Standard for f64 {
+    #[inline]
+    fn sample(next: &mut dyn FnMut() -> u64) -> f64 {
+        // 53 top bits → uniform in [0, 1).
+        (next() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Standard for u64 {
+    #[inline]
+    fn sample(next: &mut dyn FnMut() -> u64) -> u64 {
+        next()
+    }
+}
+
+impl Standard for bool {
+    #[inline]
+    fn sample(next: &mut dyn FnMut() -> u64) -> bool {
+        next() & 1 == 1
+    }
+}
+
+/// Ranges that [`Rng::gen_range`] can sample from.
+pub trait SampleRange<T> {
+    /// Draws a value from the range using `next` as the entropy source.
+    fn sample_from(self, next: &mut dyn FnMut() -> u64) -> T;
+}
+
+macro_rules! int_ranges {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for std::ops::Range<$t> {
+            #[inline]
+            fn sample_from(self, next: &mut dyn FnMut() -> u64) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                (self.start as i128 + (widening_mod(next, span)) as i128) as $t
+            }
+        }
+        impl SampleRange<$t> for std::ops::RangeInclusive<$t> {
+            #[inline]
+            fn sample_from(self, next: &mut dyn FnMut() -> u64) -> $t {
+                let (lo, hi) = self.into_inner();
+                assert!(lo <= hi, "cannot sample empty range");
+                let span = (hi as i128 - lo as i128) as u128 + 1;
+                (lo as i128 + (widening_mod(next, span)) as i128) as $t
+            }
+        }
+    )*};
+}
+
+int_ranges!(i8, i16, i32, i64, u8, u16, u32, u64, usize, isize);
+
+/// Nearly unbiased `u64 → [0, span)` via 128-bit multiply-shift
+/// (Lemire's method, without the rejection step — the residual bias is
+/// ≤ 2⁻⁶⁴·span, irrelevant for test/benchmark workloads).
+#[inline]
+fn widening_mod(next: &mut dyn FnMut() -> u64, span: u128) -> u128 {
+    debug_assert!(span > 0 && span <= u64::MAX as u128 + 1);
+    ((next() as u128) * span) >> 64
+}
+
+/// The subset of `rand::Rng` this workspace relies on.
+pub trait Rng {
+    /// The raw generator step: one uniform `u64`.
+    fn next_u64(&mut self) -> u64;
+
+    /// Uniform sample of a [`Standard`] type (`rng.gen::<f64>()` ∈ [0, 1)).
+    #[inline]
+    fn gen<T: Standard>(&mut self) -> T {
+        let mut next = || self.next_u64();
+        T::sample(&mut next)
+    }
+
+    /// Uniform sample from an integer range (half-open or inclusive).
+    #[inline]
+    fn gen_range<T, R: SampleRange<T>>(&mut self, range: R) -> T {
+        let mut next = || self.next_u64();
+        range.sample_from(&mut next)
+    }
+
+    /// Bernoulli trial with success probability `p`.
+    #[inline]
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "p={p} outside [0, 1]");
+        self.gen::<f64>() < p
+    }
+}
+
+/// Seedable generators (only the `seed_from_u64` entry point is needed).
+pub trait SeedableRng: Sized {
+    /// Builds a generator from a 64-bit seed.
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+pub mod rngs {
+    //! Named generator types mirroring `rand::rngs`.
+
+    use super::{Rng, SeedableRng};
+
+    /// Deterministic xoshiro256** generator (stand-in for `rand`'s
+    /// `StdRng`; same name so call sites are upstream-compatible).
+    #[derive(Clone, Debug)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(state: u64) -> StdRng {
+            // SplitMix64 expansion of the seed, per the xoshiro authors'
+            // recommendation; guarantees a non-zero state.
+            let mut x = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut s = [0u64; 4];
+            for slot in &mut s {
+                let mut z = x;
+                x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                *slot = z ^ (z >> 31);
+            }
+            StdRng { s }
+        }
+    }
+
+    impl Rng for StdRng {
+        #[inline]
+        fn next_u64(&mut self) -> u64 {
+            // xoshiro256** step.
+            let out = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            out
+        }
+    }
+}
+
+impl<R: Rng + ?Sized> Rng for &mut R {
+    #[inline]
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = StdRng::seed_from_u64(8);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn f64_in_unit_interval() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            let u: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&u));
+        }
+    }
+
+    #[test]
+    fn ranges_cover_and_stay_inside() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut seen = [false; 10];
+        for _ in 0..1_000 {
+            let v: usize = rng.gen_range(0..10);
+            seen[v] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all buckets hit: {seen:?}");
+        for _ in 0..1_000 {
+            let v: i64 = rng.gen_range(-5..=5);
+            assert!((-5..=5).contains(&v));
+        }
+    }
+
+    #[test]
+    fn gen_bool_tracks_probability() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let hits = (0..10_000).filter(|_| rng.gen_bool(0.3)).count();
+        assert!((2_500..3_500).contains(&hits), "p=0.3 gave {hits}/10000");
+    }
+
+    #[test]
+    fn roughly_uniform_buckets() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut counts = [0usize; 16];
+        for _ in 0..16_000 {
+            counts[rng.gen_range(0..16usize)] += 1;
+        }
+        for &c in &counts {
+            assert!((800..1200).contains(&c), "skewed buckets: {counts:?}");
+        }
+    }
+}

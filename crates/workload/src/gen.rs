@@ -1,7 +1,7 @@
 //! Relation and update-stream generators.
 
 use ivme_core::Database;
-use ivme_data::Tuple;
+use ivme_data::{DeltaBatch, Tuple, Update};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -60,6 +60,29 @@ pub struct StreamOp {
     pub delta: i64,
 }
 
+impl From<&StreamOp> for Update {
+    fn from(op: &StreamOp) -> Update {
+        Update::new(op.relation.clone(), op.tuple.clone(), op.delta)
+    }
+}
+
+/// Chunks an update stream into consolidated [`DeltaBatch`]es of at most
+/// `chunk` raw updates each — the batched form of replaying the stream.
+/// Every prefix of the stream is valid, so each chunk's *net* deltas are
+/// valid against the state left by the previous chunks.
+pub fn chunk_stream(ops: &[StreamOp], chunk: usize) -> Vec<DeltaBatch> {
+    assert!(chunk > 0, "chunk size must be positive");
+    ops.chunks(chunk)
+        .map(|window| {
+            let mut b = DeltaBatch::new();
+            for op in window {
+                b.push(&op.relation, op.tuple.clone(), op.delta);
+            }
+            b
+        })
+        .collect()
+}
+
 /// Generates a mixed insert/delete stream over the given relations.
 ///
 /// `arities` lists `(relation, arity)`. Values are Zipf-skewed over
@@ -82,13 +105,24 @@ pub fn update_stream(
         if delete {
             let i = rng.gen_range(0..live.len());
             let (relation, tuple) = live.swap_remove(i);
-            ops.push(StreamOp { relation, tuple, delta: -1 });
+            ops.push(StreamOp {
+                relation,
+                tuple,
+                delta: -1,
+            });
         } else {
             let (rel, arity) = arities[rng.gen_range(0..arities.len())];
-            let tuple: Tuple =
-                Tuple::ints(&(0..arity).map(|_| z.sample(&mut rng) as i64).collect::<Vec<_>>());
+            let tuple: Tuple = Tuple::ints(
+                &(0..arity)
+                    .map(|_| z.sample(&mut rng) as i64)
+                    .collect::<Vec<_>>(),
+            );
             live.push((rel.to_owned(), tuple.clone()));
-            ops.push(StreamOp { relation: rel.to_owned(), tuple, delta: 1 });
+            ops.push(StreamOp {
+                relation: rel.to_owned(),
+                tuple,
+                delta: 1,
+            });
         }
     }
     ops
@@ -130,6 +164,32 @@ mod tests {
         for j in 0..3 {
             assert_eq!(db.len(&format!("R{j}")), 50);
         }
+    }
+
+    #[test]
+    fn chunked_stream_nets_match_sequential_replay() {
+        let ops = update_stream(300, &[("R", 2)], 8, 1.0, 0.5, 13);
+        let batches = chunk_stream(&ops, 64);
+        assert_eq!(
+            batches.iter().map(DeltaBatch::cardinality).sum::<usize>(),
+            300
+        );
+        // Net effect of the batches equals the net effect of the stream.
+        let mut seq = Database::new();
+        for op in &ops {
+            seq.apply(&op.relation, op.tuple.clone(), op.delta);
+        }
+        let mut via_batches = Database::new();
+        for b in &batches {
+            for (t, m) in b.deltas("R") {
+                via_batches.apply("R", t.clone(), m);
+            }
+        }
+        let mut a = seq.rows("R");
+        let mut b = via_batches.rows("R");
+        a.sort();
+        b.sort();
+        assert_eq!(a, b);
     }
 
     #[test]

@@ -12,6 +12,6 @@ pub mod gen;
 pub mod omv;
 pub mod zipf;
 
-pub use gen::{two_path_db, star_db, update_stream, StreamOp};
+pub use gen::{chunk_stream, star_db, two_path_db, update_stream, StreamOp};
 pub use omv::OmvInstance;
 pub use zipf::Zipf;

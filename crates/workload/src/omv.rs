@@ -10,7 +10,7 @@
 //! the paper's weakly Pareto-optimal point is ε = ½ with `O(N^{1/2})` update
 //! time and delay (Fig. 3).
 
-use ivme_data::Tuple;
+use ivme_data::{DeltaBatch, Tuple};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -48,12 +48,43 @@ impl OmvInstance {
 
     /// Matrix tuples as `R(A,B)` rows.
     pub fn matrix_tuples(&self) -> Vec<Tuple> {
-        self.matrix.iter().map(|&(i, j)| Tuple::ints(&[i, j])).collect()
+        self.matrix
+            .iter()
+            .map(|&(i, j)| Tuple::ints(&[i, j]))
+            .collect()
     }
 
     /// Vector `r`'s tuples as `S(B)` rows.
     pub fn vector_tuples(&self, r: usize) -> Vec<Tuple> {
         self.vectors[r].iter().map(|&j| Tuple::ints(&[j])).collect()
+    }
+
+    /// The whole matrix as one bulk-load batch into `R(A,B)`.
+    pub fn matrix_batch(&self) -> DeltaBatch {
+        let mut b = DeltaBatch::new();
+        for &(i, j) in &self.matrix {
+            b.insert("R", Tuple::ints(&[i, j]));
+        }
+        b
+    }
+
+    /// Round `r`'s vector load as one batch of inserts into `S(B)` —
+    /// the batched form of the `n` single-tuple updates a round performs.
+    pub fn vector_batch(&self, r: usize) -> DeltaBatch {
+        let mut b = DeltaBatch::new();
+        for &j in &self.vectors[r] {
+            b.insert("S", Tuple::ints(&[j]));
+        }
+        b
+    }
+
+    /// Round `r`'s vector retraction as one batch of deletes from `S(B)`.
+    pub fn vector_retract_batch(&self, r: usize) -> DeltaBatch {
+        let mut b = DeltaBatch::new();
+        for &j in &self.vectors[r] {
+            b.delete("S", Tuple::ints(&[j]));
+        }
+        b
     }
 
     /// Ground truth: the set of rows `i` with `(M·v_r)[i] = 1`.
@@ -100,5 +131,24 @@ mod tests {
         assert!(inst.expected_product(2).is_empty());
         assert_eq!(inst.matrix_tuples().len(), 2);
         assert_eq!(inst.vector_tuples(0), vec![Tuple::ints(&[1])]);
+    }
+
+    #[test]
+    fn batches_mirror_tuple_lists() {
+        let inst = OmvInstance::generate(8, 2, 0.5, 5);
+        let mb = inst.matrix_batch();
+        assert_eq!(mb.cardinality(), inst.matrix.len());
+        assert_eq!(mb.deltas("R").count(), inst.matrix.len());
+        let vb = inst.vector_batch(0);
+        assert_eq!(vb.deltas("S").count(), inst.vectors[0].len());
+        assert!(vb.deltas("S").all(|(_, m)| m == 1));
+        let rb = inst.vector_retract_batch(0);
+        assert!(rb.deltas("S").all(|(_, m)| m == -1));
+        // Load + retract cancels exactly.
+        let mut net = inst.vector_batch(0);
+        for &j in &inst.vectors[0] {
+            net.delete("S", Tuple::ints(&[j]));
+        }
+        assert!(net.is_empty());
     }
 }

@@ -59,7 +59,10 @@ mod tests {
             counts[z.sample(&mut rng)] += 1;
         }
         for &c in &counts {
-            assert!((700..1300).contains(&c), "uniform counts skewed: {counts:?}");
+            assert!(
+                (700..1300).contains(&c),
+                "uniform counts skewed: {counts:?}"
+            );
         }
     }
 

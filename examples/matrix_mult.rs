@@ -34,8 +34,7 @@ fn main() {
         }
         let t0 = Instant::now();
         let mut eng =
-            IvmEngine::from_sql("Q(A) :- R(A,B), S(B)", &db, EngineOptions::dynamic(eps))
-                .unwrap();
+            IvmEngine::from_sql("Q(A) :- R(A,B), S(B)", &db, EngineOptions::dynamic(eps)).unwrap();
         let prep = t0.elapsed();
 
         let t1 = Instant::now();
@@ -46,8 +45,7 @@ fn main() {
             for t in &vt {
                 eng.insert("S", t.clone()).unwrap();
             }
-            let mut rows: Vec<i64> =
-                eng.enumerate().map(|(t, _)| t.get(0).as_int()).collect();
+            let mut rows: Vec<i64> = eng.enumerate().map(|(t, _)| t.get(0).as_int()).collect();
             rows.sort_unstable();
             assert_eq!(rows, inst.expected_product(r), "round {r} product wrong");
             checked += rows.len();

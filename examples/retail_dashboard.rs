@@ -31,25 +31,49 @@ fn main() {
     // owns a third of all traffic (a heavy value).
     let mut order_of = Vec::new();
     for o in 0..300i64 {
-        let cust = if rng.gen_bool(0.33) { 0 } else { rng.gen_range(1..60) };
+        let cust = if rng.gen_bool(0.33) {
+            0
+        } else {
+            rng.gen_range(1..60)
+        };
         db.insert("Orders", Tuple::ints(&[cust, o, rng.gen_range(0..25)]), 1);
-        db.insert("Payments", Tuple::ints(&[cust, o, rng.gen_range(5..500)]), 1);
+        db.insert(
+            "Payments",
+            Tuple::ints(&[cust, o, rng.gen_range(5..500)]),
+            1,
+        );
         db.insert("Shipments", Tuple::ints(&[cust, o, rng.gen_range(0..4)]), 1);
-        db.insert("Addresses", Tuple::ints(&[cust, o, rng.gen_range(0..12)]), 1);
+        db.insert(
+            "Addresses",
+            Tuple::ints(&[cust, o, rng.gen_range(0..12)]),
+            1,
+        );
         order_of.push((cust, o));
     }
 
     let mut eng = IvmEngine::from_sql(QUERY, &db, EngineOptions::dynamic(0.5)).unwrap();
-    println!("dashboard warm: N = {}, {} views, {} distinct rows", eng.db_size(),
-             eng.num_views(), eng.count_distinct());
+    println!(
+        "dashboard warm: N = {}, {} views, {} distinct rows",
+        eng.db_size(),
+        eng.num_views(),
+        eng.count_distinct()
+    );
 
     // Live traffic: new orders stream in; old ones are archived (deleted).
     for o in 300..380i64 {
-        let cust = if rng.gen_bool(0.33) { 0 } else { rng.gen_range(1..60) };
-        eng.insert("Orders", Tuple::ints(&[cust, o, rng.gen_range(0..25)])).unwrap();
-        eng.insert("Payments", Tuple::ints(&[cust, o, rng.gen_range(5..500)])).unwrap();
-        eng.insert("Shipments", Tuple::ints(&[cust, o, rng.gen_range(0..4)])).unwrap();
-        eng.insert("Addresses", Tuple::ints(&[cust, o, rng.gen_range(0..12)])).unwrap();
+        let cust = if rng.gen_bool(0.33) {
+            0
+        } else {
+            rng.gen_range(1..60)
+        };
+        eng.insert("Orders", Tuple::ints(&[cust, o, rng.gen_range(0..25)]))
+            .unwrap();
+        eng.insert("Payments", Tuple::ints(&[cust, o, rng.gen_range(5..500)]))
+            .unwrap();
+        eng.insert("Shipments", Tuple::ints(&[cust, o, rng.gen_range(0..4)]))
+            .unwrap();
+        eng.insert("Addresses", Tuple::ints(&[cust, o, rng.gen_range(0..12)]))
+            .unwrap();
         if o % 4 == 0 {
             // Archive one historical order end-to-end.
             let (c, old) = order_of[(o as usize - 300) * 3 % order_of.len()];

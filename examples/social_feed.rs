@@ -43,7 +43,8 @@ fn main() {
         let prep = t0.elapsed();
         let t1 = Instant::now();
         for op in &ops {
-            eng.apply_update(&op.relation, op.tuple.clone(), op.delta).unwrap();
+            eng.apply_update(&op.relation, op.tuple.clone(), op.delta)
+                .unwrap();
         }
         let upd = t1.elapsed();
         let t2 = Instant::now();

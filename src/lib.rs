@@ -1,0 +1,26 @@
+//! Umbrella crate for the IVM^ε workspace.
+//!
+//! Re-exports the public surface of every member crate so the top-level
+//! `tests/` and `examples/` have a single dependency root, and so
+//! `cargo doc` renders the whole system in one place.
+//!
+//! The actual implementation lives in the member crates:
+//!
+//! * [`ivme_data`] — Z-relations, tuples, schemas, heavy/light partitions,
+//!   and the batched-delta types ([`ivme_data::DeltaBatch`]).
+//! * [`ivme_query`] — conjunctive-query AST, parser, hierarchical
+//!   classification, and width measures.
+//! * [`ivme_plan`] — skew-aware view-tree compilation.
+//! * [`ivme_core`] — the engine: preprocessing, enumeration, single-tuple
+//!   and batched maintenance.
+//! * [`ivme_baselines`] — recompute-on-demand and first-order IVM oracles.
+//! * [`ivme_workload`] — data/update-stream generators and OMv.
+//! * [`ivme_cli`] — the interactive shell.
+
+pub use ivme_baselines as baselines;
+pub use ivme_cli as cli;
+pub use ivme_core as core;
+pub use ivme_data as data;
+pub use ivme_plan as plan;
+pub use ivme_query as query;
+pub use ivme_workload as workload;

@@ -50,7 +50,8 @@ fn all_four_agree_under_streams() {
     let mut mirror = Database::new();
     let ops = update_stream(250, &[("R", 2), ("S", 2)], 12, 1.0, 0.3, 77);
     for (i, op) in ops.iter().enumerate() {
-        eng.apply_update(&op.relation, op.tuple.clone(), op.delta).unwrap();
+        eng.apply_update(&op.relation, op.tuple.clone(), op.delta)
+            .unwrap();
         ivm.apply_update(&op.relation, op.tuple.clone(), op.delta);
         rc.apply_update(&op.relation, op.tuple.clone(), op.delta);
         mirror.apply(&op.relation, op.tuple.clone(), op.delta);
@@ -72,7 +73,8 @@ fn q_hierarchical_stream_three_ways() {
     let mut mirror = Database::new();
     let ops = update_stream(200, &[("R0", 2), ("R1", 2)], 8, 0.7, 0.25, 13);
     for op in &ops {
-        eng.apply_update(&op.relation, op.tuple.clone(), op.delta).unwrap();
+        eng.apply_update(&op.relation, op.tuple.clone(), op.delta)
+            .unwrap();
         ivm.apply_update(&op.relation, op.tuple.clone(), op.delta);
         mirror.apply(&op.relation, op.tuple.clone(), op.delta);
     }
@@ -97,7 +99,8 @@ fn delta_ivm_and_engine_agree_on_four_atom_query() {
         31,
     );
     for op in &ops {
-        eng.apply_update(&op.relation, op.tuple.clone(), op.delta).unwrap();
+        eng.apply_update(&op.relation, op.tuple.clone(), op.delta)
+            .unwrap();
         ivm.apply_update(&op.relation, op.tuple.clone(), op.delta);
         mirror.apply(&op.relation, op.tuple.clone(), op.delta);
     }

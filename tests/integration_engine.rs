@@ -34,7 +34,8 @@ fn star_query_skewed_stream() {
         if op.delta < 0 && mirror.get(&op.relation, &op.tuple) == 0 {
             continue;
         }
-        eng.apply_update(&op.relation, op.tuple.clone(), op.delta).unwrap();
+        eng.apply_update(&op.relation, op.tuple.clone(), op.delta)
+            .unwrap();
         mirror.apply(&op.relation, op.tuple.clone(), op.delta);
         if i % 25 == 0 {
             assert_eq!(eng.result_sorted(), brute_force(&q, &mirror), "step {i}");
@@ -46,12 +47,8 @@ fn star_query_skewed_stream() {
 #[test]
 fn enumeration_is_lazy_and_restartable() {
     let db = two_path_db(400, 30, 1.0, 5);
-    let eng = IvmEngine::from_sql(
-        "Q(A,C) :- R(A,B), S(B,C)",
-        &db,
-        EngineOptions::dynamic(0.5),
-    )
-    .unwrap();
+    let eng =
+        IvmEngine::from_sql("Q(A,C) :- R(A,B), S(B,C)", &db, EngineOptions::dynamic(0.5)).unwrap();
     let total = eng.count_distinct();
     assert!(total > 0);
     // Taking a prefix is cheap and leaves the engine reusable.
@@ -76,12 +73,8 @@ fn distinctness_of_enumerated_tuples() {
         }
     }
     for eps in [0.0, 0.5, 1.0] {
-        let eng = IvmEngine::from_sql(
-            "Q(A,C) :- R(A,B), S(B,C)",
-            &db,
-            EngineOptions::dynamic(eps),
-        )
-        .unwrap();
+        let eng = IvmEngine::from_sql("Q(A,C) :- R(A,B), S(B,C)", &db, EngineOptions::dynamic(eps))
+            .unwrap();
         let tuples: Vec<Tuple> = eng.enumerate().map(|(t, _)| t).collect();
         let mut dedup = tuples.clone();
         dedup.sort();

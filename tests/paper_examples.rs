@@ -15,15 +15,43 @@ pub const BATTERY: &[(&str, bool, bool, bool, usize, usize)] = &[
     // Example 29: free-connex but δ1.
     ("Q(A) :- R(A,B), S(B)", true, true, false, 1, 1),
     // Example 18: free-connex hierarchical.
-    ("Q(A,D,E) :- R(A,B,C), S(A,B,D), T(A,E)", true, true, false, 1, 1),
+    (
+        "Q(A,D,E) :- R(A,B,C), S(A,B,D), T(A,E)",
+        true,
+        true,
+        false,
+        1,
+        1,
+    ),
     // Example 19 / Fig. 12.
-    ("Q(C,D,E,F) :- R(A,B,D), S(A,B,E), T(A,C,F), U(A,C,G)", true, false, false, 3, 3),
+    (
+        "Q(C,D,E,F) :- R(A,B,D), S(A,B,E), T(A,C,F), U(A,C,G)",
+        true,
+        false,
+        false,
+        3,
+        3,
+    ),
     // Example 12/14: hierarchical, free-connex, not q-hierarchical.
-    ("Q(A,C,F) :- R(A,B,C), S(A,B,D), T(A,E,F), U(A,E,G)", true, true, false, 1, 1),
+    (
+        "Q(A,C,F) :- R(A,B,C), S(A,B,D), T(A,E,F), U(A,E,G)",
+        true,
+        true,
+        false,
+        1,
+        1,
+    ),
     // δ0 (q-hierarchical) star.
     ("Q(X,Y0,Y1) :- R0(X,Y0), R1(X,Y1)", true, true, true, 1, 0),
     // δ2 star (Def. 5 family).
-    ("Q(Y0,Y1,Y2) :- R0(X,Y0), R1(X,Y1), R2(X,Y2)", true, false, false, 3, 2),
+    (
+        "Q(Y0,Y1,Y2) :- R0(X,Y0), R1(X,Y1), R2(X,Y2)",
+        true,
+        false,
+        false,
+        3,
+        2,
+    ),
     // Boolean two-path: free-connex, w = 1; with no free variables the
     // q-hierarchical condition holds vacuously and δ = 0.
     ("Q() :- R(A,B), S(B,C)", true, true, true, 1, 0),
@@ -78,7 +106,10 @@ fn figure23_view_trees_example_28() {
         "AllB(B)\n  AllA(B)\n    R(A,B)\n  AllC(B)\n    S(B,C)\n",
         "LB(B)\n  LA(B)\n    R^B(A,B)\n  LC(B)\n    S^B(B,C)\n",
     ] {
-        assert!(rendered.contains(expected), "missing tree:\n{expected}\ngot:\n{rendered}");
+        assert!(
+            rendered.contains(expected),
+            "missing tree:\n{expected}\ngot:\n{rendered}"
+        );
     }
     assert_eq!(p.indicators[0].keys, Schema::of(&["B"]));
 }
@@ -87,8 +118,15 @@ fn figure23_view_trees_example_28() {
 fn figure24_view_trees_example_29() {
     let q = parse_query("Q(A) :- R(A,B), S(B)").unwrap();
     let st = ivme_plan::compile(&q, Mode::Static).unwrap();
-    assert_eq!(st.components[0].trees.len(), 1, "static: single tree (Fig. 24)");
-    assert_eq!(st.components[0].trees[0].render(), "VB(A)\n  R(A,B)\n  S(B)\n");
+    assert_eq!(
+        st.components[0].trees.len(),
+        1,
+        "static: single tree (Fig. 24)"
+    );
+    assert_eq!(
+        st.components[0].trees[0].render(),
+        "VB(A)\n  R(A,B)\n  S(B)\n"
+    );
     let dy = ivme_plan::compile(&q, Mode::Dynamic).unwrap();
     assert_eq!(dy.components[0].trees.len(), 2);
     assert_eq!(dy.indicators.len(), 1);
@@ -111,16 +149,25 @@ fn figure9_example_18_static_and_dynamic() {
     assert_eq!(dy.indicators[0].keys, Schema::of(&["A", "B"]));
     assert_eq!(dy.partitions.len(), 2, "R and S partitioned on (A,B)");
     let rendered = dy.render();
-    assert!(rendered.contains("VB'(A)"), "aux view V'B missing:\n{rendered}");
-    assert!(rendered.contains("T'(A)"), "aux view T' missing:\n{rendered}");
+    assert!(
+        rendered.contains("VB'(A)"),
+        "aux view V'B missing:\n{rendered}"
+    );
+    assert!(
+        rendered.contains("T'(A)"),
+        "aux view T' missing:\n{rendered}"
+    );
 }
 
 #[test]
 fn figure12_example_19_tree_count_and_partitions() {
-    let q =
-        parse_query("Q(C,D,E,F) :- R(A,B,D), S(A,B,E), T(A,C,F), U(A,C,G)").unwrap();
+    let q = parse_query("Q(C,D,E,F) :- R(A,B,D), S(A,B,E), T(A,C,F), U(A,C,G)").unwrap();
     let p = ivme_plan::compile(&q, Mode::Dynamic).unwrap();
-    assert_eq!(p.components[0].trees.len(), 3, "three view trees (Example 19)");
+    assert_eq!(
+        p.components[0].trees.len(),
+        3,
+        "three view trees (Example 19)"
+    );
     assert_eq!(p.indicators.len(), 2, "indicators at A and (A,B)");
     assert_eq!(p.partitions.len(), 6, "R,S,T,U on A plus R,S on (A,B)");
 }
