@@ -16,9 +16,18 @@
 //! acceptance check for the batched pipeline: a k = 1000 vector load must
 //! be ≥ 2× faster batched than as 1000 sequential inserts.
 
+//! Setting `IVME_BENCH_QUICK=1` runs a reduced grid (one matrix size, three
+//! ε values, fewer rounds) that finishes in well under a minute — the CI
+//! throughput-regression gate. The acceptance assertions run in both modes.
+
 use ivme_bench::{fmt_dur, time_once};
 use ivme_core::{Database, EngineOptions, IvmEngine};
 use ivme_workload::OmvInstance;
+
+/// True when the reduced CI grid was requested via `IVME_BENCH_QUICK=1`.
+fn quick() -> bool {
+    std::env::var("IVME_BENCH_QUICK").is_ok_and(|v| v == "1")
+}
 
 fn engine_for(inst: &OmvInstance, eps: f64) -> IvmEngine {
     let mut db = Database::new();
@@ -47,10 +56,14 @@ fn main() {
         "total(batch)",
         "speedup"
     );
-    for &n in &[64usize, 128] {
-        let rounds = 16;
+    let (sizes, rounds, eps_grid): (&[usize], usize, &[f64]) = if quick() {
+        (&[64], 8, &[0.0, 0.5, 1.0])
+    } else {
+        (&[64, 128], 16, &[0.0, 0.25, 0.5, 0.75, 1.0])
+    };
+    for &n in sizes {
         let inst = OmvInstance::generate(n, rounds, 0.25, 42);
-        for eps in [0.0, 0.25, 0.5, 0.75, 1.0] {
+        for &eps in eps_grid {
             let mut seq = engine_for(&inst, eps);
             let mut bat = engine_for(&inst, eps);
             let mut seq_update = std::time::Duration::ZERO;
@@ -129,7 +142,8 @@ fn main() {
         "{:<8} {:>14} {:>14} {:>10}",
         "eps", "sequential", "batched", "speedup"
     );
-    for eps in [0.25, 0.5, 0.75] {
+    let accept_eps: &[f64] = if quick() { &[0.5] } else { &[0.25, 0.5, 0.75] };
+    for &eps in accept_eps {
         let mut seq = engine_for(&inst, eps);
         let mut bat = engine_for(&inst, eps);
         let vt = inst.vector_tuples(0);

@@ -6,6 +6,9 @@
 //! Plain timing loops (the offline build has no criterion): each case is
 //! warmed up, then timed over enough iterations to smooth scheduler noise,
 //! and reported as ns/op.
+//!
+//! Setting `IVME_BENCH_QUICK=1` divides every iteration count by 20 so the
+//! whole suite finishes in seconds — the CI throughput-regression gate.
 
 use std::hint::black_box;
 use std::time::Instant;
@@ -17,8 +20,11 @@ use ivme_query::parse_query;
 use ivme_workload::two_path_db;
 
 /// Times `f` over `iters` iterations (after `warmup` untimed ones) and
-/// returns ns/op.
+/// returns ns/op. `IVME_BENCH_QUICK=1` scales both counts down 20×.
 fn bench(warmup: usize, iters: usize, mut f: impl FnMut()) -> f64 {
+    let quick = std::env::var("IVME_BENCH_QUICK").is_ok_and(|v| v == "1");
+    let scale = if quick { 20 } else { 1 };
+    let (warmup, iters) = ((warmup / scale).max(1), (iters / scale).max(1));
     for _ in 0..warmup {
         f();
     }

@@ -13,6 +13,13 @@
 //! instead of k, and deltas that cancel on the way up (the accumulator
 //! drops zero entries between levels) stop propagating early.
 //!
+//! All per-level state (delta vectors, accumulator maps, grouping maps,
+//! segment buffers) lives in a [`PropScratch`] arena owned by the
+//! [`Runtime`]: it is taken out when a propagation starts and put back when
+//! it ends, so the hot path performs no map or vector allocations after
+//! warm-up — the zero-allocation contract of this storage engine's
+//! maintenance path.
+//!
 //! [`Runtime::refresh_heavy`] realizes `UpdateIndTree` for the derived
 //! heavy indicator `H = ∃All ∧ ∄L`: after the All/L indicator trees have
 //! absorbed a delta, the support of `H` at the update's key is recomputed
@@ -26,185 +33,346 @@ use crate::runtime::{NodeId, Runtime};
 /// A set of per-tuple multiplicity changes over one node's schema.
 pub(crate) type Delta = Vec<(Tuple, i64)>;
 
+/// Reusable buffers for [`Runtime::propagate`] and `view_delta`. Owned by
+/// the runtime; `std::mem::take`n for the duration of one propagation
+/// (propagation never re-enters itself, so the take can't observe an empty
+/// arena mid-flight — and even if it did, a fresh default is correct, just
+/// slower).
+#[derive(Default)]
+pub(crate) struct PropScratch {
+    /// The delta at the current level.
+    current: Delta,
+    /// The delta being assembled for the next level.
+    next: Delta,
+    /// Consolidated view-delta accumulator (one entry per output tuple).
+    acc: FxHashMap<Tuple, i64>,
+    /// Scalar grouping: dirty key → Σ multiplicity.
+    by_key: FxHashMap<Tuple, i64>,
+    /// General grouping: dirty key → aggregated delta segments.
+    by_key_seg: FxHashMap<Tuple, FxHashMap<Tuple, i64>>,
+    /// Pool of drained inner maps for `by_key_seg`.
+    seg_pool: Vec<FxHashMap<Tuple, i64>>,
+    /// Per-child segment vectors for group products.
+    segs: Vec<Vec<(Tuple, i64)>>,
+    /// Aggregation scratch for `aggregated_group_into`.
+    agg: FxHashMap<Tuple, i64>,
+}
+
 impl Runtime {
     /// Applies `delta` (already applied to the leaf's backing relation) to
-    /// every ancestor view of `leaf`, bottom-up. The delta may contain any
-    /// number of tuples; each ancestor recomputes one group-product per
-    /// distinct dirty join key.
+    /// every ancestor view of `leaf`, bottom-up. Each ancestor recomputes
+    /// one group-product per distinct dirty join key.
+    ///
+    /// `delta` must be **consolidated**: at most one entry per tuple, none
+    /// zero. Every producer (DeltaBatch, accumulator drains, migrations,
+    /// indicator refreshes) already satisfies this, and the identity fast
+    /// paths rely on it — an entry pair like `(t,−1),(t,+1)` that an
+    /// accumulator would net to nothing could otherwise underflow a copy
+    /// view mid-application.
     pub(crate) fn propagate(&mut self, leaf: NodeId, delta: &[(Tuple, i64)]) {
-        let mut current: Delta = delta.to_vec();
+        if delta.is_empty() || self.nodes[leaf].parent.is_none() {
+            return;
+        }
+        let mut scr = std::mem::take(&mut self.scratch);
         let mut child = leaf;
+        // The first level reads the caller's slice directly; later levels
+        // read the scratch buffer refilled from the accumulator.
+        let mut first = true;
         while let Some(parent) = self.nodes[child].parent {
-            if current.is_empty() {
-                return;
+            if !first && scr.current.is_empty() {
+                break;
             }
-            let acc = self.view_delta(parent, child, &current);
+            if self.nodes[parent].project_identity {
+                // The view is a verbatim copy of its child: the delta
+                // passes through unchanged — apply it and keep the same
+                // buffer for the next level, no accumulator round trip.
+                let rel = self.nodes[parent].rel;
+                let level: &[(Tuple, i64)] = if first { delta } else { &scr.current };
+                for (t, m) in level {
+                    self.rels[rel]
+                        .apply(t.clone(), *m)
+                        .expect("view maintenance drove a multiplicity negative");
+                }
+                child = parent;
+                continue;
+            }
+            scr.acc.clear();
+            {
+                let level: &[(Tuple, i64)] = if first { delta } else { &scr.current };
+                self.view_delta(
+                    parent,
+                    child,
+                    level,
+                    &mut scr.acc,
+                    &mut scr.by_key,
+                    &mut scr.by_key_seg,
+                    &mut scr.seg_pool,
+                    &mut scr.segs,
+                    &mut scr.agg,
+                );
+            }
+            first = false;
             let rel = self.nodes[parent].rel;
             let terminal = self.nodes[parent].parent.is_none();
-            current.clear();
             // The accumulator holds one consolidated entry per tuple;
             // apply in one pass, materializing the delta vector only if
             // another level needs it.
             if terminal {
-                for (t, m) in acc {
+                for (t, m) in scr.acc.drain() {
                     if m != 0 {
                         self.rels[rel]
                             .apply(t, m)
                             .expect("view maintenance drove a multiplicity negative");
                     }
                 }
-                return;
+                break;
             }
-            for (t, m) in acc {
+            scr.next.clear();
+            for (t, m) in scr.acc.drain() {
                 if m != 0 {
                     self.rels[rel]
                         .apply(t.clone(), m)
                         .expect("view maintenance drove a multiplicity negative");
-                    current.push((t, m));
+                    scr.next.push((t, m));
                 }
             }
+            std::mem::swap(&mut scr.current, &mut scr.next);
             child = parent;
         }
+        scr.current.clear();
+        scr.next.clear();
+        self.scratch = scr;
+    }
+
+    /// [`Runtime::propagate`] to every leaf reading atom `atom` directly.
+    /// The leaf list is taken out for the walk instead of cloned.
+    pub(crate) fn propagate_atom_leaves(&mut self, atom: usize, delta: &[(Tuple, i64)]) {
+        let leaves = std::mem::take(&mut self.leaves_by_atom[atom]);
+        for &leaf in &leaves {
+            self.propagate(leaf, delta);
+        }
+        self.leaves_by_atom[atom] = leaves;
+    }
+
+    /// [`Runtime::propagate`] to every leaf reading partition `pi`'s light
+    /// part. The leaf list is taken out for the walk instead of cloned.
+    pub(crate) fn propagate_part_leaves(&mut self, pi: usize, delta: &[(Tuple, i64)]) {
+        let leaves = std::mem::take(&mut self.leaves_by_part[pi]);
+        for &leaf in &leaves {
+            self.propagate(leaf, delta);
+        }
+        self.leaves_by_part[pi] = leaves;
+    }
+
+    /// [`Runtime::propagate`] to every leaf reading heavy indicator `ind`.
+    /// The leaf list is taken out for the walk instead of cloned.
+    pub(crate) fn propagate_ind_leaves(&mut self, ind: usize, delta: &[(Tuple, i64)]) {
+        let leaves = std::mem::take(&mut self.leaves_by_ind[ind]);
+        for &leaf in &leaves {
+            self.propagate(leaf, delta);
+        }
+        self.leaves_by_ind[ind] = leaves;
     }
 
     /// Computes the view delta `δV = V_1 ⋈ ... ⋈ δV_j ⋈ ... ⋈ V_k`
     /// (projected onto V's schema) for a delta arriving from child `child`,
     /// grouped so that every distinct dirty key is recomputed exactly once.
-    /// Returns the consolidated accumulator (entries may be zero).
-    fn view_delta(&self, parent: NodeId, child: NodeId, delta: &Delta) -> FxHashMap<Tuple, i64> {
+    /// Fills the consolidated accumulator `acc` (entries may be zero); all
+    /// other parameters are reusable scratch, left drained/cleared.
+    #[allow(clippy::too_many_arguments)]
+    fn view_delta(
+        &self,
+        parent: NodeId,
+        child: NodeId,
+        delta: &[(Tuple, i64)],
+        acc: &mut FxHashMap<Tuple, i64>,
+        by_key: &mut FxHashMap<Tuple, i64>,
+        by_key_seg: &mut FxHashMap<Tuple, FxHashMap<Tuple, i64>>,
+        seg_pool: &mut Vec<FxHashMap<Tuple, i64>>,
+        segs: &mut Vec<Vec<(Tuple, i64)>>,
+        agg: &mut FxHashMap<Tuple, i64>,
+    ) {
         let node = &self.nodes[parent];
         let j = node
             .children
             .iter()
             .position(|&c| c == child)
             .expect("delta child must be a child of parent");
-        let mut acc: FxHashMap<Tuple, i64> =
-            FxHashMap::with_capacity_and_hasher(delta.len(), Default::default());
         if node.children.len() == 1 {
             for (t, m) in delta {
                 *acc.entry(t.project(&node.project_pos)).or_insert(0) += m;
             }
-        } else if node.child_seg_pos[j].is_empty() {
-            // The updated child contributes no segment variables: its
-            // per-key delta is a scalar, so group straight into key → Σm
-            // (self-cancellation nets +1/−1 pairs to nothing).
-            let mut by_key: FxHashMap<Tuple, i64> =
-                FxHashMap::with_capacity_and_hasher(delta.len(), Default::default());
-            for (t, m) in delta {
-                *by_key.entry(t.project(&node.child_key_pos[j])).or_insert(0) += m;
-            }
+            return;
+        }
+        // Size the per-child segment buffers once.
+        if segs.len() < node.children.len() {
+            segs.resize_with(node.children.len(), Vec::new);
+        }
+        if node.child_seg_pos[j].is_empty() {
             let scalar_view = node.child_seg_pos.iter().all(|s| s.is_empty());
-            'skeys: for (key, dm) in by_key {
-                if dm == 0 {
-                    continue;
+            if node.child_key_identity[j] {
+                // The join key covers the whole delta tuple: each entry of
+                // the (consolidated) delta is its own dirty key, so the
+                // per-key regrouping map would be a verbatim rebuild —
+                // skip it and process entries directly.
+                for (t, m) in delta {
+                    self.scalar_dirty_key(parent, j, t, *m, scalar_view, acc, segs, agg);
                 }
-                for (i, &c) in node.children.iter().enumerate() {
-                    if i != j && !self.node_rel(c).group_contains(node.child_key_idx[i], &key) {
-                        continue 'skeys;
-                    }
+            } else {
+                // The updated child contributes no segment variables: its
+                // per-key delta is a scalar, so group straight into
+                // key → Σm (self-cancellation nets +1/−1 pairs to nothing).
+                by_key.clear();
+                for (t, m) in delta {
+                    *by_key.entry(t.project(&node.child_key_pos[j])).or_insert(0) += m;
                 }
-                if scalar_view {
-                    // No child retains segment variables: the view tuple is
-                    // assembled from the key alone and δV(key) is the plain
-                    // product of the sibling group sums — fully scalar, no
-                    // intermediate vectors (the indicator-tree hot path).
-                    let mut mult = dm;
-                    for (i, &c) in node.children.iter().enumerate() {
-                        if i == j {
-                            continue;
-                        }
-                        let mut sum = 0i64;
-                        for (_, m) in self.node_rel(c).group_iter(node.child_key_idx[i], &key) {
-                            sum += m;
-                        }
-                        mult *= sum;
-                        if mult == 0 {
-                            continue 'skeys;
-                        }
+                for (key, dm) in by_key.drain() {
+                    if dm != 0 {
+                        self.scalar_dirty_key(parent, j, &key, dm, scalar_view, acc, segs, agg);
                     }
-                    let tuple = if node.assembly_is_key {
-                        key
-                    } else {
-                        node.assembly
-                            .iter()
-                            .map(|src| match *src {
-                                crate::runtime::FieldSrc::Key(p) => key.get(p).clone(),
-                                crate::runtime::FieldSrc::Seg { .. } => {
-                                    unreachable!("scalar view has no segment sources")
-                                }
-                            })
-                            .collect()
-                    };
-                    *acc.entry(tuple).or_insert(0) += mult;
-                } else if node.children.len() == 2
-                    && node.assembly_is_seg == Some(1 - j)
-                    && node.child_seg_distinct[1 - j]
-                {
-                    // Binary view whose output tuple is the sibling's
-                    // segment (the light component tree hot path):
-                    // δV = dm × σ_{K=key}(sibling), streamed straight into
-                    // the accumulator with no intermediate vectors.
-                    let i = 1 - j;
-                    let sib = self.node_rel(node.children[i]);
-                    let idx = node.child_key_idx[i];
-                    let seg_pos = &node.child_seg_pos[i];
-                    for (t, m) in sib.group_iter(idx, &key) {
-                        *acc.entry(t.project(seg_pos)).or_insert(0) += dm * m;
-                    }
-                } else {
-                    let mut segs: Vec<Vec<(Tuple, i64)>> = Vec::with_capacity(node.children.len());
-                    for i in 0..node.children.len() {
-                        if i == j {
-                            segs.push(vec![(Tuple::empty(), dm)]);
-                        } else {
-                            segs.push(self.aggregated_group(parent, i, &key));
-                        }
-                    }
-                    if segs.iter().any(|s| s.is_empty()) {
-                        continue;
-                    }
-                    self.emit_products(parent, &key, &segs, 1, &mut acc);
                 }
             }
         } else {
             // General case: group the incoming delta by the view's join
-            // key, aggregating the updated child's segments.
-            let mut by_key: FxHashMap<Tuple, FxHashMap<Tuple, i64>> =
-                FxHashMap::with_capacity_and_hasher(delta.len(), Default::default());
+            // key, aggregating the updated child's segments. Inner maps are
+            // pooled across keys and propagations.
+            by_key_seg.clear();
             for (t, m) in delta {
                 let key = t.project(&node.child_key_pos[j]);
                 let seg = t.project(&node.child_seg_pos[j]);
-                *by_key.entry(key).or_default().entry(seg).or_insert(0) += m;
+                *by_key_seg
+                    .entry(key)
+                    .or_insert_with(|| seg_pool.pop().unwrap_or_default())
+                    .entry(seg)
+                    .or_insert(0) += m;
             }
-            'keys: for (key, dsegs) in by_key {
-                let mut dsegs: Vec<(Tuple, i64)> =
-                    dsegs.into_iter().filter(|&(_, m)| m != 0).collect();
-                if dsegs.is_empty() {
+            'keys: for (key, mut dsegs) in by_key_seg.drain() {
+                // One group-product per dirty key: aggregated sibling
+                // groups × the aggregated delta segments. The delta's own
+                // segments land in segs[j]; the inner map returns to the
+                // pool either way.
+                segs[j].clear();
+                segs[j].extend(dsegs.drain().filter(|&(_, m)| m != 0));
+                seg_pool.push(dsegs);
+                if segs[j].is_empty() {
                     continue;
                 }
                 // Semi-join filter against the siblings — once per key.
-                for (i, &c) in node.children.iter().enumerate() {
-                    if i != j && !self.node_rel(c).group_contains(node.child_key_idx[i], &key) {
-                        continue 'keys;
+                // With a single sibling the aggregation below detects the
+                // absent group with the same one probe, so the precheck
+                // would only add work.
+                if node.children.len() > 2 {
+                    for (i, &c) in node.children.iter().enumerate() {
+                        if i != j && !self.node_rel(c).group_contains(node.child_key_idx[i], &key) {
+                            continue 'keys;
+                        }
                     }
                 }
-                // One group-product per dirty key: aggregated sibling
-                // groups × the aggregated delta segments.
-                let mut segs: Vec<Vec<(Tuple, i64)>> = Vec::with_capacity(node.children.len());
+                let mut any_empty = false;
                 for i in 0..node.children.len() {
-                    if i == j {
-                        segs.push(std::mem::take(&mut dsegs));
-                    } else {
-                        segs.push(self.aggregated_group(parent, i, &key));
+                    if i != j {
+                        self.aggregated_group_into(parent, i, &key, agg, &mut segs[i]);
+                        any_empty |= segs[i].is_empty();
                     }
                 }
-                if segs.iter().any(|s| s.is_empty()) {
+                if any_empty {
                     continue;
                 }
-                self.emit_products(parent, &key, &segs, 1, &mut acc);
+                self.emit_products(parent, &key, &segs[..node.children.len()], 1, acc);
             }
         }
-        acc
+    }
+
+    /// One dirty key of a scalar-contribution delta (the updated child
+    /// retains no segment variables): joins `dm` with the sibling groups at
+    /// `key` and folds the result into `acc`. Factored out so the
+    /// identity-key fast path and the grouped path share it.
+    #[allow(clippy::too_many_arguments)]
+    fn scalar_dirty_key(
+        &self,
+        parent: NodeId,
+        j: usize,
+        key: &Tuple,
+        dm: i64,
+        scalar_view: bool,
+        acc: &mut FxHashMap<Tuple, i64>,
+        segs: &mut [Vec<(Tuple, i64)>],
+        agg: &mut FxHashMap<Tuple, i64>,
+    ) {
+        let node = &self.nodes[parent];
+        // Semi-join precheck pays only with ≥ 2 siblings: with one sibling
+        // the group walk below detects absence with the same single probe.
+        if node.children.len() > 2 {
+            for (i, &c) in node.children.iter().enumerate() {
+                if i != j && !self.node_rel(c).group_contains(node.child_key_idx[i], key) {
+                    return;
+                }
+            }
+        }
+        if scalar_view {
+            // No child retains segment variables: the view tuple is
+            // assembled from the key alone and δV(key) is the plain
+            // product of the sibling group sums — fully scalar, no
+            // intermediate vectors (the indicator-tree hot path).
+            let mut mult = dm;
+            for (i, &c) in node.children.iter().enumerate() {
+                if i == j {
+                    continue;
+                }
+                let mut sum = 0i64;
+                for (_, m) in self.node_rel(c).group_iter(node.child_key_idx[i], key) {
+                    sum += m;
+                }
+                mult *= sum;
+                if mult == 0 {
+                    return;
+                }
+            }
+            let tuple = if node.assembly_is_key {
+                key.clone()
+            } else {
+                node.assembly
+                    .iter()
+                    .map(|src| match *src {
+                        crate::runtime::FieldSrc::Key(p) => key.get(p).clone(),
+                        crate::runtime::FieldSrc::Seg { .. } => {
+                            unreachable!("scalar view has no segment sources")
+                        }
+                    })
+                    .collect()
+            };
+            *acc.entry(tuple).or_insert(0) += mult;
+        } else if node.children.len() == 2
+            && node.assembly_is_seg == Some(1 - j)
+            && node.child_seg_distinct[1 - j]
+        {
+            // Binary view whose output tuple is the sibling's segment (the
+            // light component tree hot path): δV = dm × σ_{K=key}(sibling),
+            // streamed straight into the accumulator with no intermediate
+            // vectors.
+            let i = 1 - j;
+            let sib = self.node_rel(node.children[i]);
+            let idx = node.child_key_idx[i];
+            let seg_pos = &node.child_seg_pos[i];
+            for (t, m) in sib.group_iter(idx, key) {
+                *acc.entry(t.project(seg_pos)).or_insert(0) += dm * m;
+            }
+        } else {
+            let k = node.children.len();
+            let mut any_empty = false;
+            for i in 0..k {
+                if i == j {
+                    segs[i].clear();
+                    segs[i].push((Tuple::empty(), dm));
+                } else {
+                    self.aggregated_group_into(parent, i, key, agg, &mut segs[i]);
+                    any_empty |= segs[i].is_empty();
+                }
+            }
+            if !any_empty {
+                self.emit_products(parent, key, &segs[..k], 1, acc);
+            }
+        }
     }
 
     /// `UpdateIndTree` for the derived heavy indicator of `ind` at `key`:
@@ -212,9 +380,9 @@ impl Runtime {
     /// indicator-tree roots, applies the change to the `H` relation, and
     /// returns the `δ(∃H)` to propagate (`None` when unchanged).
     pub(crate) fn refresh_heavy(&mut self, ind: usize, key: &Tuple) -> Option<(Tuple, i64)> {
-        let all = self.node_rel(self.ind_all_root[ind]).get(key) != 0;
-        let light = self.node_rel(self.ind_light_root[ind]).get(key) != 0;
-        let desired = all && !light;
+        // `&&` short-circuits the L-tree probe when the key left All.
+        let desired = self.node_rel(self.ind_all_root[ind]).get(key) != 0
+            && self.node_rel(self.ind_light_root[ind]).get(key) == 0;
         let h = self.heavy_rel[ind];
         let present = self.rels[h].get(key) != 0;
         match (present, desired) {

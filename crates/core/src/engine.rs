@@ -109,6 +109,11 @@ pub struct EngineStats {
     pub minor_rebalances: u64,
 }
 
+/// Per-partition cached key projections of one atom's delta batch:
+/// `(partition id, key of deltas[i] at position i)`. Produced by pass 1 of
+/// `update_trees_batch`, consumed by pass 3 and minor rebalancing.
+type PartitionKeys = Vec<(usize, Vec<Tuple>)>;
+
 /// The IVM^ε engine for one hierarchical query.
 pub struct IvmEngine {
     query: Query,
@@ -380,24 +385,30 @@ impl IvmEngine {
             }
             // Negative-multiplicity dry run against the first occurrence:
             // occurrences are identical copies receiving identical deltas,
-            // so one check covers them all.
-            let base = self.rt.base_rel[atoms[0]];
-            for (t, d) in &deltas {
-                let present = self.rt.rels[base].get(t);
-                if present + d < 0 {
-                    return Err(UpdateError::Negative(NegativeMultiplicity {
-                        tuple: t.clone(),
-                        present,
-                        delta: *d,
-                    }));
+            // so one check covers them all. A batch with no negative net
+            // delta cannot underflow — pure insert loads skip the probes.
+            if deltas.iter().any(|(_, d)| *d < 0) {
+                let base = self.rt.base_rel[atoms[0]];
+                for (t, d) in &deltas {
+                    let present = self.rt.rels[base].get(t);
+                    if present + d < 0 {
+                        return Err(UpdateError::Negative(NegativeMultiplicity {
+                            tuple: t.clone(),
+                            present,
+                            delta: *d,
+                        }));
+                    }
                 }
             }
             work.push((atoms, deltas));
         }
         // Apply per atom occurrence: trees, light parts, and indicators.
+        // Each application returns the partition keys it projected in its
+        // first pass, so minor rebalancing below never re-projects them.
+        let mut cached_keys: Vec<PartitionKeys> = Vec::new();
         for (atoms, deltas) in &work {
             for &a in atoms {
-                self.update_trees_batch(a, deltas);
+                cached_keys.push(self.update_trees_batch(a, deltas));
             }
         }
         self.stats.updates += batch.cardinality() as u64;
@@ -419,9 +430,11 @@ impl IvmEngine {
             // per-key minor checks below would be wasted propagation work.
             self.major_rebalance();
         } else {
-            for (atoms, deltas) in &work {
+            let mut cached = cached_keys.into_iter();
+            for (atoms, _) in &work {
                 for &a in atoms {
-                    self.minor_rebalance_batch(a, deltas);
+                    let keys = cached.next().expect("one key cache per occurrence");
+                    self.minor_rebalance_batch(a, keys);
                 }
             }
         }
@@ -431,7 +444,12 @@ impl IvmEngine {
     /// `UpdateTrees` (Fig. 19) for a consolidated per-atom delta set:
     /// pushes the deltas through every view tree, light part, indicator
     /// tree, and heavy indicator, grouping per-node work by dirty key.
-    fn update_trees_batch(&mut self, atom: usize, deltas: &[(Tuple, i64)]) {
+    ///
+    /// Returns, per partition of the atom, the partition key of every delta
+    /// tuple (projected exactly once, in pass 1) so pass 3 and the caller's
+    /// minor-rebalancing sweep reuse the cached keys instead of
+    /// re-projecting — three projections per tuple collapsed into one.
+    fn update_trees_batch(&mut self, atom: usize, deltas: &[(Tuple, i64)]) -> PartitionKeys {
         // Split out, per partition of this atom, the sub-batch that belongs
         // to the light part: key already light, or key absent from R
         // (Fig. 19 line 10) — decided per key. Unlike the single-tuple
@@ -443,6 +461,7 @@ impl IvmEngine {
         // the per-key work a sequence of single-tuple triggers would also
         // avoid by migrating mid-stream.
         let theta = self.theta();
+        let mut part_keys: PartitionKeys = Vec::new();
         let mut light_sub: Vec<(usize, Vec<(Tuple, i64)>)> = Vec::new();
         for pi in 0..self.rt.partitions.len() {
             if self.rt.part_atom[pi] != atom {
@@ -450,50 +469,80 @@ impl IvmEngine {
             }
             let base = self.rt.base_rel[atom];
             let idx = self.rt.base_part_idx[pi];
-            // Pass 1 — upper estimate of each key's net change in distinct
-            // light tuples (inserts of already-present tuples only
-            // overestimate; the post-batch minor checks restore the
-            // invariants exactly).
-            let mut keys: FxHashMap<Tuple, i64> =
-                FxHashMap::with_capacity_and_hasher(deltas.len(), Default::default());
-            for (t, d) in deltas {
-                *keys.entry(self.rt.partitions[pi].key_of(t)).or_insert(0) +=
-                    if *d > 0 { 1 } else { -1 };
-            }
-            // Pass 2 — decide light/heavy once per key, in place (the
-            // entry's value becomes the decision), queueing pre-migrations.
+            let mut sub: Vec<(Tuple, i64)> = Vec::new();
             let mut migrate: Vec<Tuple> = Vec::new();
-            for (key, v) in keys.iter_mut() {
-                let light_deg = self.rt.partitions[pi].light_degree(key) as i64;
-                let light = if ((light_deg + *v) as f64) >= 1.5 * theta {
-                    // Will be heavy by batch end: migrate out now.
-                    if light_deg > 0 {
-                        migrate.push(key.clone());
+            let mut tuple_keys: Vec<Tuple> = Vec::with_capacity(deltas.len());
+            if self.rt.partitions[pi].key_is_identity() {
+                // The partition key is the whole tuple: a consolidated
+                // batch has one entry per key, so the per-key estimate map
+                // would rebuild the batch verbatim — decide and route in
+                // one pass. (A key's light degree is its group size in L,
+                // so `degree > 0` doubles as the `key ∈ π_S L` test: one
+                // probe, not two.)
+                for (t, d) in deltas {
+                    tuple_keys.push(t.clone());
+                    let light_deg = self.rt.partitions[pi].light_degree(t) as i64;
+                    let v = if *d > 0 { 1 } else { -1 };
+                    let light = if ((light_deg + v) as f64) >= 1.5 * theta {
+                        if light_deg > 0 {
+                            migrate.push(t.clone());
+                        }
+                        false
+                    } else {
+                        light_deg > 0 || !self.rt.rels[base].group_contains(idx, t)
+                    };
+                    if light {
+                        sub.push((t.clone(), *d));
                     }
-                    false
-                } else {
-                    self.rt.partitions[pi].key_is_light(key)
-                        || !self.rt.rels[base].group_contains(idx, key)
-                };
-                *v = light as i64;
+                }
+            } else {
+                // Pass 1 — project each tuple's partition key once (reused
+                // by pass 3 and minor rebalancing) and take an upper
+                // estimate of each key's net change in distinct light
+                // tuples (inserts of already-present tuples only
+                // overestimate; the post-batch minor checks restore the
+                // invariants exactly).
+                for (t, _) in deltas {
+                    tuple_keys.push(self.rt.partitions[pi].key_of(t));
+                }
+                let mut keys: FxHashMap<Tuple, i64> =
+                    FxHashMap::with_capacity_and_hasher(deltas.len(), Default::default());
+                for ((_, d), key) in deltas.iter().zip(&tuple_keys) {
+                    *keys.entry(key.clone()).or_insert(0) += if *d > 0 { 1 } else { -1 };
+                }
+                // Pass 2 — decide light/heavy once per key, in place (the
+                // entry's value becomes the decision), queueing
+                // pre-migrations.
+                for (key, v) in keys.iter_mut() {
+                    let light_deg = self.rt.partitions[pi].light_degree(key) as i64;
+                    let light = if ((light_deg + *v) as f64) >= 1.5 * theta {
+                        // Will be heavy by batch end: migrate out now.
+                        if light_deg > 0 {
+                            migrate.push(key.clone());
+                        }
+                        false
+                    } else {
+                        light_deg > 0 || !self.rt.rels[base].group_contains(idx, key)
+                    };
+                    *v = light as i64;
+                }
+                // Pass 3 — route each delta by its cached key's decision,
+                // cloning the tuple only when it actually goes light.
+                for ((t, d), key) in deltas.iter().zip(&tuple_keys) {
+                    if keys[key] == 1 {
+                        sub.push((t.clone(), *d));
+                    }
+                }
             }
             for key in migrate {
                 self.stats.minor_rebalances += 1;
                 let out = self.rt.partitions[pi].migrate_out(&key);
-                for leaf in self.rt.leaves_by_part[pi].clone() {
-                    self.rt.propagate(leaf, &out);
-                }
-            }
-            // Pass 3 — route each delta by its key's decision.
-            let mut sub: Vec<(Tuple, i64)> = Vec::new();
-            for (t, d) in deltas {
-                if keys[&self.rt.partitions[pi].key_of(t)] == 1 {
-                    sub.push((t.clone(), *d));
-                }
+                self.rt.propagate_part_leaves(pi, &out);
             }
             if !sub.is_empty() {
                 light_sub.push((pi, sub));
             }
+            part_keys.push((pi, tuple_keys));
         }
         // 1. Base relation, atomically (legality was validated up front).
         let base = self.rt.base_rel[atom];
@@ -501,18 +550,14 @@ impl IvmEngine {
         self.n_size = (self.n_size as i64 + outcome.net_size_change()) as usize;
         // 2. Propagate through every tree reading this atom directly
         //    (component trees and indicator All-trees).
-        for leaf in self.rt.leaves_by_atom[atom].clone() {
-            self.rt.propagate(leaf, deltas);
-        }
+        self.rt.propagate_atom_leaves(atom, deltas);
         // 3. Light parts and the trees reading them (component light trees
         //    and indicator L-trees).
         for (pi, sub) in light_sub {
             self.rt.partitions[pi]
                 .light_mut()
                 .apply_batch_unchecked(&sub);
-            for leaf in self.rt.leaves_by_part[pi].clone() {
-                self.rt.propagate(leaf, &sub);
-            }
+            self.rt.propagate_part_leaves(pi, &sub);
         }
         // 4. Refresh the heavy indicators at every distinct touched key and
         //    propagate the collected δ(∃H) (Fig. 18 / Fig. 19 lines 8-14).
@@ -532,11 +577,10 @@ impl IvmEngine {
                 }
             }
             if !dh.is_empty() {
-                for leaf in self.rt.leaves_by_ind[ind].clone() {
-                    self.rt.propagate(leaf, &dh);
-                }
+                self.rt.propagate_ind_leaves(ind, &dh);
             }
         }
+        part_keys
     }
 
     /// `MajorRebalancing` (Fig. 20): strict repartition with the new
@@ -549,17 +593,14 @@ impl IvmEngine {
     /// `MinorRebalancing` checks (Fig. 22 lines 9-15) for every partition
     /// of the updated atom, once per **distinct key** the batch touched;
     /// migrations move whole keys between the light and heavy sides and
-    /// propagate the resulting deltas (Fig. 21).
-    fn minor_rebalance_batch(&mut self, atom: usize, deltas: &[(Tuple, i64)]) {
+    /// propagate the resulting deltas (Fig. 21). The keys were projected by
+    /// `update_trees_batch` pass 1 and arrive pre-computed.
+    fn minor_rebalance_batch(&mut self, atom: usize, part_keys: PartitionKeys) {
         let theta = self.theta();
-        for pi in 0..self.rt.partitions.len() {
-            if self.rt.part_atom[pi] != atom {
-                continue;
-            }
+        for (pi, tuple_keys) in part_keys {
             let mut seen: FxHashSet<Tuple> =
-                FxHashSet::with_capacity_and_hasher(deltas.len(), Default::default());
-            for (t, _) in deltas {
-                let key = self.rt.partitions[pi].key_of(t);
+                FxHashSet::with_capacity_and_hasher(tuple_keys.len(), Default::default());
+            for key in tuple_keys {
                 if seen.insert(key.clone()) {
                     self.minor_rebalance_key(pi, atom, &key, theta);
                 }
@@ -592,9 +633,7 @@ impl IvmEngine {
             return;
         }
         self.stats.minor_rebalances += 1;
-        for leaf in self.rt.leaves_by_part[pi].clone() {
-            self.rt.propagate(leaf, &deltas);
-        }
+        self.rt.propagate_part_leaves(pi, &deltas);
         // The migration may flip the heavy indicator at this key.
         for ind in 0..self.rt.heavy_rel.len() {
             if !self.rt.ind_key_pos_in_atom[ind].contains_key(&atom) {
@@ -607,10 +646,8 @@ impl IvmEngine {
                 continue;
             }
             if let Some(dh) = self.rt.refresh_heavy(ind, key) {
-                let dh = vec![dh];
-                for leaf in self.rt.leaves_by_ind[ind].clone() {
-                    self.rt.propagate(leaf, &dh);
-                }
+                let dh = [dh];
+                self.rt.propagate_ind_leaves(ind, &dh);
             }
         }
     }

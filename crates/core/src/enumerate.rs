@@ -833,7 +833,9 @@ impl<'e> Iterator for ResultIter<'e> {
                 }
             }
         }
-        let tuple: Tuple = (0..self.free_arity).map(|p| self.buf[p].clone()).collect();
+        // `buf` holds exactly the free variables in schema order; clone it
+        // straight into the (inline up to INLINE_ARITY) representation.
+        let tuple = Tuple::from_slice(&self.buf[..self.free_arity]);
         Some((tuple, self.comp_mults.iter().product()))
     }
 }

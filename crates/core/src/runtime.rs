@@ -77,6 +77,20 @@ pub(crate) struct MatNode {
     pub assembly_is_seg: Option<usize>,
     /// Single-child views: positions of `schema` within the child schema.
     pub project_pos: Vec<usize>,
+    /// Single-child views: true when `project_pos` is the identity, so the
+    /// view is a verbatim copy of its child and deltas pass through
+    /// unchanged (no accumulator, no projection).
+    pub project_identity: bool,
+    /// Per child: true when the join key covers the child's whole schema
+    /// in order, so a consolidated delta needs no per-key regrouping — each
+    /// delta tuple *is* its own dirty key (hot for partition leaves keyed
+    /// on their full schema, e.g. the OMv vector relation).
+    pub child_key_identity: Vec<bool>,
+}
+
+/// Whether `positions` is the identity permutation of length `arity`.
+fn is_identity(positions: &[usize], arity: usize) -> bool {
+    positions.len() == arity && positions.iter().enumerate().all(|(i, &p)| i == p)
 }
 
 /// The full runtime state: every relation (bases, light parts, heavy
@@ -107,6 +121,11 @@ pub(crate) struct Runtime {
     pub leaves_by_atom: Vec<Vec<NodeId>>,
     pub leaves_by_part: Vec<Vec<NodeId>>,
     pub leaves_by_ind: Vec<Vec<NodeId>>,
+    /// Reusable buffers for delta propagation (see `delta.rs`): taken out
+    /// at the start of a propagation and put back at the end, so the
+    /// per-level accumulator maps and delta vectors are allocated once per
+    /// runtime instead of once per level per update.
+    pub(crate) scratch: crate::delta::PropScratch,
 }
 
 impl Runtime {
@@ -128,6 +147,7 @@ impl Runtime {
             leaves_by_atom: vec![Vec::new(); q.atoms.len()],
             leaves_by_part: vec![Vec::new(); plan.partitions.len()],
             leaves_by_ind: vec![Vec::new(); plan.indicators.len()],
+            scratch: Default::default(),
         };
         // Base relations (one copy per atom occurrence).
         for a in &q.atoms {
@@ -201,6 +221,8 @@ impl Runtime {
             assembly_is_key: false,
             assembly_is_seg: None,
             project_pos: Vec::new(),
+            project_identity: false,
+            child_key_identity: Vec::new(),
         });
         match &node.kind {
             NodeKind::Leaf(src) => {
@@ -235,7 +257,9 @@ impl Runtime {
                 self.nodes[id].children = child_ids.clone();
                 if child_ids.len() == 1 {
                     let c = &self.nodes[child_ids[0]];
-                    self.nodes[id].project_pos = c.schema.positions_of(&node.schema);
+                    let pos = c.schema.positions_of(&node.schema);
+                    self.nodes[id].project_identity = is_identity(&pos, c.schema.arity());
+                    self.nodes[id].project_pos = pos;
                 } else {
                     // Join key = intersection of all child schemas.
                     let mut key = self.nodes[child_ids[0]].schema.clone();
@@ -297,6 +321,9 @@ impl Runtime {
                             let arity = self.nodes[child_ids[c]].schema.arity();
                             key_pos[c].len() + seg_pos[c].len() == arity
                         })
+                        .collect();
+                    self.nodes[id].child_key_identity = (0..child_ids.len())
+                        .map(|c| is_identity(&key_pos[c], self.nodes[child_ids[c]].schema.arity()))
                         .collect();
                     self.nodes[id].join_key = key;
                     self.nodes[id].child_key_idx = key_idx;
@@ -383,25 +410,25 @@ impl Runtime {
                         .num_groups(self.nodes[n].child_key_idx[i])
                 })
                 .unwrap();
-            let keys: Vec<Tuple> = self
+            let mut segs: Vec<Vec<(Tuple, i64)>> = vec![Vec::new(); children.len()];
+            let mut agg: FxHashMap<Tuple, i64> = FxHashMap::default();
+            'keys: for key in self
                 .node_rel(children[pivot])
                 .group_keys(self.nodes[n].child_key_idx[pivot])
-                .cloned()
-                .collect();
-            'keys: for key in keys {
+            {
                 // Semi-join filter: every child must have the key.
                 for (i, &c) in children.iter().enumerate() {
                     if !self
                         .node_rel(c)
-                        .group_contains(self.nodes[n].child_key_idx[i], &key)
+                        .group_contains(self.nodes[n].child_key_idx[i], key)
                     {
                         continue 'keys;
                     }
                 }
-                let segs: Vec<Vec<(Tuple, i64)>> = (0..children.len())
-                    .map(|i| self.aggregated_group(n, i, &key))
-                    .collect();
-                self.emit_products(n, &key, &segs, 1, &mut acc);
+                for (i, seg) in segs.iter_mut().enumerate() {
+                    self.aggregated_group_into(n, i, key, &mut agg, seg);
+                }
+                self.emit_products(n, key, &segs, 1, &mut acc);
             }
         }
         let rel = self.nodes[n].rel;
@@ -416,8 +443,18 @@ impl Runtime {
     }
 
     /// The group `σ_{K=key}` of child `i`, aggregated onto the segment
-    /// variables the parent retains (InsideOut step of Lemma 44).
-    pub(crate) fn aggregated_group(&self, n: NodeId, i: usize, key: &Tuple) -> Vec<(Tuple, i64)> {
+    /// variables the parent retains (InsideOut step of Lemma 44), written
+    /// into the reusable `out` buffer (cleared first). `agg` is scratch for
+    /// the general aggregation case; left drained.
+    pub(crate) fn aggregated_group_into(
+        &self,
+        n: NodeId,
+        i: usize,
+        key: &Tuple,
+        agg: &mut FxHashMap<Tuple, i64>,
+        out: &mut Vec<(Tuple, i64)>,
+    ) {
+        out.clear();
         let node = &self.nodes[n];
         let child = node.children[i];
         let idx = node.child_key_idx[i];
@@ -431,36 +468,35 @@ impl Runtime {
             for (_, m) in rel.group_iter(idx, key) {
                 sum += m;
             }
-            return if sum == 0 {
-                Vec::new()
-            } else {
-                vec![(Tuple::empty(), sum)]
-            };
+            if sum != 0 {
+                out.push((Tuple::empty(), sum));
+            }
+            return;
         }
         if rel.group_len(idx, key) == 1 {
             let (t, m) = rel
                 .group_iter(idx, key)
                 .next()
                 .expect("group_len == 1 implies one entry");
-            return if m == 0 {
-                Vec::new()
-            } else {
-                vec![(t.project(seg_pos), m)]
-            };
+            if m != 0 {
+                out.push((t.project(seg_pos), m));
+            }
+            return;
         }
         if node.child_seg_distinct[i] {
             // key ∪ segment spans the child schema: group entries are
             // already distinct on the segment, so projection is enough.
-            return rel
-                .group_iter(idx, key)
-                .map(|(t, m)| (t.project(seg_pos), m))
-                .collect();
+            out.extend(
+                rel.group_iter(idx, key)
+                    .map(|(t, m)| (t.project(seg_pos), m)),
+            );
+            return;
         }
-        let mut agg: FxHashMap<Tuple, i64> = FxHashMap::default();
+        agg.clear();
         for (t, m) in rel.group_iter(idx, key) {
             *agg.entry(t.project(seg_pos)).or_insert(0) += m;
         }
-        agg.into_iter().filter(|&(_, m)| m != 0).collect()
+        out.extend(agg.drain().filter(|&(_, m)| m != 0));
     }
 
     /// Emits all products `key × seg_1 × ... × seg_k` (times `scale`) into

@@ -145,8 +145,17 @@ impl DeltaBatch {
 
     /// The consolidated deltas for one relation as an owned vector —
     /// what engines feed into `Relation::apply_batch` and propagation.
+    /// Sized up front (the iterator's `flat_map` hides the length, which
+    /// would otherwise cost a realloc chain on large batches).
     pub fn deltas_vec(&self, relation: &str) -> Vec<(Tuple, i64)> {
-        self.deltas(relation).map(|(t, m)| (t.clone(), m)).collect()
+        match self.per_rel.get(relation) {
+            Some(d) => {
+                let mut v = Vec::with_capacity(d.len());
+                v.extend(d.iter().map(|(t, &m)| (t.clone(), m)));
+                v
+            }
+            None => Vec::new(),
+        }
     }
 
     /// Expands the batch back into per-tuple updates (consolidated form,

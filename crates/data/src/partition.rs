@@ -28,6 +28,9 @@ pub struct Partition {
     key: Schema,
     /// Positions of `S` inside the base schema.
     key_positions: Vec<usize>,
+    /// True when `S` covers the whole base schema in order: `key_of` is
+    /// the identity and every tuple is its own partition key (degree 0/1).
+    key_identity: bool,
     /// The light part; same schema as the base relation.
     light: Relation,
     /// Index on `S` within the light part (degree of keys in `L`).
@@ -47,9 +50,13 @@ impl Partition {
         );
         let mut light = Relation::new(name, base_schema.clone());
         let light_key_index = light.add_index(key);
+        let key_positions = base_schema.positions_of(key);
+        let key_identity = key_positions.len() == base_schema.arity()
+            && key_positions.iter().enumerate().all(|(i, &p)| i == p);
         Partition {
             key: key.clone(),
-            key_positions: base_schema.positions_of(key),
+            key_positions,
+            key_identity,
             light,
             light_key_index,
         }
@@ -63,6 +70,14 @@ impl Partition {
     /// Positions of the key within the base schema.
     pub fn key_positions(&self) -> &[usize] {
         &self.key_positions
+    }
+
+    /// Whether the partition key covers the whole base schema in order
+    /// (Example 29's `S(B)` split on `B`): `key_of` is the identity, so
+    /// callers batching by key can treat each distinct tuple as its own
+    /// key without projecting or regrouping.
+    pub fn key_is_identity(&self) -> bool {
+        self.key_identity
     }
 
     /// Shared access to the light part `R^S`.

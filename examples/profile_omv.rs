@@ -1,0 +1,45 @@
+//! Profiling driver for the maintenance hot path: 3000 alternating
+//! k = 1000 OMv vector load/retract batches on one engine at ε = ½.
+//!
+//! This is the loop behind the `steady_state_profile_loop` entry of
+//! `BENCH_PR2.json`; run it under a sampling profiler (e.g. `gprofng
+//! collect app`) to see where batched maintenance time goes without the
+//! twin-engine cache interference of the `fig_omv_rounds` harness.
+
+use ivme_core::{Database, EngineOptions, IvmEngine};
+use ivme_workload::OmvInstance;
+
+fn main() {
+    let n = 1000i64;
+    let inst = OmvInstance {
+        n: n as usize,
+        matrix: (0..n)
+            .flat_map(|i| (0..2).map(move |k| (i, (i * 13 + k * 197) % n)))
+            .collect(),
+        vectors: vec![(0..n).collect()],
+    };
+    let mut db = Database::new();
+    for t in inst.matrix_tuples() {
+        db.insert("R", t, 1);
+    }
+    let mut eng =
+        IvmEngine::from_sql("Q(A) :- R(A,B), S(B)", &db, EngineOptions::dynamic(0.5)).unwrap();
+    let load = inst.vector_batch(0);
+    let retract = inst.vector_retract_batch(0);
+    let rounds = 3000;
+    let mut t_load = std::time::Duration::ZERO;
+    let mut t_retract = std::time::Duration::ZERO;
+    for _ in 0..rounds {
+        let t0 = std::time::Instant::now();
+        eng.apply_delta_batch(&load).unwrap();
+        t_load += t0.elapsed();
+        let t0 = std::time::Instant::now();
+        eng.apply_delta_batch(&retract).unwrap();
+        t_retract += t0.elapsed();
+    }
+    println!(
+        "{rounds} rounds: load {:?}/batch, retract {:?}/batch",
+        t_load / rounds,
+        t_retract / rounds
+    );
+}
