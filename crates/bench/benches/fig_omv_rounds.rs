@@ -20,8 +20,8 @@
 //! ε values, fewer rounds) that finishes in well under a minute — the CI
 //! throughput-regression gate. The acceptance assertions run in both modes.
 
-use ivme_bench::{fmt_dur, time_once};
-use ivme_core::{Database, EngineOptions, IvmEngine};
+use ivme_bench::{fmt_dur, shards_from_env, time_once};
+use ivme_core::{Database, EngineOptions, IvmEngine, ShardedEngine};
 use ivme_workload::OmvInstance;
 
 /// True when the reduced CI grid was requested via `IVME_BENCH_QUICK=1`.
@@ -35,6 +35,20 @@ fn engine_for(inst: &OmvInstance, eps: f64) -> IvmEngine {
         db.insert("R", t, 1);
     }
     IvmEngine::from_sql("Q(A) :- R(A,B), S(B)", &db, EngineOptions::dynamic(eps)).unwrap()
+}
+
+fn sharded_engine_for(inst: &OmvInstance, eps: f64, shards: usize) -> ShardedEngine {
+    let mut db = Database::new();
+    for t in inst.matrix_tuples() {
+        db.insert("R", t, 1);
+    }
+    ShardedEngine::from_sql(
+        "Q(A) :- R(A,B), S(B)",
+        &db,
+        EngineOptions::dynamic(eps),
+        shards,
+    )
+    .unwrap()
 }
 
 fn enumerate_rows(eng: &IvmEngine) -> Vec<i64> {
@@ -206,4 +220,79 @@ fn main() {
         );
     }
     println!("\n# Acceptance: batched k=1000 apply is >=2x sequential at every ε above.");
+
+    // ------------------------------------------------------------------
+    // Sharded rows: the same k = 1000 batched load through ShardedEngine
+    // at S ∈ {1, 2, 4} (IVME_SHARDS=n benches {1, n} instead). Each shard
+    // applies its sub-batch on its own thread, so whenever the machine has
+    // at least as many cores as the largest shard count, that row must
+    // beat the single-shard row by ≥ 1.8x.
+    // ------------------------------------------------------------------
+    let cores = std::thread::available_parallelism().map_or(1, usize::from);
+    println!("\n# Sharded batched apply of the k=1000 load (eps=0.5, {cores} cores):");
+    println!(
+        "{:<8} {:>14} {:>10} {:>16}",
+        "shards", "batched", "speedup", "shard sizes"
+    );
+    let shard_grid: Vec<usize> = match shards_from_env() {
+        Some(s) if s > 1 => vec![1, s],
+        Some(_) => vec![1],
+        None => vec![1, 2, 4],
+    };
+    let eps = 0.5;
+    let mut single_shard = None;
+    let mut widest: Option<(usize, std::time::Duration)> = None;
+    for &shards in shard_grid.iter() {
+        let mut eng = sharded_engine_for(&inst, eps, shards);
+        let load = inst.vector_batch(0);
+        let retract = inst.vector_retract_batch(0);
+        // Warm up, then best of three timed trials (untimed retract resets
+        // between trials), mirroring the unsharded acceptance protocol.
+        eng.apply_delta_batch(&load).unwrap();
+        eng.apply_delta_batch(&retract).unwrap();
+        let mut best = std::time::Duration::MAX;
+        for trial in 0..3 {
+            let (_, t) = time_once(|| eng.apply_delta_batch(&load).unwrap());
+            best = best.min(t);
+            if trial < 2 {
+                eng.apply_delta_batch(&retract).unwrap();
+            }
+        }
+        let mut rows: Vec<i64> = eng.enumerate().map(|(t, _)| t.get(0).as_int()).collect();
+        rows.sort_unstable();
+        assert_eq!(rows, inst.expected_product(0), "S={shards} diverged");
+        if shards == 1 {
+            single_shard = Some(best);
+        } else if widest.is_none_or(|(s, _)| shards > s) {
+            widest = Some((shards, best));
+        }
+        let speedup = single_shard
+            .map(|s1| s1.as_secs_f64() / best.as_secs_f64().max(1e-12))
+            .unwrap_or(1.0);
+        println!(
+            "{:<8} {:>14} {:>9.2}x {:>16}",
+            shards,
+            fmt_dur(best),
+            speedup,
+            format!("{:?}", eng.shard_sizes())
+        );
+    }
+    if let (Some(s1), Some((smax, tmax))) = (single_shard, widest) {
+        let speedup = s1.as_secs_f64() / tmax.as_secs_f64().max(1e-12);
+        if cores >= smax {
+            assert!(
+                speedup >= 1.8,
+                "sharded k=1000 load at {smax} threads must be >=1.8x the single-shard \
+                 number on a >={smax}-core machine ({s1:?} vs {tmax:?}, {speedup:.2}x)"
+            );
+            println!(
+                "\n# Acceptance: {smax}-shard batched load is >=1.8x single-shard ({speedup:.2}x)."
+            );
+        } else {
+            println!(
+                "\n# Note: only {cores} core(s) available for {smax} shard threads — the \
+                 >=1.8x acceptance gate is skipped (measured {speedup:.2}x)."
+            );
+        }
+    }
 }

@@ -6,9 +6,10 @@
 //! query Q(A,C) :- R(A,B), S(B,C)    register the query
 //! epsilon 0.5                        set ε (before `build`)
 //! mode dynamic|static                set the evaluation mode
+//! .shards 4                          hash-partition the next build over N shards
 //! load R path.csv                    stage rows for relation R
 //! row R 1,2                          stage a single row
-//! build                              compile + preprocess
+//! build                              compile + preprocess (sharded when .shards > 1)
 //! insert R 1,2                       single-tuple insert
 //! delete R 1,2                       single-tuple delete
 //! .load R path.csv                   bulk-load a CSV as ONE batch (timed)
@@ -33,17 +34,55 @@
 use std::fmt::Write as _;
 use std::fs;
 
-use ivme_core::{Database, DeltaBatch, EngineOptions, IvmEngine, Mode};
+use ivme_core::{Database, DeltaBatch, EngineOptions, IvmEngine, Mode, ShardedEngine};
 use ivme_data::{Tuple, Value};
 use ivme_query::{classify, parse_query, Query};
+
+/// A built engine: plain, or hash-partitioned over `S > 1` shards.
+enum BuiltEngine {
+    Single(Box<IvmEngine>),
+    Sharded(ShardedEngine),
+}
+
+impl BuiltEngine {
+    fn apply_update(&mut self, rel: &str, t: Tuple, delta: i64) -> Result<(), String> {
+        match self {
+            BuiltEngine::Single(e) => e.apply_update(rel, t, delta).map_err(|e| e.to_string()),
+            BuiltEngine::Sharded(e) => e.apply_update(rel, t, delta).map_err(|e| e.to_string()),
+        }
+    }
+
+    fn apply_delta_batch(&mut self, b: &DeltaBatch) -> Result<(), String> {
+        match self {
+            BuiltEngine::Single(e) => e.apply_delta_batch(b).map_err(|e| e.to_string()),
+            BuiltEngine::Sharded(e) => e.apply_delta_batch(b).map_err(|e| e.to_string()),
+        }
+    }
+
+    fn result_iter(&self) -> Box<dyn Iterator<Item = (Tuple, i64)> + '_> {
+        match self {
+            BuiltEngine::Single(e) => Box::new(e.enumerate()),
+            BuiltEngine::Sharded(e) => Box::new(e.enumerate()),
+        }
+    }
+
+    fn count_distinct(&self) -> usize {
+        match self {
+            BuiltEngine::Single(e) => e.count_distinct(),
+            BuiltEngine::Sharded(e) => e.count_distinct(),
+        }
+    }
+}
 
 /// Interpreter state.
 pub struct Shell {
     query: Option<Query>,
     epsilon: f64,
     mode: Mode,
+    /// Shard count used by the next `build` (`.shards N`).
+    shards: usize,
     staged: Database,
-    engine: Option<IvmEngine>,
+    engine: Option<BuiltEngine>,
     /// Open `.batch` staging area, if any.
     pending: Option<DeltaBatch>,
 }
@@ -60,6 +99,7 @@ impl Shell {
             query: None,
             epsilon: 0.5,
             mode: Mode::Dynamic,
+            shards: 1,
             staged: Database::new(),
             engine: None,
             pending: None,
@@ -140,24 +180,47 @@ impl Shell {
                 self.staged.insert(rel, parse_tuple(csv)?, 1);
                 Ok(Some(format!("staged 1 row into {rel}\n")))
             }
+            ".shards" => {
+                let n: usize = rest
+                    .parse()
+                    .map_err(|_| format!("usage: .shards <n ≥ 1> (got `{rest}`)"))?;
+                if n == 0 {
+                    return Err("shard count must be at least 1".into());
+                }
+                self.shards = n;
+                let note = if self.engine.is_some() {
+                    " (takes effect on the next `build`)"
+                } else {
+                    ""
+                };
+                Ok(Some(format!("shards = {n}{note}\n")))
+            }
             "build" => {
                 let q = self.query.as_ref().ok_or("no query registered")?;
-                let eng = IvmEngine::new(
-                    q,
-                    &self.staged,
-                    EngineOptions {
-                        epsilon: self.epsilon,
-                        mode: self.mode,
-                    },
-                )
-                .map_err(|e| e.to_string())?;
+                let opts = EngineOptions {
+                    epsilon: self.epsilon,
+                    mode: self.mode,
+                };
+                if self.shards > 1 {
+                    let eng = ShardedEngine::new(q, &self.staged, opts, self.shards)
+                        .map_err(|e| e.to_string())?;
+                    let msg = format!(
+                        "built: N = {}, {} shards (sizes {:?})\n",
+                        eng.db_size(),
+                        eng.num_shards(),
+                        eng.shard_sizes()
+                    );
+                    self.engine = Some(BuiltEngine::Sharded(eng));
+                    return Ok(Some(msg));
+                }
+                let eng = IvmEngine::new(q, &self.staged, opts).map_err(|e| e.to_string())?;
                 let msg = format!(
                     "built: N = {}, {} views, θ = {:.2}\n",
                     eng.db_size(),
                     eng.num_views(),
                     eng.theta()
                 );
-                self.engine = Some(eng);
+                self.engine = Some(BuiltEngine::Single(Box::new(eng)));
                 Ok(Some(msg))
             }
             "insert" | "delete" => {
@@ -175,7 +238,7 @@ impl Shell {
                     )));
                 }
                 let eng = self.engine.as_mut().ok_or("run `build` first")?;
-                eng.apply_update(rel, t, delta).map_err(|e| e.to_string())?;
+                eng.apply_update(rel, t, delta)?;
                 Ok(Some(String::new()))
             }
             ".load" => {
@@ -194,7 +257,7 @@ impl Shell {
                     batch.insert(rel, t);
                 }
                 let t0 = std::time::Instant::now();
-                eng.apply_delta_batch(&batch).map_err(|e| e.to_string())?;
+                eng.apply_delta_batch(&batch)?;
                 let dt = t0.elapsed();
                 Ok(Some(format!(
                     "applied batch of {} rows into {rel} in {:.3}ms ({:.0} rows/s)\n",
@@ -266,7 +329,7 @@ impl Shell {
                 };
                 let mut out = String::new();
                 let mut shown = 0;
-                for (t, m) in eng.enumerate().take(limit) {
+                for (t, m) in eng.result_iter().take(limit) {
                     let _ = writeln!(out, "{t} x{m}");
                     shown += 1;
                 }
@@ -279,20 +342,49 @@ impl Shell {
             }
             "stats" => {
                 let eng = self.engine.as_ref().ok_or("run `build` first")?;
-                let s = eng.stats();
-                Ok(Some(format!(
-                    "N = {}, M = {}, θ = {:.2}, views = {}, aux space = {}\n\
-                     updates = {}, batches = {}, major rebalances = {}, minor rebalances = {}\n",
-                    eng.db_size(),
-                    eng.threshold_base(),
-                    eng.theta(),
-                    eng.num_views(),
-                    eng.aux_space(),
-                    s.updates,
-                    s.batches,
-                    s.major_rebalances,
-                    s.minor_rebalances
-                )))
+                match eng {
+                    BuiltEngine::Single(eng) => {
+                        let s = eng.stats();
+                        Ok(Some(format!(
+                            "N = {}, M = {}, θ = {:.2}, views = {}, aux space = {}\n\
+                             updates = {}, batches = {}, major rebalances = {}, minor rebalances = {}\n",
+                            eng.db_size(),
+                            eng.threshold_base(),
+                            eng.theta(),
+                            eng.num_views(),
+                            eng.aux_space(),
+                            s.updates,
+                            s.batches,
+                            s.major_rebalances,
+                            s.minor_rebalances
+                        )))
+                    }
+                    BuiltEngine::Sharded(eng) => {
+                        let s = eng.stats();
+                        let mut out = format!(
+                            "N = {}, shards = {}\n\
+                             updates = {}, batches = {}, major rebalances = {}, minor rebalances = {}\n",
+                            eng.db_size(),
+                            eng.num_shards(),
+                            s.updates,
+                            s.batches,
+                            s.major_rebalances,
+                            s.minor_rebalances
+                        );
+                        let sizes = eng.shard_sizes();
+                        for (i, rels) in eng.shard_relation_sizes().iter().enumerate() {
+                            let per_rel: Vec<String> =
+                                rels.iter().map(|(r, n)| format!("{r}={n}")).collect();
+                            let _ = writeln!(
+                                out,
+                                "shard {i}: N = {} ({})",
+                                sizes[i],
+                                per_rel.join(", ")
+                            );
+                        }
+                        Ok(Some(out))
+                    }
+                }
             }
             "classify" => {
                 let q = self.query.as_ref().ok_or("no query registered")?;
@@ -332,6 +424,8 @@ commands:
   query <datalog>        register a hierarchical query (Q(A,C) :- R(A,B), S(B,C))
   epsilon <0..1>         set the trade-off knob (default 0.5)
   mode dynamic|static    set the evaluation mode (default dynamic)
+  .shards <n>            hash-partition the next build over n shards (default 1);
+                         updates validate across all shards, then apply in parallel
   load <rel> <csv path>  stage rows for a relation
   row <rel> <v1,v2,...>  stage one row
   build                  compile the plan and preprocess the staged data
@@ -343,7 +437,7 @@ commands:
   .batch abort|status    discard / inspect the staged batch
   list [k]               enumerate (up to k) distinct result tuples
   count                  count distinct result tuples
-  stats                  engine counters and sizes
+  stats                  engine counters and sizes (per-shard when sharded)
   classify               class membership and widths of the query
   plan                   print the compiled view trees
   quit
@@ -559,5 +653,85 @@ mod tests {
     fn quit_ends_session() {
         let mut sh = Shell::new();
         assert!(sh.execute("quit").unwrap().is_none());
+    }
+
+    #[test]
+    fn sharded_build_updates_and_stats() {
+        let mut sh = Shell::new();
+        let mut script = vec![
+            "query Q(A) :- R(A,B), S(B)".to_owned(),
+            ".shards 3".to_owned(),
+        ];
+        for i in 0..24 {
+            script.push(format!("row R {},{}", i, i % 8));
+        }
+        script.push("build".to_owned());
+        for j in 0..8 {
+            script.push(format!("insert S {j}"));
+        }
+        script.extend(["count".to_owned(), "stats".to_owned(), "help".to_owned()]);
+        let lines: Vec<&str> = script.iter().map(String::as_str).collect();
+        let out = run(&mut sh, &lines);
+        assert!(out.contains("shards = 3"), "{out}");
+        assert!(out.contains("built: N = 24, 3 shards"), "{out}");
+        assert!(out.contains("\n24\n"), "expected count 24 in:\n{out}");
+        assert!(out.contains("N = 32, shards = 3"), "{out}");
+        assert!(out.contains("shard 0: N ="), "{out}");
+        assert!(out.contains("shard 2: N ="), "{out}");
+        assert!(out.contains("updates = 8, batches = 8"), "{out}");
+        assert!(out.contains(".shards <n>"), "help entry missing:\n{out}");
+    }
+
+    #[test]
+    fn sharded_batch_commit_and_atomic_rejection() {
+        let mut sh = Shell::new();
+        let _ = run(
+            &mut sh,
+            &[
+                "query Q(A,C) :- R(A,B), S(B,C)",
+                ".shards 4",
+                "row R 1,10",
+                "row S 10,5",
+                "build",
+                ".batch begin",
+                "insert R 2,11",
+                "insert S 11,6",
+                "insert R 3,12",
+            ],
+        );
+        // Over-delete on some shard: the whole batch must reject and every
+        // shard stay untouched.
+        let _ = sh.execute("delete S 99,99").unwrap();
+        let err = sh.execute(".batch commit").unwrap_err();
+        assert!(err.contains("rejected"), "{err}");
+        let out = run(&mut sh, &["count", "stats"]);
+        assert!(out.starts_with("1\n"), "{out}");
+        assert!(out.contains("updates = 0"), "{out}");
+        // A valid sharded batch commits.
+        let out = run(
+            &mut sh,
+            &[
+                ".batch begin",
+                "insert R 2,11",
+                "insert S 11,6",
+                ".batch commit",
+                "count",
+            ],
+        );
+        assert!(out.contains("committed 2 updates"), "{out}");
+        assert!(out.contains("\n2\n"), "{out}");
+    }
+
+    #[test]
+    fn shards_argument_validation() {
+        let mut sh = Shell::new();
+        assert!(sh.execute(".shards 0").is_err());
+        assert!(sh.execute(".shards two").is_err());
+        let _ = run(
+            &mut sh,
+            &["query Q(A) :- R(A,B), S(B)", "row R 1,2", "build"],
+        );
+        let out = sh.execute(".shards 2").unwrap().unwrap();
+        assert!(out.contains("takes effect on the next `build`"), "{out}");
     }
 }

@@ -114,6 +114,19 @@ pub struct EngineStats {
 /// `update_trees_batch`, consumed by pass 3 and minor rebalancing.
 type PartitionKeys = Vec<(usize, Vec<Tuple>)>;
 
+/// Per batched relation: its atom occurrences and consolidated deltas.
+type RelationWork = (Vec<usize>, Vec<(Tuple, i64)>);
+
+/// A delta batch that passed [`IvmEngine::prepare_delta_batch`]: relations
+/// resolved to atom occurrences (deterministic order), arities checked, and
+/// the negative-multiplicity dry run done. Applying it cannot fail, which
+/// is what lets [`ShardedEngine`](crate::ShardedEngine) dry-run a batch on
+/// *every* shard before *any* shard mutates state.
+pub(crate) struct PreparedBatch {
+    work: Vec<RelationWork>,
+    cardinality: usize,
+}
+
 /// The IVM^ε engine for one hierarchical query.
 pub struct IvmEngine {
     query: Query,
@@ -283,6 +296,39 @@ impl IvmEngine {
         ResultIter::new(&self.rt, &self.enums, self.query.free.arity())
     }
 
+    /// Number of connected components of the query (one enumeration union
+    /// each; the full result is their Cartesian product).
+    pub fn num_components(&self) -> usize {
+        self.enums.len()
+    }
+
+    /// Enumerates the result of component `ci` alone: distinct tuples over
+    /// the component's free variables with their total multiplicities.
+    /// The building block of sharded enumeration — component results union
+    /// across shards, the full result is the product across components.
+    pub fn enumerate_component(&self, ci: usize) -> crate::enumerate::ComponentIter<'_> {
+        crate::enumerate::ComponentIter::new(&self.rt, &self.enums[ci], self.query.free.arity())
+    }
+
+    /// Positions, within the query's free schema, of the variables emitted
+    /// by component `ci` (ascending; components partition the free schema).
+    pub fn component_out_positions(&self, ci: usize) -> &[usize] {
+        &self.enums[ci][0].out_positions
+    }
+
+    /// Distinct base relation sizes — one entry per relation symbol
+    /// (repeated-atom copies counted once), for diagnostics and the CLI's
+    /// per-shard `stats`.
+    pub fn base_relation_sizes(&self) -> Vec<(String, usize)> {
+        self.query
+            .atoms
+            .iter()
+            .enumerate()
+            .filter(|(_, a)| a.occurrence == 0)
+            .map(|(i, a)| (a.relation.clone(), self.rt.rels[self.rt.base_rel[i]].len()))
+            .collect()
+    }
+
     /// Collects and sorts the full result — test/bench helper.
     pub fn result_sorted(&self) -> Vec<(Tuple, i64)> {
         let mut v: Vec<(Tuple, i64)> = self.enumerate().collect();
@@ -355,14 +401,24 @@ impl IvmEngine {
 
     /// [`IvmEngine::apply_batch`] for a pre-consolidated [`DeltaBatch`].
     pub fn apply_delta_batch(&mut self, batch: &DeltaBatch) -> Result<(), UpdateError> {
+        let prepared = self.prepare_delta_batch(batch)?;
+        self.apply_prepared(prepared);
+        Ok(())
+    }
+
+    /// Validation half of [`IvmEngine::apply_delta_batch`]: resolves every
+    /// relation to its atom occurrences, checks arities, and dry-runs the
+    /// negative-multiplicity rule — all against `&self`, mutating nothing.
+    pub(crate) fn prepare_delta_batch(
+        &self,
+        batch: &DeltaBatch,
+    ) -> Result<PreparedBatch, UpdateError> {
         if self.mode == Mode::Static {
             return Err(UpdateError::StaticMode);
         }
         // Resolve and validate everything up front so rejection is atomic.
         let mut relations: Vec<&str> = batch.relations().collect();
         relations.sort_unstable(); // deterministic application order
-                                   // Per batched relation: its atom occurrences and consolidated deltas.
-        type RelationWork = (Vec<usize>, Vec<(Tuple, i64)>);
         let mut work: Vec<RelationWork> = Vec::new();
         for relation in relations {
             let atoms: Vec<usize> = (0..self.query.atoms.len())
@@ -402,6 +458,17 @@ impl IvmEngine {
             }
             work.push((atoms, deltas));
         }
+        Ok(PreparedBatch {
+            work,
+            cardinality: batch.cardinality(),
+        })
+    }
+
+    /// Mutation half of [`IvmEngine::apply_delta_batch`]: applies a batch
+    /// that [`IvmEngine::prepare_delta_batch`] already validated. Infallible
+    /// by construction.
+    pub(crate) fn apply_prepared(&mut self, prepared: PreparedBatch) {
+        let PreparedBatch { work, cardinality } = prepared;
         // Apply per atom occurrence: trees, light parts, and indicators.
         // Each application returns the partition keys it projected in its
         // first pass, so minor rebalancing below never re-projects them.
@@ -411,7 +478,7 @@ impl IvmEngine {
                 cached_keys.push(self.update_trees_batch(a, deltas));
             }
         }
-        self.stats.updates += batch.cardinality() as u64;
+        self.stats.updates += cardinality as u64;
         self.stats.batches += 1;
         // Restore the size invariant ⌊M/4⌋ ≤ N < M. A batch can overshoot
         // the thresholds by more than 2×, so double/halve to a fixpoint and
@@ -438,7 +505,6 @@ impl IvmEngine {
                 }
             }
         }
-        Ok(())
     }
 
     /// `UpdateTrees` (Fig. 19) for a consolidated per-atom delta set:

@@ -735,6 +735,38 @@ impl<'e> UnionPart for TreePart<'e> {
     }
 }
 
+/// Iterator over the result of **one** connected component: the distinct
+/// tuples over the component's free variables (in free-schema order, see
+/// [`IvmEngine::component_out_positions`](crate::IvmEngine::component_out_positions))
+/// with their total multiplicities — the Union across the component's view
+/// trees, without the cross-component product. This is the unit a
+/// [`ShardedEngine`](crate::ShardedEngine) merges across shards: component
+/// results union over shards (summing multiplicities), while the full query
+/// result is the product over components of those unions.
+pub struct ComponentIter<'e> {
+    rt: &'e Runtime,
+    union: Union<TreePart<'e>>,
+    buf: Vec<Value>,
+}
+
+impl<'e> ComponentIter<'e> {
+    pub(crate) fn new(rt: &'e Runtime, trees: &'e [EnumNode], free_arity: usize) -> Self {
+        ComponentIter {
+            rt,
+            union: open_component(rt, trees),
+            buf: vec![Value::Int(0); free_arity],
+        }
+    }
+}
+
+impl<'e> Iterator for ComponentIter<'e> {
+    type Item = (Tuple, i64);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        self.union.next(self.rt, &mut self.buf)
+    }
+}
+
 /// Iterator over the distinct tuples of the full query result with their
 /// multiplicities: Product across components of Union across view trees.
 pub struct ResultIter<'e> {

@@ -12,7 +12,12 @@
 //!   periodic major/minor rebalancing (Thm. 4, Sec. 6),
 //! * **batched** updates through [`IvmEngine::apply_batch`], which apply a
 //!   whole [`DeltaBatch`] in one maintenance round at the same amortized
-//!   per-update bound and strictly lower constants.
+//!   per-update bound and strictly lower constants,
+//! * **sharded parallel** evaluation through [`ShardedEngine`], which
+//!   hash-partitions the database on each component's canonical root
+//!   variable into `S` fully independent runtimes, materializes and
+//!   maintains them concurrently, and merges enumeration per component
+//!   (see [`sharded`] for why the root variable makes this sound).
 //!
 //! # The batched delta pipeline
 //!
@@ -76,13 +81,15 @@ pub mod engine;
 pub mod enumerate;
 pub mod oracle;
 pub mod runtime;
+pub mod sharded;
 
 pub use database::Database;
 pub use engine::{EngineError, EngineOptions, EngineStats, IvmEngine, UpdateError};
-pub use enumerate::ResultIter;
-pub use ivme_data::{DeltaBatch, Update};
+pub use enumerate::{ComponentIter, ResultIter};
+pub use ivme_data::{DeltaBatch, ShardRouter, Update};
 pub use ivme_plan::Mode;
 pub use oracle::brute_force;
+pub use sharded::{MergedResultIter, ShardedEngine};
 
 #[cfg(test)]
 mod tests;

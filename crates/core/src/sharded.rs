@@ -1,0 +1,485 @@
+//! Sharded parallel engine: hash-partition on the component root variable.
+//!
+//! # Why the root variable makes shards independent
+//!
+//! Every connected component of a hierarchical query has a canonical
+//! variable order rooted at a variable that occurs in **all** atoms of the
+//! component (Def. 13; exposed as
+//! [`ComponentPlan::root_var`](ivme_plan::ComponentPlan)). Two tuples with
+//! different root values can therefore never join: hash-partitioning every
+//! relation of the component on its root-variable column yields `S`
+//! sub-databases whose view trees, heavy/light partitions, and indicators
+//! are fully independent. A [`ShardedEngine`] exploits this by running one
+//! complete [`IvmEngine`] per shard:
+//!
+//! * **Preprocessing** materializes all shards in parallel
+//!   (`std::thread::scope`), each over its own sub-database.
+//! * **Maintenance** splits a [`DeltaBatch`] with a
+//!   [`ShardRouter`](ivme_data::ShardRouter) — single-column hashing that
+//!   reuses the tuples' cached 64-bit hashes where the routing key is the
+//!   whole tuple — and applies the per-shard sub-batches concurrently.
+//!   Each shard propagates through its own `PropScratch` arena, so
+//!   parallelism adds no allocation to the zero-allocation hot path.
+//! * **Enumeration** merges per shard and per component: a component's
+//!   result is the bag-union over shards (same tuple from two shards —
+//!   possible only when the root variable is projected away — has its
+//!   multiplicities summed), and the full result is the Cartesian product
+//!   over components of those merged unions. Merging per *component* (not
+//!   per shard result) is what keeps multi-component queries correct: a
+//!   product of unions is not a union of products.
+//!
+//! # How atomic validation is preserved
+//!
+//! [`IvmEngine::apply_delta_batch`] rejects a batch atomically. The sharded
+//! engine preserves that guarantee across shards with a two-phase apply:
+//! every shard first *dry-runs* its sub-batch against `&self`
+//! (`prepare_delta_batch` — unknown relations, arities, and the
+//! negative-multiplicity rule), and only when **all** shards validate does
+//! any shard mutate (`apply_prepared`, which is infallible by
+//! construction). A batch that over-deletes on shard 3 leaves shards 0–2
+//! untouched.
+//!
+//! Components without a root variable (single nullary atoms) and relation
+//! symbols whose occurrences would require two different routing columns
+//! cannot be hash-partitioned; the former are pinned to shard 0 (sound
+//! under per-component merging), the latter collapse the engine to a
+//! single shard ([`ShardedEngine::num_shards`] reports the effective
+//! count).
+
+use ivme_data::fx::FxHashMap;
+use ivme_data::{DeltaBatch, Route, ShardRouter, Tuple, Update, Value};
+use ivme_query::Query;
+
+use crate::database::Database;
+use crate::engine::{
+    EngineError, EngineOptions, EngineStats, IvmEngine, PreparedBatch, UpdateError,
+};
+
+/// `S` independent [`IvmEngine`]s over a hash-partitioned database.
+pub struct ShardedEngine {
+    query: Query,
+    router: ShardRouter,
+    shards: Vec<IvmEngine>,
+    /// Batches applied through this engine (per-shard counters see only
+    /// their sub-batches).
+    batches: u64,
+    /// Single-tuple updates folded into those batches.
+    updates: u64,
+}
+
+impl ShardedEngine {
+    /// Compiles `query`, hash-partitions `db` into `num_shards` shards on
+    /// each component's root variable, and preprocesses every shard in
+    /// parallel. `num_shards` is clamped to ≥ 1; queries with a relation
+    /// symbol that cannot be routed consistently fall back to one shard.
+    pub fn new(
+        query: &Query,
+        db: &Database,
+        opts: EngineOptions,
+        num_shards: usize,
+    ) -> Result<ShardedEngine, EngineError> {
+        // Arity errors must surface before routing projects key columns.
+        for atom in &query.atoms {
+            db.check_arity(&atom.relation, &atom.schema)
+                .map_err(EngineError::Arity)?;
+        }
+        let router = Self::build_router(query, opts, num_shards)?;
+        let shards = Self::split_database(query, db, &router);
+        let engines: Vec<Result<IvmEngine, EngineError>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = shards
+                .iter()
+                .map(|sub| scope.spawn(move || IvmEngine::new(query, sub, opts)))
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("shard preprocessing panicked"))
+                .collect()
+        });
+        let mut built = Vec::with_capacity(engines.len());
+        for e in engines {
+            built.push(e?);
+        }
+        Ok(ShardedEngine {
+            query: query.clone(),
+            router,
+            shards: built,
+            batches: 0,
+            updates: 0,
+        })
+    }
+
+    /// Convenience: parse, compile, and preprocess in one call.
+    pub fn from_sql(
+        src: &str,
+        db: &Database,
+        opts: EngineOptions,
+        num_shards: usize,
+    ) -> Result<ShardedEngine, String> {
+        let q = ivme_query::parse_query(src).map_err(|e| e.to_string())?;
+        ShardedEngine::new(&q, db, opts, num_shards).map_err(|e| e.to_string())
+    }
+
+    /// Routing table for `query` over `num_shards` shards: every relation
+    /// of a rooted component hashes its root column, nullary-atom
+    /// components are pinned to shard 0, and routing conflicts collapse to
+    /// a single shard.
+    fn build_router(
+        query: &Query,
+        opts: EngineOptions,
+        num_shards: usize,
+    ) -> Result<ShardRouter, EngineError> {
+        let plan = ivme_plan::compile(query, opts.mode).map_err(EngineError::NotHierarchical)?;
+        let mut router = ShardRouter::new(num_shards.max(1));
+        let mut consistent = true;
+        'components: for comp in &plan.components {
+            match comp.root_var {
+                Some(_) => {
+                    for (&a, &pos) in comp.atoms.iter().zip(&comp.root_pos) {
+                        let rel = &query.atoms[a].relation;
+                        if router.register(rel, Route::Column(pos)).is_err() {
+                            consistent = false;
+                            break 'components;
+                        }
+                    }
+                }
+                None => {
+                    for &a in &comp.atoms {
+                        router.pin(&query.atoms[a].relation);
+                    }
+                }
+            }
+        }
+        if !consistent {
+            // A symbol needs two different columns (it joins through two
+            // different variables across its occurrences): no per-tuple
+            // assignment preserves all joins, so run unsharded.
+            router = ShardRouter::new(1);
+            for atom in &query.atoms {
+                router.pin(&atom.relation);
+            }
+        }
+        Ok(router)
+    }
+
+    /// Partitions the query's relations of `db` by the router (relations
+    /// the query never mentions are dropped, as `IvmEngine::new` ignores
+    /// them too).
+    fn split_database(query: &Query, db: &Database, router: &ShardRouter) -> Vec<Database> {
+        let mut subs: Vec<Database> = (0..router.num_shards()).map(|_| Database::new()).collect();
+        let mut seen: Vec<&str> = Vec::new();
+        for atom in &query.atoms {
+            let name = atom.relation.as_str();
+            if seen.contains(&name) {
+                continue;
+            }
+            seen.push(name);
+            for (t, m) in db.rows(name) {
+                let s = router.shard_of(name, &t).unwrap_or(0);
+                subs[s].insert(name, t, m);
+            }
+        }
+        subs
+    }
+
+    /// The compiled query.
+    pub fn query(&self) -> &Query {
+        &self.query
+    }
+
+    /// Effective number of shards (1 when the query is unshardable).
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Read access to one shard's engine (diagnostics and tests).
+    pub fn shard(&self, s: usize) -> &IvmEngine {
+        &self.shards[s]
+    }
+
+    /// The shard owning `tuple` of `relation` (`None` for relations the
+    /// query does not mention).
+    pub fn shard_of(&self, relation: &str, tuple: &Tuple) -> Option<usize> {
+        self.router.shard_of(relation, tuple)
+    }
+
+    /// Total database size `N` across shards (distinct stored base tuples).
+    pub fn db_size(&self) -> usize {
+        self.shards.iter().map(IvmEngine::db_size).sum()
+    }
+
+    /// Per-shard database sizes.
+    pub fn shard_sizes(&self) -> Vec<usize> {
+        self.shards.iter().map(IvmEngine::db_size).collect()
+    }
+
+    /// Per-shard relation sizes: for each shard, `(relation, distinct
+    /// tuples)` per distinct relation symbol (the CLI's `.stats` view).
+    pub fn shard_relation_sizes(&self) -> Vec<Vec<(String, usize)>> {
+        self.shards
+            .iter()
+            .map(IvmEngine::base_relation_sizes)
+            .collect()
+    }
+
+    /// Aggregated maintenance counters: batches/updates as seen by *this*
+    /// engine, rebalancing summed over shards.
+    pub fn stats(&self) -> EngineStats {
+        let mut out = EngineStats {
+            updates: self.updates,
+            batches: self.batches,
+            ..EngineStats::default()
+        };
+        for s in &self.shards {
+            let st = s.stats();
+            out.major_rebalances += st.major_rebalances;
+            out.minor_rebalances += st.minor_rebalances;
+        }
+        out
+    }
+
+    // ------------------------------------------------------------------
+    // Updates
+    // ------------------------------------------------------------------
+
+    /// Applies a single-tuple update, routed straight to its owning shard
+    /// (no thread is spawned for a batch of one).
+    pub fn apply_update(
+        &mut self,
+        relation: &str,
+        tuple: Tuple,
+        delta: i64,
+    ) -> Result<(), UpdateError> {
+        let s = self.router.shard_of(relation, &tuple).unwrap_or(0);
+        let r = self.shards[s].apply_update(relation, tuple, delta);
+        // Zero deltas take the per-shard fast path without touching any
+        // counter; mirror that here so stats match the unsharded engine.
+        if r.is_ok() && delta != 0 {
+            self.updates += 1;
+            self.batches += 1;
+        }
+        r
+    }
+
+    /// Convenience insert of a unit-multiplicity tuple.
+    pub fn insert(&mut self, relation: &str, tuple: Tuple) -> Result<(), UpdateError> {
+        self.apply_update(relation, tuple, 1)
+    }
+
+    /// Convenience delete of a unit-multiplicity tuple.
+    pub fn delete(&mut self, relation: &str, tuple: Tuple) -> Result<(), UpdateError> {
+        self.apply_update(relation, tuple, -1)
+    }
+
+    /// Applies a batch of single-tuple updates as one maintenance round —
+    /// the sharded form of [`IvmEngine::apply_batch`].
+    pub fn apply_batch(&mut self, updates: &[Update]) -> Result<(), UpdateError> {
+        let batch = DeltaBatch::from_updates(updates);
+        self.apply_delta_batch(&batch)
+    }
+
+    /// Applies a pre-consolidated batch: split by the router, validated on
+    /// **every** shard, then applied on all shards concurrently. Rejection
+    /// is atomic across shards — if any shard's sub-batch is invalid, no
+    /// shard changes state.
+    pub fn apply_delta_batch(&mut self, batch: &DeltaBatch) -> Result<(), UpdateError> {
+        if self.shards.len() == 1 {
+            let r = self.shards[0].apply_delta_batch(batch);
+            if r.is_ok() {
+                self.updates += batch.cardinality() as u64;
+                self.batches += 1;
+            }
+            return r;
+        }
+        let parts = self.router.split(batch);
+        let active = parts.iter().filter(|p| !p.is_empty()).count();
+        // A batch that lands entirely on one shard (single keys, skew)
+        // needs no threads; per-shard atomicity is enough.
+        if active <= 1 {
+            match self
+                .shards
+                .iter_mut()
+                .zip(&parts)
+                .find(|(_, p)| !p.is_empty())
+            {
+                Some((eng, part)) => eng.apply_delta_batch(part)?,
+                // Empty net batch: nothing to apply anywhere, but mode
+                // errors must still surface exactly as unsharded
+                // (`apply_delta_batch` of an empty batch in static mode is
+                // an error there too).
+                None => {
+                    self.shards[0].prepare_delta_batch(batch)?;
+                }
+            }
+            self.updates += batch.cardinality() as u64;
+            self.batches += 1;
+            return Ok(());
+        }
+        // One thread per active shard, two phases separated by a barrier:
+        // every shard dry-runs its sub-batch (`prepare_delta_batch`), and
+        // only when *all* validations have succeeded does any shard apply
+        // (`apply_prepared`, infallible by construction). Each shard
+        // propagates through its own `PropScratch` arena, so the parallel
+        // hot path allocates nothing beyond the split sub-batches.
+        let barrier = std::sync::Barrier::new(active);
+        let failures = std::sync::atomic::AtomicUsize::new(0);
+        let mut errors: Vec<Option<UpdateError>> = (0..self.shards.len()).map(|_| None).collect();
+        std::thread::scope(|scope| {
+            for ((eng, part), err) in self.shards.iter_mut().zip(&parts).zip(errors.iter_mut()) {
+                if part.is_empty() {
+                    continue;
+                }
+                let barrier = &barrier;
+                let failures = &failures;
+                scope.spawn(move || {
+                    let prepared: Option<PreparedBatch> = match eng.prepare_delta_batch(part) {
+                        Ok(p) => Some(p),
+                        Err(e) => {
+                            failures.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+                            *err = Some(e);
+                            None
+                        }
+                    };
+                    barrier.wait();
+                    if failures.load(std::sync::atomic::Ordering::SeqCst) == 0 {
+                        eng.apply_prepared(prepared.expect("no failures, so this shard validated"));
+                    }
+                });
+            }
+        });
+        if failures.into_inner() > 0 {
+            // Lowest-shard error, for determinism.
+            let e = errors.into_iter().flatten().next();
+            return Err(e.expect("failure count matches recorded errors"));
+        }
+        self.updates += batch.cardinality() as u64;
+        self.batches += 1;
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Enumeration
+    // ------------------------------------------------------------------
+
+    /// Enumerates the distinct result tuples with their multiplicities.
+    ///
+    /// Per component, the per-shard [`ComponentIter`](crate::enumerate::ComponentIter)s
+    /// are chained and merged (duplicate tuples — possible when the root
+    /// variable is bound — have their multiplicities summed); the full
+    /// result is the odometer product across the merged components. The
+    /// merge materializes each component's distinct result, so first-tuple
+    /// latency is `O(Σ component results)` rather than the unsharded
+    /// engine's `O(N^{1−ε})` delay; subsequent tuples are `O(1)`.
+    pub fn enumerate(&self) -> MergedResultIter {
+        let ncomp = self.shards[0].num_components();
+        let comps: Vec<MergedComponent> = (0..ncomp)
+            .map(|ci| {
+                let mut acc: FxHashMap<Tuple, i64> = FxHashMap::default();
+                for shard in &self.shards {
+                    for (t, m) in shard.enumerate_component(ci) {
+                        *acc.entry(t).or_insert(0) += m;
+                    }
+                }
+                MergedComponent {
+                    positions: self.shards[0].component_out_positions(ci).to_vec(),
+                    tuples: acc.into_iter().filter(|&(_, m)| m != 0).collect(),
+                }
+            })
+            .collect();
+        MergedResultIter::new(comps, self.query.free.arity())
+    }
+
+    /// Collects and sorts the full result — test/bench helper.
+    pub fn result_sorted(&self) -> Vec<(Tuple, i64)> {
+        let mut v: Vec<(Tuple, i64)> = self.enumerate().collect();
+        v.sort();
+        v
+    }
+
+    /// Number of distinct result tuples: the product of the per-component
+    /// distinct counts — the merged components are already deduplicated,
+    /// so the Cartesian product never needs to be walked.
+    pub fn count_distinct(&self) -> usize {
+        let iter = self.enumerate();
+        if iter.dead {
+            return 0;
+        }
+        iter.comps.iter().map(|c| c.tuples.len()).product()
+    }
+
+    /// Validates every shard's internal invariants — test support.
+    pub fn check_consistency(&self) -> Result<(), String> {
+        for (s, eng) in self.shards.iter().enumerate() {
+            eng.check_consistency()
+                .map_err(|e| format!("shard {s}: {e}"))?;
+        }
+        Ok(())
+    }
+}
+
+/// One component's merged (cross-shard) result.
+struct MergedComponent {
+    /// Positions of the component's variables in the query's free schema.
+    positions: Vec<usize>,
+    /// Distinct tuples with summed multiplicities (unspecified order).
+    tuples: Vec<(Tuple, i64)>,
+}
+
+/// Iterator over the merged sharded result: Cartesian product across
+/// components of the per-component cross-shard unions.
+pub struct MergedResultIter {
+    comps: Vec<MergedComponent>,
+    pick: Vec<usize>,
+    buf: Vec<Value>,
+    primed: bool,
+    dead: bool,
+}
+
+impl MergedResultIter {
+    fn new(comps: Vec<MergedComponent>, free_arity: usize) -> MergedResultIter {
+        let n = comps.len();
+        let dead = comps.is_empty() || comps.iter().any(|c| c.tuples.is_empty());
+        MergedResultIter {
+            comps,
+            pick: vec![0; n],
+            buf: vec![Value::Int(0); free_arity],
+            primed: false,
+            dead,
+        }
+    }
+}
+
+impl Iterator for MergedResultIter {
+    type Item = (Tuple, i64);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.dead {
+            return None;
+        }
+        if self.primed {
+            // Odometer across components.
+            let mut i = self.comps.len();
+            loop {
+                if i == 0 {
+                    self.dead = true;
+                    return None;
+                }
+                i -= 1;
+                self.pick[i] += 1;
+                if self.pick[i] < self.comps[i].tuples.len() {
+                    break;
+                }
+                self.pick[i] = 0;
+            }
+        }
+        self.primed = true;
+        let mut mult = 1i64;
+        for (c, &k) in self.comps.iter().zip(&self.pick) {
+            let (t, m) = &c.tuples[k];
+            mult *= m;
+            for (i, &p) in c.positions.iter().enumerate() {
+                self.buf[p] = t.get(i).clone();
+            }
+        }
+        Some((Tuple::from_slice(&self.buf), mult))
+    }
+}

@@ -8,7 +8,7 @@
 
 use std::fmt;
 
-use ivme_data::Schema;
+use ivme_data::{Schema, Var};
 use ivme_query::Query;
 
 /// Evaluation mode of the planner (Fig. 11's global `mode` parameter).
@@ -180,6 +180,16 @@ pub struct ComponentPlan {
     /// The skew-aware view trees whose union covers the component's result
     /// (Prop. 20).
     pub trees: Vec<Node>,
+    /// The root variable of the component's canonical variable order. By
+    /// Def. 13 it occurs in **every** atom of the component, which makes it
+    /// a sound hash-partitioning key: tuples of different root values never
+    /// join, so the component's view trees split into fully independent
+    /// sub-instances (the basis of `ivme-core`'s `ShardedEngine`). `None`
+    /// for components consisting of a single nullary atom.
+    pub root_var: Option<Var>,
+    /// Per atom of the component (parallel to `atoms`): the position of
+    /// [`ComponentPlan::root_var`] in that atom's schema.
+    pub root_pos: Vec<usize>,
 }
 
 /// The full compiled plan for a hierarchical query.

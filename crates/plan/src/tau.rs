@@ -270,10 +270,32 @@ pub fn compile(q: &Query, mode: Mode) -> Result<Plan, NotHierarchical> {
     let mut components = Vec::new();
     for root in &vo.roots {
         let trees = planner.tau(root, &Schema::empty());
+        let atoms = root.subtree_atoms();
+        // The canonical order roots each component at a variable shared by
+        // all of its atoms (Def. 13), so the root's position is defined in
+        // every atom schema. Bare nullary-atom components have no root.
+        let root_var = match root {
+            VoNode::Var { var, .. } => Some(*var),
+            VoNode::Atom { .. } => None,
+        };
+        let root_pos = match root_var {
+            Some(v) => atoms
+                .iter()
+                .map(|&a| {
+                    q.atoms[a]
+                        .schema
+                        .position(v)
+                        .expect("canonical root occurs in every component atom")
+                })
+                .collect(),
+            None => Vec::new(),
+        };
         components.push(ComponentPlan {
-            atoms: root.subtree_atoms(),
+            atoms,
             free: q.free.intersect(&root.subtree_vars()),
             trees,
+            root_var,
+            root_pos,
         });
     }
     Ok(Plan {
@@ -469,6 +491,38 @@ mod tests {
         assert_eq!(p.components.len(), 2);
         assert_eq!(p.components[0].free, Schema::of(&["A"]));
         assert_eq!(p.components[1].free, Schema::of(&["C"]));
+    }
+
+    #[test]
+    fn component_root_occurs_in_every_atom() {
+        use ivme_data::Var;
+        // Two-path: root B at position 1 of R(A,B) and 0 of S(B,C).
+        let p = plan("Q(A,C) :- R(A,B), S(B,C)", Mode::Dynamic);
+        let c = &p.components[0];
+        assert_eq!(c.root_var, Some(Var::new("B")));
+        assert_eq!(c.atoms, vec![0, 1]);
+        assert_eq!(c.root_pos, vec![1, 0]);
+        // Example 19: root A heads all four atoms at position 0.
+        let p = plan(
+            "Q(C,D,E,F) :- R(A,B,D), S(A,B,E), T(A,C,F), U(A,C,G)",
+            Mode::Dynamic,
+        );
+        let c = &p.components[0];
+        assert_eq!(c.root_var, Some(Var::new("A")));
+        assert_eq!(c.root_pos, vec![0, 0, 0, 0]);
+        // Nullary atoms form rootless components.
+        let p = plan("Q(A) :- R(A), S()", Mode::Static);
+        assert_eq!(p.components.len(), 2);
+        let rootless = p.components.iter().find(|c| c.root_var.is_none()).unwrap();
+        assert!(rootless.root_pos.is_empty());
+        // In every battery-style plan the root is in each atom's schema.
+        for c in &p.components {
+            if let Some(v) = c.root_var {
+                for (&a, &pos) in c.atoms.iter().zip(&c.root_pos) {
+                    assert_eq!(p.query.atoms[a].schema.vars()[pos], v);
+                }
+            }
+        }
     }
 
     #[test]
