@@ -141,16 +141,9 @@ fn main() {
     // Acceptance check: k = 1000 single-tuple updates, batched vs
     // sequential, on the OMv workload.
     // ------------------------------------------------------------------
-    let n = 1000i64;
-    let inst = OmvInstance {
-        n: n as usize,
-        // Sparse matrix: 2 entries per row, deterministic column spread.
-        matrix: (0..n)
-            .flat_map(|i| (0..2).map(move |k| (i, (i * 13 + k * 197) % n)))
-            .collect(),
-        // One full vector: loading it is exactly k = 1000 unit inserts.
-        vectors: vec![(0..n).collect()],
-    };
+    // Sparse matrix, one full vector: loading it is exactly k = 1000 unit
+    // inserts.
+    let inst = OmvInstance::sparse_acceptance(1000);
     println!("# Batched apply of k=1000 updates vs 1000 sequential inserts (same engine state):");
     println!(
         "{:<8} {:>14} {:>14} {:>10}",

@@ -15,6 +15,8 @@
 //! .load R path.csv                   bulk-load a CSV as ONE batch (timed)
 //! .batch begin|commit|abort          stage inserts/deletes, apply atomically
 //! list [k]                           enumerate (first k) result tuples
+//! get 1,2                            point-look-up one result tuple (multiplicity)
+//! page 100 20                        one result page: skip 100, list 20
 //! count                              number of distinct result tuples
 //! stats                              maintenance counters and sizes
 //! classify                           class membership and widths
@@ -70,6 +72,20 @@ impl BuiltEngine {
         match self {
             BuiltEngine::Single(e) => e.count_distinct(),
             BuiltEngine::Sharded(e) => e.count_distinct(),
+        }
+    }
+
+    fn multiplicity(&self, t: &Tuple) -> i64 {
+        match self {
+            BuiltEngine::Single(e) => e.multiplicity(t),
+            BuiltEngine::Sharded(e) => e.multiplicity(t),
+        }
+    }
+
+    fn enumerate_page(&self, offset: usize, limit: usize) -> Vec<(Tuple, i64)> {
+        match self {
+            BuiltEngine::Single(e) => e.enumerate_page(offset, limit),
+            BuiltEngine::Sharded(e) => e.enumerate_page(offset, limit),
         }
     }
 }
@@ -336,6 +352,46 @@ impl Shell {
                 let _ = writeln!(out, "({shown} tuples)");
                 Ok(Some(out))
             }
+            "get" => {
+                let eng = self.engine.as_ref().ok_or("run `build` first")?;
+                let q = self.query.as_ref().ok_or("no query registered")?;
+                let t = parse_tuple(rest)?;
+                if t.arity() != q.free.arity() {
+                    return Err(format!(
+                        "tuple {t} has arity {}, but the result schema {:?} has arity {}",
+                        t.arity(),
+                        q.free,
+                        q.free.arity()
+                    ));
+                }
+                let m = eng.multiplicity(&t);
+                Ok(Some(if m == 0 {
+                    format!("{t} not in result\n")
+                } else {
+                    format!("{t} x{m}\n")
+                }))
+            }
+            "page" => {
+                let eng = self.engine.as_ref().ok_or("run `build` first")?;
+                let (off, lim) = rest
+                    .split_once(char::is_whitespace)
+                    .ok_or("usage: page <offset> <limit>")?;
+                let offset: usize = off
+                    .trim()
+                    .parse()
+                    .map_err(|_| format!("bad offset: {off}"))?;
+                let limit: usize = lim
+                    .trim()
+                    .parse()
+                    .map_err(|_| format!("bad limit: {lim}"))?;
+                let mut out = String::new();
+                let page = eng.enumerate_page(offset, limit);
+                for (t, m) in &page {
+                    let _ = writeln!(out, "{t} x{m}");
+                }
+                let _ = writeln!(out, "({} tuples at offset {offset})", page.len());
+                Ok(Some(out))
+            }
             "count" => {
                 let eng = self.engine.as_ref().ok_or("run `build` first")?;
                 Ok(Some(format!("{}\n", eng.count_distinct())))
@@ -436,6 +492,8 @@ commands:
   .batch commit          apply the staged batch atomically and report timing
   .batch abort|status    discard / inspect the staged batch
   list [k]               enumerate (up to k) distinct result tuples
+  get <v1,v2,...>        point-look-up one result tuple (its multiplicity)
+  page <offset> <limit>  one result page in enumeration order
   count                  count distinct result tuples
   stats                  engine counters and sizes (per-shard when sharded)
   classify               class membership and widths of the query
@@ -653,6 +711,39 @@ mod tests {
     fn quit_ends_session() {
         let mut sh = Shell::new();
         assert!(sh.execute("quit").unwrap().is_none());
+    }
+
+    #[test]
+    fn point_lookup_and_paging() {
+        let mut sh = Shell::new();
+        let out = run(
+            &mut sh,
+            &[
+                "query Q(A,C) :- R(A,B), S(B,C)",
+                "row R 1,10",
+                "row R 2,10",
+                "row S 10,5",
+                "row S 10,6",
+                "build",
+                "get 1,5",
+                "get 9,9",
+                "page 0 2",
+                "page 3 5",
+            ],
+        );
+        assert!(out.contains("(1, 5) x1"), "{out}");
+        assert!(out.contains("(9, 9) not in result"), "{out}");
+        assert!(out.contains("(2 tuples at offset 0)"), "{out}");
+        assert!(out.contains("(1 tuples at offset 3)"), "{out}");
+        // Wrong arity and malformed paging arguments are reported, not
+        // panicked on.
+        assert!(sh.execute("get 1,2,3").is_err());
+        assert!(sh.execute("page 0").is_err());
+        assert!(sh.execute("page x 5").is_err());
+        // Sharded builds serve the same read commands.
+        let out = run(&mut sh, &[".shards 3", "build", "get 1,5", "page 0 99"]);
+        assert!(out.contains("(1, 5) x1"), "{out}");
+        assert!(out.contains("(4 tuples at offset 0)"), "{out}");
     }
 
     #[test]

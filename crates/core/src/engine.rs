@@ -15,8 +15,12 @@ use ivme_data::{DeltaBatch, NegativeMultiplicity, Tuple, Update};
 use ivme_plan::{Mode, Plan};
 use ivme_query::{NotHierarchical, Query};
 
+use ivme_data::Value;
+
 use crate::database::Database;
-use crate::enumerate::{EnumNode, ResultIter};
+use crate::enumerate::{
+    sorted_product, ComponentSlice, EnumNode, EnumScratch, OwnedComponent, ResultIter,
+};
 use crate::runtime::Runtime;
 
 /// Engine construction options.
@@ -139,6 +143,13 @@ pub struct IvmEngine {
     m_threshold: usize,
     /// Database size `N`: total number of distinct stored base tuples.
     n_size: usize,
+    /// Component index of each atom occurrence.
+    atom_comp: Vec<usize>,
+    /// Per component: bumped by every applied batch that touches one of
+    /// the component's relations. Readers (the sharded engine's merge
+    /// cache, external result caches) compare versions to detect exactly
+    /// which components' results may have changed.
+    comp_versions: Vec<u64>,
     stats: EngineStats,
 }
 
@@ -153,6 +164,13 @@ impl IvmEngine {
             return Err(EngineError::InvalidEpsilon(opts.epsilon));
         }
         let plan = ivme_plan::compile(query, opts.mode).map_err(EngineError::NotHierarchical)?;
+        let mut atom_comp = vec![0usize; query.atoms.len()];
+        for (ci, comp) in plan.components.iter().enumerate() {
+            for &a in &comp.atoms {
+                atom_comp[a] = ci;
+            }
+        }
+        let num_comps = plan.components.len();
         let mut rt = Runtime::build(&plan);
         // Enumeration compilation adds its indexes before any data exists.
         let mut enums = Vec::new();
@@ -190,6 +208,8 @@ impl IvmEngine {
             mode: opts.mode,
             m_threshold,
             n_size,
+            atom_comp,
+            comp_versions: vec![0; num_comps],
             stats: EngineStats::default(),
         };
         eng.rt.materialize_all(eng.theta_ceil());
@@ -316,6 +336,24 @@ impl IvmEngine {
         &self.enums[ci][0].out_positions
     }
 
+    /// Version counter of component `ci`: bumped by every applied batch
+    /// that touches one of the component's relations. Two equal readings
+    /// guarantee the component's *result* (the multiset of tuples) did
+    /// not change in between — the invalidation signal behind
+    /// [`ShardedEngine`](crate::ShardedEngine)'s merge cache. Enumeration
+    /// *order* is a weaker guarantee: a batch into another component can
+    /// trigger a major rebalance that rebuilds every component's trees,
+    /// reordering enumeration without moving this version — order-dependent
+    /// readers (pagers) must key on all components' versions, not one.
+    pub fn component_version(&self, ci: usize) -> u64 {
+        self.comp_versions[ci]
+    }
+
+    /// Number of distinct result tuples of component `ci` alone.
+    pub fn component_count(&self, ci: usize) -> usize {
+        self.enumerate_component(ci).count()
+    }
+
     /// Distinct base relation sizes — one entry per relation symbol
     /// (repeated-atom copies counted once), for diagnostics and the CLI's
     /// per-shard `stats`.
@@ -330,15 +368,124 @@ impl IvmEngine {
     }
 
     /// Collects and sorts the full result — test/bench helper.
+    ///
+    /// Materializes each component's distinct result once, sorts the
+    /// components (`O(Σ |C_i| log |C_i|)`), and emits the cross-component
+    /// product in order — the final `O(P log P)` sort of the assembled
+    /// product runs only when the components' free variables interleave
+    /// (see [`sorted_product`]). Shared with
+    /// [`ShardedEngine::result_sorted`](crate::ShardedEngine::result_sorted).
     pub fn result_sorted(&self) -> Vec<(Tuple, i64)> {
-        let mut v: Vec<(Tuple, i64)> = self.enumerate().collect();
-        v.sort();
-        v
+        let comps: Vec<OwnedComponent> = (0..self.enums.len())
+            .map(|ci| {
+                (
+                    self.component_out_positions(ci).to_vec(),
+                    self.enumerate_component(ci).collect(),
+                )
+            })
+            .collect();
+        let views: Vec<ComponentSlice<'_>> = comps
+            .iter()
+            .map(|(p, t)| (p.as_slice(), t.as_slice()))
+            .collect();
+        sorted_product(&views, self.query.free.arity())
     }
 
-    /// Number of distinct result tuples (counted via enumeration).
+    /// Number of distinct result tuples: the product over components of
+    /// their distinct counts (component results are deduplicated by the
+    /// Union, so the cross-component product is never walked).
     pub fn count_distinct(&self) -> usize {
-        self.enumerate().count()
+        if self.enums.is_empty() {
+            return 0;
+        }
+        (0..self.enums.len())
+            .map(|ci| self.enumerate_component(ci).count())
+            .product()
+    }
+
+    // ------------------------------------------------------------------
+    // Serving reads: point lookups and paging
+    // ------------------------------------------------------------------
+
+    /// Multiplicity of one fully-specified result tuple, computed by
+    /// walking the view trees **top-down** through the same stateless
+    /// lookup machinery the Union algorithm uses — `O(N^{1−ε})` per
+    /// indicator node and O(1) everywhere else, never an enumeration scan.
+    ///
+    /// Returns the summed multiplicity over each component's view trees,
+    /// multiplied across components — 0 when the tuple is not in the
+    /// result, including tuples whose arity does not match the free
+    /// schema (a malformed tuple is never in the result; serving layers
+    /// can forward untrusted probes without a crash surface).
+    pub fn multiplicity(&self, tuple: &Tuple) -> i64 {
+        if tuple.arity() != self.query.free.arity() || self.enums.is_empty() {
+            return 0;
+        }
+        let mut scratch = EnumScratch::new();
+        let mut seg: Vec<Value> = Vec::new();
+        let mut total = 1i64;
+        for ci in 0..self.enums.len() {
+            seg.clear();
+            seg.extend(
+                self.component_out_positions(ci)
+                    .iter()
+                    .map(|&p| tuple.get(p).clone()),
+            );
+            let m = self.component_multiplicity_with(ci, &seg, &mut scratch);
+            if m == 0 {
+                return 0;
+            }
+            total *= m;
+        }
+        total
+    }
+
+    /// Whether `tuple` is in the current result (a point lookup, not a
+    /// scan).
+    pub fn contains(&self, tuple: &Tuple) -> bool {
+        self.multiplicity(tuple) != 0
+    }
+
+    /// Multiplicity of `seg` (the values of component `ci`'s free
+    /// variables, in [`IvmEngine::component_out_positions`] order) within
+    /// that component's result: the sum of the stateless tree lookups —
+    /// the per-shard building block of
+    /// [`ShardedEngine::multiplicity`](crate::ShardedEngine::multiplicity).
+    pub fn component_multiplicity(&self, ci: usize, seg: &[Value]) -> i64 {
+        self.component_multiplicity_with(ci, seg, &mut EnumScratch::new())
+    }
+
+    fn component_multiplicity_with(
+        &self,
+        ci: usize,
+        seg: &[Value],
+        scratch: &mut EnumScratch,
+    ) -> i64 {
+        let ctx = Tuple::empty();
+        self.enums[ci]
+            .iter()
+            .map(|tree| tree.lookup(&self.rt, &ctx, seg, scratch))
+            .sum()
+    }
+
+    /// One page of the result in enumeration order: skips `offset` tuples,
+    /// then collects up to `limit`.
+    ///
+    /// The skip exploits the cross-component odometer: the offset is
+    /// decomposed mixed-radix over the component result sizes, so each
+    /// component iterator advances only to its own digit — at most
+    /// `O(Σ_i |C_i|)` instead of `O(offset)` product steps, and trailing
+    /// components are counted only while the remaining digits are
+    /// non-zero (a first page costs nothing extra). Single-component
+    /// queries degenerate to an `O(offset)` skip. The page boundary is
+    /// stable as long as no update lands in between (updates may reorder
+    /// enumeration).
+    pub fn enumerate_page(&self, offset: usize, limit: usize) -> Vec<(Tuple, i64)> {
+        let mut it = self.enumerate();
+        if !it.seek(offset) {
+            return Vec::new();
+        }
+        it.take(limit).collect()
     }
 
     // ------------------------------------------------------------------
@@ -469,6 +616,16 @@ impl IvmEngine {
     /// by construction.
     pub(crate) fn apply_prepared(&mut self, prepared: PreparedBatch) {
         let PreparedBatch { work, cardinality } = prepared;
+        // Invalidate read caches precisely: bump the version of every
+        // component whose relations this batch touches (and only those).
+        for ci in 0..self.comp_versions.len() {
+            if work
+                .iter()
+                .any(|(atoms, _)| atoms.iter().any(|&a| self.atom_comp[a] == ci))
+            {
+                self.comp_versions[ci] += 1;
+            }
+        }
         // Apply per atom occurrence: trees, light parts, and indicators.
         // Each application returns the partition keys it projected in its
         // first pass, so minor rebalancing below never re-projects them.

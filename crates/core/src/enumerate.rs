@@ -17,6 +17,26 @@
 //! across components. Every enumerator writes the variables it binds into a
 //! shared buffer indexed by the query's free schema, so tuples assemble
 //! without repeated re-projection.
+//!
+//! # The zero-clone serving discipline
+//!
+//! The paper's constant-delay guarantee is only as good as the constant,
+//! and the constant is dominated by allocator and hashing traffic. The
+//! iterators here therefore never copy a stored tuple per step:
+//!
+//! * The runtime is borrowed immutably for the whole life of an iterator,
+//!   so cursors hold `&'e Tuple` **references** into storage — directory
+//!   contexts, product contexts, and grounded heavy keys are borrowed, not
+//!   cloned, and a covering node replays its current tuple straight from
+//!   its scan cursor instead of keeping a cloned `last`.
+//! * Output values move through the shared position-indexed buffer by
+//!   cheap per-`Value` copy (an `Int` is a copy, a `Str` an `Arc` bump);
+//!   fresh `Tuple`s (which hash at construction) are built only for the
+//!   items actually handed to the caller.
+//! * Transient segment projections inside the Union's lookups go through
+//!   an [`EnumScratch`] buffer pool (the read-path mirror of the
+//!   maintenance path's `PropScratch`), so steady-state enumeration and
+//!   point lookups allocate nothing per step.
 
 use ivme_data::{IndexId, Relation, Schema, SlotId, Tuple, Value};
 
@@ -31,11 +51,37 @@ enum SVal {
     Seg(usize),
 }
 
+/// Reusable buffers for the read path: a pool of `Value` vectors handed
+/// out to the recursive Union/lookup machinery (child-segment projections,
+/// candidate segments) so steady-state enumeration allocates nothing per
+/// step. Owned by each iterator; a fresh pool is `Vec::new()`-cheap, so
+/// one-shot point lookups can build one on the stack.
+#[derive(Default)]
+pub struct EnumScratch {
+    pool: Vec<Vec<Value>>,
+}
+
+impl EnumScratch {
+    /// An empty pool (no allocation until a buffer is first used).
+    pub fn new() -> EnumScratch {
+        EnumScratch::default()
+    }
+
+    #[inline]
+    fn take(&mut self) -> Vec<Value> {
+        self.pool.pop().unwrap_or_default()
+    }
+
+    #[inline]
+    fn put(&mut self, mut buf: Vec<Value>) {
+        buf.clear();
+        self.pool.push(buf);
+    }
+}
+
 /// Compiled enumeration info for one view-tree node.
 pub(crate) struct EnumNode {
     mat: NodeId,
-    #[allow(dead_code)]
-    schema: Schema,
     /// Positions (in the query's free schema) of the variables this
     /// subtree emits, ascending.
     pub out_positions: Vec<usize>,
@@ -198,7 +244,6 @@ impl Runtime {
         };
         EnumNode {
             mat: n,
-            schema,
             out_positions,
             own_emit,
             ctx_pos_in_parent,
@@ -224,13 +269,22 @@ impl EnumNode {
             .collect()
     }
 
-    fn child_seg(child_idx: &[usize], seg: &[Value]) -> Vec<Value> {
-        child_idx.iter().map(|&k| seg[k].clone()).collect()
+    /// Projects `seg` onto child `child_idx` into the reusable `out`.
+    fn child_seg_into(child_idx: &[usize], seg: &[Value], out: &mut Vec<Value>) {
+        out.clear();
+        out.extend(child_idx.iter().map(|&k| seg[k].clone()));
     }
 
     /// Stateless multiplicity lookup of an output segment under a context
     /// (used by the Union algorithm; O(#buckets) at indicator nodes).
-    pub(crate) fn lookup(&self, rt: &Runtime, ctx: &Tuple, seg: &[Value]) -> i64 {
+    /// Transient child-segment projections are staged in `scratch`.
+    pub(crate) fn lookup(
+        &self,
+        rt: &Runtime,
+        ctx: &Tuple,
+        seg: &[Value],
+        scratch: &mut EnumScratch,
+    ) -> i64 {
         match &self.kind {
             EnumKind::Covering => self.storage(rt).get(&self.assemble_s(ctx, seg)),
             EnumKind::Directory {
@@ -242,14 +296,17 @@ impl EnumNode {
                     return 0;
                 }
                 let mut m = 1i64;
+                let mut cs = scratch.take();
                 for (i, c) in children.iter().enumerate() {
-                    let cs = Self::child_seg(&child_seg_idx[i], seg);
-                    let cm = c.lookup(rt, &s, &cs);
+                    Self::child_seg_into(&child_seg_idx[i], seg, &mut cs);
+                    let cm = c.lookup(rt, &s, &cs, scratch);
                     if cm == 0 {
+                        scratch.put(cs);
                         return 0;
                     }
                     m *= cm;
                 }
+                scratch.put(cs);
                 m
             }
             EnumKind::Buckets {
@@ -261,14 +318,15 @@ impl EnumNode {
                 let h_rel = &rt.rels[rt.heavy_rel[*ind]];
                 let v_rel = self.storage(rt);
                 let mut total = 0i64;
-                let each = |h: &Tuple, total: &mut i64| {
+                let mut cs = scratch.take();
+                let mut each = |h: &Tuple, total: &mut i64, scratch: &mut EnumScratch| {
                     if v_rel.get(h) == 0 {
                         return;
                     }
                     let mut m = 1i64;
                     for (i, c) in children.iter().enumerate() {
-                        let cs = Self::child_seg(&child_seg_idx[i], seg);
-                        let cm = c.lookup(rt, h, &cs);
+                        Self::child_seg_into(&child_seg_idx[i], seg, &mut cs);
+                        let cm = c.lookup(rt, h, &cs, scratch);
                         if cm == 0 {
                             return;
                         }
@@ -280,15 +338,16 @@ impl EnumNode {
                     Some(ix) => {
                         let key = ctx.project(&self.ctx_pos_in_parent);
                         for (h, _) in h_rel.group_iter(*ix, &key) {
-                            each(h, &mut total);
+                            each(h, &mut total, scratch);
                         }
                     }
                     None => {
                         for (h, _) in h_rel.iter() {
-                            each(h, &mut total);
+                            each(h, &mut total, scratch);
                         }
                     }
                 }
+                scratch.put(cs);
                 total
             }
         }
@@ -334,24 +393,31 @@ impl Scan {
         self.cur = next;
         next.map(|s| (rel.tuple_at(s), rel.mult_at(s)))
     }
+
+    /// The tuple under the cursor (its values are replayable straight from
+    /// storage — no cloned `last` needed).
+    fn current<'r>(&self, rel: &'r Relation) -> Option<&'r Tuple> {
+        self.cur.map(|s| rel.tuple_at(s))
+    }
 }
 
 /// Runtime iterator state for an [`EnumNode`].
 ///
 /// Iterators write into a buffer shared by *all* iterators of the
 /// enumeration (including sibling union buckets over the same output
-/// positions), so each variant caches its last-emitted values and can
-/// [`NodeIter::replay`] them after siblings have clobbered the buffer.
+/// positions); each variant can [`NodeIter::replay`] its current values
+/// into the buffer after siblings have clobbered it — covering and
+/// directory nodes replay from their storage cursors, unions from their
+/// cached last segment.
 pub(crate) enum NodeIter<'e> {
     Covering {
         node: &'e EnumNode,
         scan: Scan,
-        last: Option<Tuple>,
     },
     Directory {
         node: &'e EnumNode,
         scan: Scan,
-        cur: Option<Tuple>,
+        cur: Option<&'e Tuple>,
         prod: Option<Product<'e>>,
     },
     Buckets {
@@ -361,12 +427,11 @@ pub(crate) enum NodeIter<'e> {
 }
 
 impl<'e> NodeIter<'e> {
-    pub(crate) fn open(node: &'e EnumNode, rt: &Runtime, ctx: &Tuple) -> NodeIter<'e> {
+    pub(crate) fn open(node: &'e EnumNode, rt: &'e Runtime, ctx: &Tuple) -> NodeIter<'e> {
         match &node.kind {
             EnumKind::Covering => NodeIter::Covering {
                 node,
                 scan: Scan::open(node, ctx),
-                last: None,
             },
             EnumKind::Directory { .. } => NodeIter::Directory {
                 node,
@@ -381,23 +446,24 @@ impl<'e> NodeIter<'e> {
                 ..
             } => {
                 // Ground the heavy indicator: one bucket per heavy key in
-                // context (Fig. 13 lines 6-11).
+                // context (Fig. 13 lines 6-11). The keys stay borrowed from
+                // the indicator relation for the iterator's whole life.
                 let h_rel = &rt.rels[rt.heavy_rel[*ind]];
                 let v_rel = node.storage(rt);
-                let mut hs: Vec<Tuple> = Vec::new();
+                let mut hs: Vec<&'e Tuple> = Vec::new();
                 match h_ctx_index {
                     Some(ix) => {
                         let key = ctx.project(&node.ctx_pos_in_parent);
                         for (h, _) in h_rel.group_iter(*ix, &key) {
                             if v_rel.get(h) != 0 {
-                                hs.push(h.clone());
+                                hs.push(h);
                             }
                         }
                     }
                     None => {
                         for (h, _) in h_rel.iter() {
                             if v_rel.get(h) != 0 {
-                                hs.push(h.clone());
+                                hs.push(h);
                             }
                         }
                     }
@@ -405,13 +471,13 @@ impl<'e> NodeIter<'e> {
                 let parts: Vec<BucketPart<'e>> = hs
                     .into_iter()
                     .map(|h| {
-                        let prod = Product::open(children, rt, &h);
+                        let prod = Product::open(children, rt, h);
                         BucketPart { node, h, prod }
                     })
                     .collect();
                 NodeIter::Buckets {
                     node,
-                    union: Union::new(parts),
+                    union: Union::new(parts, true),
                 }
             }
         }
@@ -419,10 +485,10 @@ impl<'e> NodeIter<'e> {
 
     /// Rewrites this iterator's current values into `buf` (they may have
     /// been overwritten by sibling iterators sharing the same positions).
-    pub(crate) fn replay(&self, buf: &mut [Value]) {
+    pub(crate) fn replay(&self, rt: &Runtime, buf: &mut [Value]) {
         match self {
-            NodeIter::Covering { node, last, .. } => {
-                if let Some(t) = last {
+            NodeIter::Covering { node, scan } => {
+                if let Some(t) = scan.current(node.storage(rt)) {
                     for &(sp, bp) in &node.own_emit {
                         buf[bp] = t.get(sp).clone();
                     }
@@ -437,13 +503,13 @@ impl<'e> NodeIter<'e> {
                     }
                 }
                 if let Some(p) = prod {
-                    p.replay(buf);
+                    p.replay(rt, buf);
                 }
             }
             NodeIter::Buckets { node, union } => {
-                if let Some(t) = &union.last {
+                if union.has_last {
                     for (i, &p) in node.out_positions.iter().enumerate() {
-                        buf[p] = t.get(i).clone();
+                        buf[p] = union.last[i].clone();
                     }
                 }
             }
@@ -452,14 +518,18 @@ impl<'e> NodeIter<'e> {
 
     /// Advances to the next tuple: binds this subtree's variables in `buf`
     /// and returns the multiplicity.
-    pub(crate) fn next(&mut self, rt: &Runtime, buf: &mut [Value]) -> Option<i64> {
+    pub(crate) fn next(
+        &mut self,
+        rt: &'e Runtime,
+        buf: &mut [Value],
+        scratch: &mut EnumScratch,
+    ) -> Option<i64> {
         match self {
-            NodeIter::Covering { node, scan, last } => {
+            NodeIter::Covering { node, scan } => {
                 let (t, m) = scan.next(node.storage(rt))?;
                 for &(sp, bp) in &node.own_emit {
                     buf[bp] = t.get(sp).clone();
                 }
-                *last = Some(t.clone());
                 Some(m)
             }
             NodeIter::Directory {
@@ -470,17 +540,16 @@ impl<'e> NodeIter<'e> {
             } => loop {
                 if cur.is_none() {
                     let (t, _m) = scan.next(node.storage(rt))?;
-                    let t = t.clone();
                     for &(sp, bp) in &node.own_emit {
                         buf[bp] = t.get(sp).clone();
                     }
                     let EnumKind::Directory { children, .. } = &node.kind else {
                         unreachable!()
                     };
-                    *prod = Some(Product::open(children, rt, &t));
+                    *prod = Some(Product::open(children, rt, t));
                     *cur = Some(t);
                 }
-                match prod.as_mut().unwrap().next(rt, buf) {
+                match prod.as_mut().unwrap().next(rt, buf, scratch) {
                     Some(m) => {
                         // Sibling iterators may have clobbered our own
                         // variables since the last call.
@@ -497,16 +566,17 @@ impl<'e> NodeIter<'e> {
                     }
                 }
             },
-            NodeIter::Buckets { union, .. } => union.next(rt, buf).map(|(_, m)| m),
+            NodeIter::Buckets { union, .. } => union.next(rt, buf, scratch),
         }
     }
 }
 
 /// The Product algorithm (Fig. 16): odometer over child iterators sharing a
-/// common context; multiplicity is the product of the children's.
+/// common context; multiplicity is the product of the children's. The
+/// context is borrowed from the parent's storage for the product's life.
 pub(crate) struct Product<'e> {
     children: &'e [EnumNode],
-    ctx: Tuple,
+    ctx: &'e Tuple,
     kids: Vec<NodeIter<'e>>,
     mults: Vec<i64>,
     primed: bool,
@@ -514,14 +584,14 @@ pub(crate) struct Product<'e> {
 }
 
 impl<'e> Product<'e> {
-    pub(crate) fn open(children: &'e [EnumNode], rt: &Runtime, ctx: &Tuple) -> Product<'e> {
+    pub(crate) fn open(children: &'e [EnumNode], rt: &'e Runtime, ctx: &'e Tuple) -> Product<'e> {
         let kids = children
             .iter()
             .map(|c| NodeIter::open(c, rt, ctx))
             .collect();
         Product {
             children,
-            ctx: ctx.clone(),
+            ctx,
             kids,
             mults: vec![0; children.len()],
             primed: false,
@@ -529,14 +599,19 @@ impl<'e> Product<'e> {
         }
     }
 
-    pub(crate) fn next(&mut self, rt: &Runtime, buf: &mut [Value]) -> Option<i64> {
+    pub(crate) fn next(
+        &mut self,
+        rt: &'e Runtime,
+        buf: &mut [Value],
+        scratch: &mut EnumScratch,
+    ) -> Option<i64> {
         if self.dead {
             return None;
         }
         if !self.primed {
             self.primed = true;
             for i in 0..self.kids.len() {
-                match self.kids[i].next(rt, buf) {
+                match self.kids[i].next(rt, buf, scratch) {
                     Some(m) => self.mults[i] = m,
                     None => {
                         self.dead = true;
@@ -555,15 +630,15 @@ impl<'e> Product<'e> {
                 return None;
             }
             i -= 1;
-            match self.kids[i].next(rt, buf) {
+            match self.kids[i].next(rt, buf, scratch) {
                 Some(m) => {
                     self.mults[i] = m;
                     break;
                 }
                 None => {
                     // Reset child i and move to its predecessor.
-                    self.kids[i] = NodeIter::open(&self.children[i], rt, &self.ctx);
-                    match self.kids[i].next(rt, buf) {
+                    self.kids[i] = NodeIter::open(&self.children[i], rt, self.ctx);
+                    match self.kids[i].next(rt, buf, scratch) {
                         Some(m) => self.mults[i] = m,
                         None => {
                             self.dead = true;
@@ -576,15 +651,15 @@ impl<'e> Product<'e> {
         // Children before the advanced one did not move this call; restore
         // their current values into the (shared) buffer.
         for j in 0..i {
-            self.kids[j].replay(buf);
+            self.kids[j].replay(rt, buf);
         }
         Some(self.mults.iter().product())
     }
 
     /// Restores every child's current values into `buf`.
-    pub(crate) fn replay(&self, buf: &mut [Value]) {
+    pub(crate) fn replay(&self, rt: &Runtime, buf: &mut [Value]) {
         for kid in &self.kids {
-            kid.replay(buf);
+            kid.replay(rt, buf);
         }
     }
 }
@@ -593,34 +668,37 @@ impl<'e> Product<'e> {
 /// tree opened with heavy key `h`, Fig. 13 line 9).
 pub(crate) struct BucketPart<'e> {
     node: &'e EnumNode,
-    h: Tuple,
+    h: &'e Tuple,
     prod: Product<'e>,
 }
 
 /// A participant in the Union algorithm.
-pub(crate) trait UnionPart {
-    /// Advances; on success writes the winning values into `buf` and
-    /// returns `(segment, multiplicity)`.
-    fn next_seg(&mut self, rt: &Runtime, buf: &mut [Value]) -> Option<(Tuple, i64)>;
+pub(crate) trait UnionPart<'e> {
+    /// Advances; on success writes the winning values into `buf` (at this
+    /// part's output positions) and returns the multiplicity.
+    fn next_seg(
+        &mut self,
+        rt: &'e Runtime,
+        buf: &mut [Value],
+        scratch: &mut EnumScratch,
+    ) -> Option<i64>;
     /// Multiplicity of `seg` within this part (0 when absent).
-    fn lookup(&self, rt: &Runtime, seg: &[Value]) -> i64;
+    fn lookup(&self, rt: &Runtime, seg: &[Value], scratch: &mut EnumScratch) -> i64;
     /// The output positions shared by all parts of the union.
     fn out_positions(&self) -> &[usize];
 }
 
-impl<'e> UnionPart for BucketPart<'e> {
-    fn next_seg(&mut self, rt: &Runtime, buf: &mut [Value]) -> Option<(Tuple, i64)> {
-        let m = self.prod.next(rt, buf)?;
-        let seg: Tuple = self
-            .node
-            .out_positions
-            .iter()
-            .map(|&p| buf[p].clone())
-            .collect();
-        Some((seg, m))
+impl<'e> UnionPart<'e> for BucketPart<'e> {
+    fn next_seg(
+        &mut self,
+        rt: &'e Runtime,
+        buf: &mut [Value],
+        scratch: &mut EnumScratch,
+    ) -> Option<i64> {
+        self.prod.next(rt, buf, scratch)
     }
 
-    fn lookup(&self, rt: &Runtime, seg: &[Value]) -> i64 {
+    fn lookup(&self, rt: &Runtime, seg: &[Value], scratch: &mut EnumScratch) -> i64 {
         let EnumKind::Buckets {
             children,
             child_seg_idx,
@@ -629,18 +707,21 @@ impl<'e> UnionPart for BucketPart<'e> {
         else {
             unreachable!()
         };
-        if self.node.storage(rt).get(&self.h) == 0 {
+        if self.node.storage(rt).get(self.h) == 0 {
             return 0;
         }
         let mut m = 1i64;
+        let mut cs = scratch.take();
         for (i, c) in children.iter().enumerate() {
-            let cs = EnumNode::child_seg(&child_seg_idx[i], seg);
-            let cm = c.lookup(rt, &self.h, &cs);
+            EnumNode::child_seg_into(&child_seg_idx[i], seg, &mut cs);
+            let cm = c.lookup(rt, self.h, &cs, scratch);
             if cm == 0 {
+                scratch.put(cs);
                 return 0;
             }
             m *= cm;
         }
+        scratch.put(cs);
         m
     }
 
@@ -651,58 +732,125 @@ impl<'e> UnionPart for BucketPart<'e> {
 
 /// The Union algorithm (Fig. 15, after Durand–Strozecki): enumerates the
 /// distinct tuples of `T_1 ∪ ... ∪ T_n` with their total multiplicity,
-/// with O(n) lookups per emitted tuple.
+/// with O(n) lookups per emitted tuple. The winning segment lives in the
+/// shared buffer; a union only keeps an owned copy (`last`, value copies —
+/// never a hashed `Tuple`) when an enclosing product may need to replay it.
 pub(crate) struct Union<P> {
     parts: Vec<P>,
-    /// Last emitted segment, for replay by enclosing products.
-    pub(crate) last: Option<Tuple>,
+    /// The parts' shared output positions (owned so candidate staging does
+    /// not borrow `parts`).
+    positions: Vec<usize>,
+    /// Current candidate's segment values, in `positions` order.
+    cand: Vec<Value>,
+    /// Last emitted segment values, for replay by enclosing products.
+    last: Vec<Value>,
+    has_last: bool,
+    /// Whether `last` is maintained at all (top-level unions under
+    /// [`ComponentIter`]/[`ResultIter`] are never replayed, so they skip
+    /// the per-tuple copy).
+    track_last: bool,
 }
 
-impl<P: UnionPart> Union<P> {
-    pub(crate) fn new(parts: Vec<P>) -> Union<P> {
-        Union { parts, last: None }
+impl<P> Union<P> {
+    pub(crate) fn new<'x>(parts: Vec<P>, track_last: bool) -> Union<P>
+    where
+        P: UnionPart<'x>,
+    {
+        let positions = parts
+            .first()
+            .map(|p| p.out_positions().to_vec())
+            .unwrap_or_default();
+        Union {
+            parts,
+            positions,
+            cand: Vec::new(),
+            last: Vec::new(),
+            has_last: false,
+            track_last,
+        }
+    }
+}
+
+impl<P> Union<P> {
+    /// Copies the values at `positions` of `buf` into `out`.
+    fn stage(positions: &[usize], buf: &[Value], out: &mut Vec<Value>) {
+        out.clear();
+        out.extend(positions.iter().map(|&p| buf[p].clone()));
     }
 
-    pub(crate) fn next(&mut self, rt: &Runtime, buf: &mut [Value]) -> Option<(Tuple, i64)> {
+    pub(crate) fn next<'e>(
+        &mut self,
+        rt: &'e Runtime,
+        buf: &mut [Value],
+        scratch: &mut EnumScratch,
+    ) -> Option<i64>
+    where
+        P: UnionPart<'e>,
+    {
         let n = self.parts.len();
         if n == 0 {
             return None;
         }
-        // Iterative form of the paper's recursion over T_1..T_n.
-        let mut cur: Option<(Tuple, i64)> = self.parts[0].next_seg(rt, buf);
+        if n == 1 {
+            // Single live part: its stream is the union — no lookups, no
+            // candidate staging, no write-back.
+            let m = self.parts[0].next_seg(rt, buf, scratch)?;
+            if self.track_last {
+                Self::stage(&self.positions, buf, &mut self.last);
+                self.has_last = true;
+            }
+            return Some(m);
+        }
+        // Iterative form of the paper's recursion over T_1..T_n. The
+        // current candidate's values are staged in `cand` (the shared
+        // buffer is clobbered whenever a later part advances).
+        let mut cur: Option<i64> = self.parts[0].next_seg(rt, buf, scratch);
+        if cur.is_some() {
+            Self::stage(&self.positions, buf, &mut self.cand);
+        }
         for k in 1..n {
             cur = match cur {
-                Some((t, m)) => {
-                    if self.parts[k].lookup(rt, t.values()) != 0 {
-                        // t also lives in T_k: emit T_k's next tuple with
-                        // its total multiplicity over T_1..T_k instead.
-                        let (tk, mk) = self.parts[k]
-                            .next_seg(rt, buf)
+                Some(m) => {
+                    if self.parts[k].lookup(rt, &self.cand, scratch) != 0 {
+                        // The candidate also lives in T_k: emit T_k's next
+                        // tuple with its total multiplicity over T_1..T_k
+                        // instead.
+                        let mk = self.parts[k]
+                            .next_seg(rt, buf, scratch)
                             .expect("T_k cannot be exhausted while it still contains t");
-                        let extra: i64 =
-                            (0..k).map(|i| self.parts[i].lookup(rt, tk.values())).sum();
-                        Some((tk, mk + extra))
+                        Self::stage(&self.positions, buf, &mut self.cand);
+                        let cand = &self.cand;
+                        let extra: i64 = (0..k)
+                            .map(|i| self.parts[i].lookup(rt, cand, scratch))
+                            .sum();
+                        Some(mk + extra)
                     } else {
-                        Some((t, m))
+                        Some(m)
                     }
                 }
-                None => match self.parts[k].next_seg(rt, buf) {
-                    Some((tk, mk)) => {
-                        let extra: i64 =
-                            (0..k).map(|i| self.parts[i].lookup(rt, tk.values())).sum();
-                        Some((tk, mk + extra))
+                None => match self.parts[k].next_seg(rt, buf, scratch) {
+                    Some(mk) => {
+                        Self::stage(&self.positions, buf, &mut self.cand);
+                        let cand = &self.cand;
+                        let extra: i64 = (0..k)
+                            .map(|i| self.parts[i].lookup(rt, cand, scratch))
+                            .sum();
+                        Some(mk + extra)
                     }
                     None => None,
                 },
             };
         }
-        // Write the winning tuple back into the buffer (lookups and
+        // Write the winning values back into the buffer (lookups and
         // sibling advances may have clobbered it).
-        if let Some((t, _)) = &cur {
-            for (i, &p) in self.parts[0].out_positions().iter().enumerate() {
-                buf[p] = t.get(i).clone();
+        if cur.is_some() {
+            for (i, &p) in self.positions.iter().enumerate() {
+                buf[p] = self.cand[i].clone();
             }
-            self.last = Some(t.clone());
+            if self.track_last {
+                self.last.clone_from(&self.cand);
+                self.has_last = true;
+            }
         }
         cur
     }
@@ -714,25 +862,42 @@ pub(crate) struct TreePart<'e> {
     pub iter: NodeIter<'e>,
 }
 
-impl<'e> UnionPart for TreePart<'e> {
-    fn next_seg(&mut self, rt: &Runtime, buf: &mut [Value]) -> Option<(Tuple, i64)> {
-        let m = self.iter.next(rt, buf)?;
-        let seg: Tuple = self
-            .node
-            .out_positions
-            .iter()
-            .map(|&p| buf[p].clone())
-            .collect();
-        Some((seg, m))
+impl<'e> UnionPart<'e> for TreePart<'e> {
+    fn next_seg(
+        &mut self,
+        rt: &'e Runtime,
+        buf: &mut [Value],
+        scratch: &mut EnumScratch,
+    ) -> Option<i64> {
+        self.iter.next(rt, buf, scratch)
     }
 
-    fn lookup(&self, rt: &Runtime, seg: &[Value]) -> i64 {
-        self.node.lookup(rt, &Tuple::empty(), seg)
+    fn lookup(&self, rt: &Runtime, seg: &[Value], scratch: &mut EnumScratch) -> i64 {
+        self.node.lookup(rt, &Tuple::empty(), seg, scratch)
     }
 
     fn out_positions(&self) -> &[usize] {
         &self.node.out_positions
     }
+}
+
+/// Opens the Union over one component's view trees. Trees whose root
+/// storage is empty contribute nothing to the union (and every lookup into
+/// them would return 0), so they are pruned up front — on unskewed data
+/// this collapses the union to the single live tree and the per-tuple
+/// cross-part lookups vanish entirely.
+fn open_component<'e>(rt: &'e Runtime, trees: &'e [EnumNode]) -> Union<TreePart<'e>> {
+    Union::new(
+        trees
+            .iter()
+            .filter(|node| !node.storage(rt).is_empty())
+            .map(|node| TreePart {
+                node,
+                iter: NodeIter::open(node, rt, &Tuple::empty()),
+            })
+            .collect(),
+        false,
+    )
 }
 
 /// Iterator over the result of **one** connected component: the distinct
@@ -746,7 +911,10 @@ impl<'e> UnionPart for TreePart<'e> {
 pub struct ComponentIter<'e> {
     rt: &'e Runtime,
     union: Union<TreePart<'e>>,
+    /// The component's output positions within the free schema.
+    positions: Vec<usize>,
     buf: Vec<Value>,
+    scratch: EnumScratch,
 }
 
 impl<'e> ComponentIter<'e> {
@@ -754,7 +922,9 @@ impl<'e> ComponentIter<'e> {
         ComponentIter {
             rt,
             union: open_component(rt, trees),
+            positions: trees[0].out_positions.clone(),
             buf: vec![Value::Int(0); free_arity],
+            scratch: EnumScratch::new(),
         }
     }
 }
@@ -763,7 +933,10 @@ impl<'e> Iterator for ComponentIter<'e> {
     type Item = (Tuple, i64);
 
     fn next(&mut self) -> Option<Self::Item> {
-        self.union.next(self.rt, &mut self.buf)
+        let m = self.union.next(self.rt, &mut self.buf, &mut self.scratch)?;
+        let buf = &self.buf;
+        let t: Tuple = self.positions.iter().map(|&p| buf[p].clone()).collect();
+        Some((t, m))
     }
 }
 
@@ -776,20 +949,12 @@ pub struct ResultIter<'e> {
     comp_mults: Vec<i64>,
     free_arity: usize,
     buf: Vec<Value>,
+    scratch: EnumScratch,
     primed: bool,
+    /// Set by [`ResultIter::seek`]: the next `next()` call emits the
+    /// current assembly without advancing.
+    emit_current: bool,
     dead: bool,
-}
-
-fn open_component<'e>(rt: &Runtime, trees: &'e [EnumNode]) -> Union<TreePart<'e>> {
-    Union::new(
-        trees
-            .iter()
-            .map(|node| TreePart {
-                node,
-                iter: NodeIter::open(node, rt, &Tuple::empty()),
-            })
-            .collect(),
-    )
 }
 
 impl<'e> ResultIter<'e> {
@@ -806,9 +971,133 @@ impl<'e> ResultIter<'e> {
             comp_mults: vec![0; n],
             free_arity,
             buf: vec![Value::Int(0); free_arity],
+            scratch: EnumScratch::new(),
             primed: false,
+            emit_current: false,
             dead: false,
         }
+    }
+
+    /// Advances the underlying state by one result tuple (priming on the
+    /// first call) without assembling an output `Tuple`. Returns `false`
+    /// when the result is exhausted.
+    fn advance(&mut self) -> bool {
+        if self.dead {
+            return false;
+        }
+        if self.comps.is_empty() {
+            self.dead = true;
+            return false;
+        }
+        if !self.primed {
+            self.primed = true;
+            for i in 0..self.comps.len() {
+                match self.comps[i].next(self.rt, &mut self.buf, &mut self.scratch) {
+                    Some(m) => self.comp_mults[i] = m,
+                    None => {
+                        self.dead = true;
+                        return false;
+                    }
+                }
+            }
+            return true;
+        }
+        // Odometer across components; exhausted components are reopened
+        // from scratch (Fig. 16's close/open/next pattern).
+        let k = self.comps.len();
+        let mut i = k;
+        loop {
+            if i == 0 {
+                self.dead = true;
+                return false;
+            }
+            i -= 1;
+            match self.comps[i].next(self.rt, &mut self.buf, &mut self.scratch) {
+                Some(m) => {
+                    self.comp_mults[i] = m;
+                    return true;
+                }
+                None => {
+                    self.comps[i] = open_component(self.rt, &self.enums[i]);
+                    match self.comps[i].next(self.rt, &mut self.buf, &mut self.scratch) {
+                        Some(m) => self.comp_mults[i] = m,
+                        None => {
+                            self.dead = true;
+                            return false;
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Positions this fresh iterator so that the next emitted item is the
+    /// `offset`-th result tuple (0-based, in enumeration order), without
+    /// walking the skipped cross-component combinations.
+    ///
+    /// The linear offset is decomposed mixed-radix over the component
+    /// result sizes, least-significant digit first: a trailing component
+    /// is counted (one walk of its own result) only while the remaining
+    /// index is non-zero, so a small offset — the common first page —
+    /// counts nothing and keeps the constant-delay start, and a large one
+    /// costs at most `O(Σ_i |C_i|)` — for multi-component queries an
+    /// exponential improvement over walking `offset` product tuples. With
+    /// a single component the decomposition degenerates to skipping
+    /// `offset` tuples (`O(offset)`); see the README's paging notes.
+    ///
+    /// Returns `false` (and exhausts the iterator) when `offset` is past
+    /// the end of the result.
+    pub(crate) fn seek(&mut self, offset: usize) -> bool {
+        debug_assert!(!self.primed, "seek requires a fresh iterator");
+        if self.comps.is_empty() {
+            self.dead = true;
+            return false;
+        }
+        let k = self.comps.len();
+        let mut picks = vec![0usize; k];
+        let mut rem = offset;
+        for i in (1..k).rev() {
+            if rem == 0 {
+                // Every more significant digit is 0 — no count needed.
+                break;
+            }
+            let mut n = 0usize;
+            let mut u = open_component(self.rt, &self.enums[i]);
+            while u.next(self.rt, &mut self.buf, &mut self.scratch).is_some() {
+                n += 1;
+            }
+            if n == 0 {
+                self.dead = true;
+                return false;
+            }
+            picks[i] = rem % n;
+            rem /= n;
+        }
+        // What remains is the leading digit; running off that component's
+        // end below is exactly the offset-past-the-end case. (An uncounted
+        // empty trailing component dies the same way, on its first
+        // advance.)
+        picks[0] = rem;
+        self.primed = true;
+        for (i, &pick) in picks.iter().enumerate() {
+            for _ in 0..=pick {
+                match self.comps[i].next(self.rt, &mut self.buf, &mut self.scratch) {
+                    Some(m) => self.comp_mults[i] = m,
+                    None => {
+                        self.dead = true;
+                        return false;
+                    }
+                }
+            }
+        }
+        self.emit_current = true;
+        true
+    }
+
+    /// Assembles the current buffer state into an output item.
+    fn current(&self) -> (Tuple, i64) {
+        let tuple = Tuple::from_slice(&self.buf[..self.free_arity]);
+        (tuple, self.comp_mults.iter().product())
     }
 }
 
@@ -816,58 +1105,107 @@ impl<'e> Iterator for ResultIter<'e> {
     type Item = (Tuple, i64);
 
     fn next(&mut self) -> Option<Self::Item> {
-        if self.dead {
-            return None;
+        if self.emit_current {
+            self.emit_current = false;
+            return Some(self.current());
         }
-        if self.comps.is_empty() {
-            self.dead = true;
+        if !self.advance() {
             return None;
-        }
-        if !self.primed {
-            self.primed = true;
-            for i in 0..self.comps.len() {
-                match self.comps[i].next(self.rt, &mut self.buf) {
-                    Some((_, m)) => self.comp_mults[i] = m,
-                    None => {
-                        self.dead = true;
-                        return None;
-                    }
-                }
-            }
-        } else {
-            // Odometer across components; exhausted components are
-            // reopened from scratch.
-            let k = self.comps.len();
-            let mut i = k;
-            loop {
-                if i == 0 {
-                    self.dead = true;
-                    return None;
-                }
-                i -= 1;
-                match self.comps[i].next(self.rt, &mut self.buf) {
-                    Some((_, m)) => {
-                        self.comp_mults[i] = m;
-                        break;
-                    }
-                    None => {
-                        // Reset this component and advance its predecessor
-                        // (Fig. 16's close/open/next pattern).
-                        self.comps[i] = open_component(self.rt, &self.enums[i]);
-                        match self.comps[i].next(self.rt, &mut self.buf) {
-                            Some((_, m)) => self.comp_mults[i] = m,
-                            None => {
-                                self.dead = true;
-                                return None;
-                            }
-                        }
-                    }
-                }
-            }
         }
         // `buf` holds exactly the free variables in schema order; clone it
         // straight into the (inline up to INLINE_ARITY) representation.
-        let tuple = Tuple::from_slice(&self.buf[..self.free_arity]);
-        Some((tuple, self.comp_mults.iter().product()))
+        Some(self.current())
     }
+}
+
+// ---------------------------------------------------------------------
+// Sorted materialization shared by both engines
+// ---------------------------------------------------------------------
+
+/// Whether `positions` is exactly `0..arity` in order.
+fn is_identity_positions(positions: &[usize], arity: usize) -> bool {
+    positions.len() == arity && positions.iter().enumerate().all(|(i, &p)| i == p)
+}
+
+/// One component's materialized distinct result, borrowed: the positions
+/// of its variables within the free schema, and its tuples.
+pub(crate) type ComponentSlice<'a> = (&'a [usize], &'a [(Tuple, i64)]);
+
+/// Owned form of [`ComponentSlice`], as collected by the engines.
+pub(crate) type OwnedComponent = (Vec<usize>, Vec<(Tuple, i64)>);
+
+/// Materializes the sorted query result from per-component distinct-tuple
+/// lists (`(positions within the free schema, tuples)` pairs) — the code
+/// path shared by [`IvmEngine::result_sorted`](crate::IvmEngine::result_sorted)
+/// and [`ShardedEngine::result_sorted`](crate::ShardedEngine::result_sorted).
+///
+/// Each component is argsorted **once** (`O(|C_i| log |C_i|)`), leaving the
+/// caller's (possibly cached) component vectors untouched. When the
+/// components' position sets form contiguous ascending blocks, the
+/// cross-component odometer emits in lexicographic order directly and the
+/// final `O(P log P)` sort of the full product is skipped; interleaved
+/// position sets fall back to sorting the assembled result.
+pub(crate) fn sorted_product(comps: &[ComponentSlice<'_>], arity: usize) -> Vec<(Tuple, i64)> {
+    if comps.is_empty() || comps.iter().any(|(_, ts)| ts.is_empty()) {
+        return Vec::new();
+    }
+    let orders: Vec<Vec<u32>> = comps
+        .iter()
+        .map(|(_, ts)| {
+            let mut ord: Vec<u32> = (0..ts.len() as u32).collect();
+            ord.sort_unstable_by(|&a, &b| ts[a as usize].0.cmp(&ts[b as usize].0));
+            ord
+        })
+        .collect();
+    // One component covering the whole free schema: its sorted distinct
+    // tuples *are* the sorted result.
+    if comps.len() == 1 && is_identity_positions(comps[0].0, arity) {
+        let ts = comps[0].1;
+        return orders[0].iter().map(|&i| ts[i as usize].clone()).collect();
+    }
+    // Emit the product most-significant-block first: order components by
+    // their leading position and check whether the blocks are contiguous —
+    // if so the odometer output is already lexicographically sorted.
+    let mut by_block: Vec<usize> = (0..comps.len()).collect();
+    by_block.sort_by_key(|&c| comps[c].0.first().copied().unwrap_or(usize::MAX));
+    let mut expected = 0usize;
+    let mut blocks_contiguous = true;
+    for &c in &by_block {
+        for &p in comps[c].0 {
+            if p != expected {
+                blocks_contiguous = false;
+            }
+            expected += 1;
+        }
+    }
+    blocks_contiguous &= expected == arity;
+    let total: usize = comps.iter().map(|(_, ts)| ts.len()).product();
+    let mut out = Vec::with_capacity(total);
+    let mut buf = vec![Value::Int(0); arity];
+    let mut picks = vec![0usize; comps.len()];
+    'outer: loop {
+        let mut mult = 1i64;
+        for (rank, &c) in by_block.iter().enumerate() {
+            let (pos, ts) = comps[c];
+            let (t, m) = &ts[orders[c][picks[rank]] as usize];
+            mult *= m;
+            for (i, &p) in pos.iter().enumerate() {
+                buf[p] = t.get(i).clone();
+            }
+        }
+        out.push((Tuple::from_slice(&buf), mult));
+        // Odometer, least significant block (last in `by_block`) fastest.
+        for rank in (0..picks.len()).rev() {
+            picks[rank] += 1;
+            if picks[rank] < comps[by_block[rank]].1.len() {
+                continue 'outer;
+            }
+            picks[rank] = 0;
+        }
+        break;
+    }
+    if !blocks_contiguous {
+        out.sort_unstable();
+    }
+    out
 }

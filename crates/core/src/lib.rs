@@ -85,7 +85,7 @@ pub mod sharded;
 
 pub use database::Database;
 pub use engine::{EngineError, EngineOptions, EngineStats, IvmEngine, UpdateError};
-pub use enumerate::{ComponentIter, ResultIter};
+pub use enumerate::{ComponentIter, EnumScratch, ResultIter};
 pub use ivme_data::{DeltaBatch, ShardRouter, Update};
 pub use ivme_plan::Mode;
 pub use oracle::brute_force;

@@ -46,6 +46,8 @@
 //! single shard ([`ShardedEngine::num_shards`] reports the effective
 //! count).
 
+use std::sync::{Arc, Mutex};
+
 use ivme_data::fx::FxHashMap;
 use ivme_data::{DeltaBatch, Route, ShardRouter, Tuple, Update, Value};
 use ivme_query::Query;
@@ -54,12 +56,21 @@ use crate::database::Database;
 use crate::engine::{
     EngineError, EngineOptions, EngineStats, IvmEngine, PreparedBatch, UpdateError,
 };
+use crate::enumerate::sorted_product;
 
 /// `S` independent [`IvmEngine`]s over a hash-partitioned database.
 pub struct ShardedEngine {
     query: Query,
     router: ShardRouter,
     shards: Vec<IvmEngine>,
+    /// Per-component cross-shard merge cache (see
+    /// [`ShardedEngine::enumerate`]): each entry holds the merged distinct
+    /// result of one component together with the per-shard component
+    /// versions it was built from. `apply_prepared` bumps a shard's
+    /// component version only when a batch touches one of the component's
+    /// relations, so on a quiescent or partially-updated engine repeated
+    /// reads re-merge only the components that actually changed.
+    merge_cache: Mutex<Vec<Option<CachedMerge>>>,
     /// Batches applied through this engine (per-shard counters see only
     /// their sub-batches).
     batches: u64,
@@ -99,10 +110,12 @@ impl ShardedEngine {
         for e in engines {
             built.push(e?);
         }
+        let ncomp = built[0].num_components();
         Ok(ShardedEngine {
             query: query.clone(),
             router,
             shards: built,
+            merge_cache: Mutex::new((0..ncomp).map(|_| None).collect()),
             batches: 0,
             updates: 0,
         })
@@ -357,53 +370,148 @@ impl ShardedEngine {
     }
 
     // ------------------------------------------------------------------
-    // Enumeration
+    // Enumeration and serving reads
     // ------------------------------------------------------------------
 
-    /// Enumerates the distinct result tuples with their multiplicities.
-    ///
-    /// Per component, the per-shard [`ComponentIter`](crate::enumerate::ComponentIter)s
-    /// are chained and merged (duplicate tuples — possible when the root
-    /// variable is bound — have their multiplicities summed); the full
-    /// result is the odometer product across the merged components. The
-    /// merge materializes each component's distinct result, so first-tuple
-    /// latency is `O(Σ component results)` rather than the unsharded
-    /// engine's `O(N^{1−ε})` delay; subsequent tuples are `O(1)`.
-    pub fn enumerate(&self) -> MergedResultIter {
+    /// The merged (cross-shard) result of every component, served from the
+    /// merge cache. A component is re-merged only when some shard's
+    /// version for it moved since the cached merge was built; on a
+    /// quiescent engine this is a per-component version comparison plus an
+    /// `Arc` clone — `O(#components)`, not `O(result)`.
+    fn merged_components(&self) -> Vec<Arc<MergedComponent>> {
         let ncomp = self.shards[0].num_components();
-        let comps: Vec<MergedComponent> = (0..ncomp)
+        let mut cache = self.merge_cache.lock().unwrap();
+        (0..ncomp)
             .map(|ci| {
+                let versions: Vec<u64> = self
+                    .shards
+                    .iter()
+                    .map(|s| s.component_version(ci))
+                    .collect();
+                if let Some(c) = &cache[ci] {
+                    if c.versions == versions {
+                        return Arc::clone(&c.merged);
+                    }
+                }
                 let mut acc: FxHashMap<Tuple, i64> = FxHashMap::default();
                 for shard in &self.shards {
                     for (t, m) in shard.enumerate_component(ci) {
                         *acc.entry(t).or_insert(0) += m;
                     }
                 }
-                MergedComponent {
+                let merged = Arc::new(MergedComponent {
                     positions: self.shards[0].component_out_positions(ci).to_vec(),
                     tuples: acc.into_iter().filter(|&(_, m)| m != 0).collect(),
-                }
+                });
+                cache[ci] = Some(CachedMerge {
+                    versions,
+                    merged: Arc::clone(&merged),
+                });
+                merged
             })
-            .collect();
-        MergedResultIter::new(comps, self.query.free.arity())
+            .collect()
     }
 
-    /// Collects and sorts the full result — test/bench helper.
+    /// Enumerates the distinct result tuples with their multiplicities.
+    ///
+    /// Per component, the per-shard [`ComponentIter`](crate::enumerate::ComponentIter)s
+    /// are chained and merged (duplicate tuples — possible when the root
+    /// variable is bound — have their multiplicities summed); the full
+    /// result is the odometer product across the merged components.
+    /// Merging per *component* (not per shard result) keeps
+    /// multi-component queries correct: a product of unions is not a union
+    /// of products.
+    ///
+    /// The merged components live in a version-checked cache shared by all
+    /// read entry points: the first call after a batch re-merges exactly
+    /// the components the batch touched (`O(Σ changed |C_i|)`), and
+    /// repeated calls on a quiescent engine iterate the cached vectors
+    /// directly — no per-shard enumeration, no hashing. First-tuple
+    /// latency is therefore `O(Σ changed component results)` (cold) or
+    /// `O(1)` (cached), vs the unsharded engine's `O(N^{1−ε})` delay.
+    pub fn enumerate(&self) -> MergedResultIter {
+        MergedResultIter::new(self.merged_components(), self.query.free.arity())
+    }
+
+    /// Collects and sorts the full result — test/bench helper. Shares the
+    /// component-wise sorted materialization with
+    /// [`IvmEngine::result_sorted`], fed from the merge cache (no
+    /// re-enumeration on a quiescent engine).
     pub fn result_sorted(&self) -> Vec<(Tuple, i64)> {
-        let mut v: Vec<(Tuple, i64)> = self.enumerate().collect();
-        v.sort();
-        v
+        let comps = self.merged_components();
+        let views: Vec<crate::enumerate::ComponentSlice<'_>> = comps
+            .iter()
+            .map(|c| (c.positions.as_slice(), c.tuples.as_slice()))
+            .collect();
+        sorted_product(&views, self.query.free.arity())
     }
 
     /// Number of distinct result tuples: the product of the per-component
     /// distinct counts — the merged components are already deduplicated,
-    /// so the Cartesian product never needs to be walked.
+    /// so the Cartesian product never needs to be walked. O(#components)
+    /// when the merge cache is warm.
     pub fn count_distinct(&self) -> usize {
-        let iter = self.enumerate();
-        if iter.dead {
+        let comps = self.merged_components();
+        if comps.is_empty() {
             return 0;
         }
-        iter.comps.iter().map(|c| c.tuples.len()).product()
+        comps.iter().map(|c| c.tuples.len()).product()
+    }
+
+    /// Multiplicity of one fully-specified result tuple: per component,
+    /// the stateless top-down tree lookups are summed across shards (a
+    /// tuple can live in several shards only when the root variable is
+    /// projected away), then multiplied across components. Never consults
+    /// the merge cache and never enumerates — `O(S)` point lookups.
+    /// Wrong-arity tuples are never in the result and report 0.
+    pub fn multiplicity(&self, tuple: &Tuple) -> i64 {
+        if tuple.arity() != self.query.free.arity() {
+            return 0;
+        }
+        let ncomp = self.shards[0].num_components();
+        let mut seg: Vec<Value> = Vec::new();
+        let mut total = 1i64;
+        for ci in 0..ncomp {
+            seg.clear();
+            seg.extend(
+                self.shards[0]
+                    .component_out_positions(ci)
+                    .iter()
+                    .map(|&p| tuple.get(p).clone()),
+            );
+            let m: i64 = self
+                .shards
+                .iter()
+                .map(|s| s.component_multiplicity(ci, &seg))
+                .sum();
+            if m == 0 {
+                return 0;
+            }
+            total *= m;
+        }
+        total
+    }
+
+    /// Whether `tuple` is in the current result (a point lookup, not a
+    /// scan).
+    pub fn contains(&self, tuple: &Tuple) -> bool {
+        self.multiplicity(tuple) != 0
+    }
+
+    /// One page of the result in enumeration order: skips `offset`, then
+    /// collects up to `limit`.
+    ///
+    /// Pages are served from the cached merged components, so the seek is
+    /// a mixed-radix index computation straight into the cached vectors —
+    /// `O(#components)`, independent of `offset` (after the cold merge).
+    /// Page boundaries are stable until the next update that touches the
+    /// engine invalidates the affected components.
+    pub fn enumerate_page(&self, offset: usize, limit: usize) -> Vec<(Tuple, i64)> {
+        let mut it = self.enumerate();
+        if !it.seek(offset) {
+            return Vec::new();
+        }
+        it.take(limit).collect()
     }
 
     /// Validates every shard's internal invariants — test support.
@@ -424,27 +532,68 @@ struct MergedComponent {
     tuples: Vec<(Tuple, i64)>,
 }
 
+/// One merge-cache entry: a component's merged result and the per-shard
+/// component versions it reflects.
+struct CachedMerge {
+    versions: Vec<u64>,
+    merged: Arc<MergedComponent>,
+}
+
 /// Iterator over the merged sharded result: Cartesian product across
-/// components of the per-component cross-shard unions.
+/// components of the per-component cross-shard unions. Holds `Arc`s into
+/// the merge cache, so iteration never copies the merged vectors.
 pub struct MergedResultIter {
-    comps: Vec<MergedComponent>,
+    comps: Vec<Arc<MergedComponent>>,
     pick: Vec<usize>,
     buf: Vec<Value>,
+    /// Single component covering the whole free schema (the common case):
+    /// emit the cached tuples directly — a clone of a cached-hash tuple
+    /// per item, no buffer assembly and no re-hash.
+    direct: bool,
     primed: bool,
     dead: bool,
 }
 
 impl MergedResultIter {
-    fn new(comps: Vec<MergedComponent>, free_arity: usize) -> MergedResultIter {
+    fn new(comps: Vec<Arc<MergedComponent>>, free_arity: usize) -> MergedResultIter {
         let n = comps.len();
         let dead = comps.is_empty() || comps.iter().any(|c| c.tuples.is_empty());
+        let direct = n == 1
+            && comps[0].positions.len() == free_arity
+            && comps[0].positions.iter().enumerate().all(|(i, &p)| i == p);
         MergedResultIter {
             comps,
             pick: vec![0; n],
             buf: vec![Value::Int(0); free_arity],
+            direct,
             primed: false,
             dead,
         }
+    }
+
+    /// Positions this fresh iterator so that the next emitted item is the
+    /// `offset`-th result tuple (0-based, in enumeration order). The
+    /// digits index straight into the cached merged vectors, so the seek
+    /// is `O(#components)` regardless of `offset`. Returns `false` (and
+    /// exhausts the iterator) when `offset` is past the end.
+    pub fn seek(&mut self, offset: usize) -> bool {
+        if self.dead {
+            return false;
+        }
+        debug_assert!(!self.primed, "seek requires a fresh iterator");
+        let total: u128 = self.comps.iter().map(|c| c.tuples.len() as u128).product();
+        if offset as u128 >= total {
+            self.dead = true;
+            return false;
+        }
+        // Mixed-radix decomposition, least-significant digit first.
+        let mut rem = offset;
+        for i in (0..self.comps.len()).rev() {
+            let n = self.comps[i].tuples.len();
+            self.pick[i] = rem % n;
+            rem /= n;
+        }
+        true
     }
 }
 
@@ -454,6 +603,16 @@ impl Iterator for MergedResultIter {
     fn next(&mut self) -> Option<Self::Item> {
         if self.dead {
             return None;
+        }
+        if self.direct {
+            let ts = &self.comps[0].tuples;
+            let item = ts.get(self.pick[0]).cloned();
+            if item.is_some() {
+                self.pick[0] += 1;
+            } else {
+                self.dead = true;
+            }
+            return item;
         }
         if self.primed {
             // Odometer across components.

@@ -46,6 +46,22 @@ impl OmvInstance {
         OmvInstance { n, matrix, vectors }
     }
 
+    /// The deterministic acceptance instance shared by the benchmark
+    /// harness (`fig_omv_rounds`, `fig_enum_delay`) and the profiling
+    /// driver: an `n × n` sparse matrix with exactly two entries per row
+    /// (deterministic column spread) and a single **full** vector, so one
+    /// round is exactly `n` unit inserts and the result covers every row.
+    pub fn sparse_acceptance(n: usize) -> OmvInstance {
+        let n = n as i64;
+        OmvInstance {
+            n: n as usize,
+            matrix: (0..n)
+                .flat_map(|i| (0..2).map(move |k| (i, (i * 13 + k * 197) % n)))
+                .collect(),
+            vectors: vec![(0..n).collect()],
+        }
+    }
+
     /// Matrix tuples as `R(A,B)` rows.
     pub fn matrix_tuples(&self) -> Vec<Tuple> {
         self.matrix

@@ -1,23 +1,24 @@
-//! Profiling driver for the maintenance hot path: 3000 alternating
-//! k = 1000 OMv vector load/retract batches on one engine at ε = ½.
+//! Profiling driver for the engine hot paths on the OMv instance at ε = ½.
 //!
-//! This is the loop behind the `steady_state_profile_loop` entry of
-//! `BENCH_PR2.json`; run it under a sampling profiler (e.g. `gprofng
-//! collect app`) to see where batched maintenance time goes without the
-//! twin-engine cache interference of the `fig_omv_rounds` harness.
+//! Default (write) mode: 3000 alternating k = 1000 vector load/retract
+//! batches on one engine — the loop behind the `steady_state_profile_loop`
+//! entry of `BENCH_PR2.json`. Run it under a sampling profiler (e.g.
+//! `gprofng collect app`) to see where batched maintenance time goes
+//! without the twin-engine cache interference of the `fig_omv_rounds`
+//! harness.
+//!
+//! `--read` mode: the serving read path instead — with the vector loaded,
+//! loop full enumerations and point lookups (`multiplicity`) so a profiler
+//! sees where steady-state read time goes (`cargo run --release
+//! --example profile_omv -- --read`).
 
 use ivme_core::{Database, EngineOptions, IvmEngine};
+use ivme_data::Tuple;
 use ivme_workload::OmvInstance;
 
 fn main() {
-    let n = 1000i64;
-    let inst = OmvInstance {
-        n: n as usize,
-        matrix: (0..n)
-            .flat_map(|i| (0..2).map(move |k| (i, (i * 13 + k * 197) % n)))
-            .collect(),
-        vectors: vec![(0..n).collect()],
-    };
+    let read_mode = std::env::args().any(|a| a == "--read");
+    let inst = OmvInstance::sparse_acceptance(1000);
     let mut db = Database::new();
     for t in inst.matrix_tuples() {
         db.insert("R", t, 1);
@@ -25,6 +26,36 @@ fn main() {
     let mut eng =
         IvmEngine::from_sql("Q(A) :- R(A,B), S(B)", &db, EngineOptions::dynamic(0.5)).unwrap();
     let load = inst.vector_batch(0);
+    if read_mode {
+        // Serving read loop: enumerate the full result + point-look-up
+        // every row, repeatedly, on a quiescent engine.
+        eng.apply_delta_batch(&load).unwrap();
+        let rounds = 3000u32;
+        let n = inst.n as i64;
+        let mut t_enum = std::time::Duration::ZERO;
+        let mut t_lookup = std::time::Duration::ZERO;
+        let mut tuples = 0usize;
+        let mut mult_sum = 0i64;
+        for _ in 0..rounds {
+            let t0 = std::time::Instant::now();
+            tuples += eng.enumerate().count();
+            t_enum += t0.elapsed();
+            let t0 = std::time::Instant::now();
+            for a in 0..n {
+                mult_sum += eng.multiplicity(&Tuple::ints(&[a]));
+            }
+            t_lookup += t0.elapsed();
+        }
+        println!(
+            "{rounds} read rounds: enumerate {:?}/round ({} tuples/round), \
+             {} lookups/round at {:.0}ns each (mult sum {mult_sum})",
+            t_enum / rounds,
+            tuples / rounds as usize,
+            n,
+            t_lookup.as_secs_f64() * 1e9 / (rounds as f64 * n as f64),
+        );
+        return;
+    }
     let retract = inst.vector_retract_batch(0);
     let rounds = 3000;
     let mut t_load = std::time::Duration::ZERO;
