@@ -1,0 +1,302 @@
+//! Multi-client serving tail latency and group-commit write throughput
+//! (PR 5): the OMv acceptance instance served over loopback TCP by
+//! `ivme-server`, driven closed-loop by the `ivme-workload::serve` client
+//! harness.
+//!
+//! Measured phases:
+//!
+//! 1. **Baseline** — one reader client, quiescent server: the
+//!    single-threaded serving latency of the read op (`page 0 16`, which
+//!    exercises the cached sharded merge + the O(#components) page seek).
+//! 2. **Concurrent** — 4 reader clients + 1 writer client submitting
+//!    atomic insert/delete batch pairs through the group-commit channel:
+//!    read p50/p99/max under write pressure.
+//! 3. **Write-only** — the writer workload alone, vs the same batch
+//!    sequence applied directly to an in-process engine: what the network
+//!    + group-commit layer costs over raw `apply_delta_batch`.
+//!
+//! Acceptance gates (`BENCH_PR5.json`):
+//!
+//! * read p99 under 4-reader/1-writer concurrency ≤ 10× the baseline
+//!   (single-threaded) p99 — tail against tail, so the gate measures what
+//!   concurrency *adds* (lock waits, group applies) rather than the
+//!   baseline's own scheduler noise. Armed when the machine has ≥ 4 cores
+//!   (on fewer cores the readers time-slice against the writer and the
+//!   tail measures the scheduler, not the server; the measured values are
+//!   still printed and recorded).
+//! * group-commit write throughput ≥ 0.5× the direct
+//!   `apply_delta_batch` path — armed when ≥ 2 cores (the server costs
+//!   one extra thread; on one core client and server serialize).
+//!
+//! Correctness anchors (asserted on every run, any core count): served
+//! counts/pages/lookups match ground truth before and after the write
+//! storm, and the storm's inserts are exactly retracted by its deletes.
+//!
+//! `IVME_BENCH_QUICK=1` shrinks the instance and trial counts (CI);
+//! `IVME_BENCH_JSON=path` additionally writes the measured metrics as a
+//! flat JSON file for `examples/bench_diff.rs` to compare against the
+//! committed baseline.
+
+use std::time::{Duration, Instant};
+
+use ivme_bench::fmt_dur;
+use ivme_core::{Database, EngineOptions, ShardedEngine};
+use ivme_data::Tuple;
+use ivme_server::{Server, ServerConfig};
+use ivme_workload::serve::{delete_batch_script, drive, insert_batch_script, Client, Script};
+use ivme_workload::OmvInstance;
+
+fn quick() -> bool {
+    std::env::var("IVME_BENCH_QUICK").is_ok_and(|v| v == "1")
+}
+
+struct Shape {
+    n: usize,
+    reads_per_client: usize,
+    write_batch: usize,
+    write_rounds: usize,
+}
+
+fn shape() -> Shape {
+    if quick() {
+        Shape {
+            n: 300,
+            reads_per_client: 250,
+            write_batch: 64,
+            write_rounds: 6,
+        }
+    } else {
+        Shape {
+            n: 1000,
+            reads_per_client: 1500,
+            write_batch: 256,
+            write_rounds: 10,
+        }
+    }
+}
+
+const READ_CMD: &str = "page 0 16";
+const READERS: usize = 4;
+
+fn main() {
+    let cores = std::thread::available_parallelism().map_or(1, |p| p.get());
+    let sh = shape();
+    let inst = OmvInstance::sparse_acceptance(sh.n);
+    println!(
+        "# fig_serving_tail: ivme-server over loopback, OMv k={} (cores = {cores})",
+        sh.n
+    );
+
+    // ------------------------------------------------------------------
+    // Server + instance setup, all through the wire protocol.
+    // ------------------------------------------------------------------
+    let server = Server::start(ServerConfig::default()).expect("server start");
+    let addr = server.addr();
+    let mut admin = Client::connect(addr).expect("admin connect");
+    {
+        use std::fmt::Write as _;
+        let mut text = String::from("query Q(A) :- R(A,B), S(B)\n");
+        let mut requests = 1;
+        for &(i, j) in &inst.matrix {
+            let _ = writeln!(text, "row R {i},{j}");
+            requests += 1;
+        }
+        text.push_str("build\n");
+        requests += 1;
+        let errors = admin
+            .run_script(&Script {
+                text,
+                requests,
+                updates: 0,
+            })
+            .expect("setup script");
+        assert_eq!(errors, 0, "setup must succeed");
+    }
+    // Load the full vector as one group-committed batch.
+    let vector = inst.vector_tuples(0);
+    assert_eq!(
+        admin
+            .run_script(&insert_batch_script("S", &vector))
+            .expect("vector load"),
+        0
+    );
+
+    // Correctness anchors: the served result matches ground truth.
+    let expected = inst.expected_product(0);
+    let count: usize = admin.expect_ok("count").trim().parse().unwrap();
+    assert_eq!(count, expected.len(), "served count diverged");
+    let probe = expected[expected.len() / 2];
+    assert!(
+        admin
+            .expect_ok(&format!("get {probe}"))
+            .contains(&format!("({probe}) x")),
+        "point lookup diverged"
+    );
+    let page = admin.expect_ok(READ_CMD);
+    assert_eq!(page.lines().count(), 17, "page shape diverged: {page}");
+
+    // ------------------------------------------------------------------
+    // Phase 1: single-threaded baseline.
+    // ------------------------------------------------------------------
+    let baseline = drive(addr, 1, READ_CMD, sh.reads_per_client, &[]);
+    let base_p99 = baseline.read_quantile(0.99);
+    println!("\n# phase 1 — baseline (1 reader, quiescent):");
+    print_read_row("baseline", &baseline);
+
+    // ------------------------------------------------------------------
+    // Phase 2: 4 readers vs 1 group-commit writer.
+    // ------------------------------------------------------------------
+    // The writer inserts a batch of in-domain S values (real propagation:
+    // multiplicities rise), then retracts the same batch — state is
+    // restored after every pair, so trials are repeatable.
+    let batch_tuples: Vec<Tuple> = (0..sh.write_batch as i64)
+        .map(|j| Tuple::ints(&[j % sh.n as i64]))
+        .collect();
+    let writer_scripts: Vec<Script> = (0..sh.write_rounds)
+        .flat_map(|_| {
+            [
+                insert_batch_script("S", &batch_tuples),
+                delete_batch_script("S", &batch_tuples),
+            ]
+        })
+        .collect();
+    let concurrent = drive(
+        addr,
+        READERS,
+        READ_CMD,
+        sh.reads_per_client,
+        std::slice::from_ref(&writer_scripts),
+    );
+    assert_eq!(concurrent.write_errors, 0, "write storm must be accepted");
+    println!(
+        "\n# phase 2 — {READERS} readers + 1 writer (batch {} x{} rounds):",
+        sh.write_batch,
+        2 * sh.write_rounds
+    );
+    print_read_row("concurrent", &concurrent);
+    println!(
+        "writer: {} updates in {:.3}s = {:.0} updates/s through group commit",
+        concurrent.write_updates,
+        concurrent.write_secs,
+        concurrent.updates_per_sec()
+    );
+    // The storm's inserts were exactly retracted: served state unchanged.
+    let count: usize = admin.expect_ok("count").trim().parse().unwrap();
+    assert_eq!(count, expected.len(), "write storm leaked state");
+
+    // ------------------------------------------------------------------
+    // Phase 3: write-only server throughput vs direct apply.
+    // ------------------------------------------------------------------
+    let write_only = drive(addr, 0, READ_CMD, 0, std::slice::from_ref(&writer_scripts));
+    assert_eq!(write_only.write_errors, 0);
+    let server_ups = write_only.updates_per_sec();
+    let direct_ups = direct_apply_updates_per_sec(&inst, &batch_tuples, sh.write_rounds);
+    let write_ratio = server_ups / direct_ups.max(1e-9);
+    println!(
+        "\n# phase 3 — write path (batch {}, {} insert/delete rounds):",
+        sh.write_batch, sh.write_rounds
+    );
+    println!("server group-commit: {server_ups:>12.0} updates/s");
+    println!("direct apply_delta_batch: {direct_ups:>7.0} updates/s");
+    println!("ratio (server/direct): {write_ratio:>10.2}x");
+    let stats = admin.expect_ok("stats");
+    assert!(stats.contains("misroutes = 0"), "{stats}");
+
+    // ------------------------------------------------------------------
+    // Gates.
+    // ------------------------------------------------------------------
+    let tail_ratio =
+        concurrent.read_quantile(0.99).as_secs_f64() / base_p99.as_secs_f64().max(1e-12);
+    println!(
+        "\n# read tail: concurrent p99 {} = {tail_ratio:.1}x baseline p99 {} (gate: <= 10x, armed at >= 4 cores)",
+        fmt_dur(concurrent.read_quantile(0.99)),
+        fmt_dur(base_p99)
+    );
+    if cores >= 4 {
+        assert!(
+            tail_ratio <= 10.0,
+            "read p99 under concurrency must stay within 10x the single-threaded \
+             baseline p99, measured {tail_ratio:.1}x"
+        );
+        println!("# Acceptance: read-tail gate armed and met ({tail_ratio:.1}x <= 10x).");
+    } else {
+        println!("# Acceptance: read-tail gate NOT armed ({cores} core(s) < 4): readers would time-slice against the writer; value recorded.");
+    }
+    println!(
+        "# write throughput: {write_ratio:.2}x the direct path (gate: >= 0.5x, armed at >= 2 cores)"
+    );
+    if cores >= 2 {
+        assert!(
+            write_ratio >= 0.5,
+            "group-commit write throughput must be >= 0.5x direct apply_delta_batch, \
+             measured {write_ratio:.2}x"
+        );
+        println!("# Acceptance: write-throughput gate armed and met ({write_ratio:.2}x >= 0.5x).");
+    } else {
+        println!("# Acceptance: write-throughput gate NOT armed ({cores} core(s) < 2): client, server, and writer thread serialize on one core; value recorded.");
+    }
+
+    // ------------------------------------------------------------------
+    // Optional machine-readable output for examples/bench_diff.rs.
+    // ------------------------------------------------------------------
+    if let Ok(path) = std::env::var("IVME_BENCH_JSON") {
+        let json = format!(
+            "{{\n  \"bench\": \"fig_serving_tail\",\n  \"quick\": {},\n  \"cores\": {cores},\n  \"metrics\": {{\n    \"read_baseline_p50_us\": {:.1},\n    \"read_baseline_p99_us\": {:.1},\n    \"read_concurrent_p50_us\": {:.1},\n    \"read_concurrent_p99_us\": {:.1},\n    \"read_concurrent_max_us\": {:.1},\n    \"read_tail_ratio\": {:.2},\n    \"concurrent_reads_per_s\": {:.0},\n    \"server_write_updates_per_s\": {:.0},\n    \"direct_write_updates_per_s\": {:.0},\n    \"write_ratio\": {:.3}\n  }}\n}}\n",
+            quick(),
+            us(baseline.read_quantile(0.5)),
+            us(baseline.read_quantile(0.99)),
+            us(concurrent.read_quantile(0.5)),
+            us(concurrent.read_quantile(0.99)),
+            us(concurrent.read_max()),
+            tail_ratio,
+            concurrent.reads_per_sec(),
+            server_ups,
+            direct_ups,
+            write_ratio,
+        );
+        std::fs::write(&path, json).expect("write IVME_BENCH_JSON");
+        println!("# metrics written to {path}");
+    }
+}
+
+/// The same insert/delete batch sequence the server writer runs, applied
+/// straight to an in-process engine — the un-networked, un-grouped floor
+/// the 0.5x gate compares against.
+fn direct_apply_updates_per_sec(inst: &OmvInstance, batch_tuples: &[Tuple], rounds: usize) -> f64 {
+    let mut db = Database::new();
+    for t in inst.matrix_tuples() {
+        db.insert("R", t, 1);
+    }
+    let mut eng =
+        ShardedEngine::from_sql("Q(A) :- R(A,B), S(B)", &db, EngineOptions::dynamic(0.5), 1)
+            .unwrap();
+    eng.apply_delta_batch(&inst.vector_batch(0)).unwrap();
+    let mut insert = ivme_data::DeltaBatch::new();
+    let mut delete = ivme_data::DeltaBatch::new();
+    for t in batch_tuples {
+        insert.insert("S", t.clone());
+        delete.delete("S", t.clone());
+    }
+    let updates = rounds * (insert.cardinality() + delete.cardinality());
+    let t0 = Instant::now();
+    for _ in 0..rounds {
+        eng.apply_delta_batch(&insert).unwrap();
+        eng.apply_delta_batch(&delete).unwrap();
+    }
+    updates as f64 / t0.elapsed().as_secs_f64().max(1e-9)
+}
+
+fn us(d: Duration) -> f64 {
+    d.as_secs_f64() * 1e6
+}
+
+fn print_read_row(label: &str, r: &ivme_workload::DriveReport) {
+    println!(
+        "{label:<12} reads = {:<6} p50 = {:<10} p99 = {:<10} max = {:<10} ({:.0} reads/s)",
+        r.read_latencies_ns.len(),
+        fmt_dur(r.read_quantile(0.5)),
+        fmt_dur(r.read_quantile(0.99)),
+        fmt_dur(r.read_max()),
+        r.reads_per_sec()
+    );
+}

@@ -1,8 +1,12 @@
 //! `ivme-cli` — a line-oriented shell around the IVM^ε engine.
 //!
 //! See [`shell::Shell`] for the command language; the `ivme` binary wires
-//! it to stdin/stdout.
+//! it to stdin/stdout (`ivme`) or to a TCP connection against an
+//! `ivme-server` (`ivme client <addr>`). The command grammar and the wire
+//! framing live in [`proto`], shared with the server crate.
 
+pub mod proto;
 pub mod shell;
 
-pub use shell::{parse_tuple, Shell};
+pub use proto::{parse_command, parse_tuple, read_response, write_err, write_ok, Command};
+pub use shell::{sharded_stats, Shell};

@@ -1,0 +1,414 @@
+//! The shared command grammar of the REPL shell and the network server.
+//!
+//! One line of the `ivme` command language parses into one [`Command`];
+//! the REPL ([`crate::Shell`]) and the `ivme-server` connection handler
+//! both dispatch on this type, so the two front ends cannot drift apart:
+//! a script that works in the shell works over a socket verbatim.
+//!
+//! The module also defines the wire framing the server and client speak
+//! (see [`write_ok`] / [`read_response`]): requests are single command
+//! lines, responses are
+//!
+//! ```text
+//! ok <n>\n        followed by exactly n payload lines, or
+//! err <message>\n
+//! ```
+//!
+//! — trivially parseable with a buffered line reader, pipelinable (a
+//! client may write many command lines before reading the matching
+//! responses, which is how batch submission amortizes round trips), and
+//! free of any binary framing the offline toolchain would need a codec
+//! dependency for.
+
+use std::io::{self, BufRead, Write};
+
+use ivme_core::Mode;
+use ivme_data::{Tuple, Value};
+use ivme_query::{classify, parse_query, Query};
+
+/// One parsed command line. The grammar is documented in [`HELP`].
+#[derive(Clone, Debug)]
+pub enum Command {
+    /// `query <datalog>` — register a (pre-validated hierarchical) query.
+    Query(Query),
+    /// `epsilon <0..1>`
+    Epsilon(f64),
+    /// `mode dynamic|static`
+    Mode(Mode),
+    /// `.shards <n ≥ 1>`
+    Shards(usize),
+    /// `load <rel> <path.csv>` — stage a CSV before `build`.
+    Load { relation: String, path: String },
+    /// `row <rel> <v1,v2,...>` — stage one row before `build`.
+    Row { relation: String, tuple: Tuple },
+    /// `build`
+    Build,
+    /// `insert`/`delete <rel> <v1,v2,...>` — `delta` is +1 or −1.
+    Update {
+        relation: String,
+        tuple: Tuple,
+        delta: i64,
+    },
+    /// `.load <rel> <path.csv>` — bulk-load a CSV as one timed batch.
+    BulkLoad { relation: String, path: String },
+    /// `.batch begin`
+    BatchBegin,
+    /// `.batch commit`
+    BatchCommit,
+    /// `.batch abort`
+    BatchAbort,
+    /// `.batch` / `.batch status`
+    BatchStatus,
+    /// `list [k]`
+    List { limit: usize },
+    /// `get <v1,v2,...>`
+    Get(Tuple),
+    /// `page <offset> <limit>`
+    Page { offset: usize, limit: usize },
+    /// `count`
+    Count,
+    /// `stats`
+    Stats,
+    /// `classify`
+    Classify,
+    /// `plan`
+    Plan,
+    /// `help`
+    Help,
+    /// `quit` / `exit`
+    Quit,
+}
+
+/// Parses one command line. Returns `Ok(None)` for blank lines and
+/// `#`-comments, `Err` with the user-facing message for malformed input.
+/// Semantic validation that needs no engine state happens here too
+/// (`epsilon` range, hierarchical check of `query`), so every front end
+/// rejects bad input identically.
+pub fn parse_command(line: &str) -> Result<Option<Command>, String> {
+    let line = line.trim();
+    if line.is_empty() || line.starts_with('#') {
+        return Ok(None);
+    }
+    let (cmd, rest) = match line.split_once(char::is_whitespace) {
+        Some((c, r)) => (c, r.trim()),
+        None => (line, ""),
+    };
+    let parsed = match cmd {
+        "quit" | "exit" => Command::Quit,
+        "help" => Command::Help,
+        "query" => {
+            let q = parse_query(rest).map_err(|e| e.to_string())?;
+            if !classify(&q).hierarchical {
+                return Err(format!("query is not hierarchical: {q}"));
+            }
+            Command::Query(q)
+        }
+        "epsilon" => {
+            let e: f64 = rest.parse().map_err(|_| format!("bad epsilon: {rest}"))?;
+            if !(0.0..=1.0).contains(&e) {
+                return Err(format!("epsilon {e} outside [0, 1]"));
+            }
+            Command::Epsilon(e)
+        }
+        "mode" => Command::Mode(match rest {
+            "dynamic" => Mode::Dynamic,
+            "static" => Mode::Static,
+            other => return Err(format!("unknown mode `{other}` (dynamic|static)")),
+        }),
+        ".shards" => {
+            let n: usize = rest
+                .parse()
+                .map_err(|_| format!("usage: .shards <n ≥ 1> (got `{rest}`)"))?;
+            if n == 0 {
+                return Err("shard count must be at least 1".into());
+            }
+            Command::Shards(n)
+        }
+        "load" => {
+            let (rel, path) = rest
+                .split_once(char::is_whitespace)
+                .ok_or("usage: load <relation> <path.csv>")?;
+            Command::Load {
+                relation: rel.to_owned(),
+                path: path.trim().to_owned(),
+            }
+        }
+        "row" => {
+            let (rel, csv) = rest
+                .split_once(char::is_whitespace)
+                .ok_or("usage: row <relation> <v1,v2,...>")?;
+            Command::Row {
+                relation: rel.to_owned(),
+                tuple: parse_tuple(csv)?,
+            }
+        }
+        "build" => Command::Build,
+        "insert" | "delete" => {
+            let (rel, csv) = rest
+                .split_once(char::is_whitespace)
+                .ok_or("usage: insert|delete <relation> <v1,v2,...>")?;
+            Command::Update {
+                relation: rel.to_owned(),
+                tuple: parse_tuple(csv)?,
+                delta: if cmd == "insert" { 1 } else { -1 },
+            }
+        }
+        ".load" => {
+            let (rel, path) = rest
+                .split_once(char::is_whitespace)
+                .ok_or("usage: .load <relation> <path.csv>")?;
+            Command::BulkLoad {
+                relation: rel.to_owned(),
+                path: path.trim().to_owned(),
+            }
+        }
+        ".batch" => match rest {
+            "begin" => Command::BatchBegin,
+            "commit" => Command::BatchCommit,
+            "abort" => Command::BatchAbort,
+            "" | "status" => Command::BatchStatus,
+            other => {
+                return Err(format!(
+                    "usage: .batch begin|commit|abort|status (got `{other}`)"
+                ))
+            }
+        },
+        "list" => Command::List {
+            limit: if rest.is_empty() {
+                usize::MAX
+            } else {
+                rest.parse().map_err(|_| format!("bad limit: {rest}"))?
+            },
+        },
+        "get" => Command::Get(parse_tuple(rest)?),
+        "page" => {
+            let (off, lim) = rest
+                .split_once(char::is_whitespace)
+                .ok_or("usage: page <offset> <limit>")?;
+            Command::Page {
+                offset: off
+                    .trim()
+                    .parse()
+                    .map_err(|_| format!("bad offset: {off}"))?,
+                limit: lim
+                    .trim()
+                    .parse()
+                    .map_err(|_| format!("bad limit: {lim}"))?,
+            }
+        }
+        "count" => Command::Count,
+        "stats" => Command::Stats,
+        "classify" => Command::Classify,
+        "plan" => Command::Plan,
+        other => return Err(format!("unknown command `{other}` (try `help`)")),
+    };
+    Ok(Some(parsed))
+}
+
+/// Reads a CSV file into tuples, skipping blank lines — the loading half
+/// of `load`/`.load`, shared by the shell and the server (which reads its
+/// own disk).
+pub fn load_csv(path: &str) -> Result<Vec<Tuple>, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let mut rows = Vec::new();
+    for (i, row) in text.lines().enumerate() {
+        if row.trim().is_empty() {
+            continue;
+        }
+        rows.push(parse_tuple(row).map_err(|e| format!("{path}:{}: {e}", i + 1))?);
+    }
+    Ok(rows)
+}
+
+/// Parses a CSV row into a tuple: integer cells become `Int`, everything
+/// else `Str`. Whitespace around cells is trimmed.
+pub fn parse_tuple(csv: &str) -> Result<Tuple, String> {
+    if csv.trim().is_empty() {
+        return Ok(Tuple::empty());
+    }
+    Ok(csv
+        .split(',')
+        .map(|cell| {
+            let cell = cell.trim();
+            match cell.parse::<i64>() {
+                Ok(v) => Value::Int(v),
+                Err(_) => Value::from(cell),
+            }
+        })
+        .collect())
+}
+
+// ----------------------------------------------------------------------
+// Wire framing
+// ----------------------------------------------------------------------
+
+/// One server response: the shell executor's `Result<String, String>`
+/// carried over the wire.
+pub type Response = Result<String, String>;
+
+/// Writes a success response: `ok <n>` followed by the `n` lines of
+/// `payload` (a trailing newline does not produce an empty extra line;
+/// an empty payload frames as `ok 0`).
+pub fn write_ok(w: &mut impl Write, payload: &str) -> io::Result<()> {
+    if payload.is_empty() {
+        return writeln!(w, "ok 0");
+    }
+    let lines: Vec<&str> = trimmed_lines(payload).collect();
+    writeln!(w, "ok {}", lines.len())?;
+    for l in lines {
+        writeln!(w, "{l}")?;
+    }
+    Ok(())
+}
+
+/// Writes an error response. The message is flattened to one line (the
+/// framing is line-oriented; multi-line errors would desynchronize it).
+pub fn write_err(w: &mut impl Write, msg: &str) -> io::Result<()> {
+    writeln!(w, "err {}", msg.replace('\n', " / "))
+}
+
+/// Reads one framed response. `Ok(None)` on clean EOF before the header
+/// line; payload lines are rejoined with `\n` (with a trailing newline
+/// when non-empty, matching what [`write_ok`] was given).
+pub fn read_response(r: &mut impl BufRead) -> io::Result<Option<Response>> {
+    let mut header = String::new();
+    if r.read_line(&mut header)? == 0 {
+        return Ok(None);
+    }
+    let header = header.trim_end();
+    if let Some(msg) = header.strip_prefix("err ") {
+        return Ok(Some(Err(msg.to_owned())));
+    }
+    let n: usize = header
+        .strip_prefix("ok ")
+        .and_then(|n| n.parse().ok())
+        .ok_or_else(|| {
+            io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("malformed response header: {header:?}"),
+            )
+        })?;
+    let mut payload = String::new();
+    for _ in 0..n {
+        if r.read_line(&mut payload)? == 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "connection closed mid-payload",
+            ));
+        }
+    }
+    Ok(Some(Ok(payload)))
+}
+
+fn trimmed_lines(payload: &str) -> impl Iterator<Item = &str> {
+    payload.strip_suffix('\n').unwrap_or(payload).split('\n')
+}
+
+/// The `help` text shared by every front end.
+pub const HELP: &str = "\
+commands:
+  query <datalog>        register a hierarchical query (Q(A,C) :- R(A,B), S(B,C))
+  epsilon <0..1>         set the trade-off knob (default 0.5)
+  mode dynamic|static    set the evaluation mode (default dynamic)
+  .shards <n>            hash-partition the next build over n shards (default 1);
+                         updates validate across all shards, then apply in parallel
+  load <rel> <csv path>  stage rows for a relation
+  row <rel> <v1,v2,...>  stage one row
+  build                  compile the plan and preprocess the staged data
+  insert <rel> <values>  apply a single-tuple insert (stages while a batch is open)
+  delete <rel> <values>  apply a single-tuple delete (stages while a batch is open)
+  .load <rel> <csv path> bulk-load a CSV into the built engine as one timed batch
+  .batch begin           open a batch: insert/delete stage instead of applying
+  .batch commit          apply the staged batch atomically and report timing
+  .batch abort|status    discard / inspect the staged batch
+  list [k]               enumerate (up to k) distinct result tuples
+  get <v1,v2,...>        point-look-up one result tuple (its multiplicity)
+  page <offset> <limit>  one result page in enumeration order
+  count                  count distinct result tuples
+  stats                  engine counters and sizes (per-shard when sharded)
+  classify               class membership and widths of the query
+  plan                   print the compiled view trees
+  quit
+";
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn commands_parse() {
+        assert!(matches!(
+            parse_command("query Q(A) :- R(A,B), S(B)").unwrap(),
+            Some(Command::Query(_))
+        ));
+        assert!(matches!(
+            parse_command("epsilon 0.25").unwrap(),
+            Some(Command::Epsilon(e)) if e == 0.25
+        ));
+        assert!(matches!(
+            parse_command("mode static").unwrap(),
+            Some(Command::Mode(Mode::Static))
+        ));
+        assert!(matches!(
+            parse_command(".shards 4").unwrap(),
+            Some(Command::Shards(4))
+        ));
+        assert!(matches!(
+            parse_command("insert R 1,2").unwrap(),
+            Some(Command::Update { delta: 1, .. })
+        ));
+        assert!(matches!(
+            parse_command("delete R 1,2").unwrap(),
+            Some(Command::Update { delta: -1, .. })
+        ));
+        assert!(matches!(
+            parse_command("list").unwrap(),
+            Some(Command::List { limit: usize::MAX })
+        ));
+        assert!(matches!(
+            parse_command("page 10 5").unwrap(),
+            Some(Command::Page {
+                offset: 10,
+                limit: 5
+            })
+        ));
+        assert!(parse_command("").unwrap().is_none());
+        assert!(parse_command("# comment").unwrap().is_none());
+    }
+
+    #[test]
+    fn malformed_commands_error() {
+        assert!(parse_command("query Q(A) :- R(A,B), S(B,C), T(C)").is_err());
+        assert!(parse_command("epsilon 2").is_err());
+        assert!(parse_command("mode sideways").is_err());
+        assert!(parse_command(".shards 0").is_err());
+        assert!(parse_command(".batch frobnicate").is_err());
+        assert!(parse_command("page 0").is_err());
+        assert!(parse_command("frobnicate").is_err());
+    }
+
+    #[test]
+    fn framing_round_trips() {
+        let mut buf = Vec::new();
+        write_ok(&mut buf, "a\nb\n").unwrap();
+        write_ok(&mut buf, "").unwrap();
+        write_err(&mut buf, "boom\nsecond line").unwrap();
+        let mut r = io::BufReader::new(buf.as_slice());
+        assert_eq!(read_response(&mut r).unwrap(), Some(Ok("a\nb\n".into())));
+        // An empty payload frames as `ok 0` and reads back empty.
+        assert_eq!(read_response(&mut r).unwrap(), Some(Ok(String::new())));
+        assert_eq!(
+            read_response(&mut r).unwrap(),
+            Some(Err("boom / second line".into()))
+        );
+        assert_eq!(read_response(&mut r).unwrap(), None);
+    }
+
+    #[test]
+    fn truncated_payload_is_an_error() {
+        let mut r = io::BufReader::new("ok 2\nonly one line\n".as_bytes());
+        assert!(read_response(&mut r).is_err());
+        let mut r = io::BufReader::new("what 3\n".as_bytes());
+        assert!(read_response(&mut r).is_err());
+    }
+}

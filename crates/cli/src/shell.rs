@@ -32,13 +32,21 @@
 //!
 //! The interpreter is I/O-agnostic (writes to any `io::Write`) so the unit
 //! tests drive it with string scripts.
+//!
+//! Command-line parsing lives in [`crate::proto`] — shared with the
+//! `ivme-server` network front end, so the REPL and the wire protocol
+//! speak exactly one language. This module owns only the *local*
+//! execution of a parsed [`Command`] against an in-process engine.
 
 use std::fmt::Write as _;
-use std::fs;
 
 use ivme_core::{Database, DeltaBatch, EngineOptions, IvmEngine, Mode, ShardedEngine};
-use ivme_data::{Tuple, Value};
-use ivme_query::{classify, parse_query, Query};
+use ivme_data::Tuple;
+use ivme_query::{classify, Query};
+
+use crate::proto::{self, load_csv, Command};
+
+pub use crate::proto::parse_tuple;
 
 /// A built engine: plain, or hash-partitioned over `S > 1` shards.
 enum BuiltEngine {
@@ -125,23 +133,24 @@ impl Shell {
     /// Executes one command line; returns the output text, or `Err` with a
     /// user-facing message. `Ok(None)` signals quit.
     pub fn execute(&mut self, line: &str) -> Result<Option<String>, String> {
-        let line = line.trim();
-        if line.is_empty() || line.starts_with('#') {
-            return Ok(Some(String::new()));
+        match proto::parse_command(line)? {
+            None => Ok(Some(String::new())),
+            Some(Command::Quit) => Ok(None),
+            Some(cmd) => self.run(cmd).map(Some),
         }
-        let (cmd, rest) = match line.split_once(char::is_whitespace) {
-            Some((c, r)) => (c, r.trim()),
-            None => (line, ""),
-        };
+    }
+
+    /// Executes one parsed [`Command`] against the local engine. This is
+    /// the REPL's half of the shared grammar; the server executes the same
+    /// commands against an `Arc<RwLock<…>>`-shared engine.
+    pub fn run(&mut self, cmd: Command) -> Result<String, String> {
         match cmd {
-            "quit" | "exit" => Ok(None),
-            "help" => Ok(Some(HELP.to_owned())),
-            "query" => {
-                let q = parse_query(rest).map_err(|e| e.to_string())?;
+            // `Quit` is handled by `execute`; treated as a no-op here so
+            // programmatic callers never see a phantom output.
+            Command::Quit => Ok(String::new()),
+            Command::Help => Ok(proto::HELP.to_owned()),
+            Command::Query(q) => {
                 let c = classify(&q);
-                if !c.hierarchical {
-                    return Err(format!("query is not hierarchical: {q}"));
-                }
                 let mut out = String::new();
                 let _ = writeln!(out, "registered {q}");
                 let _ = writeln!(
@@ -154,64 +163,44 @@ impl Shell {
                 );
                 self.query = Some(q);
                 self.engine = None;
-                Ok(Some(out))
+                Ok(out)
             }
-            "epsilon" => {
-                let e: f64 = rest.parse().map_err(|_| format!("bad epsilon: {rest}"))?;
-                if !(0.0..=1.0).contains(&e) {
-                    return Err(format!("epsilon {e} outside [0, 1]"));
-                }
+            Command::Epsilon(e) => {
                 self.epsilon = e;
-                Ok(Some(format!("epsilon = {e}\n")))
+                Ok(format!("epsilon = {e}\n"))
             }
-            "mode" => {
-                self.mode = match rest {
-                    "dynamic" => Mode::Dynamic,
-                    "static" => Mode::Static,
-                    other => return Err(format!("unknown mode `{other}` (dynamic|static)")),
-                };
-                Ok(Some(format!("mode = {rest}\n")))
-            }
-            "load" => {
-                let (rel, path) = rest
-                    .split_once(char::is_whitespace)
-                    .ok_or("usage: load <relation> <path.csv>")?;
-                let text = fs::read_to_string(path.trim())
-                    .map_err(|e| format!("cannot read {path}: {e}"))?;
-                let mut n = 0;
-                for (i, row) in text.lines().enumerate() {
-                    if row.trim().is_empty() {
-                        continue;
+            Command::Mode(m) => {
+                self.mode = m;
+                Ok(format!(
+                    "mode = {}\n",
+                    match m {
+                        Mode::Dynamic => "dynamic",
+                        Mode::Static => "static",
                     }
-                    let t = parse_tuple(row).map_err(|e| format!("{path}:{}: {e}", i + 1))?;
-                    self.staged.insert(rel, t, 1);
-                    n += 1;
-                }
-                Ok(Some(format!("staged {n} rows into {rel}\n")))
+                ))
             }
-            "row" => {
-                let (rel, csv) = rest
-                    .split_once(char::is_whitespace)
-                    .ok_or("usage: row <relation> <v1,v2,...>")?;
-                self.staged.insert(rel, parse_tuple(csv)?, 1);
-                Ok(Some(format!("staged 1 row into {rel}\n")))
-            }
-            ".shards" => {
-                let n: usize = rest
-                    .parse()
-                    .map_err(|_| format!("usage: .shards <n ≥ 1> (got `{rest}`)"))?;
-                if n == 0 {
-                    return Err("shard count must be at least 1".into());
+            Command::Load { relation, path } => {
+                let rows = load_csv(&path)?;
+                let n = rows.len();
+                for t in rows {
+                    self.staged.insert(&relation, t, 1);
                 }
+                Ok(format!("staged {n} rows into {relation}\n"))
+            }
+            Command::Row { relation, tuple } => {
+                self.staged.insert(&relation, tuple, 1);
+                Ok(format!("staged 1 row into {relation}\n"))
+            }
+            Command::Shards(n) => {
                 self.shards = n;
                 let note = if self.engine.is_some() {
                     " (takes effect on the next `build`)"
                 } else {
                     ""
                 };
-                Ok(Some(format!("shards = {n}{note}\n")))
+                Ok(format!("shards = {n}{note}\n"))
             }
-            "build" => {
+            Command::Build => {
                 let q = self.query.as_ref().ok_or("no query registered")?;
                 let opts = EngineOptions {
                     epsilon: self.epsilon,
@@ -227,7 +216,7 @@ impl Shell {
                         eng.shard_sizes()
                     );
                     self.engine = Some(BuiltEngine::Sharded(eng));
-                    return Ok(Some(msg));
+                    return Ok(msg);
                 }
                 let eng = IvmEngine::new(q, &self.staged, opts).map_err(|e| e.to_string())?;
                 let msg = format!(
@@ -237,112 +226,90 @@ impl Shell {
                     eng.theta()
                 );
                 self.engine = Some(BuiltEngine::Single(Box::new(eng)));
-                Ok(Some(msg))
+                Ok(msg)
             }
-            "insert" | "delete" => {
-                let (rel, csv) = rest
-                    .split_once(char::is_whitespace)
-                    .ok_or("usage: insert|delete <relation> <v1,v2,...>")?;
-                let t = parse_tuple(csv)?;
-                let delta = if cmd == "insert" { 1 } else { -1 };
+            Command::Update {
+                relation,
+                tuple,
+                delta,
+            } => {
                 if let Some(batch) = self.pending.as_mut() {
-                    batch.push(rel, t, delta);
-                    return Ok(Some(format!(
+                    batch.push(&relation, tuple, delta);
+                    return Ok(format!(
                         "staged ({} updates, {} net entries pending)\n",
                         batch.cardinality(),
                         batch.distinct_len()
-                    )));
+                    ));
                 }
                 let eng = self.engine.as_mut().ok_or("run `build` first")?;
-                eng.apply_update(rel, t, delta)?;
-                Ok(Some(String::new()))
+                eng.apply_update(&relation, tuple, delta)?;
+                Ok(String::new())
             }
-            ".load" => {
-                let (rel, path) = rest
-                    .split_once(char::is_whitespace)
-                    .ok_or("usage: .load <relation> <path.csv>")?;
+            Command::BulkLoad { relation, path } => {
                 let eng = self.engine.as_mut().ok_or("run `build` first")?;
-                let text = fs::read_to_string(path.trim())
-                    .map_err(|e| format!("cannot read {path}: {e}"))?;
                 let mut batch = DeltaBatch::new();
-                for (i, row) in text.lines().enumerate() {
-                    if row.trim().is_empty() {
-                        continue;
-                    }
-                    let t = parse_tuple(row).map_err(|e| format!("{path}:{}: {e}", i + 1))?;
-                    batch.insert(rel, t);
+                for t in load_csv(&path)? {
+                    batch.insert(&relation, t);
                 }
                 let t0 = std::time::Instant::now();
                 eng.apply_delta_batch(&batch)?;
                 let dt = t0.elapsed();
-                Ok(Some(format!(
-                    "applied batch of {} rows into {rel} in {:.3}ms ({:.0} rows/s)\n",
+                Ok(format!(
+                    "applied batch of {} rows into {relation} in {:.3}ms ({:.0} rows/s)\n",
                     batch.cardinality(),
                     dt.as_secs_f64() * 1e3,
                     batch.cardinality() as f64 / dt.as_secs_f64().max(1e-9)
-                )))
+                ))
             }
-            ".batch" => match rest {
-                "begin" => {
-                    if self.pending.is_some() {
-                        return Err("a batch is already open (`.batch commit|abort`)".into());
+            Command::BatchBegin => {
+                if self.pending.is_some() {
+                    return Err("a batch is already open (`.batch commit|abort`)".into());
+                }
+                self.engine.as_ref().ok_or("run `build` first")?;
+                self.pending = Some(DeltaBatch::new());
+                Ok("batch open: insert/delete now stage until `.batch commit`\n".to_owned())
+            }
+            Command::BatchCommit => {
+                let batch = self
+                    .pending
+                    .take()
+                    .ok_or("no open batch (`.batch begin`)")?;
+                let eng = self.engine.as_mut().ok_or("run `build` first")?;
+                let t0 = std::time::Instant::now();
+                match eng.apply_delta_batch(&batch) {
+                    Ok(()) => {
+                        let dt = t0.elapsed();
+                        Ok(format!(
+                            "committed {} updates ({} net entries) in {:.3}ms ({:.0} updates/s)\n",
+                            batch.cardinality(),
+                            batch.distinct_len(),
+                            dt.as_secs_f64() * 1e3,
+                            batch.cardinality() as f64 / dt.as_secs_f64().max(1e-9)
+                        ))
                     }
-                    self.engine.as_ref().ok_or("run `build` first")?;
-                    self.pending = Some(DeltaBatch::new());
-                    Ok(Some(
-                        "batch open: insert/delete now stage until `.batch commit`\n".to_owned(),
-                    ))
+                    Err(e) => Err(format!("batch rejected (engine unchanged): {e}")),
                 }
-                "commit" => {
-                    let batch = self
-                        .pending
-                        .take()
-                        .ok_or("no open batch (`.batch begin`)")?;
-                    let eng = self.engine.as_mut().ok_or("run `build` first")?;
-                    let t0 = std::time::Instant::now();
-                    match eng.apply_delta_batch(&batch) {
-                        Ok(()) => {
-                            let dt = t0.elapsed();
-                            Ok(Some(format!(
-                                "committed {} updates ({} net entries) in {:.3}ms ({:.0} updates/s)\n",
-                                batch.cardinality(),
-                                batch.distinct_len(),
-                                dt.as_secs_f64() * 1e3,
-                                batch.cardinality() as f64 / dt.as_secs_f64().max(1e-9)
-                            )))
-                        }
-                        Err(e) => Err(format!("batch rejected (engine unchanged): {e}")),
-                    }
-                }
-                "abort" => {
-                    let batch = self
-                        .pending
-                        .take()
-                        .ok_or("no open batch (`.batch begin`)")?;
-                    Ok(Some(format!(
-                        "aborted batch of {} staged updates\n",
-                        batch.cardinality()
-                    )))
-                }
-                "" | "status" => match &self.pending {
-                    Some(b) => Ok(Some(format!(
-                        "open batch: {} updates, {} net entries\n",
-                        b.cardinality(),
-                        b.distinct_len()
-                    ))),
-                    None => Ok(Some("no open batch\n".to_owned())),
-                },
-                other => Err(format!(
-                    "usage: .batch begin|commit|abort|status (got `{other}`)"
+            }
+            Command::BatchAbort => {
+                let batch = self
+                    .pending
+                    .take()
+                    .ok_or("no open batch (`.batch begin`)")?;
+                Ok(format!(
+                    "aborted batch of {} staged updates\n",
+                    batch.cardinality()
+                ))
+            }
+            Command::BatchStatus => match &self.pending {
+                Some(b) => Ok(format!(
+                    "open batch: {} updates, {} net entries\n",
+                    b.cardinality(),
+                    b.distinct_len()
                 )),
+                None => Ok("no open batch\n".to_owned()),
             },
-            "list" => {
+            Command::List { limit } => {
                 let eng = self.engine.as_ref().ok_or("run `build` first")?;
-                let limit: usize = if rest.is_empty() {
-                    usize::MAX
-                } else {
-                    rest.parse().map_err(|_| format!("bad limit: {rest}"))?
-                };
                 let mut out = String::new();
                 let mut shown = 0;
                 for (t, m) in eng.result_iter().take(limit) {
@@ -350,12 +317,11 @@ impl Shell {
                     shown += 1;
                 }
                 let _ = writeln!(out, "({shown} tuples)");
-                Ok(Some(out))
+                Ok(out)
             }
-            "get" => {
+            Command::Get(t) => {
                 let eng = self.engine.as_ref().ok_or("run `build` first")?;
                 let q = self.query.as_ref().ok_or("no query registered")?;
-                let t = parse_tuple(rest)?;
                 if t.arity() != q.free.arity() {
                     return Err(format!(
                         "tuple {t} has arity {}, but the result schema {:?} has arity {}",
@@ -365,43 +331,32 @@ impl Shell {
                     ));
                 }
                 let m = eng.multiplicity(&t);
-                Ok(Some(if m == 0 {
+                Ok(if m == 0 {
                     format!("{t} not in result\n")
                 } else {
                     format!("{t} x{m}\n")
-                }))
+                })
             }
-            "page" => {
+            Command::Page { offset, limit } => {
                 let eng = self.engine.as_ref().ok_or("run `build` first")?;
-                let (off, lim) = rest
-                    .split_once(char::is_whitespace)
-                    .ok_or("usage: page <offset> <limit>")?;
-                let offset: usize = off
-                    .trim()
-                    .parse()
-                    .map_err(|_| format!("bad offset: {off}"))?;
-                let limit: usize = lim
-                    .trim()
-                    .parse()
-                    .map_err(|_| format!("bad limit: {lim}"))?;
                 let mut out = String::new();
                 let page = eng.enumerate_page(offset, limit);
                 for (t, m) in &page {
                     let _ = writeln!(out, "{t} x{m}");
                 }
                 let _ = writeln!(out, "({} tuples at offset {offset})", page.len());
-                Ok(Some(out))
+                Ok(out)
             }
-            "count" => {
+            Command::Count => {
                 let eng = self.engine.as_ref().ok_or("run `build` first")?;
-                Ok(Some(format!("{}\n", eng.count_distinct())))
+                Ok(format!("{}\n", eng.count_distinct()))
             }
-            "stats" => {
+            Command::Stats => {
                 let eng = self.engine.as_ref().ok_or("run `build` first")?;
                 match eng {
                     BuiltEngine::Single(eng) => {
                         let s = eng.stats();
-                        Ok(Some(format!(
+                        Ok(format!(
                             "N = {}, M = {}, θ = {:.2}, views = {}, aux space = {}\n\
                              updates = {}, batches = {}, major rebalances = {}, minor rebalances = {}\n",
                             eng.db_size(),
@@ -413,93 +368,47 @@ impl Shell {
                             s.batches,
                             s.major_rebalances,
                             s.minor_rebalances
-                        )))
+                        ))
                     }
-                    BuiltEngine::Sharded(eng) => {
-                        let s = eng.stats();
-                        let mut out = format!(
-                            "N = {}, shards = {}\n\
-                             updates = {}, batches = {}, major rebalances = {}, minor rebalances = {}\n",
-                            eng.db_size(),
-                            eng.num_shards(),
-                            s.updates,
-                            s.batches,
-                            s.major_rebalances,
-                            s.minor_rebalances
-                        );
-                        let sizes = eng.shard_sizes();
-                        for (i, rels) in eng.shard_relation_sizes().iter().enumerate() {
-                            let per_rel: Vec<String> =
-                                rels.iter().map(|(r, n)| format!("{r}={n}")).collect();
-                            let _ = writeln!(
-                                out,
-                                "shard {i}: N = {} ({})",
-                                sizes[i],
-                                per_rel.join(", ")
-                            );
-                        }
-                        Ok(Some(out))
-                    }
+                    BuiltEngine::Sharded(eng) => Ok(sharded_stats(eng)),
                 }
             }
-            "classify" => {
+            Command::Classify => {
                 let q = self.query.as_ref().ok_or("no query registered")?;
                 let c = classify(q);
-                Ok(Some(format!("{c:#?}\n")))
+                Ok(format!("{c:#?}\n"))
             }
-            "plan" => {
+            Command::Plan => {
                 let q = self.query.as_ref().ok_or("no query registered")?;
                 let plan = ivme_plan::compile(q, self.mode).map_err(|e| e.to_string())?;
-                Ok(Some(plan.render()))
+                Ok(plan.render())
             }
-            other => Err(format!("unknown command `{other}` (try `help`)")),
         }
     }
 }
 
-/// Parses a CSV row into a tuple: integer cells become `Int`, everything
-/// else `Str`. Whitespace around cells is trimmed.
-pub fn parse_tuple(csv: &str) -> Result<Tuple, String> {
-    if csv.trim().is_empty() {
-        return Ok(Tuple::empty());
+/// The `stats` rendering for a sharded engine — shared with the server's
+/// executor (which always runs sharded).
+pub fn sharded_stats(eng: &ShardedEngine) -> String {
+    let s = eng.stats();
+    let mut out = format!(
+        "N = {}, shards = {}\n\
+         updates = {}, batches = {}, major rebalances = {}, minor rebalances = {}, misroutes = {}\n",
+        eng.db_size(),
+        eng.num_shards(),
+        s.updates,
+        s.batches,
+        s.major_rebalances,
+        s.minor_rebalances,
+        s.misroutes
+    );
+    let sizes = eng.shard_sizes();
+    for (i, rels) in eng.shard_relation_sizes().iter().enumerate() {
+        let per_rel: Vec<String> = rels.iter().map(|(r, n)| format!("{r}={n}")).collect();
+        let _ = writeln!(out, "shard {i}: N = {} ({})", sizes[i], per_rel.join(", "));
     }
-    Ok(csv
-        .split(',')
-        .map(|cell| {
-            let cell = cell.trim();
-            match cell.parse::<i64>() {
-                Ok(v) => Value::Int(v),
-                Err(_) => Value::from(cell),
-            }
-        })
-        .collect())
+    out
 }
-
-const HELP: &str = "\
-commands:
-  query <datalog>        register a hierarchical query (Q(A,C) :- R(A,B), S(B,C))
-  epsilon <0..1>         set the trade-off knob (default 0.5)
-  mode dynamic|static    set the evaluation mode (default dynamic)
-  .shards <n>            hash-partition the next build over n shards (default 1);
-                         updates validate across all shards, then apply in parallel
-  load <rel> <csv path>  stage rows for a relation
-  row <rel> <v1,v2,...>  stage one row
-  build                  compile the plan and preprocess the staged data
-  insert <rel> <values>  apply a single-tuple insert (stages while a batch is open)
-  delete <rel> <values>  apply a single-tuple delete (stages while a batch is open)
-  .load <rel> <csv path> bulk-load a CSV into the built engine as one timed batch
-  .batch begin           open a batch: insert/delete stage instead of applying
-  .batch commit          apply the staged batch atomically and report timing
-  .batch abort|status    discard / inspect the staged batch
-  list [k]               enumerate (up to k) distinct result tuples
-  get <v1,v2,...>        point-look-up one result tuple (its multiplicity)
-  page <offset> <limit>  one result page in enumeration order
-  count                  count distinct result tuples
-  stats                  engine counters and sizes (per-shard when sharded)
-  classify               class membership and widths of the query
-  plan                   print the compiled view trees
-  quit
-";
 
 #[cfg(test)]
 mod tests {

@@ -111,6 +111,9 @@ pub struct EngineStats {
     pub major_rebalances: u64,
     /// Minor rebalancing events (per-key light/heavy migrations).
     pub minor_rebalances: u64,
+    /// Wrong-arity tuples the shard router sent to shard 0 (always 0 for
+    /// an unsharded engine; see `ShardRouter::misroutes`).
+    pub misroutes: u64,
 }
 
 /// Per-partition cached key projections of one atom's delta batch:

@@ -235,11 +235,14 @@ impl ShardedEngine {
     }
 
     /// Aggregated maintenance counters: batches/updates as seen by *this*
-    /// engine, rebalancing summed over shards.
+    /// engine, rebalancing summed over shards, misroutes from the router
+    /// (wrong-arity tuples that fell to shard 0 — a persistent non-zero
+    /// count means a client keeps sending malformed tuples).
     pub fn stats(&self) -> EngineStats {
         let mut out = EngineStats {
             updates: self.updates,
             batches: self.batches,
+            misroutes: self.router.misroutes(),
             ..EngineStats::default()
         };
         for s in &self.shards {
@@ -523,6 +526,19 @@ impl ShardedEngine {
         Ok(())
     }
 }
+
+// The serving layer (`ivme-server`) shares one `ShardedEngine` across
+// reader threads behind an `RwLock`, so `Send + Sync` is load-bearing API:
+// every field is owned data, the merge cache is a `Mutex` of `Arc`'d
+// merged components, and nothing holds `Rc`/`RefCell`/raw pointers. This
+// assertion turns an accidental future regression (e.g. an `Rc` slipping
+// into the enumeration machinery) into a compile error here instead of a
+// trait-bound error three crates away.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<ShardedEngine>();
+    assert_send_sync::<IvmEngine>();
+};
 
 /// One component's merged (cross-shard) result.
 struct MergedComponent {

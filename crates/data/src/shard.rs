@@ -22,6 +22,8 @@
 //! storage layer). The hash → shard map uses the multiply-shift trick
 //! instead of `%` so routing costs one multiply per tuple.
 
+use std::sync::atomic::{AtomicU64, Ordering};
+
 use crate::batch::DeltaBatch;
 use crate::fx::FxHashMap;
 use crate::value::Tuple;
@@ -57,10 +59,26 @@ impl std::fmt::Display for RouteConflict {
 impl std::error::Error for RouteConflict {}
 
 /// Hash-partition router over `S` shards.
-#[derive(Clone, Debug)]
+#[derive(Debug)]
 pub struct ShardRouter {
     shards: usize,
     routes: FxHashMap<String, Route>,
+    /// Tuples whose routing column did not exist (wrong arity): they fall
+    /// to shard 0, whose schema validation rejects them — but a workload
+    /// that *keeps* sending them would otherwise pile onto shard 0
+    /// invisibly. Counted here (atomically: routing happens on shared
+    /// `&self` from reader threads) and surfaced through `stats`.
+    misroutes: AtomicU64,
+}
+
+impl Clone for ShardRouter {
+    fn clone(&self) -> ShardRouter {
+        ShardRouter {
+            shards: self.shards,
+            routes: self.routes.clone(),
+            misroutes: AtomicU64::new(self.misroutes.load(Ordering::Relaxed)),
+        }
+    }
 }
 
 impl ShardRouter {
@@ -70,12 +88,21 @@ impl ShardRouter {
         ShardRouter {
             shards,
             routes: FxHashMap::default(),
+            misroutes: AtomicU64::new(0),
         }
     }
 
     /// Number of shards.
     pub fn num_shards(&self) -> usize {
         self.shards
+    }
+
+    /// Number of wrong-arity tuples routed so far (they fall to shard 0;
+    /// see [`ShardRouter::shard_of`]). A non-zero value means some
+    /// workload is persistently sending malformed tuples — visible in
+    /// `stats` output instead of silently loading shard 0.
+    pub fn misroutes(&self) -> u64 {
+        self.misroutes.load(Ordering::Relaxed)
     }
 
     /// Registers how `relation`'s tuples are routed. Registering the same
@@ -118,7 +145,10 @@ impl ShardRouter {
             Route::Column(c) if c < tuple.arity() => {
                 self.shard_of_hash(tuple.project(&[c]).cached_hash())
             }
-            Route::Column(_) => 0,
+            Route::Column(_) => {
+                self.misroutes.fetch_add(1, Ordering::Relaxed);
+                0
+            }
         })
     }
 
@@ -148,6 +178,7 @@ impl ShardRouter {
                         let s = if c < t.arity() {
                             self.shard_of_hash(t.project(&[c]).cached_hash())
                         } else {
+                            self.misroutes.fetch_add(1, Ordering::Relaxed);
                             0
                         };
                         buckets[s].push((t.clone(), d));
@@ -255,6 +286,29 @@ mod tests {
         let parts = r.split(&b);
         assert_eq!(parts[0].distinct_len(), 1);
         assert!(parts[1].is_empty() && parts[2].is_empty());
+    }
+
+    #[test]
+    fn wrong_arity_tuples_are_counted_as_misroutes() {
+        let r = router();
+        assert_eq!(r.misroutes(), 0);
+        // R routes on column 1: a unary tuple has no such column.
+        assert_eq!(r.shard_of("R", &Tuple::ints(&[7])), Some(0));
+        assert_eq!(r.misroutes(), 1);
+        // Correctly-shaped tuples never bump the counter.
+        let _ = r.shard_of("R", &Tuple::ints(&[7, 8]));
+        let _ = r.shard_of("Z", &Tuple::empty());
+        assert_eq!(r.misroutes(), 1);
+        // Splitting a batch counts per wrong-arity tuple.
+        let mut b = DeltaBatch::new();
+        b.push("R", Tuple::ints(&[1]), 1);
+        b.push("R", Tuple::ints(&[2]), 1);
+        b.push("R", Tuple::ints(&[3, 4]), 1);
+        let parts = r.split(&b);
+        assert_eq!(r.misroutes(), 3);
+        assert_eq!(parts.iter().map(DeltaBatch::distinct_len).sum::<usize>(), 3);
+        // The counter survives a clone with its current value.
+        assert_eq!(r.clone().misroutes(), 3);
     }
 
     #[test]

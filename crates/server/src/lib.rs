@@ -1,0 +1,914 @@
+//! `ivme-server` — a concurrent multi-client serving layer for IVM^ε.
+//!
+//! The serving read path (PR 4) gives quiescent readers ~O(1) cached
+//! merges, ~100ns point lookups, and O(#components) page seeks — but
+//! until now only a single-threaded REPL could reach it. This crate puts
+//! a network front end on the engine, std-only (`std::net::TcpListener`
+//! plus threads; the build environment is offline, so no async runtime):
+//!
+//! * **One language.** Connections speak the newline-delimited command
+//!   grammar of the REPL ([`ivme_cli::proto`]): any script that works in
+//!   the shell works over a socket, and the CLI's `client` mode is a
+//!   transparent remote REPL. Responses are framed `ok <n>` + `n` payload
+//!   lines or `err <msg>`, so clients can pipeline requests (the batch
+//!   submission path writes a whole script before reading acks).
+//!
+//! * **Thread-per-connection readers.** The server owns a
+//!   [`ShardedEngine`] behind an `Arc<RwLock<…>>`. Read commands (`list`,
+//!   `get`, `page`, `count`, `stats`) take the read lock, hit the PR 4
+//!   merge cache, format the response, **release the lock**, and only
+//!   then write to the socket — a slow client never blocks the writer
+//!   while holding the lock.
+//!
+//! * **Group-commit writes.** Update commands do not take the write lock
+//!   themselves: each connection submits its consolidated [`DeltaBatch`]
+//!   into a bounded channel and waits for its ack. A dedicated writer
+//!   thread drains the channel, coalesces everything pending into a
+//!   *single* merged batch, applies it through the engine's existing
+//!   prepare/apply split under one write-lock acquisition, and fans the
+//!   acks back. `W` concurrent writers cost one lock round and one
+//!   maintenance round instead of `W` — the write-path analogue of the
+//!   read path's merge cache.
+//!
+//! * **Atomic rejection, per client.** A merged group can be poisoned by
+//!   one client's over-delete even though every other member is valid, so
+//!   a failed group apply falls back to applying the member batches
+//!   individually, in arrival order: valid members commit, offenders get
+//!   their own engine error back. (The engine's own prepare/apply split
+//!   guarantees the failed *merged* attempt mutated nothing, which is what
+//!   makes the retry sound.) Clients therefore observe exactly the
+//!   semantics of the single-threaded shell: their batch either applies
+//!   atomically or is rejected with the engine unchanged.
+//!
+//! Admin/setup commands (`query`, `row`, `load`, `build`, `epsilon`,
+//! `mode`, `.shards`) take the write lock directly — they are rare and
+//! reconfigure the shared state. The server always builds a
+//! [`ShardedEngine`] (`.shards 1` by default), so reads and group commits
+//! go down one audited path regardless of shard count.
+
+use std::io::{self, BufRead, BufReader, BufWriter, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{Receiver, SyncSender, TrySendError};
+use std::sync::{mpsc, Arc, RwLock};
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+use ivme_cli::proto::{self, Command};
+use ivme_core::{Database, DeltaBatch, EngineOptions, Mode, ShardedEngine};
+use ivme_query::{classify, Query};
+
+/// Server tuning knobs. `Default` is sized for tests and local serving.
+#[derive(Clone, Debug)]
+pub struct ServerConfig {
+    /// Bind address; port 0 picks an ephemeral port (see [`Server::addr`]).
+    pub addr: String,
+    /// Bounded depth of the write-submission channel: back-pressure for
+    /// writers when the group-commit thread falls behind.
+    pub queue_depth: usize,
+    /// Maximum client batches coalesced into one group commit.
+    pub group_limit: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> ServerConfig {
+        ServerConfig {
+            addr: "127.0.0.1:0".to_owned(),
+            queue_depth: 128,
+            group_limit: 64,
+        }
+    }
+}
+
+/// Counters the server layer adds on top of the engine's own stats.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ServeStats {
+    /// Connections accepted since start.
+    pub connections: u64,
+    /// Group commits performed by the writer thread.
+    pub group_commits: u64,
+    /// Client batches folded into those commits.
+    pub grouped_batches: u64,
+    /// Groups that were rejected as a whole and re-applied per member.
+    pub group_retries: u64,
+}
+
+/// The engine side of the shared state: everything a `build` needs plus
+/// the built engine itself.
+struct EngineState {
+    query: Option<Query>,
+    epsilon: f64,
+    mode: Mode,
+    shards: usize,
+    staged: Database,
+    engine: Option<ShardedEngine>,
+}
+
+impl EngineState {
+    fn new() -> EngineState {
+        EngineState {
+            query: None,
+            epsilon: 0.5,
+            mode: Mode::Dynamic,
+            shards: 1,
+            staged: Database::new(),
+            engine: None,
+        }
+    }
+}
+
+/// State shared by the accept loop, connection threads, and the writer.
+struct Shared {
+    state: RwLock<EngineState>,
+    shutdown: AtomicBool,
+    connections: AtomicU64,
+    group_commits: AtomicU64,
+    grouped_batches: AtomicU64,
+    group_retries: AtomicU64,
+}
+
+/// One write submission: a consolidated batch and the channel to ack on.
+struct WriteReq {
+    batch: DeltaBatch,
+    ack: mpsc::Sender<WriteAck>,
+}
+
+/// What the writer thread reports back per submitted batch.
+type WriteAck = Result<GroupInfo, String>;
+
+/// Timing/shape of the group commit a batch rode in.
+#[derive(Clone, Copy, Debug)]
+pub struct GroupInfo {
+    /// Client batches coalesced into the commit.
+    pub group: usize,
+    /// Wall time of the engine apply (the whole group's, not this batch's
+    /// share).
+    pub apply_micros: u128,
+}
+
+/// A running server. Dropping it stops the accept loop; established
+/// connections drain on their own when the clients disconnect.
+pub struct Server {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    accept_handle: Option<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Binds `config.addr`, spawns the accept loop and the group-commit
+    /// writer thread, and returns immediately.
+    pub fn start(config: ServerConfig) -> io::Result<Server> {
+        let listener = TcpListener::bind(&config.addr)?;
+        let addr = listener.local_addr()?;
+        let shared = Arc::new(Shared {
+            state: RwLock::new(EngineState::new()),
+            shutdown: AtomicBool::new(false),
+            connections: AtomicU64::new(0),
+            group_commits: AtomicU64::new(0),
+            grouped_batches: AtomicU64::new(0),
+            group_retries: AtomicU64::new(0),
+        });
+        let (tx, rx) = mpsc::sync_channel::<WriteReq>(config.queue_depth);
+        {
+            let shared = Arc::clone(&shared);
+            let group_limit = config.group_limit.max(1);
+            std::thread::Builder::new()
+                .name("ivme-group-commit".into())
+                .spawn(move || writer_loop(rx, shared, group_limit))?;
+        }
+        let accept_handle = {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("ivme-accept".into())
+                .spawn(move || accept_loop(listener, shared, tx))?
+        };
+        Ok(Server {
+            addr,
+            shared,
+            accept_handle: Some(accept_handle),
+        })
+    }
+
+    /// The bound address (resolves port 0 to the actual ephemeral port).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Server-layer counters (connections, group-commit shapes).
+    pub fn serve_stats(&self) -> ServeStats {
+        ServeStats {
+            connections: self.shared.connections.load(Ordering::Relaxed),
+            group_commits: self.shared.group_commits.load(Ordering::Relaxed),
+            grouped_batches: self.shared.grouped_batches.load(Ordering::Relaxed),
+            group_retries: self.shared.group_retries.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Stops accepting new connections and joins the accept loop. Open
+    /// connections keep being served until their clients disconnect; the
+    /// writer thread exits once the last connection is gone.
+    pub fn stop(&mut self) {
+        if self.shared.shutdown.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        // Wake the blocking `accept` with a throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(h) = self.accept_handle.take() {
+            let _ = h.join();
+        }
+    }
+
+    /// Blocks until the accept loop exits (i.e. forever, short of
+    /// [`Server::stop`] from another thread or a listener error) — the
+    /// `ivme-server` binary's main loop.
+    pub fn join(mut self) {
+        if let Some(h) = self.accept_handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+fn accept_loop(listener: TcpListener, shared: Arc<Shared>, tx: SyncSender<WriteReq>) {
+    for stream in listener.incoming() {
+        if shared.shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+        let Ok(stream) = stream else { continue };
+        shared.connections.fetch_add(1, Ordering::Relaxed);
+        let shared = Arc::clone(&shared);
+        let tx = tx.clone();
+        let _ = std::thread::Builder::new()
+            .name("ivme-conn".into())
+            .spawn(move || {
+                let _ = handle_connection(stream, shared, tx);
+            });
+    }
+    // `tx` drops here (and per-connection clones as clients leave); the
+    // writer thread exits when the channel has no senders left.
+}
+
+// ----------------------------------------------------------------------
+// Group-commit writer
+// ----------------------------------------------------------------------
+
+fn writer_loop(rx: Receiver<WriteReq>, shared: Arc<Shared>, group_limit: usize) {
+    while let Ok(first) = rx.recv() {
+        let mut reqs = vec![first];
+        while reqs.len() < group_limit {
+            match rx.try_recv() {
+                Ok(r) => reqs.push(r),
+                Err(_) => break,
+            }
+        }
+        // Coalesce the whole group into one batch *before* taking the
+        // write lock — the merge clones every member tuple, and readers
+        // (whose tail latency this layer is gated on) must not stall
+        // behind work that doesn't need the engine. One lock round, one
+        // validation pass, one maintenance round per group.
+        let merged: Option<DeltaBatch> = (reqs.len() > 1).then(|| {
+            let mut merged = DeltaBatch::new();
+            for r in &reqs {
+                for rel in r.batch.relations() {
+                    merged.extend_relation(rel, r.batch.deltas(rel).map(|(t, d)| (t.clone(), d)));
+                }
+            }
+            merged
+        });
+        let mut state = shared.state.write().unwrap();
+        let Some(eng) = state.engine.as_mut() else {
+            for r in reqs {
+                let _ = r.ack.send(Err("run `build` first".to_owned()));
+            }
+            continue;
+        };
+        shared.group_commits.fetch_add(1, Ordering::Relaxed);
+        shared
+            .grouped_batches
+            .fetch_add(reqs.len() as u64, Ordering::Relaxed);
+        let Some(merged) = merged else {
+            let r = &reqs[0];
+            let t0 = Instant::now();
+            let ack = eng
+                .apply_delta_batch(&r.batch)
+                .map(|()| GroupInfo {
+                    group: 1,
+                    apply_micros: t0.elapsed().as_micros(),
+                })
+                .map_err(|e| e.to_string());
+            let _ = reqs[0].ack.send(ack);
+            continue;
+        };
+        let t0 = Instant::now();
+        match eng.apply_delta_batch(&merged) {
+            Ok(()) => {
+                let info = GroupInfo {
+                    group: reqs.len(),
+                    apply_micros: t0.elapsed().as_micros(),
+                };
+                for r in reqs {
+                    let _ = r.ack.send(Ok(info));
+                }
+            }
+            Err(_) => {
+                // Some member poisoned the group; the failed merged apply
+                // mutated nothing (prepare/apply split), so replay the
+                // members individually in arrival order — only offenders
+                // see an error.
+                shared.group_retries.fetch_add(1, Ordering::Relaxed);
+                for r in reqs {
+                    let t0 = Instant::now();
+                    let ack = eng
+                        .apply_delta_batch(&r.batch)
+                        .map(|()| GroupInfo {
+                            group: 1,
+                            apply_micros: t0.elapsed().as_micros(),
+                        })
+                        .map_err(|e| e.to_string());
+                    let _ = r.ack.send(ack);
+                }
+            }
+        }
+    }
+}
+
+// ----------------------------------------------------------------------
+// Connection handling
+// ----------------------------------------------------------------------
+
+/// Submits one batch to the writer thread and waits for its ack.
+fn submit(tx: &SyncSender<WriteReq>, batch: DeltaBatch) -> Result<GroupInfo, String> {
+    let (ack_tx, ack_rx) = mpsc::channel();
+    let req = WriteReq { batch, ack: ack_tx };
+    // Block on a full queue (back-pressure) without busy-waiting; `send`
+    // only fails when the writer thread is gone, which means shutdown.
+    if let Err(e) = tx.try_send(req) {
+        match e {
+            TrySendError::Full(req) => tx
+                .send(req)
+                .map_err(|_| "server is shutting down".to_owned())?,
+            TrySendError::Disconnected(_) => return Err("server is shutting down".to_owned()),
+        }
+    }
+    ack_rx
+        .recv()
+        .map_err(|_| "server is shutting down".to_owned())?
+}
+
+/// Borrowing parse of an `insert`/`delete` line for the staging hot path:
+/// `Some((relation, tuple-or-parse-error, ±1))` when the line is an update
+/// command, `None` for anything else (which then goes through
+/// [`proto::parse_command`] as usual).
+fn parse_staged_update(line: &str) -> Option<(&str, Result<ivme_data::Tuple, String>, i64)> {
+    let line = line.trim();
+    let (verb, rest) = line.split_once(char::is_whitespace)?;
+    let delta = match verb {
+        "insert" => 1,
+        "delete" => -1,
+        _ => return None,
+    };
+    let (rel, csv) = rest.trim().split_once(char::is_whitespace)?;
+    Some((rel, proto::parse_tuple(csv), delta))
+}
+
+fn handle_connection(
+    stream: TcpStream,
+    shared: Arc<Shared>,
+    tx: SyncSender<WriteReq>,
+) -> io::Result<()> {
+    stream.set_nodelay(true)?;
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut writer = BufWriter::new(stream);
+    // Per-connection `.batch` staging area — mirrors the shell's.
+    let mut pending: Option<DeltaBatch> = None;
+    let mut line = String::new();
+    loop {
+        // Flush buffered responses before a read that could block: a
+        // pipelining client gets its acks in one burst once the server
+        // catches up, a closed-loop client gets each ack immediately.
+        if reader.buffer().is_empty() {
+            writer.flush()?;
+        }
+        line.clear();
+        if reader.read_line(&mut line)? == 0 {
+            break;
+        }
+        // Hot path for batch staging: while a `.batch` is open, an
+        // `insert`/`delete` line goes straight into the pending batch
+        // without allocating a `Command` (its owned relation string) or
+        // formatting the interactive staging message — submitting a batch
+        // of k updates is k pipelined lines, and this path is what keeps
+        // group-commit throughput within reach of raw `apply_delta_batch`.
+        // Semantics are identical to the `Command::Update` route below
+        // (same `parse_tuple`, same staging), only the ack is empty.
+        if let Some(batch) = pending.as_mut() {
+            if let Some((rel, tuple, delta)) = parse_staged_update(&line) {
+                match tuple {
+                    Ok(t) => {
+                        batch.push(rel, t, delta);
+                        proto::write_ok(&mut writer, "")?;
+                    }
+                    Err(e) => proto::write_err(&mut writer, &e)?,
+                }
+                continue;
+            }
+        }
+        let cmd = match proto::parse_command(&line) {
+            Ok(Some(c)) => c,
+            Ok(None) => {
+                proto::write_ok(&mut writer, "")?;
+                continue;
+            }
+            Err(e) => {
+                proto::write_err(&mut writer, &e)?;
+                continue;
+            }
+        };
+        let quit = matches!(cmd, Command::Quit);
+        match execute(cmd, &shared, &tx, &mut pending) {
+            Ok(out) => proto::write_ok(&mut writer, &out)?,
+            Err(e) => proto::write_err(&mut writer, &e)?,
+        }
+        if quit {
+            break;
+        }
+    }
+    writer.flush()
+}
+
+/// Executes one command against the shared state. Read commands format
+/// their response under the read lock and return it; the caller writes to
+/// the socket only after the lock is released.
+fn execute(
+    cmd: Command,
+    shared: &Shared,
+    tx: &SyncSender<WriteReq>,
+    pending: &mut Option<DeltaBatch>,
+) -> Result<String, String> {
+    match cmd {
+        Command::Quit => Ok("bye\n".to_owned()),
+        Command::Help => Ok(proto::HELP.to_owned()),
+
+        // ---- admin/setup: direct write lock ----
+        Command::Query(q) => {
+            let c = classify(&q);
+            let mut state = shared.state.write().unwrap();
+            let mut out = String::new();
+            use std::fmt::Write as _;
+            let _ = writeln!(out, "registered {q}");
+            let _ = writeln!(
+                out,
+                "w = {}, δ = {}, free-connex: {}, q-hierarchical: {}",
+                c.static_width.unwrap(),
+                c.dynamic_width.unwrap(),
+                c.free_connex,
+                c.q_hierarchical
+            );
+            state.query = Some(q);
+            state.engine = None;
+            Ok(out)
+        }
+        Command::Epsilon(e) => {
+            shared.state.write().unwrap().epsilon = e;
+            Ok(format!("epsilon = {e}\n"))
+        }
+        Command::Mode(m) => {
+            shared.state.write().unwrap().mode = m;
+            Ok(format!(
+                "mode = {}\n",
+                match m {
+                    Mode::Dynamic => "dynamic",
+                    Mode::Static => "static",
+                }
+            ))
+        }
+        Command::Shards(n) => {
+            let mut state = shared.state.write().unwrap();
+            state.shards = n;
+            let note = if state.engine.is_some() {
+                " (takes effect on the next `build`)"
+            } else {
+                ""
+            };
+            Ok(format!("shards = {n}{note}\n"))
+        }
+        Command::Row { relation, tuple } => {
+            shared
+                .state
+                .write()
+                .unwrap()
+                .staged
+                .insert(&relation, tuple, 1);
+            Ok(format!("staged 1 row into {relation}\n"))
+        }
+        Command::Load { relation, path } => {
+            // File I/O outside the lock; the server reads its own disk.
+            let rows = proto::load_csv(&path)?;
+            let n = rows.len();
+            let mut state = shared.state.write().unwrap();
+            for t in rows {
+                state.staged.insert(&relation, t, 1);
+            }
+            Ok(format!("staged {n} rows into {relation}\n"))
+        }
+        Command::Build => {
+            let mut state = shared.state.write().unwrap();
+            let q = state.query.as_ref().ok_or("no query registered")?;
+            let opts = EngineOptions {
+                epsilon: state.epsilon,
+                mode: state.mode,
+            };
+            // Always sharded (S ≥ 1): one read/commit path for every build.
+            let eng = ShardedEngine::new(q, &state.staged, opts, state.shards)
+                .map_err(|e| e.to_string())?;
+            let msg = format!(
+                "built: N = {}, {} shards (sizes {:?})\n",
+                eng.db_size(),
+                eng.num_shards(),
+                eng.shard_sizes()
+            );
+            state.engine = Some(eng);
+            Ok(msg)
+        }
+
+        // ---- writes: group-commit channel ----
+        Command::Update {
+            relation,
+            tuple,
+            delta,
+        } => {
+            if let Some(batch) = pending.as_mut() {
+                // Normally unreachable: `handle_connection`'s staging hot
+                // path intercepts every update line while a batch is open
+                // (it accepts exactly the shapes `parse_command` would).
+                // Kept live so any future caller of `execute` still gets
+                // correct staging, with the same empty ack as the hot
+                // path.
+                batch.push(&relation, tuple, delta);
+                return Ok(String::new());
+            }
+            let mut batch = DeltaBatch::new();
+            batch.push(&relation, tuple, delta);
+            submit(tx, batch)?;
+            Ok(String::new())
+        }
+        Command::BulkLoad { relation, path } => {
+            let mut batch = DeltaBatch::new();
+            for t in proto::load_csv(&path)? {
+                batch.insert(&relation, t);
+            }
+            let n = batch.cardinality();
+            let info = submit(tx, batch)?;
+            let secs = info.apply_micros as f64 / 1e6;
+            Ok(format!(
+                "applied batch of {n} rows into {relation} in {:.3}ms ({:.0} rows/s, group of {})\n",
+                secs * 1e3,
+                n as f64 / secs.max(1e-9),
+                info.group
+            ))
+        }
+        Command::BatchBegin => {
+            if pending.is_some() {
+                return Err("a batch is already open (`.batch commit|abort`)".into());
+            }
+            shared
+                .state
+                .read()
+                .unwrap()
+                .engine
+                .as_ref()
+                .ok_or("run `build` first")?;
+            *pending = Some(DeltaBatch::new());
+            Ok("batch open: insert/delete now stage until `.batch commit`\n".to_owned())
+        }
+        Command::BatchCommit => {
+            let batch = pending.take().ok_or("no open batch (`.batch begin`)")?;
+            let (card, net) = (batch.cardinality(), batch.distinct_len());
+            match submit(tx, batch) {
+                Ok(info) => {
+                    let secs = info.apply_micros as f64 / 1e6;
+                    Ok(format!(
+                        "committed {card} updates ({net} net entries) in {:.3}ms ({:.0} updates/s, group of {})\n",
+                        secs * 1e3,
+                        card as f64 / secs.max(1e-9),
+                        info.group
+                    ))
+                }
+                Err(e) => Err(format!("batch rejected (engine unchanged): {e}")),
+            }
+        }
+        Command::BatchAbort => {
+            let batch = pending.take().ok_or("no open batch (`.batch begin`)")?;
+            Ok(format!(
+                "aborted batch of {} staged updates\n",
+                batch.cardinality()
+            ))
+        }
+        Command::BatchStatus => match pending {
+            Some(b) => Ok(format!(
+                "open batch: {} updates, {} net entries\n",
+                b.cardinality(),
+                b.distinct_len()
+            )),
+            None => Ok("no open batch\n".to_owned()),
+        },
+
+        // ---- reads: shared read lock, formatted under the lock ----
+        Command::List { limit } => {
+            use std::fmt::Write as _;
+            let state = shared.state.read().unwrap();
+            let eng = state.engine.as_ref().ok_or("run `build` first")?;
+            let mut out = String::new();
+            let mut shown = 0;
+            for (t, m) in eng.enumerate().take(limit) {
+                let _ = writeln!(out, "{t} x{m}");
+                shown += 1;
+            }
+            let _ = writeln!(out, "({shown} tuples)");
+            Ok(out)
+        }
+        Command::Get(t) => {
+            let state = shared.state.read().unwrap();
+            let eng = state.engine.as_ref().ok_or("run `build` first")?;
+            let q = state.query.as_ref().ok_or("no query registered")?;
+            if t.arity() != q.free.arity() {
+                return Err(format!(
+                    "tuple {t} has arity {}, but the result schema {:?} has arity {}",
+                    t.arity(),
+                    q.free,
+                    q.free.arity()
+                ));
+            }
+            let m = eng.multiplicity(&t);
+            Ok(if m == 0 {
+                format!("{t} not in result\n")
+            } else {
+                format!("{t} x{m}\n")
+            })
+        }
+        Command::Page { offset, limit } => {
+            use std::fmt::Write as _;
+            let state = shared.state.read().unwrap();
+            let eng = state.engine.as_ref().ok_or("run `build` first")?;
+            let mut out = String::new();
+            let page = eng.enumerate_page(offset, limit);
+            for (t, m) in &page {
+                let _ = writeln!(out, "{t} x{m}");
+            }
+            let _ = writeln!(out, "({} tuples at offset {offset})", page.len());
+            Ok(out)
+        }
+        Command::Count => {
+            let state = shared.state.read().unwrap();
+            let eng = state.engine.as_ref().ok_or("run `build` first")?;
+            Ok(format!("{}\n", eng.count_distinct()))
+        }
+        Command::Stats => {
+            let state = shared.state.read().unwrap();
+            let eng = state.engine.as_ref().ok_or("run `build` first")?;
+            Ok(ivme_cli::sharded_stats(eng))
+        }
+        Command::Classify => {
+            let state = shared.state.read().unwrap();
+            let q = state.query.as_ref().ok_or("no query registered")?;
+            Ok(format!("{:#?}\n", classify(q)))
+        }
+        Command::Plan => {
+            let state = shared.state.read().unwrap();
+            let q = state.query.as_ref().ok_or("no query registered")?;
+            let plan = ivme_plan::compile(q, state.mode).map_err(|e| e.to_string())?;
+            Ok(plan.render())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A tiny blocking client for the tests: sends one line, reads one
+    /// framed response.
+    struct TestClient {
+        reader: BufReader<TcpStream>,
+        writer: BufWriter<TcpStream>,
+    }
+
+    impl TestClient {
+        fn connect(addr: SocketAddr) -> TestClient {
+            let stream = TcpStream::connect(addr).unwrap();
+            stream.set_nodelay(true).unwrap();
+            TestClient {
+                reader: BufReader::new(stream.try_clone().unwrap()),
+                writer: BufWriter::new(stream),
+            }
+        }
+
+        fn send(&mut self, line: &str) -> Result<String, String> {
+            writeln!(self.writer, "{line}").unwrap();
+            self.writer.flush().unwrap();
+            proto::read_response(&mut self.reader)
+                .unwrap()
+                .expect("server closed connection")
+        }
+
+        fn ok(&mut self, line: &str) -> String {
+            match self.send(line) {
+                Ok(s) => s,
+                Err(e) => panic!("`{line}` failed: {e}"),
+            }
+        }
+    }
+
+    fn demo_server() -> (Server, TestClient) {
+        let server = Server::start(ServerConfig::default()).unwrap();
+        let mut c = TestClient::connect(server.addr());
+        c.ok("query Q(A,C) :- R(A,B), S(B,C)");
+        c.ok("row R 1,10");
+        c.ok("row R 2,10");
+        c.ok("row S 10,5");
+        c.ok("build");
+        (server, c)
+    }
+
+    #[test]
+    fn end_to_end_session_over_tcp() {
+        let (_server, mut c) = demo_server();
+        assert_eq!(c.ok("count"), "2\n");
+        c.ok("insert S 10,6");
+        c.ok("delete R 2,10");
+        assert_eq!(c.ok("count"), "2\n");
+        let list = c.ok("list");
+        assert!(list.contains("(1, 5) x1"), "{list}");
+        assert!(list.contains("(2 tuples)"), "{list}");
+        assert_eq!(c.ok("get 1,5"), "(1, 5) x1\n");
+        assert!(c.ok("get 9,9").contains("not in result"));
+        assert!(c.ok("page 0 1").contains("(1 tuples at offset 0)"));
+        let stats = c.ok("stats");
+        assert!(stats.contains("updates = 2"), "{stats}");
+        assert!(stats.contains("misroutes = 0"), "{stats}");
+        assert!(c.ok("help").contains(".batch begin"));
+        assert_eq!(c.ok("quit"), "bye\n");
+    }
+
+    #[test]
+    fn errors_do_not_kill_the_connection() {
+        let (_server, mut c) = demo_server();
+        assert!(c.send("frobnicate").is_err());
+        assert!(c.send("get 1,2,3").is_err());
+        assert!(c.send("list garbage").unwrap_err().contains("bad limit"));
+        // A delete driving a multiplicity negative is rejected and the
+        // engine is unchanged.
+        let err = c.send("delete R 9,9").unwrap_err();
+        assert!(err.contains("-1"), "{err}");
+        assert_eq!(c.ok("count"), "2\n");
+    }
+
+    #[test]
+    fn per_connection_batches_commit_atomically() {
+        let (server, mut c) = demo_server();
+        c.ok(".batch begin");
+        // Staged updates take the allocation-free hot path: empty ack.
+        assert_eq!(c.ok("insert S 10,6"), "");
+        assert_eq!(c.ok("insert R 3,10"), "");
+        assert!(c.ok(".batch status").contains("2 updates, 2 net entries"));
+        let msg = c.ok(".batch commit");
+        assert!(msg.contains("committed 2 updates"), "{msg}");
+        assert_eq!(c.ok("count"), "6\n");
+        // A poisoned batch rejects atomically, engine unchanged.
+        c.ok(".batch begin");
+        c.ok("insert S 10,7");
+        c.ok("delete R 99,99");
+        let err = c.send(".batch commit").unwrap_err();
+        assert!(err.contains("rejected"), "{err}");
+        assert_eq!(c.ok("count"), "6\n");
+        // Two connections: each has its own staging area.
+        let mut c2 = TestClient::connect(server.addr());
+        assert!(c2.ok(".batch status").contains("no open batch"));
+    }
+
+    #[test]
+    fn concurrent_writers_group_commit_and_readers_see_consistent_counts() {
+        let server = Server::start(ServerConfig::default()).unwrap();
+        let addr = server.addr();
+        let mut admin = TestClient::connect(addr);
+        admin.ok("query Q(A) :- R(A,B), S(B)");
+        for i in 0..32 {
+            admin.ok(&format!("row R {},{}", i, i % 8));
+        }
+        admin.ok(".shards 2");
+        admin.ok("build");
+        // 4 writer clients race 8 single-row inserts each; 2 reader
+        // clients poll `count` the whole time.
+        let writers: Vec<_> = (0..4)
+            .map(|w| {
+                std::thread::spawn(move || {
+                    let mut c = TestClient::connect(addr);
+                    for j in 0..8 {
+                        c.ok(&format!("insert S {}", (w * 8 + j) % 8));
+                    }
+                })
+            })
+            .collect();
+        let readers: Vec<_> = (0..2)
+            .map(|_| {
+                std::thread::spawn(move || {
+                    let mut c = TestClient::connect(addr);
+                    let mut last = 0usize;
+                    for _ in 0..20 {
+                        let n: usize = c.ok("count").trim().parse().unwrap();
+                        // Counts only grow (inserts join against fixed R).
+                        assert!(n >= last, "count went backwards: {last} -> {n}");
+                        last = n;
+                    }
+                })
+            })
+            .collect();
+        for h in writers {
+            h.join().unwrap();
+        }
+        for h in readers {
+            h.join().unwrap();
+        }
+        let mut c = TestClient::connect(addr);
+        let stats = c.ok("stats");
+        assert!(stats.contains("updates = 32"), "{stats}");
+        assert_eq!(c.ok("count"), "32\n");
+        let ss = server.serve_stats();
+        assert_eq!(ss.grouped_batches, 32);
+        assert!(ss.group_commits <= 32);
+        assert!(ss.connections >= 7);
+    }
+
+    #[test]
+    fn group_rejection_only_hits_offending_clients() {
+        let server = Server::start(ServerConfig::default()).unwrap();
+        let addr = server.addr();
+        let mut admin = TestClient::connect(addr);
+        admin.ok("query Q(A,C) :- R(A,B), S(B,C)");
+        admin.ok("row R 1,10");
+        admin.ok("row S 10,5");
+        admin.ok("build");
+        // Many clients commit concurrently; half are poisoned over-deletes.
+        let handles: Vec<_> = (0..6)
+            .map(|i| {
+                std::thread::spawn(move || {
+                    let mut c = TestClient::connect(addr);
+                    c.ok(".batch begin");
+                    if i % 2 == 0 {
+                        c.ok(&format!("insert R {},10", 100 + i));
+                        c.ok(&format!("insert S 10,{}", 200 + i));
+                    } else {
+                        c.ok(&format!("delete R {},{}", 900 + i, 900 + i));
+                    }
+                    c.send(".batch commit")
+                })
+            })
+            .collect();
+        let results: Vec<_> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        for (i, r) in results.iter().enumerate() {
+            if i % 2 == 0 {
+                assert!(r.is_ok(), "valid batch {i} rejected: {r:?}");
+            } else {
+                let e = r.as_ref().unwrap_err();
+                assert!(e.contains("rejected"), "batch {i}: {e}");
+            }
+        }
+        // Exactly the valid batches landed: 1 seed + 3 inserted R rows
+        // joining S 10,5 plus 3 inserted S rows joining all 4 R rows.
+        let mut c = TestClient::connect(addr);
+        assert_eq!(c.ok("count"), "16\n");
+    }
+
+    #[test]
+    fn pipelined_requests_get_ordered_responses() {
+        let (_server, mut c) = demo_server();
+        // Write a whole script before reading any response.
+        let script = "count\nget 1,5\ncount\n";
+        c.writer.write_all(script.as_bytes()).unwrap();
+        c.writer.flush().unwrap();
+        let r1 = proto::read_response(&mut c.reader).unwrap().unwrap();
+        let r2 = proto::read_response(&mut c.reader).unwrap().unwrap();
+        let r3 = proto::read_response(&mut c.reader).unwrap().unwrap();
+        assert_eq!(r1, Ok("2\n".to_owned()));
+        assert_eq!(r2, Ok("(1, 5) x1\n".to_owned()));
+        assert_eq!(r3, Ok("2\n".to_owned()));
+    }
+
+    #[test]
+    fn rebuild_and_reshard_under_live_connections() {
+        let (_server, mut c) = demo_server();
+        assert_eq!(c.ok("count"), "2\n");
+        c.ok(".shards 3");
+        let msg = c.ok("build");
+        assert!(msg.contains("3 shards"), "{msg}");
+        assert_eq!(c.ok("count"), "2\n");
+        let stats = c.ok("stats");
+        assert!(stats.contains("shards = 3"), "{stats}");
+        assert!(stats.contains("shard 2: N ="), "{stats}");
+    }
+}

@@ -1,0 +1,55 @@
+//! The `ivme-server` binary: serve the IVM^ε engine over TCP.
+//!
+//! ```text
+//! ivme-server [--addr 127.0.0.1:7143] [--queue-depth 128] [--group-limit 64]
+//! ```
+//!
+//! Clients speak the shell's command grammar, one command per line (drive
+//! it with `ivme client <addr>`, `nc`, or any line-oriented socket tool).
+
+use ivme_server::{Server, ServerConfig};
+
+fn main() {
+    let mut config = ServerConfig {
+        addr: "127.0.0.1:7143".to_owned(),
+        ..ServerConfig::default()
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |name: &str| {
+            args.next()
+                .unwrap_or_else(|| die(&format!("{name} needs a value")))
+        };
+        match arg.as_str() {
+            "--addr" => config.addr = value("--addr"),
+            "--queue-depth" => {
+                config.queue_depth = value("--queue-depth")
+                    .parse()
+                    .unwrap_or_else(|_| die("--queue-depth must be a positive integer"))
+            }
+            "--group-limit" => {
+                config.group_limit = value("--group-limit")
+                    .parse()
+                    .unwrap_or_else(|_| die("--group-limit must be a positive integer"))
+            }
+            "--help" | "-h" => {
+                println!(
+                    "usage: ivme-server [--addr HOST:PORT] [--queue-depth N] [--group-limit N]"
+                );
+                return;
+            }
+            other => die(&format!("unknown argument `{other}` (try --help)")),
+        }
+    }
+    let server = match Server::start(config) {
+        Ok(s) => s,
+        Err(e) => die(&format!("cannot start server: {e}")),
+    };
+    println!("ivme-server listening on {}", server.addr());
+    server.join();
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    std::process::exit(2);
+}

@@ -6,12 +6,17 @@
 //!   queries, the matrix encoding of Example 28, and mixed
 //!   insert/delete streams,
 //! * [`omv`] — the Online Matrix-Vector Multiplication workload used by the
-//!   lower-bound experiment (Prop. 10).
+//!   lower-bound experiment (Prop. 10),
+//! * [`serve`] — a closed-loop multi-client TCP driver for the
+//!   `ivme-server` serving layer (readers + group-commit writers over
+//!   loopback, latency percentiles and throughput).
 
 pub mod gen;
 pub mod omv;
+pub mod serve;
 pub mod zipf;
 
 pub use gen::{chunk_stream, star_db, two_path_db, update_stream, StreamOp};
 pub use omv::OmvInstance;
+pub use serve::{delete_batch_script, drive, insert_batch_script, Client, DriveReport, Script};
 pub use zipf::Zipf;
