@@ -16,7 +16,11 @@
 //!   version comparison plus `Arc` clone when nothing changed, so the
 //!   ratio is machine-independent enough to assert on every run.
 //!
-//! Setting `IVME_BENCH_QUICK=1` runs fewer trials/ε points (the CI row).
+//! Setting `IVME_BENCH_QUICK=1` runs fewer trials/ε points (the CI row);
+//! `IVME_BENCH_JSON=path` additionally writes the measured metrics as a
+//! JSON file (namespaced under `"fig_enum_delay"`) so
+//! `examples/bench_diff.rs` regresses this bench uniformly with
+//! `fig_serving_tail`.
 
 use std::time::Duration;
 
@@ -58,6 +62,8 @@ fn main() {
         "eps", "tuples", "full enum", "Mtuples/s", "first", "lookup hit", "lookup miss"
     );
     let eps_grid: &[f64] = if quick() { &[0.5] } else { &[0.25, 0.5, 0.75] };
+    // Metrics at ε = 0.5 (always in the grid), for IVME_BENCH_JSON.
+    let mut mid_eps: Option<(Duration, f64, Duration, f64, f64)> = None;
     for &eps in eps_grid {
         let mut eng =
             IvmEngine::from_sql("Q(A) :- R(A,B), S(B)", &db, EngineOptions::dynamic(eps)).unwrap();
@@ -105,6 +111,15 @@ fn main() {
             s
         });
         assert_eq!(miss_sum, 0, "eps={eps}: absent rows must have mult 0");
+        if eps == 0.5 {
+            mid_eps = Some((
+                t_full,
+                count as f64 / t_full.as_secs_f64() / 1e6,
+                t_first,
+                t_hit.as_secs_f64() * 1e9 / n as f64,
+                t_miss.as_secs_f64() * 1e9 / n as f64,
+            ));
+        }
         println!(
             "{:<8} {:>10} {:>12} {:>12.2} {:>12} {:>12} {:>12}",
             eps,
@@ -150,6 +165,7 @@ fn main() {
         None => vec![1, 4],
     };
     let mut widest: Option<(usize, f64)> = None;
+    let mut widest_metrics: Option<(Duration, Duration, Duration, Duration)> = None;
     for &shards in &shard_grid {
         let mut eng = ShardedEngine::from_sql(
             "Q(A) :- R(A,B), S(B)",
@@ -208,6 +224,7 @@ fn main() {
         );
         if widest.is_none_or(|(s, _)| shards >= s) {
             widest = Some((shards, speedup));
+            widest_metrics = Some((cold, cached, t_page, t_count));
         }
     }
     if let Some((s, speedup)) = widest {
@@ -220,5 +237,34 @@ fn main() {
             "\n# Acceptance: cached sharded enumerate is >=10x the cold call at S={s} \
              ({speedup:.1}x)."
         );
+    }
+
+    // ------------------------------------------------------------------
+    // Optional machine-readable output for examples/bench_diff.rs —
+    // namespaced so one combined baseline file can hold this bench and
+    // fig_serving_tail side by side.
+    // ------------------------------------------------------------------
+    if let Ok(path) = std::env::var("IVME_BENCH_JSON") {
+        let (t_full, mtuples, t_first, hit_ns, miss_ns) =
+            mid_eps.expect("eps grid always contains 0.5");
+        let (s, speedup) = widest.expect("shard grid is never empty");
+        let (cold, cached, t_spage, t_count) = widest_metrics.unwrap();
+        let json = format!(
+            "{{\n  \"fig_enum_delay\": {{\n    \"quick\": {},\n    \"widest_shards\": {s},\n    \"metrics\": {{\n      \"full_enum_us\": {:.1},\n      \"enum_mtuples_per_s\": {:.2},\n      \"first_tuple_ns\": {:.0},\n      \"lookup_hit_ns\": {:.1},\n      \"lookup_miss_ns\": {:.1},\n      \"page_900_50_unsharded_us\": {:.1},\n      \"sharded_cold_enum_us\": {:.1},\n      \"sharded_cached_enum_us\": {:.1},\n      \"sharded_cache_speedup\": {:.1},\n      \"sharded_page_900_50_us\": {:.2},\n      \"sharded_count_us\": {:.2}\n    }}\n  }}\n}}\n",
+            quick(),
+            t_full.as_secs_f64() * 1e6,
+            mtuples,
+            t_first.as_secs_f64() * 1e9,
+            hit_ns,
+            miss_ns,
+            t_page.as_secs_f64() * 1e6,
+            cold.as_secs_f64() * 1e6,
+            cached.as_secs_f64() * 1e6,
+            speedup,
+            t_spage.as_secs_f64() * 1e6,
+            t_count.as_secs_f64() * 1e6,
+        );
+        std::fs::write(&path, json).expect("write IVME_BENCH_JSON");
+        println!("# metrics written to {path}");
     }
 }

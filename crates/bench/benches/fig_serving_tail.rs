@@ -1,29 +1,33 @@
-//! Multi-client serving tail latency and group-commit write throughput
-//! (PR 5): the OMv acceptance instance served over loopback TCP by
-//! `ivme-server`, driven closed-loop by the `ivme-workload::serve` client
-//! harness.
+//! Multi-client serving tail latency and group-commit write throughput:
+//! the OMv acceptance instance served over loopback TCP by `ivme-server`
+//! (PR 6: lock-free reads via epoch snapshot publishing), driven
+//! closed-loop by the `ivme-workload::serve` client harness.
 //!
-//! Measured phases:
+//! Measured phases (each preceded by an untimed warmup window so
+//! connection setup and first-touch effects cannot masquerade as
+//! steady-state tail):
 //!
 //! 1. **Baseline** — one reader client, quiescent server: the
 //!    single-threaded serving latency of the read op (`page 0 16`, which
-//!    exercises the cached sharded merge + the O(#components) page seek).
+//!    exercises the published snapshot's merged view + page seek).
 //! 2. **Concurrent** — 4 reader clients + 1 writer client submitting
 //!    atomic insert/delete batch pairs through the group-commit channel:
-//!    read p50/p99/max under write pressure.
+//!    read p50/p99/p999/max under write pressure.
 //! 3. **Write-only** — the writer workload alone, vs the same batch
-//!    sequence applied directly to an in-process engine: what the network
-//!    + group-commit layer costs over raw `apply_delta_batch`.
+//!    sequence applied directly to an in-process engine: what the
+//!    network, group-commit, and snapshot-publish layers cost over raw
+//!    `apply_delta_batch`.
 //!
-//! Acceptance gates (`BENCH_PR5.json`):
+//! Acceptance gates (`BENCH_PR6.json`):
 //!
-//! * read p99 under 4-reader/1-writer concurrency ≤ 10× the baseline
-//!   (single-threaded) p99 — tail against tail, so the gate measures what
-//!   concurrency *adds* (lock waits, group applies) rather than the
-//!   baseline's own scheduler noise. Armed when the machine has ≥ 4 cores
-//!   (on fewer cores the readers time-slice against the writer and the
-//!   tail measures the scheduler, not the server; the measured values are
-//!   still printed and recorded).
+//! * read p99 under 4-reader/1-writer concurrency ≤ 2× the baseline
+//!   (single-threaded) p99 — tail against tail. PR 5's `RwLock` gate was
+//!   10× because readers stalled behind group applies; with snapshot
+//!   publishing a read never blocks on the writer, so the residual ratio
+//!   only covers scheduler and allocator noise. Armed when the machine
+//!   has ≥ 4 cores (on fewer cores the readers time-slice against the
+//!   writer and the tail measures the scheduler, not the server; the
+//!   measured values are still printed and recorded).
 //! * group-commit write throughput ≥ 0.5× the direct
 //!   `apply_delta_batch` path — armed when ≥ 2 cores (the server costs
 //!   one extra thread; on one core client and server serialize).
@@ -34,8 +38,8 @@
 //!
 //! `IVME_BENCH_QUICK=1` shrinks the instance and trial counts (CI);
 //! `IVME_BENCH_JSON=path` additionally writes the measured metrics as a
-//! flat JSON file for `examples/bench_diff.rs` to compare against the
-//! committed baseline.
+//! JSON file (namespaced under `"fig_serving_tail"`) for
+//! `examples/bench_diff.rs` to compare against the committed baseline.
 
 use std::time::{Duration, Instant};
 
@@ -52,6 +56,7 @@ fn quick() -> bool {
 
 struct Shape {
     n: usize,
+    warmup_per_client: usize,
     reads_per_client: usize,
     write_batch: usize,
     write_rounds: usize,
@@ -61,6 +66,7 @@ fn shape() -> Shape {
     if quick() {
         Shape {
             n: 300,
+            warmup_per_client: 50,
             reads_per_client: 250,
             write_batch: 64,
             write_rounds: 6,
@@ -68,6 +74,7 @@ fn shape() -> Shape {
     } else {
         Shape {
             n: 1000,
+            warmup_per_client: 150,
             reads_per_client: 1500,
             write_batch: 256,
             write_rounds: 10,
@@ -138,9 +145,19 @@ fn main() {
     // ------------------------------------------------------------------
     // Phase 1: single-threaded baseline.
     // ------------------------------------------------------------------
-    let baseline = drive(addr, 1, READ_CMD, sh.reads_per_client, &[]);
+    let baseline = drive(
+        addr,
+        1,
+        READ_CMD,
+        sh.warmup_per_client,
+        sh.reads_per_client,
+        &[],
+    );
     let base_p99 = baseline.read_quantile(0.99);
-    println!("\n# phase 1 — baseline (1 reader, quiescent):");
+    println!(
+        "\n# phase 1 — baseline (1 reader, quiescent, {} warmup reads discarded):",
+        baseline.warmup_reads
+    );
     print_read_row("baseline", &baseline);
 
     // ------------------------------------------------------------------
@@ -164,14 +181,16 @@ fn main() {
         addr,
         READERS,
         READ_CMD,
+        sh.warmup_per_client,
         sh.reads_per_client,
         std::slice::from_ref(&writer_scripts),
     );
     assert_eq!(concurrent.write_errors, 0, "write storm must be accepted");
     println!(
-        "\n# phase 2 — {READERS} readers + 1 writer (batch {} x{} rounds):",
+        "\n# phase 2 — {READERS} readers + 1 writer (batch {} x{} rounds, {} warmup reads discarded):",
         sh.write_batch,
-        2 * sh.write_rounds
+        2 * sh.write_rounds,
+        concurrent.warmup_reads
     );
     print_read_row("concurrent", &concurrent);
     println!(
@@ -187,7 +206,14 @@ fn main() {
     // ------------------------------------------------------------------
     // Phase 3: write-only server throughput vs direct apply.
     // ------------------------------------------------------------------
-    let write_only = drive(addr, 0, READ_CMD, 0, std::slice::from_ref(&writer_scripts));
+    let write_only = drive(
+        addr,
+        0,
+        READ_CMD,
+        0,
+        0,
+        std::slice::from_ref(&writer_scripts),
+    );
     assert_eq!(write_only.write_errors, 0);
     let server_ups = write_only.updates_per_sec();
     let direct_ups = direct_apply_updates_per_sec(&inst, &batch_tuples, sh.write_rounds);
@@ -208,17 +234,17 @@ fn main() {
     let tail_ratio =
         concurrent.read_quantile(0.99).as_secs_f64() / base_p99.as_secs_f64().max(1e-12);
     println!(
-        "\n# read tail: concurrent p99 {} = {tail_ratio:.1}x baseline p99 {} (gate: <= 10x, armed at >= 4 cores)",
+        "\n# read tail: concurrent p99 {} = {tail_ratio:.1}x baseline p99 {} (gate: <= 2x, armed at >= 4 cores)",
         fmt_dur(concurrent.read_quantile(0.99)),
         fmt_dur(base_p99)
     );
     if cores >= 4 {
         assert!(
-            tail_ratio <= 10.0,
-            "read p99 under concurrency must stay within 10x the single-threaded \
-             baseline p99, measured {tail_ratio:.1}x"
+            tail_ratio <= 2.0,
+            "lock-free reads: read p99 under concurrency must stay within 2x the \
+             single-threaded baseline p99, measured {tail_ratio:.1}x"
         );
-        println!("# Acceptance: read-tail gate armed and met ({tail_ratio:.1}x <= 10x).");
+        println!("# Acceptance: read-tail gate armed and met ({tail_ratio:.1}x <= 2x).");
     } else {
         println!("# Acceptance: read-tail gate NOT armed ({cores} core(s) < 4): readers would time-slice against the writer; value recorded.");
     }
@@ -241,12 +267,13 @@ fn main() {
     // ------------------------------------------------------------------
     if let Ok(path) = std::env::var("IVME_BENCH_JSON") {
         let json = format!(
-            "{{\n  \"bench\": \"fig_serving_tail\",\n  \"quick\": {},\n  \"cores\": {cores},\n  \"metrics\": {{\n    \"read_baseline_p50_us\": {:.1},\n    \"read_baseline_p99_us\": {:.1},\n    \"read_concurrent_p50_us\": {:.1},\n    \"read_concurrent_p99_us\": {:.1},\n    \"read_concurrent_max_us\": {:.1},\n    \"read_tail_ratio\": {:.2},\n    \"concurrent_reads_per_s\": {:.0},\n    \"server_write_updates_per_s\": {:.0},\n    \"direct_write_updates_per_s\": {:.0},\n    \"write_ratio\": {:.3}\n  }}\n}}\n",
+            "{{\n  \"fig_serving_tail\": {{\n    \"quick\": {},\n    \"cores\": {cores},\n    \"metrics\": {{\n      \"read_baseline_p50_us\": {:.1},\n      \"read_baseline_p99_us\": {:.1},\n      \"read_concurrent_p50_us\": {:.1},\n      \"read_concurrent_p99_us\": {:.1},\n      \"read_concurrent_p999_us\": {:.1},\n      \"read_concurrent_max_us\": {:.1},\n      \"read_tail_ratio\": {:.2},\n      \"concurrent_reads_per_s\": {:.0},\n      \"server_write_updates_per_s\": {:.0},\n      \"direct_write_updates_per_s\": {:.0},\n      \"write_ratio\": {:.3}\n    }}\n  }}\n}}\n",
             quick(),
             us(baseline.read_quantile(0.5)),
             us(baseline.read_quantile(0.99)),
             us(concurrent.read_quantile(0.5)),
             us(concurrent.read_quantile(0.99)),
+            us(concurrent.read_quantile(0.999)),
             us(concurrent.read_max()),
             tail_ratio,
             concurrent.reads_per_sec(),
@@ -292,10 +319,11 @@ fn us(d: Duration) -> f64 {
 
 fn print_read_row(label: &str, r: &ivme_workload::DriveReport) {
     println!(
-        "{label:<12} reads = {:<6} p50 = {:<10} p99 = {:<10} max = {:<10} ({:.0} reads/s)",
+        "{label:<12} reads = {:<6} p50 = {:<10} p99 = {:<10} p999 = {:<10} max = {:<10} ({:.0} reads/s)",
         r.read_latencies_ns.len(),
         fmt_dur(r.read_quantile(0.5)),
         fmt_dur(r.read_quantile(0.99)),
+        fmt_dur(r.read_quantile(0.999)),
         fmt_dur(r.read_max()),
         r.reads_per_sec()
     );

@@ -6,7 +6,9 @@
 //! framing live in [`proto`], shared with the server crate.
 
 pub mod proto;
+pub mod render;
 pub mod shell;
 
 pub use proto::{parse_command, parse_tuple, read_response, write_err, write_ok, Command};
-pub use shell::{sharded_stats, Shell};
+pub use render::{render_count, render_get, render_list, render_page, render_stats};
+pub use shell::Shell;

@@ -45,6 +45,7 @@ use ivme_data::Tuple;
 use ivme_query::{classify, Query};
 
 use crate::proto::{self, load_csv, Command};
+use crate::render;
 
 pub use crate::proto::parse_tuple;
 
@@ -68,34 +69,6 @@ impl BuiltEngine {
             BuiltEngine::Sharded(e) => e.apply_delta_batch(b).map_err(|e| e.to_string()),
         }
     }
-
-    fn result_iter(&self) -> Box<dyn Iterator<Item = (Tuple, i64)> + '_> {
-        match self {
-            BuiltEngine::Single(e) => Box::new(e.enumerate()),
-            BuiltEngine::Sharded(e) => Box::new(e.enumerate()),
-        }
-    }
-
-    fn count_distinct(&self) -> usize {
-        match self {
-            BuiltEngine::Single(e) => e.count_distinct(),
-            BuiltEngine::Sharded(e) => e.count_distinct(),
-        }
-    }
-
-    fn multiplicity(&self, t: &Tuple) -> i64 {
-        match self {
-            BuiltEngine::Single(e) => e.multiplicity(t),
-            BuiltEngine::Sharded(e) => e.multiplicity(t),
-        }
-    }
-
-    fn enumerate_page(&self, offset: usize, limit: usize) -> Vec<(Tuple, i64)> {
-        match self {
-            BuiltEngine::Single(e) => e.enumerate_page(offset, limit),
-            BuiltEngine::Sharded(e) => e.enumerate_page(offset, limit),
-        }
-    }
 }
 
 /// Interpreter state.
@@ -109,6 +82,11 @@ pub struct Shell {
     engine: Option<BuiltEngine>,
     /// Open `.batch` staging area, if any.
     pending: Option<DeltaBatch>,
+    /// Commit counter: bumped per applied write (and per build). Sharded
+    /// reads go through [`ShardedEngine::snapshot`] stamped with this
+    /// epoch — the same read view the server publishes — so the REPL and
+    /// the network front end share one read path ([`crate::render`]).
+    epoch: u64,
 }
 
 impl Default for Shell {
@@ -127,6 +105,7 @@ impl Shell {
             staged: Database::new(),
             engine: None,
             pending: None,
+            epoch: 0,
         }
     }
 
@@ -142,7 +121,7 @@ impl Shell {
 
     /// Executes one parsed [`Command`] against the local engine. This is
     /// the REPL's half of the shared grammar; the server executes the same
-    /// commands against an `Arc<RwLock<…>>`-shared engine.
+    /// commands through its writer thread and published snapshots.
     pub fn run(&mut self, cmd: Command) -> Result<String, String> {
         match cmd {
             // `Quit` is handled by `execute`; treated as a no-op here so
@@ -216,6 +195,7 @@ impl Shell {
                         eng.shard_sizes()
                     );
                     self.engine = Some(BuiltEngine::Sharded(eng));
+                    self.epoch += 1;
                     return Ok(msg);
                 }
                 let eng = IvmEngine::new(q, &self.staged, opts).map_err(|e| e.to_string())?;
@@ -226,6 +206,7 @@ impl Shell {
                     eng.theta()
                 );
                 self.engine = Some(BuiltEngine::Single(Box::new(eng)));
+                self.epoch += 1;
                 Ok(msg)
             }
             Command::Update {
@@ -243,6 +224,7 @@ impl Shell {
                 }
                 let eng = self.engine.as_mut().ok_or("run `build` first")?;
                 eng.apply_update(&relation, tuple, delta)?;
+                self.epoch += 1;
                 Ok(String::new())
             }
             Command::BulkLoad { relation, path } => {
@@ -253,6 +235,7 @@ impl Shell {
                 }
                 let t0 = std::time::Instant::now();
                 eng.apply_delta_batch(&batch)?;
+                self.epoch += 1;
                 let dt = t0.elapsed();
                 Ok(format!(
                     "applied batch of {} rows into {relation} in {:.3}ms ({:.0} rows/s)\n",
@@ -278,6 +261,7 @@ impl Shell {
                 let t0 = std::time::Instant::now();
                 match eng.apply_delta_batch(&batch) {
                     Ok(()) => {
+                        self.epoch += 1;
                         let dt = t0.elapsed();
                         Ok(format!(
                             "committed {} updates ({} net entries) in {:.3}ms ({:.0} updates/s)\n",
@@ -308,49 +292,67 @@ impl Shell {
                 )),
                 None => Ok("no open batch\n".to_owned()),
             },
-            Command::List { limit } => {
-                let eng = self.engine.as_ref().ok_or("run `build` first")?;
-                let mut out = String::new();
-                let mut shown = 0;
-                for (t, m) in eng.result_iter().take(limit) {
-                    let _ = writeln!(out, "{t} x{m}");
-                    shown += 1;
+            Command::List { limit } => match self.engine.as_ref().ok_or("run `build` first")? {
+                BuiltEngine::Single(eng) => {
+                    let mut out = String::new();
+                    let mut shown = 0;
+                    for (t, m) in eng.enumerate().take(limit) {
+                        let _ = writeln!(out, "{t} x{m}");
+                        shown += 1;
+                    }
+                    let _ = writeln!(out, "({shown} tuples)");
+                    Ok(out)
                 }
-                let _ = writeln!(out, "({shown} tuples)");
-                Ok(out)
-            }
+                BuiltEngine::Sharded(eng) => {
+                    Ok(render::render_list(&eng.snapshot(self.epoch), limit))
+                }
+            },
             Command::Get(t) => {
-                let eng = self.engine.as_ref().ok_or("run `build` first")?;
                 let q = self.query.as_ref().ok_or("no query registered")?;
-                if t.arity() != q.free.arity() {
-                    return Err(format!(
-                        "tuple {t} has arity {}, but the result schema {:?} has arity {}",
-                        t.arity(),
-                        q.free,
-                        q.free.arity()
-                    ));
+                match self.engine.as_ref().ok_or("run `build` first")? {
+                    BuiltEngine::Single(eng) => {
+                        if t.arity() != q.free.arity() {
+                            return Err(format!(
+                                "tuple {t} has arity {}, but the result schema {:?} has arity {}",
+                                t.arity(),
+                                q.free,
+                                q.free.arity()
+                            ));
+                        }
+                        let m = eng.multiplicity(&t);
+                        Ok(if m == 0 {
+                            format!("{t} not in result\n")
+                        } else {
+                            format!("{t} x{m}\n")
+                        })
+                    }
+                    BuiltEngine::Sharded(eng) => {
+                        render::render_get(&eng.snapshot(self.epoch), q, &t)
+                    }
                 }
-                let m = eng.multiplicity(&t);
-                Ok(if m == 0 {
-                    format!("{t} not in result\n")
-                } else {
-                    format!("{t} x{m}\n")
-                })
             }
             Command::Page { offset, limit } => {
-                let eng = self.engine.as_ref().ok_or("run `build` first")?;
-                let mut out = String::new();
-                let page = eng.enumerate_page(offset, limit);
-                for (t, m) in &page {
-                    let _ = writeln!(out, "{t} x{m}");
+                match self.engine.as_ref().ok_or("run `build` first")? {
+                    BuiltEngine::Single(eng) => {
+                        let mut out = String::new();
+                        let page = eng.enumerate_page(offset, limit);
+                        for (t, m) in &page {
+                            let _ = writeln!(out, "{t} x{m}");
+                        }
+                        let _ = writeln!(out, "({} tuples at offset {offset})", page.len());
+                        Ok(out)
+                    }
+                    BuiltEngine::Sharded(eng) => Ok(render::render_page(
+                        &eng.snapshot(self.epoch),
+                        offset,
+                        limit,
+                    )),
                 }
-                let _ = writeln!(out, "({} tuples at offset {offset})", page.len());
-                Ok(out)
             }
-            Command::Count => {
-                let eng = self.engine.as_ref().ok_or("run `build` first")?;
-                Ok(format!("{}\n", eng.count_distinct()))
-            }
+            Command::Count => match self.engine.as_ref().ok_or("run `build` first")? {
+                BuiltEngine::Single(eng) => Ok(format!("{}\n", eng.count_distinct())),
+                BuiltEngine::Sharded(eng) => Ok(render::render_count(&eng.snapshot(self.epoch))),
+            },
             Command::Stats => {
                 let eng = self.engine.as_ref().ok_or("run `build` first")?;
                 match eng {
@@ -370,7 +372,9 @@ impl Shell {
                             s.minor_rebalances
                         ))
                     }
-                    BuiltEngine::Sharded(eng) => Ok(sharded_stats(eng)),
+                    BuiltEngine::Sharded(eng) => {
+                        Ok(render::render_stats(&eng.snapshot(self.epoch)))
+                    }
                 }
             }
             Command::Classify => {
@@ -385,29 +389,6 @@ impl Shell {
             }
         }
     }
-}
-
-/// The `stats` rendering for a sharded engine — shared with the server's
-/// executor (which always runs sharded).
-pub fn sharded_stats(eng: &ShardedEngine) -> String {
-    let s = eng.stats();
-    let mut out = format!(
-        "N = {}, shards = {}\n\
-         updates = {}, batches = {}, major rebalances = {}, minor rebalances = {}, misroutes = {}\n",
-        eng.db_size(),
-        eng.num_shards(),
-        s.updates,
-        s.batches,
-        s.major_rebalances,
-        s.minor_rebalances,
-        s.misroutes
-    );
-    let sizes = eng.shard_sizes();
-    for (i, rels) in eng.shard_relation_sizes().iter().enumerate() {
-        let per_rel: Vec<String> = rels.iter().map(|(r, n)| format!("{r}={n}")).collect();
-        let _ = writeln!(out, "shard {i}: N = {} ({})", sizes[i], per_rel.join(", "));
-    }
-    out
 }
 
 #[cfg(test)]

@@ -89,7 +89,7 @@ pub use enumerate::{ComponentIter, EnumScratch, ResultIter};
 pub use ivme_data::{DeltaBatch, ShardRouter, Update};
 pub use ivme_plan::Mode;
 pub use oracle::brute_force;
-pub use sharded::{MergedResultIter, ShardedEngine};
+pub use sharded::{MergedResultIter, ShardedEngine, ShardedSnapshot};
 
 #[cfg(test)]
 mod tests;

@@ -64,13 +64,15 @@ pub struct ShardedEngine {
     router: ShardRouter,
     shards: Vec<IvmEngine>,
     /// Per-component cross-shard merge cache (see
-    /// [`ShardedEngine::enumerate`]): each entry holds the merged distinct
+    /// [`ShardedEngine::enumerate`]): each slot holds the merged distinct
     /// result of one component together with the per-shard component
     /// versions it was built from. `apply_prepared` bumps a shard's
     /// component version only when a batch touches one of the component's
     /// relations, so on a quiescent or partially-updated engine repeated
-    /// reads re-merge only the components that actually changed.
-    merge_cache: Mutex<Vec<Option<CachedMerge>>>,
+    /// reads re-merge only the components that actually changed. One
+    /// mutex **per component** (not one global lock): two readers warming
+    /// different components never serialize on each other.
+    merge_cache: Vec<Mutex<Option<CachedMerge>>>,
     /// Batches applied through this engine (per-shard counters see only
     /// their sub-batches).
     batches: u64,
@@ -115,7 +117,7 @@ impl ShardedEngine {
             query: query.clone(),
             router,
             shards: built,
-            merge_cache: Mutex::new((0..ncomp).map(|_| None).collect()),
+            merge_cache: (0..ncomp).map(|_| Mutex::new(None)).collect(),
             batches: 0,
             updates: 0,
         })
@@ -383,36 +385,70 @@ impl ShardedEngine {
     /// `Arc` clone — `O(#components)`, not `O(result)`.
     fn merged_components(&self) -> Vec<Arc<MergedComponent>> {
         let ncomp = self.shards[0].num_components();
-        let mut cache = self.merge_cache.lock().unwrap();
-        (0..ncomp)
-            .map(|ci| {
-                let versions: Vec<u64> = self
-                    .shards
-                    .iter()
-                    .map(|s| s.component_version(ci))
-                    .collect();
-                if let Some(c) = &cache[ci] {
-                    if c.versions == versions {
-                        return Arc::clone(&c.merged);
-                    }
-                }
-                let mut acc: FxHashMap<Tuple, i64> = FxHashMap::default();
-                for shard in &self.shards {
-                    for (t, m) in shard.enumerate_component(ci) {
-                        *acc.entry(t).or_insert(0) += m;
-                    }
-                }
-                let merged = Arc::new(MergedComponent {
-                    positions: self.shards[0].component_out_positions(ci).to_vec(),
-                    tuples: acc.into_iter().filter(|&(_, m)| m != 0).collect(),
-                });
-                cache[ci] = Some(CachedMerge {
-                    versions,
-                    merged: Arc::clone(&merged),
-                });
-                merged
-            })
-            .collect()
+        (0..ncomp).map(|ci| self.merged_component(ci)).collect()
+    }
+
+    /// One component's merged result, through its own cache slot. Locking
+    /// is per component, so concurrent readers warming different
+    /// components proceed in parallel; readers of an unchanged component
+    /// pay a version compare plus an `Arc` clone.
+    fn merged_component(&self, ci: usize) -> Arc<MergedComponent> {
+        let versions: Vec<u64> = self
+            .shards
+            .iter()
+            .map(|s| s.component_version(ci))
+            .collect();
+        let mut slot = self.merge_cache[ci].lock().unwrap();
+        if let Some(c) = &*slot {
+            if c.versions == versions {
+                return Arc::clone(&c.merged);
+            }
+        }
+        let mut acc: FxHashMap<Tuple, i64> = FxHashMap::default();
+        for shard in &self.shards {
+            for (t, m) in shard.enumerate_component(ci) {
+                *acc.entry(t).or_insert(0) += m;
+            }
+        }
+        acc.retain(|_, m| *m != 0);
+        // The map doubles as the component's point-lookup index (what lets
+        // a frozen `ShardedSnapshot` answer `multiplicity` without the
+        // engine), the vector fixes the enumeration/paging order.
+        let tuples: Vec<(Tuple, i64)> = acc.iter().map(|(t, &m)| (t.clone(), m)).collect();
+        let merged = Arc::new(MergedComponent {
+            positions: self.shards[0].component_out_positions(ci).to_vec(),
+            tuples,
+            index: acc,
+        });
+        *slot = Some(CachedMerge {
+            versions,
+            merged: Arc::clone(&merged),
+        });
+        merged
+    }
+
+    /// Captures an immutable, self-contained read view of the current
+    /// result: every read entry point of the engine
+    /// (enumerate/count/multiplicity/page/result_sorted) plus the stats
+    /// the serving layer reports, answerable without the engine and
+    /// without any locking. Built from the merge cache, so the cost is
+    /// `O(Σ changed |C_i|)` — components untouched since the last
+    /// snapshot are shared by `Arc` clone, not rebuilt.
+    ///
+    /// `epoch` is caller-assigned (the serving layer's publish counter,
+    /// the shell's refresh counter); it is echoed by
+    /// [`ShardedSnapshot::epoch`] and surfaced in `stats` output so
+    /// clients can observe snapshot turnover.
+    pub fn snapshot(&self, epoch: u64) -> ShardedSnapshot {
+        ShardedSnapshot {
+            epoch,
+            free_arity: self.query.free.arity(),
+            comps: self.merged_components(),
+            stats: self.stats(),
+            db_size: self.db_size(),
+            shard_sizes: self.shard_sizes(),
+            shard_relation_sizes: self.shard_relation_sizes(),
+        }
     }
 
     /// Enumerates the distinct result tuples with their multiplicities.
@@ -527,10 +563,11 @@ impl ShardedEngine {
     }
 }
 
-// The serving layer (`ivme-server`) shares one `ShardedEngine` across
-// reader threads behind an `RwLock`, so `Send + Sync` is load-bearing API:
-// every field is owned data, the merge cache is a `Mutex` of `Arc`'d
-// merged components, and nothing holds `Rc`/`RefCell`/raw pointers. This
+// The serving layer (`ivme-server`) publishes `ShardedSnapshot`s across
+// reader threads and the group-commit writer owns the `ShardedEngine`
+// itself, so `Send + Sync` is load-bearing API: every field is owned
+// data, the merge cache is per-component `Mutex`es of `Arc`'d merged
+// components, and nothing holds `Rc`/`RefCell`/raw pointers. This
 // assertion turns an accidental future regression (e.g. an `Rc` slipping
 // into the enumeration machinery) into a compile error here instead of a
 // trait-bound error three crates away.
@@ -538,6 +575,7 @@ const _: () = {
     const fn assert_send_sync<T: Send + Sync>() {}
     assert_send_sync::<ShardedEngine>();
     assert_send_sync::<IvmEngine>();
+    assert_send_sync::<ShardedSnapshot>();
 };
 
 /// One component's merged (cross-shard) result.
@@ -546,6 +584,134 @@ struct MergedComponent {
     positions: Vec<usize>,
     /// Distinct tuples with summed multiplicities (unspecified order).
     tuples: Vec<(Tuple, i64)>,
+    /// The same tuples as a hash index, for point lookups on a frozen
+    /// view (`ShardedSnapshot::multiplicity` cannot walk the view trees —
+    /// the engine has moved on).
+    index: FxHashMap<Tuple, i64>,
+}
+
+/// An immutable, self-contained view of a [`ShardedEngine`]'s result at
+/// one commit point: the lock-free serving read surface.
+///
+/// Every method takes `&self` and touches only owned/`Arc`-shared data —
+/// no interior locking, no engine access — so an arbitrary number of
+/// reader threads can serve `enumerate`/`count_distinct`/`multiplicity`/
+/// `enumerate_page`/`result_sorted` from one snapshot while the writer
+/// mutates the engine and publishes fresh snapshots. A snapshot is
+/// **frozen**: it answers every read exactly as the engine did at capture
+/// time, forever, regardless of how many batches commit after it.
+///
+/// Capture is cheap ([`ShardedEngine::snapshot`]): components untouched
+/// since the previous capture are shared between snapshots by `Arc`
+/// clone, so successive snapshots cost `O(Σ changed |C_i|)`, not
+/// `O(result)`.
+pub struct ShardedSnapshot {
+    epoch: u64,
+    free_arity: usize,
+    comps: Vec<Arc<MergedComponent>>,
+    stats: EngineStats,
+    db_size: usize,
+    shard_sizes: Vec<usize>,
+    shard_relation_sizes: Vec<Vec<(String, usize)>>,
+}
+
+impl ShardedSnapshot {
+    /// The caller-assigned publish epoch this snapshot was captured at.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Arity of the result schema.
+    pub fn free_arity(&self) -> usize {
+        self.free_arity
+    }
+
+    /// Engine maintenance counters as of the capture.
+    pub fn stats(&self) -> EngineStats {
+        self.stats
+    }
+
+    /// Total database size `N` as of the capture.
+    pub fn db_size(&self) -> usize {
+        self.db_size
+    }
+
+    /// Effective shard count of the captured engine.
+    pub fn num_shards(&self) -> usize {
+        self.shard_sizes.len()
+    }
+
+    /// Per-shard database sizes as of the capture.
+    pub fn shard_sizes(&self) -> &[usize] {
+        &self.shard_sizes
+    }
+
+    /// Per-shard `(relation, distinct tuples)` as of the capture.
+    pub fn shard_relation_sizes(&self) -> &[Vec<(String, usize)>] {
+        &self.shard_relation_sizes
+    }
+
+    /// Enumerates the frozen result — same iterator machinery as
+    /// [`ShardedEngine::enumerate`], fed from the snapshot's own `Arc`s.
+    pub fn enumerate(&self) -> MergedResultIter {
+        MergedResultIter::new(self.comps.clone(), self.free_arity)
+    }
+
+    /// Number of distinct result tuples in the frozen result.
+    pub fn count_distinct(&self) -> usize {
+        if self.comps.is_empty() {
+            return 0;
+        }
+        self.comps.iter().map(|c| c.tuples.len()).product()
+    }
+
+    /// Multiplicity of one fully-specified result tuple in the frozen
+    /// result: per component, a hash probe of the merged index; the
+    /// product across components. Wrong-arity tuples report 0.
+    pub fn multiplicity(&self, tuple: &Tuple) -> i64 {
+        if tuple.arity() != self.free_arity {
+            return 0;
+        }
+        let mut seg: Vec<Value> = Vec::new();
+        let mut total = 1i64;
+        for c in &self.comps {
+            seg.clear();
+            seg.extend(c.positions.iter().map(|&p| tuple.get(p).clone()));
+            let m = c.index.get(&Tuple::from_slice(&seg)).copied().unwrap_or(0);
+            if m == 0 {
+                return 0;
+            }
+            total *= m;
+        }
+        total
+    }
+
+    /// Whether `tuple` is in the frozen result.
+    pub fn contains(&self, tuple: &Tuple) -> bool {
+        self.multiplicity(tuple) != 0
+    }
+
+    /// One page of the frozen result in enumeration order — the
+    /// `O(#components)` mixed-radix seek of
+    /// [`ShardedEngine::enumerate_page`]. Page boundaries are stable for
+    /// the lifetime of the snapshot by construction.
+    pub fn enumerate_page(&self, offset: usize, limit: usize) -> Vec<(Tuple, i64)> {
+        let mut it = self.enumerate();
+        if !it.seek(offset) {
+            return Vec::new();
+        }
+        it.take(limit).collect()
+    }
+
+    /// Collects and sorts the frozen result — test/bench helper.
+    pub fn result_sorted(&self) -> Vec<(Tuple, i64)> {
+        let views: Vec<crate::enumerate::ComponentSlice<'_>> = self
+            .comps
+            .iter()
+            .map(|c| (c.positions.as_slice(), c.tuples.as_slice()))
+            .collect();
+        sorted_product(&views, self.free_arity)
+    }
 }
 
 /// One merge-cache entry: a component's merged result and the per-shard

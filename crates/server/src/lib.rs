@@ -1,10 +1,10 @@
 //! `ivme-server` — a concurrent multi-client serving layer for IVM^ε.
 //!
 //! The serving read path (PR 4) gives quiescent readers ~O(1) cached
-//! merges, ~100ns point lookups, and O(#components) page seeks — but
-//! until now only a single-threaded REPL could reach it. This crate puts
-//! a network front end on the engine, std-only (`std::net::TcpListener`
-//! plus threads; the build environment is offline, so no async runtime):
+//! merges, ~100ns point lookups, and O(#components) page seeks. This
+//! crate puts a network front end on the engine, std-only
+//! (`std::net::TcpListener` plus threads; the build environment is
+//! offline, so no async runtime):
 //!
 //! * **One language.** Connections speak the newline-delimited command
 //!   grammar of the REPL ([`ivme_cli::proto`]): any script that works in
@@ -13,50 +13,72 @@
 //!   lines or `err <msg>`, so clients can pipeline requests (the batch
 //!   submission path writes a whole script before reading acks).
 //!
-//! * **Thread-per-connection readers.** The server owns a
-//!   [`ShardedEngine`] behind an `Arc<RwLock<…>>`. Read commands (`list`,
-//!   `get`, `page`, `count`, `stats`) take the read lock, hit the PR 4
-//!   merge cache, format the response, **release the lock**, and only
-//!   then write to the socket — a slow client never blocks the writer
-//!   while holding the lock.
+//! * **Lock-free reads via epoch snapshot publishing.** There is no lock
+//!   around the engine at all: the group-commit writer thread is the
+//!   *sole owner* of the mutable [`ShardedEngine`], and after every round
+//!   of state changes it publishes an immutable [`ServeSnapshot`] through
+//!   an epoch-stamped `Arc` cell ([`publish::Published`], the std-only
+//!   `arc-swap` pattern). Each connection keeps a cached handle; a read
+//!   command refreshes it — one atomic epoch load, plus an `Arc` clone
+//!   only when a newer snapshot exists — and dispatches against the
+//!   frozen view ([`execute_read`]). Readers never contend with the
+//!   writer or each other: read tail latency is independent of write
+//!   storms. Snapshots are cheap to produce because they reuse the PR 4
+//!   per-component merge cache — unchanged components are `Arc` clones,
+//!   only components the commit touched re-merge, so publishing is
+//!   O(touched components), not O(engine).
 //!
-//! * **Group-commit writes.** Update commands do not take the write lock
-//!   themselves: each connection submits its consolidated [`DeltaBatch`]
-//!   into a bounded channel and waits for its ack. A dedicated writer
-//!   thread drains the channel, coalesces everything pending into a
-//!   *single* merged batch, applies it through the engine's existing
-//!   prepare/apply split under one write-lock acquisition, and fans the
-//!   acks back. `W` concurrent writers cost one lock round and one
-//!   maintenance round instead of `W` — the write-path analogue of the
-//!   read path's merge cache.
+//! * **Group-commit writes.** Update commands each submit their
+//!   consolidated [`DeltaBatch`] into a bounded channel and wait for the
+//!   ack. The writer thread drains the channel, coalesces everything
+//!   pending into a *single* merged batch, applies it through the
+//!   engine's existing prepare/apply split, **publishes the new
+//!   snapshot**, and only then fans the acks back — so a client that has
+//!   seen its ack is guaranteed to see its own write on the next read
+//!   (read-your-writes), and what readers observe is always a committed
+//!   prefix of the group-commit order. `W` concurrent writers cost one
+//!   maintenance round instead of `W`.
 //!
 //! * **Atomic rejection, per client.** A merged group can be poisoned by
 //!   one client's over-delete even though every other member is valid, so
 //!   a failed group apply falls back to applying the member batches
 //!   individually, in arrival order: valid members commit, offenders get
 //!   their own engine error back. (The engine's own prepare/apply split
-//!   guarantees the failed *merged* attempt mutated nothing, which is what
-//!   makes the retry sound.) Clients therefore observe exactly the
+//!   guarantees the failed *merged* attempt mutated nothing, which is
+//!   what makes the retry sound.) Clients therefore observe exactly the
 //!   semantics of the single-threaded shell: their batch either applies
-//!   atomically or is rejected with the engine unchanged.
+//!   atomically or is rejected with the engine unchanged — and a rejected
+//!   batch publishes nothing.
 //!
 //! Admin/setup commands (`query`, `row`, `load`, `build`, `epsilon`,
-//! `mode`, `.shards`) take the write lock directly — they are rare and
-//! reconfigure the shared state. The server always builds a
-//! [`ShardedEngine`] (`.shards 1` by default), so reads and group commits
-//! go down one audited path regardless of shard count.
+//! `mode`, `.shards`) ride the same channel as [`AdminOp`]s — they are
+//! rare, and serializing them through the writer keeps the engine
+//! single-owner with no lock anywhere in the crate. CSV file I/O stays on
+//! the connection thread; only the parsed rows travel through the
+//! channel. The server always builds a [`ShardedEngine`] (`.shards 1` by
+//! default), so reads and group commits go down one audited path
+//! regardless of shard count. Staleness for a reader is bounded by the
+//! in-flight group: the previous snapshot stays valid until the writer
+//! publishes the next, there is never a window where reads block or see
+//! partial state.
+
+pub mod publish;
 
 use std::io::{self, BufRead, BufReader, BufWriter, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc::{Receiver, SyncSender, TrySendError};
-use std::sync::{mpsc, Arc, RwLock};
+use std::sync::{mpsc, Arc};
 use std::thread::JoinHandle;
 use std::time::Instant;
 
 use ivme_cli::proto::{self, Command};
-use ivme_core::{Database, DeltaBatch, EngineOptions, Mode, ShardedEngine};
+use ivme_cli::render;
+use ivme_core::{Database, DeltaBatch, EngineOptions, Mode, ShardedEngine, ShardedSnapshot};
+use ivme_data::Tuple;
 use ivme_query::{classify, Query};
+
+use publish::{Cached, Published};
 
 /// Server tuning knobs. `Default` is sized for tests and local serving.
 #[derive(Clone, Debug)]
@@ -66,7 +88,7 @@ pub struct ServerConfig {
     /// Bounded depth of the write-submission channel: back-pressure for
     /// writers when the group-commit thread falls behind.
     pub queue_depth: usize,
-    /// Maximum client batches coalesced into one group commit.
+    /// Maximum client requests coalesced into one writer round.
     pub group_limit: usize,
 }
 
@@ -91,50 +113,192 @@ pub struct ServeStats {
     pub grouped_batches: u64,
     /// Groups that were rejected as a whole and re-applied per member.
     pub group_retries: u64,
+    /// Snapshots published (the current snapshot epoch).
+    pub snapshots_published: u64,
 }
 
-/// The engine side of the shared state: everything a `build` needs plus
-/// the built engine itself.
-struct EngineState {
+/// The immutable state a read command dispatches against: the registered
+/// query, the evaluation mode, and — once `build` has run — the frozen
+/// engine view. A connection's command sees exactly one `ServeSnapshot`;
+/// the writer publishing a newer one never mutates an old one, so a read
+/// mid-enumeration can never observe a torn batch.
+pub struct ServeSnapshot {
+    query: Option<Query>,
+    mode: Mode,
+    view: Option<ShardedSnapshot>,
+}
+
+impl ServeSnapshot {
+    /// The empty pre-`build` snapshot (epoch 0).
+    fn empty() -> ServeSnapshot {
+        ServeSnapshot {
+            query: None,
+            mode: Mode::Dynamic,
+            view: None,
+        }
+    }
+
+    fn view(&self) -> Result<&ShardedSnapshot, String> {
+        self.view.as_ref().ok_or_else(|| "run `build` first".into())
+    }
+
+    fn query(&self) -> Result<&Query, String> {
+        self.query
+            .as_ref()
+            .ok_or_else(|| "no query registered".into())
+    }
+}
+
+/// The writer thread's private, single-owner mutable state. Nothing else
+/// in the process can reach it — the rest of the server only ever sees
+/// the [`ServeSnapshot`]s it publishes.
+struct OwnedState {
     query: Option<Query>,
     epsilon: f64,
     mode: Mode,
     shards: usize,
     staged: Database,
     engine: Option<ShardedEngine>,
+    /// Epoch of the last published snapshot.
+    epoch: u64,
 }
 
-impl EngineState {
-    fn new() -> EngineState {
-        EngineState {
+impl OwnedState {
+    fn new() -> OwnedState {
+        OwnedState {
             query: None,
             epsilon: 0.5,
             mode: Mode::Dynamic,
             shards: 1,
             staged: Database::new(),
             engine: None,
+            epoch: 0,
+        }
+    }
+
+    /// Executes one admin operation; `Ok` responses also mark the round
+    /// dirty so the caller republishes.
+    fn admin(&mut self, op: AdminOp) -> Result<String, String> {
+        use std::fmt::Write as _;
+        match op {
+            AdminOp::Query(q) => {
+                let c = classify(&q);
+                let mut out = String::new();
+                let _ = writeln!(out, "registered {q}");
+                let _ = writeln!(
+                    out,
+                    "w = {}, δ = {}, free-connex: {}, q-hierarchical: {}",
+                    c.static_width.unwrap(),
+                    c.dynamic_width.unwrap(),
+                    c.free_connex,
+                    c.q_hierarchical
+                );
+                self.query = Some(q);
+                self.engine = None;
+                Ok(out)
+            }
+            AdminOp::Epsilon(e) => {
+                self.epsilon = e;
+                Ok(format!("epsilon = {e}\n"))
+            }
+            AdminOp::Mode(m) => {
+                self.mode = m;
+                Ok(format!(
+                    "mode = {}\n",
+                    match m {
+                        Mode::Dynamic => "dynamic",
+                        Mode::Static => "static",
+                    }
+                ))
+            }
+            AdminOp::Shards(n) => {
+                self.shards = n;
+                let note = if self.engine.is_some() {
+                    " (takes effect on the next `build`)"
+                } else {
+                    ""
+                };
+                Ok(format!("shards = {n}{note}\n"))
+            }
+            AdminOp::Rows { relation, rows } => {
+                let n = rows.len();
+                for t in rows {
+                    self.staged.insert(&relation, t, 1);
+                }
+                Ok(if n == 1 {
+                    format!("staged 1 row into {relation}\n")
+                } else {
+                    format!("staged {n} rows into {relation}\n")
+                })
+            }
+            AdminOp::Build => {
+                let q = self.query.as_ref().ok_or("no query registered")?;
+                let opts = EngineOptions {
+                    epsilon: self.epsilon,
+                    mode: self.mode,
+                };
+                // Always sharded (S ≥ 1): one read/commit path per build.
+                let eng = ShardedEngine::new(q, &self.staged, opts, self.shards)
+                    .map_err(|e| e.to_string())?;
+                let msg = format!(
+                    "built: N = {}, {} shards (sizes {:?})\n",
+                    eng.db_size(),
+                    eng.num_shards(),
+                    eng.shard_sizes()
+                );
+                self.engine = Some(eng);
+                Ok(msg)
+            }
         }
     }
 }
 
 /// State shared by the accept loop, connection threads, and the writer.
 struct Shared {
-    state: RwLock<EngineState>,
+    published: Published<ServeSnapshot>,
     shutdown: AtomicBool,
     connections: AtomicU64,
     group_commits: AtomicU64,
     grouped_batches: AtomicU64,
     group_retries: AtomicU64,
+    snapshots_published: AtomicU64,
 }
 
-/// One write submission: a consolidated batch and the channel to ack on.
-struct WriteReq {
-    batch: DeltaBatch,
-    ack: mpsc::Sender<WriteAck>,
+/// Rare state-changing commands, serialized through the writer thread so
+/// the engine stays single-owner (file I/O happens before submission, on
+/// the connection thread).
+enum AdminOp {
+    Query(Query),
+    Epsilon(f64),
+    Mode(Mode),
+    Shards(usize),
+    Rows { relation: String, rows: Vec<Tuple> },
+    Build,
+}
+
+/// One submission into the writer channel.
+enum Request {
+    /// A consolidated update batch and the channel to ack on.
+    Batch {
+        batch: DeltaBatch,
+        ack: mpsc::Sender<WriteAck>,
+    },
+    /// An admin operation and the channel its response rides back on.
+    Admin {
+        op: AdminOp,
+        ack: mpsc::Sender<Result<String, String>>,
+    },
 }
 
 /// What the writer thread reports back per submitted batch.
 type WriteAck = Result<GroupInfo, String>;
+
+/// An ack the writer holds back until after the publish, so a client that
+/// sees its response is guaranteed to read its own write.
+enum PendingAck {
+    Write(mpsc::Sender<WriteAck>, WriteAck),
+    Admin(mpsc::Sender<Result<String, String>>, Result<String, String>),
+}
 
 /// Timing/shape of the group commit a batch rode in.
 #[derive(Clone, Copy, Debug)]
@@ -161,14 +325,15 @@ impl Server {
         let listener = TcpListener::bind(&config.addr)?;
         let addr = listener.local_addr()?;
         let shared = Arc::new(Shared {
-            state: RwLock::new(EngineState::new()),
+            published: Published::new(ServeSnapshot::empty()),
             shutdown: AtomicBool::new(false),
             connections: AtomicU64::new(0),
             group_commits: AtomicU64::new(0),
             grouped_batches: AtomicU64::new(0),
             group_retries: AtomicU64::new(0),
+            snapshots_published: AtomicU64::new(0),
         });
-        let (tx, rx) = mpsc::sync_channel::<WriteReq>(config.queue_depth);
+        let (tx, rx) = mpsc::sync_channel::<Request>(config.queue_depth);
         {
             let shared = Arc::clone(&shared);
             let group_limit = config.group_limit.max(1);
@@ -201,6 +366,7 @@ impl Server {
             group_commits: self.shared.group_commits.load(Ordering::Relaxed),
             grouped_batches: self.shared.grouped_batches.load(Ordering::Relaxed),
             group_retries: self.shared.group_retries.load(Ordering::Relaxed),
+            snapshots_published: self.shared.snapshots_published.load(Ordering::Relaxed),
         }
     }
 
@@ -234,7 +400,7 @@ impl Drop for Server {
     }
 }
 
-fn accept_loop(listener: TcpListener, shared: Arc<Shared>, tx: SyncSender<WriteReq>) {
+fn accept_loop(listener: TcpListener, shared: Arc<Shared>, tx: SyncSender<Request>) {
     for stream in listener.incoming() {
         if shared.shutdown.load(Ordering::SeqCst) {
             break;
@@ -254,10 +420,11 @@ fn accept_loop(listener: TcpListener, shared: Arc<Shared>, tx: SyncSender<WriteR
 }
 
 // ----------------------------------------------------------------------
-// Group-commit writer
+// Group-commit writer: sole owner of the engine, publisher of snapshots
 // ----------------------------------------------------------------------
 
-fn writer_loop(rx: Receiver<WriteReq>, shared: Arc<Shared>, group_limit: usize) {
+fn writer_loop(rx: Receiver<Request>, shared: Arc<Shared>, group_limit: usize) {
+    let mut state = OwnedState::new();
     while let Ok(first) = rx.recv() {
         let mut reqs = vec![first];
         while reqs.len() < group_limit {
@@ -266,72 +433,127 @@ fn writer_loop(rx: Receiver<WriteReq>, shared: Arc<Shared>, group_limit: usize) 
                 Err(_) => break,
             }
         }
-        // Coalesce the whole group into one batch *before* taking the
-        // write lock — the merge clones every member tuple, and readers
-        // (whose tail latency this layer is gated on) must not stall
-        // behind work that doesn't need the engine. One lock round, one
-        // validation pass, one maintenance round per group.
-        let merged: Option<DeltaBatch> = (reqs.len() > 1).then(|| {
-            let mut merged = DeltaBatch::new();
-            for r in &reqs {
-                for rel in r.batch.relations() {
-                    merged.extend_relation(rel, r.batch.deltas(rel).map(|(t, d)| (t.clone(), d)));
+        // Process the drained requests in arrival order: maximal runs of
+        // consecutive batches become one group commit each; admin ops are
+        // serialization points between runs. Every ack is held back until
+        // the publish below.
+        let mut acks: Vec<PendingAck> = Vec::with_capacity(reqs.len());
+        let mut dirty = false;
+        let mut run: Vec<(DeltaBatch, mpsc::Sender<WriteAck>)> = Vec::new();
+        for req in reqs {
+            match req {
+                Request::Batch { batch, ack } => run.push((batch, ack)),
+                Request::Admin { op, ack } => {
+                    commit_run(&mut run, &mut state, &shared, &mut acks, &mut dirty);
+                    let res = state.admin(op);
+                    dirty |= res.is_ok();
+                    acks.push(PendingAck::Admin(ack, res));
                 }
             }
-            merged
-        });
-        let mut state = shared.state.write().unwrap();
-        let Some(eng) = state.engine.as_mut() else {
-            for r in reqs {
-                let _ = r.ack.send(Err("run `build` first".to_owned()));
+        }
+        commit_run(&mut run, &mut state, &shared, &mut acks, &mut dirty);
+        // Publish before acking: a writer that sees `ok` reads its own
+        // write on its very next command. Rejected-only rounds publish
+        // nothing — readers cannot tell a rejection happened.
+        if dirty {
+            let epoch = state.epoch + 1;
+            shared.published.publish(ServeSnapshot {
+                query: state.query.clone(),
+                mode: state.mode,
+                view: state.engine.as_ref().map(|e| e.snapshot(epoch)),
+            });
+            state.epoch = epoch;
+            shared.snapshots_published.fetch_add(1, Ordering::Relaxed);
+        }
+        for ack in acks {
+            match ack {
+                PendingAck::Write(tx, res) => {
+                    let _ = tx.send(res);
+                }
+                PendingAck::Admin(tx, res) => {
+                    let _ = tx.send(res);
+                }
             }
-            continue;
-        };
-        shared.group_commits.fetch_add(1, Ordering::Relaxed);
-        shared
-            .grouped_batches
-            .fetch_add(reqs.len() as u64, Ordering::Relaxed);
-        let Some(merged) = merged else {
-            let r = &reqs[0];
-            let t0 = Instant::now();
-            let ack = eng
-                .apply_delta_batch(&r.batch)
-                .map(|()| GroupInfo {
-                    group: 1,
-                    apply_micros: t0.elapsed().as_micros(),
-                })
-                .map_err(|e| e.to_string());
-            let _ = reqs[0].ack.send(ack);
-            continue;
-        };
+        }
+    }
+}
+
+/// Applies one run of consecutive client batches as a single group
+/// commit (with per-member replay if the merged batch rejects), emptying
+/// `run`. Acks are deferred into `acks`; `dirty` is set if anything
+/// committed.
+fn commit_run(
+    run: &mut Vec<(DeltaBatch, mpsc::Sender<WriteAck>)>,
+    state: &mut OwnedState,
+    shared: &Shared,
+    acks: &mut Vec<PendingAck>,
+    dirty: &mut bool,
+) {
+    if run.is_empty() {
+        return;
+    }
+    let members = std::mem::take(run);
+    let Some(eng) = state.engine.as_mut() else {
+        for (_, ack) in members {
+            acks.push(PendingAck::Write(ack, Err("run `build` first".to_owned())));
+        }
+        return;
+    };
+    shared.group_commits.fetch_add(1, Ordering::Relaxed);
+    shared
+        .grouped_batches
+        .fetch_add(members.len() as u64, Ordering::Relaxed);
+    if members.len() == 1 {
+        let (batch, ack) = members.into_iter().next().unwrap();
         let t0 = Instant::now();
-        match eng.apply_delta_batch(&merged) {
-            Ok(()) => {
-                let info = GroupInfo {
-                    group: reqs.len(),
-                    apply_micros: t0.elapsed().as_micros(),
-                };
-                for r in reqs {
-                    let _ = r.ack.send(Ok(info));
-                }
+        let res = eng
+            .apply_delta_batch(&batch)
+            .map(|()| GroupInfo {
+                group: 1,
+                apply_micros: t0.elapsed().as_micros(),
+            })
+            .map_err(|e| e.to_string());
+        *dirty |= res.is_ok();
+        acks.push(PendingAck::Write(ack, res));
+        return;
+    }
+    // Coalesce the whole run into one batch: one validation pass, one
+    // maintenance round, one snapshot publish for the entire group.
+    let mut merged = DeltaBatch::new();
+    for (b, _) in &members {
+        for rel in b.relations() {
+            merged.extend_relation(rel, b.deltas(rel).map(|(t, d)| (t.clone(), d)));
+        }
+    }
+    let t0 = Instant::now();
+    match eng.apply_delta_batch(&merged) {
+        Ok(()) => {
+            *dirty = true;
+            let info = GroupInfo {
+                group: members.len(),
+                apply_micros: t0.elapsed().as_micros(),
+            };
+            for (_, ack) in members {
+                acks.push(PendingAck::Write(ack, Ok(info)));
             }
-            Err(_) => {
-                // Some member poisoned the group; the failed merged apply
-                // mutated nothing (prepare/apply split), so replay the
-                // members individually in arrival order — only offenders
-                // see an error.
-                shared.group_retries.fetch_add(1, Ordering::Relaxed);
-                for r in reqs {
-                    let t0 = Instant::now();
-                    let ack = eng
-                        .apply_delta_batch(&r.batch)
-                        .map(|()| GroupInfo {
-                            group: 1,
-                            apply_micros: t0.elapsed().as_micros(),
-                        })
-                        .map_err(|e| e.to_string());
-                    let _ = r.ack.send(ack);
-                }
+        }
+        Err(_) => {
+            // Some member poisoned the group; the failed merged apply
+            // mutated nothing (prepare/apply split), so replay the
+            // members individually in arrival order — only offenders
+            // see an error.
+            shared.group_retries.fetch_add(1, Ordering::Relaxed);
+            for (batch, ack) in members {
+                let t0 = Instant::now();
+                let res = eng
+                    .apply_delta_batch(&batch)
+                    .map(|()| GroupInfo {
+                        group: 1,
+                        apply_micros: t0.elapsed().as_micros(),
+                    })
+                    .map_err(|e| e.to_string());
+                *dirty |= res.is_ok();
+                acks.push(PendingAck::Write(ack, res));
             }
         }
     }
@@ -342,11 +564,28 @@ fn writer_loop(rx: Receiver<WriteReq>, shared: Arc<Shared>, group_limit: usize) 
 // ----------------------------------------------------------------------
 
 /// Submits one batch to the writer thread and waits for its ack.
-fn submit(tx: &SyncSender<WriteReq>, batch: DeltaBatch) -> Result<GroupInfo, String> {
+fn submit(tx: &SyncSender<Request>, batch: DeltaBatch) -> Result<GroupInfo, String> {
     let (ack_tx, ack_rx) = mpsc::channel();
-    let req = WriteReq { batch, ack: ack_tx };
+    let req = Request::Batch { batch, ack: ack_tx };
     // Block on a full queue (back-pressure) without busy-waiting; `send`
     // only fails when the writer thread is gone, which means shutdown.
+    if let Err(e) = tx.try_send(req) {
+        match e {
+            TrySendError::Full(req) => tx
+                .send(req)
+                .map_err(|_| "server is shutting down".to_owned())?,
+            TrySendError::Disconnected(_) => return Err("server is shutting down".to_owned()),
+        }
+    }
+    ack_rx
+        .recv()
+        .map_err(|_| "server is shutting down".to_owned())?
+}
+
+/// Submits one admin op to the writer thread and waits for its response.
+fn admin(tx: &SyncSender<Request>, op: AdminOp) -> Result<String, String> {
+    let (ack_tx, ack_rx) = mpsc::channel();
+    let req = Request::Admin { op, ack: ack_tx };
     if let Err(e) = tx.try_send(req) {
         match e {
             TrySendError::Full(req) => tx
@@ -364,7 +603,7 @@ fn submit(tx: &SyncSender<WriteReq>, batch: DeltaBatch) -> Result<GroupInfo, Str
 /// `Some((relation, tuple-or-parse-error, ±1))` when the line is an update
 /// command, `None` for anything else (which then goes through
 /// [`proto::parse_command`] as usual).
-fn parse_staged_update(line: &str) -> Option<(&str, Result<ivme_data::Tuple, String>, i64)> {
+fn parse_staged_update(line: &str) -> Option<(&str, Result<Tuple, String>, i64)> {
     let line = line.trim();
     let (verb, rest) = line.split_once(char::is_whitespace)?;
     let delta = match verb {
@@ -379,13 +618,16 @@ fn parse_staged_update(line: &str) -> Option<(&str, Result<ivme_data::Tuple, Str
 fn handle_connection(
     stream: TcpStream,
     shared: Arc<Shared>,
-    tx: SyncSender<WriteReq>,
+    tx: SyncSender<Request>,
 ) -> io::Result<()> {
     stream.set_nodelay(true)?;
     let mut reader = BufReader::new(stream.try_clone()?);
     let mut writer = BufWriter::new(stream);
     // Per-connection `.batch` staging area — mirrors the shell's.
     let mut pending: Option<DeltaBatch> = None;
+    // Per-connection snapshot handle: refreshed (one atomic load) per
+    // read command, re-cloned only when the writer has published since.
+    let mut cache = shared.published.cache();
     let mut line = String::new();
     loop {
         // Flush buffered responses before a read that could block: a
@@ -430,7 +672,7 @@ fn handle_connection(
             }
         };
         let quit = matches!(cmd, Command::Quit);
-        match execute(cmd, &shared, &tx, &mut pending) {
+        match execute(cmd, &shared, &mut cache, &tx, &mut pending) {
             Ok(out) => proto::write_ok(&mut writer, &out)?,
             Err(e) => proto::write_err(&mut writer, &e)?,
         }
@@ -441,100 +683,39 @@ fn handle_connection(
     writer.flush()
 }
 
-/// Executes one command against the shared state. Read commands format
-/// their response under the read lock and return it; the caller writes to
-/// the socket only after the lock is released.
+/// Executes one command. Reads refresh the connection's snapshot handle
+/// and dispatch lock-free through [`execute_read`]; writes and admin
+/// commands travel the writer channel.
 fn execute(
     cmd: Command,
     shared: &Shared,
-    tx: &SyncSender<WriteReq>,
+    cache: &mut Cached<ServeSnapshot>,
+    tx: &SyncSender<Request>,
     pending: &mut Option<DeltaBatch>,
 ) -> Result<String, String> {
     match cmd {
         Command::Quit => Ok("bye\n".to_owned()),
         Command::Help => Ok(proto::HELP.to_owned()),
 
-        // ---- admin/setup: direct write lock ----
-        Command::Query(q) => {
-            let c = classify(&q);
-            let mut state = shared.state.write().unwrap();
-            let mut out = String::new();
-            use std::fmt::Write as _;
-            let _ = writeln!(out, "registered {q}");
-            let _ = writeln!(
-                out,
-                "w = {}, δ = {}, free-connex: {}, q-hierarchical: {}",
-                c.static_width.unwrap(),
-                c.dynamic_width.unwrap(),
-                c.free_connex,
-                c.q_hierarchical
-            );
-            state.query = Some(q);
-            state.engine = None;
-            Ok(out)
-        }
-        Command::Epsilon(e) => {
-            shared.state.write().unwrap().epsilon = e;
-            Ok(format!("epsilon = {e}\n"))
-        }
-        Command::Mode(m) => {
-            shared.state.write().unwrap().mode = m;
-            Ok(format!(
-                "mode = {}\n",
-                match m {
-                    Mode::Dynamic => "dynamic",
-                    Mode::Static => "static",
-                }
-            ))
-        }
-        Command::Shards(n) => {
-            let mut state = shared.state.write().unwrap();
-            state.shards = n;
-            let note = if state.engine.is_some() {
-                " (takes effect on the next `build`)"
-            } else {
-                ""
-            };
-            Ok(format!("shards = {n}{note}\n"))
-        }
-        Command::Row { relation, tuple } => {
-            shared
-                .state
-                .write()
-                .unwrap()
-                .staged
-                .insert(&relation, tuple, 1);
-            Ok(format!("staged 1 row into {relation}\n"))
-        }
+        // ---- admin/setup: serialized through the writer thread ----
+        Command::Query(q) => admin(tx, AdminOp::Query(q)),
+        Command::Epsilon(e) => admin(tx, AdminOp::Epsilon(e)),
+        Command::Mode(m) => admin(tx, AdminOp::Mode(m)),
+        Command::Shards(n) => admin(tx, AdminOp::Shards(n)),
+        Command::Row { relation, tuple } => admin(
+            tx,
+            AdminOp::Rows {
+                relation,
+                rows: vec![tuple],
+            },
+        ),
         Command::Load { relation, path } => {
-            // File I/O outside the lock; the server reads its own disk.
+            // File I/O on the connection thread — the server reads its own
+            // disk; only the parsed rows travel to the writer.
             let rows = proto::load_csv(&path)?;
-            let n = rows.len();
-            let mut state = shared.state.write().unwrap();
-            for t in rows {
-                state.staged.insert(&relation, t, 1);
-            }
-            Ok(format!("staged {n} rows into {relation}\n"))
+            admin(tx, AdminOp::Rows { relation, rows })
         }
-        Command::Build => {
-            let mut state = shared.state.write().unwrap();
-            let q = state.query.as_ref().ok_or("no query registered")?;
-            let opts = EngineOptions {
-                epsilon: state.epsilon,
-                mode: state.mode,
-            };
-            // Always sharded (S ≥ 1): one read/commit path for every build.
-            let eng = ShardedEngine::new(q, &state.staged, opts, state.shards)
-                .map_err(|e| e.to_string())?;
-            let msg = format!(
-                "built: N = {}, {} shards (sizes {:?})\n",
-                eng.db_size(),
-                eng.num_shards(),
-                eng.shard_sizes()
-            );
-            state.engine = Some(eng);
-            Ok(msg)
-        }
+        Command::Build => admin(tx, AdminOp::Build),
 
         // ---- writes: group-commit channel ----
         Command::Update {
@@ -576,13 +757,7 @@ fn execute(
             if pending.is_some() {
                 return Err("a batch is already open (`.batch commit|abort`)".into());
             }
-            shared
-                .state
-                .read()
-                .unwrap()
-                .engine
-                .as_ref()
-                .ok_or("run `build` first")?;
+            shared.published.refresh(cache).view()?;
             *pending = Some(DeltaBatch::new());
             Ok("batch open: insert/delete now stage until `.batch commit`\n".to_owned())
         }
@@ -618,72 +793,34 @@ fn execute(
             None => Ok("no open batch\n".to_owned()),
         },
 
-        // ---- reads: shared read lock, formatted under the lock ----
-        Command::List { limit } => {
-            use std::fmt::Write as _;
-            let state = shared.state.read().unwrap();
-            let eng = state.engine.as_ref().ok_or("run `build` first")?;
-            let mut out = String::new();
-            let mut shown = 0;
-            for (t, m) in eng.enumerate().take(limit) {
-                let _ = writeln!(out, "{t} x{m}");
-                shown += 1;
-            }
-            let _ = writeln!(out, "({shown} tuples)");
-            Ok(out)
-        }
-        Command::Get(t) => {
-            let state = shared.state.read().unwrap();
-            let eng = state.engine.as_ref().ok_or("run `build` first")?;
-            let q = state.query.as_ref().ok_or("no query registered")?;
-            if t.arity() != q.free.arity() {
-                return Err(format!(
-                    "tuple {t} has arity {}, but the result schema {:?} has arity {}",
-                    t.arity(),
-                    q.free,
-                    q.free.arity()
-                ));
-            }
-            let m = eng.multiplicity(&t);
-            Ok(if m == 0 {
-                format!("{t} not in result\n")
-            } else {
-                format!("{t} x{m}\n")
-            })
-        }
-        Command::Page { offset, limit } => {
-            use std::fmt::Write as _;
-            let state = shared.state.read().unwrap();
-            let eng = state.engine.as_ref().ok_or("run `build` first")?;
-            let mut out = String::new();
-            let page = eng.enumerate_page(offset, limit);
-            for (t, m) in &page {
-                let _ = writeln!(out, "{t} x{m}");
-            }
-            let _ = writeln!(out, "({} tuples at offset {offset})", page.len());
-            Ok(out)
-        }
-        Command::Count => {
-            let state = shared.state.read().unwrap();
-            let eng = state.engine.as_ref().ok_or("run `build` first")?;
-            Ok(format!("{}\n", eng.count_distinct()))
-        }
-        Command::Stats => {
-            let state = shared.state.read().unwrap();
-            let eng = state.engine.as_ref().ok_or("run `build` first")?;
-            Ok(ivme_cli::sharded_stats(eng))
-        }
-        Command::Classify => {
-            let state = shared.state.read().unwrap();
-            let q = state.query.as_ref().ok_or("no query registered")?;
-            Ok(format!("{:#?}\n", classify(q)))
-        }
+        // ---- reads: lock-free against the published snapshot ----
+        cmd => execute_read(cmd, shared.published.refresh(cache)),
+    }
+}
+
+/// Executes one read command against an immutable [`ServeSnapshot`].
+///
+/// This is the whole read dispatch path, and its signature is the
+/// lock-freedom proof: it sees `&ServeSnapshot` — no `RwLock`, no
+/// `Mutex`, no channel, not even the [`Server`] — so a read command
+/// cannot acquire a lock no matter what the rest of the crate does.
+/// Formatting is shared with the REPL ([`ivme_cli::render`]), so shell
+/// transcripts and server transcripts stay byte-identical.
+pub fn execute_read(cmd: Command, snap: &ServeSnapshot) -> Result<String, String> {
+    match cmd {
+        Command::List { limit } => Ok(render::render_list(snap.view()?, limit)),
+        Command::Get(t) => render::render_get(snap.view()?, snap.query()?, &t),
+        Command::Page { offset, limit } => Ok(render::render_page(snap.view()?, offset, limit)),
+        Command::Count => Ok(render::render_count(snap.view()?)),
+        Command::Stats => Ok(render::render_stats(snap.view()?)),
+        Command::Classify => Ok(format!("{:#?}\n", classify(snap.query()?))),
         Command::Plan => {
-            let state = shared.state.read().unwrap();
-            let q = state.query.as_ref().ok_or("no query registered")?;
-            let plan = ivme_plan::compile(q, state.mode).map_err(|e| e.to_string())?;
+            let plan = ivme_plan::compile(snap.query()?, snap.mode).map_err(|e| e.to_string())?;
             Ok(plan.render())
         }
+        // Non-read commands never reach here: `execute` matches them
+        // first. Report rather than panic for direct callers.
+        _ => Err("not a read command".to_owned()),
     }
 }
 
@@ -751,6 +888,7 @@ mod tests {
         let stats = c.ok("stats");
         assert!(stats.contains("updates = 2"), "{stats}");
         assert!(stats.contains("misroutes = 0"), "{stats}");
+        assert!(stats.contains("snapshot_epoch = "), "{stats}");
         assert!(c.ok("help").contains(".batch begin"));
         assert_eq!(c.ok("quit"), "bye\n");
     }
@@ -819,11 +957,23 @@ mod tests {
                 std::thread::spawn(move || {
                     let mut c = TestClient::connect(addr);
                     let mut last = 0usize;
+                    let mut last_epoch = 0u64;
                     for _ in 0..20 {
                         let n: usize = c.ok("count").trim().parse().unwrap();
                         // Counts only grow (inserts join against fixed R).
                         assert!(n >= last, "count went backwards: {last} -> {n}");
                         last = n;
+                        // Snapshot epochs only grow per connection.
+                        let stats = c.ok("stats");
+                        let epoch: u64 = stats
+                            .split("snapshot_epoch = ")
+                            .nth(1)
+                            .and_then(|s| s.split_whitespace().next())
+                            .unwrap()
+                            .parse()
+                            .unwrap();
+                        assert!(epoch >= last_epoch, "epoch went backwards: {stats}");
+                        last_epoch = epoch;
                     }
                 })
             })
@@ -842,6 +992,8 @@ mod tests {
         assert_eq!(ss.grouped_batches, 32);
         assert!(ss.group_commits <= 32);
         assert!(ss.connections >= 7);
+        // Every commit published at most one snapshot (plus setup rounds).
+        assert!(ss.snapshots_published >= 1);
     }
 
     #[test]
@@ -910,5 +1062,80 @@ mod tests {
         let stats = c.ok("stats");
         assert!(stats.contains("shards = 3"), "{stats}");
         assert!(stats.contains("shard 2: N ="), "{stats}");
+    }
+
+    #[test]
+    fn read_dispatch_needs_only_an_immutable_snapshot() {
+        // The acceptance check for "no lock acquisition on the read
+        // path": build a ServeSnapshot by hand — no server, no channel,
+        // no lock — then run every read command through the exact
+        // dispatch function the connection threads use. After `drop(eng)`
+        // the engine (and every Mutex inside its merge cache) is gone;
+        // the snapshot keeps serving.
+        let mut db = Database::new();
+        db.insert("R", Tuple::ints(&[1, 10]), 1);
+        db.insert("R", Tuple::ints(&[2, 10]), 1);
+        db.insert("S", Tuple::ints(&[10, 5]), 1);
+        let q = ivme_query::parse_query("Q(A,C) :- R(A,B), S(B,C)").unwrap();
+        let eng = ShardedEngine::new(&q, &db, EngineOptions::dynamic(0.5), 2).unwrap();
+        let snap = ServeSnapshot {
+            query: Some(q),
+            mode: Mode::Dynamic,
+            view: Some(eng.snapshot(3)),
+        };
+        drop(eng);
+        assert_eq!(execute_read(Command::Count, &snap).unwrap(), "2\n");
+        let list = execute_read(Command::List { limit: 10 }, &snap).unwrap();
+        assert!(list.contains("(2 tuples)"), "{list}");
+        assert_eq!(
+            execute_read(Command::Get(Tuple::ints(&[1, 5])), &snap).unwrap(),
+            "(1, 5) x1\n"
+        );
+        let page = execute_read(
+            Command::Page {
+                offset: 0,
+                limit: 1,
+            },
+            &snap,
+        )
+        .unwrap();
+        assert!(page.contains("(1 tuples at offset 0)"), "{page}");
+        let stats = execute_read(Command::Stats, &snap).unwrap();
+        assert!(stats.contains("snapshot_epoch = 3"), "{stats}");
+        assert!(execute_read(Command::Classify, &snap).is_ok());
+        assert!(execute_read(Command::Plan, &snap).is_ok());
+        assert!(execute_read(Command::Build, &snap).is_err());
+        // Sharing snapshots across connection threads needs no lock
+        // wrapper — checked at compile time.
+        const fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<ServeSnapshot>();
+        assert_send_sync::<Published<ServeSnapshot>>();
+    }
+
+    #[test]
+    fn publishing_is_observable_through_stats() {
+        let (server, mut c) = demo_server();
+        let epoch_of = |stats: &str| -> u64 {
+            stats
+                .split("snapshot_epoch = ")
+                .nth(1)
+                .and_then(|s| s.split_whitespace().next())
+                .unwrap()
+                .parse()
+                .unwrap()
+        };
+        let e0 = epoch_of(&c.ok("stats"));
+        // Reads alone never move the epoch.
+        c.ok("count");
+        c.ok("list");
+        assert_eq!(epoch_of(&c.ok("stats")), e0);
+        // A committed write publishes exactly once for the round.
+        c.ok("insert S 10,6");
+        let e1 = epoch_of(&c.ok("stats"));
+        assert!(e1 > e0, "write did not publish: {e0} -> {e1}");
+        // A rejected write publishes nothing.
+        assert!(c.send("delete R 99,99").is_err());
+        assert_eq!(epoch_of(&c.ok("stats")), e1);
+        assert!(server.serve_stats().snapshots_published >= e1);
     }
 }

@@ -77,8 +77,12 @@ fn update_batch_script(relation: &str, tuples: &[Tuple], insert: bool) -> Script
 #[derive(Clone, Debug, Default)]
 pub struct DriveReport {
     /// Per-read wall latencies (request write → response fully read),
-    /// all readers merged, sorted ascending.
+    /// all readers merged, sorted ascending. Warmup reads are excluded.
     pub read_latencies_ns: Vec<u64>,
+    /// Reads issued and discarded during the per-client warmup window
+    /// (connection setup, first-touch caches, scheduler migration — one
+    /// early stall must not masquerade as steady-state tail).
+    pub warmup_reads: usize,
     /// Wall time of the read phase: max over readers of their loop time.
     pub read_secs: f64,
     /// Engine updates carried by successfully acked writer scripts.
@@ -178,16 +182,22 @@ impl Client {
 }
 
 /// Drives `readers` reader clients (each issuing `read_cmd`
-/// `reads_per_client` times, closed loop) concurrently with one writer
-/// client per entry of `writer_scripts` (each running its scripts in
-/// order, closed loop at script granularity). Returns the merged report.
+/// `warmup_per_client` untimed times and then `reads_per_client` timed
+/// times, closed loop) concurrently with one writer client per entry of
+/// `writer_scripts` (each running its scripts in order, closed loop at
+/// script granularity). Returns the merged report.
 ///
-/// All clients connect before any traffic starts, so the phases overlap
-/// for the whole run as long as the workloads are sized comparably.
+/// Warmup reads are real requests — they exercise the full wire path —
+/// but their latencies are discarded: connection setup and first-touch
+/// effects land in the warmup window instead of inflating the recorded
+/// tail. All clients connect before any traffic starts, so the phases
+/// overlap for the whole run as long as the workloads are sized
+/// comparably.
 pub fn drive(
     addr: SocketAddr,
     readers: usize,
     read_cmd: &str,
+    warmup_per_client: usize,
     reads_per_client: usize,
     writer_scripts: &[Vec<Script>],
 ) -> DriveReport {
@@ -204,6 +214,10 @@ pub fn drive(
             .iter_mut()
             .map(|client| {
                 scope.spawn(move || {
+                    for _ in 0..warmup_per_client {
+                        let resp = client.request(read_cmd).expect("warmup read");
+                        assert!(resp.is_ok(), "warmup `{read_cmd}` failed: {resp:?}");
+                    }
                     let mut lat = Vec::with_capacity(reads_per_client);
                     let t0 = Instant::now();
                     for _ in 0..reads_per_client {
@@ -239,6 +253,7 @@ pub fn drive(
             let (lat, secs) = h.join().expect("reader thread");
             report.read_latencies_ns.extend(lat);
             report.read_secs = report.read_secs.max(secs);
+            report.warmup_reads += warmup_per_client;
         }
         for h in write_handles {
             let (updates, errors, secs) = h.join().expect("writer thread");

@@ -1,15 +1,19 @@
 //! Compare two bench-metrics JSON files and print a regression table.
 //!
 //! ```text
-//! cargo run --release --example bench_diff -- BENCH_PR5.json target/bench_head.json
+//! cargo run --release --example bench_diff -- BENCH_PR6.json target/bench_head.json
+//! cargo run --release --example bench_diff -- BENCH_PR6.json head_tail.json fig_serving_tail
 //! ```
 //!
 //! Walks both documents, matches numeric leaves by their `a.b.c` path, and
 //! prints baseline vs head with the relative change — the CI bench job
 //! runs it against the committed `BENCH_PR*.json` baseline so regressions
-//! are visible in the job log next to the raw bench output. Informational
-//! by design: machine-dependent numbers gate inside the benches (where
-//! arming can depend on core count), not here.
+//! are visible in the job log next to the raw bench output. The optional
+//! third argument restricts the comparison to metric paths starting with
+//! that prefix, so one combined baseline file (benches namespaced under
+//! their own top-level key) can be diffed against each bench's individual
+//! head emission. Informational by design: machine-dependent numbers gate
+//! inside the benches (where arming can depend on core count), not here.
 //!
 //! The JSON subset parsed here (objects, arrays, strings, numbers, bools,
 //! null) covers the bench files; the parser is ~80 lines because the
@@ -236,13 +240,27 @@ fn die(msg: &str) -> ! {
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let [baseline_path, head_path] = args.as_slice() else {
-        die("usage: bench_diff <baseline.json> <head.json>");
+    let (baseline_path, head_path, prefix) = match args.as_slice() {
+        [b, h] => (b, h, ""),
+        [b, h, p] => (b, h, p.as_str()),
+        _ => die("usage: bench_diff <baseline.json> <head.json> [prefix]"),
     };
-    let baseline = load(baseline_path);
-    let head = load(head_path);
+    let keep = |m: &BTreeMap<String, f64>| -> BTreeMap<String, f64> {
+        m.iter()
+            .filter(|(k, _)| k.starts_with(prefix))
+            .map(|(k, v)| (k.clone(), *v))
+            .collect()
+    };
+    let baseline = keep(&load(baseline_path));
+    let head = keep(&load(head_path));
 
-    println!("# bench_diff: {baseline_path} (baseline) vs {head_path} (head)");
+    if prefix.is_empty() {
+        println!("# bench_diff: {baseline_path} (baseline) vs {head_path} (head)");
+    } else {
+        println!(
+            "# bench_diff: {baseline_path} (baseline) vs {head_path} (head), prefix `{prefix}`"
+        );
+    }
     println!(
         "{:<44} {:>14} {:>14} {:>9}",
         "metric", "baseline", "head", "change"

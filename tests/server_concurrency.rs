@@ -2,12 +2,16 @@
 //!
 //! One writer client applies a randomized sequence of delta batches
 //! through the group-commit channel while reader clients continuously
-//! enumerate over TCP. Every observed snapshot must equal the brute-force
-//! result of some *prefix* of the applied batches — group commits are
-//! atomic under the write lock and readers hold the read lock for the
-//! whole enumeration, so a half-applied batch (a "torn read") can never
-//! be observed. A mid-stream poisoned batch must reject without
-//! perturbing the prefix sequence.
+//! enumerate over TCP. Every observed state must equal the brute-force
+//! result of some *prefix* of the applied batches — the writer thread
+//! publishes an immutable snapshot only after a group commits, and each
+//! read dispatches against exactly one published snapshot, so a
+//! half-applied batch (a "torn read") can never be observed even though
+//! no read ever takes a lock. Readers also interleave `stats` probes and
+//! assert the published `snapshot_epoch` is monotone per connection —
+//! the observable face of the publish ordering. A mid-stream poisoned
+//! batch must reject without perturbing the prefix sequence (rejections
+//! publish nothing).
 
 use std::collections::HashSet;
 use std::fmt::Write as _;
@@ -155,12 +159,28 @@ fn readers_never_observe_torn_batches() {
                 scope.spawn(move || {
                     let mut c = Client::connect(addr).unwrap();
                     let mut reads = 0usize;
+                    let mut last_epoch = 0u64;
                     while !done.load(Ordering::Relaxed) || reads < 40 {
                         let snap = canon_of_list(&c.expect_ok("list"));
                         assert!(
                             valid.contains(&snap),
                             "torn read: observed snapshot matches no prefix:\n{snap:?}"
                         );
+                        // The published snapshot epoch never goes backwards
+                        // on one connection.
+                        let stats = c.expect_ok("stats");
+                        let epoch: u64 = stats
+                            .split("snapshot_epoch = ")
+                            .nth(1)
+                            .and_then(|s| s.split_whitespace().next())
+                            .expect("stats must report snapshot_epoch")
+                            .parse()
+                            .unwrap();
+                        assert!(
+                            epoch >= last_epoch,
+                            "snapshot_epoch went backwards: {last_epoch} -> {epoch}"
+                        );
+                        last_epoch = epoch;
                         reads += 1;
                     }
                     reads

@@ -1,0 +1,167 @@
+//! Snapshot stability: a held [`ShardedSnapshot`] is completely frozen.
+//!
+//! The serving layer's lock-free read path hands every reader an
+//! immutable snapshot and lets the writer keep committing underneath.
+//! That is only sound if a snapshot captured after commit `k` keeps
+//! answering **every** read API — enumerate, result_sorted, count, point
+//! lookup, paging — exactly as the brute-force oracle does on the
+//! database prefix after `k` batches, no matter how many further batches
+//! (or rejected batches) the engine absorbs. This test pins that
+//! property for S ∈ {1, 2, 4} shards: capture a snapshot after every
+//! commit, keep all of them alive to the end, then audit each one
+//! against its own prefix oracle.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use ivme::core::{brute_force, Database, DeltaBatch, EngineOptions, ShardedEngine};
+use ivme::data::Tuple;
+use ivme::query::parse_query;
+
+const QUERY: &str = "Q(A,C) :- R(A,B), S(B,C)";
+const RELS: &[(&str, usize)] = &[("R", 2), ("S", 2)];
+const DOMAIN: i64 = 5;
+const BATCHES: usize = 30;
+
+/// Sorted canonical result form, comparable to `brute_force` output.
+fn canon(mut rows: Vec<(Tuple, i64)>) -> Vec<(Tuple, i64)> {
+    rows.sort();
+    rows
+}
+
+#[test]
+fn held_snapshots_stay_frozen_across_commits() {
+    let q = parse_query(QUERY).unwrap();
+    let mut rng = StdRng::seed_from_u64(0x5EED);
+
+    // Seed database.
+    let mut db = Database::new();
+    for (rel, arity) in RELS {
+        for _ in 0..10 {
+            let t = Tuple::ints(
+                &(0..*arity)
+                    .map(|_| rng.gen_range(0..DOMAIN))
+                    .collect::<Vec<i64>>(),
+            );
+            db.apply(rel, t, 1);
+        }
+    }
+
+    // A randomized accepted-batch sequence (deletes only target tuples
+    // live after the batch's own earlier entries, so every batch lands).
+    let mut sim = db.clone();
+    let mut batches: Vec<DeltaBatch> = Vec::new();
+    for _ in 0..BATCHES {
+        let mut entries: Vec<(&str, Tuple, i64)> = Vec::new();
+        for _ in 0..rng.gen_range(1..6) {
+            let (rel, arity) = RELS[rng.gen_range(0..RELS.len())];
+            let t = Tuple::ints(
+                &(0..arity)
+                    .map(|_| rng.gen_range(0..DOMAIN))
+                    .collect::<Vec<i64>>(),
+            );
+            let staged: i64 = entries
+                .iter()
+                .filter(|(r, bt, _)| *r == rel && bt == &t)
+                .map(|(_, _, d)| d)
+                .sum();
+            let delta = if sim.get(rel, &t) + staged > 0 && rng.gen_bool(0.4) {
+                -1
+            } else {
+                1
+            };
+            entries.push((rel, t, delta));
+        }
+        let mut batch = DeltaBatch::new();
+        for (rel, t, delta) in entries {
+            sim.apply(rel, t.clone(), delta);
+            batch.push(rel, t, delta);
+        }
+        batches.push(batch);
+    }
+
+    // Oracle per prefix: the full result after 0, 1, …, BATCHES batches,
+    // plus some known-absent probe tuples per prefix.
+    let mut prefix_db = db.clone();
+    let mut oracles = vec![brute_force(&q, &prefix_db)];
+    for batch in &batches {
+        for rel in batch.relations() {
+            for (t, d) in batch.deltas(rel) {
+                prefix_db.apply(rel, t.clone(), d);
+            }
+        }
+        oracles.push(brute_force(&q, &prefix_db));
+    }
+
+    for shards in [1usize, 2, 4] {
+        let mut eng = ShardedEngine::new(&q, &db, EngineOptions::dynamic(0.5), shards).unwrap();
+        // Capture a snapshot per prefix and KEEP them all alive while the
+        // engine keeps mutating underneath.
+        let mut held = vec![eng.snapshot(0)];
+        for (k, batch) in batches.iter().enumerate() {
+            eng.apply_delta_batch(batch).unwrap();
+            // Midway, a poisoned over-delete: rejected atomically, so no
+            // prefix exists for it and no snapshot is taken.
+            if k == BATCHES / 2 {
+                let mut poison = DeltaBatch::new();
+                poison.push("R", Tuple::ints(&[99, 99]), -1);
+                assert!(
+                    eng.apply_delta_batch(&poison).is_err(),
+                    "S={shards}: over-delete must reject"
+                );
+            }
+            held.push(eng.snapshot(k as u64 + 1));
+        }
+
+        // Every held snapshot still answers as its own prefix oracle.
+        for (k, snap) in held.iter().enumerate() {
+            let oracle = &oracles[k];
+            assert_eq!(snap.epoch(), k as u64, "S={shards}");
+            assert_eq!(
+                canon(snap.enumerate().collect()),
+                *oracle,
+                "S={shards}: snapshot {k} enumerate diverged"
+            );
+            assert_eq!(
+                canon(snap.result_sorted()),
+                *oracle,
+                "S={shards}: snapshot {k} result_sorted diverged"
+            );
+            assert_eq!(
+                snap.count_distinct(),
+                oracle.len(),
+                "S={shards}: snapshot {k} count diverged"
+            );
+            for (t, m) in oracle {
+                assert_eq!(
+                    snap.multiplicity(t),
+                    *m,
+                    "S={shards}: snapshot {k} lookup diverged on {t}"
+                );
+                assert!(snap.contains(t));
+            }
+            assert_eq!(snap.multiplicity(&Tuple::ints(&[99, 99])), 0);
+            assert!(!snap.contains(&Tuple::ints(&[99, 99])));
+            // Paging: every window of the snapshot's own enumeration
+            // order, including a tail-crossing and an out-of-range page.
+            let full: Vec<(Tuple, i64)> = snap.enumerate().collect();
+            for offset in [0, 1, full.len() / 2, full.len().saturating_sub(1)] {
+                let page = snap.enumerate_page(offset, 3);
+                assert_eq!(
+                    page.as_slice(),
+                    &full[offset.min(full.len())..(offset + 3).min(full.len())],
+                    "S={shards}: snapshot {k} page({offset}, 3) diverged"
+                );
+            }
+            assert!(snap.enumerate_page(full.len(), 4).is_empty());
+        }
+
+        // The engine's final state agrees with the last oracle, and a
+        // fresh snapshot equals the last held one.
+        assert_eq!(
+            canon(eng.snapshot(BATCHES as u64).enumerate().collect()),
+            *oracles.last().unwrap(),
+            "S={shards}: final state diverged"
+        );
+    }
+}
