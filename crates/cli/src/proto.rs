@@ -77,6 +77,8 @@ pub enum Command {
     Help,
     /// `quit` / `exit`
     Quit,
+    /// `shutdown` — server-only: drain, fsync, snapshot, exit.
+    Shutdown,
 }
 
 /// Parses one command line. Returns `Ok(None)` for blank lines and
@@ -153,6 +155,29 @@ pub fn parse_command(line: &str) -> Result<Option<Command>, String> {
                 delta: if cmd == "insert" { 1 } else { -1 },
             }
         }
+        "update" => {
+            // The general form: an explicit signed multiplicity delta.
+            // `insert`/`delete` are sugar for delta ±1; the WAL uses this
+            // verb to log consolidated entries with |delta| > 1 in one line.
+            let (rel, rest) = rest
+                .split_once(char::is_whitespace)
+                .ok_or("usage: update <relation> <delta> <v1,v2,...>")?;
+            let (delta, csv) = rest
+                .trim()
+                .split_once(char::is_whitespace)
+                .ok_or("usage: update <relation> <delta> <v1,v2,...>")?;
+            let delta: i64 = delta
+                .parse()
+                .map_err(|_| format!("bad update delta: {delta}"))?;
+            if delta == 0 {
+                return Err("update delta must be non-zero".into());
+            }
+            Command::Update {
+                relation: rel.to_owned(),
+                tuple: parse_tuple(csv)?,
+                delta,
+            }
+        }
         ".load" => {
             let (rel, path) = rest
                 .split_once(char::is_whitespace)
@@ -198,6 +223,7 @@ pub fn parse_command(line: &str) -> Result<Option<Command>, String> {
         }
         "count" => Command::Count,
         "stats" => Command::Stats,
+        "shutdown" => Command::Shutdown,
         "classify" => Command::Classify,
         "plan" => Command::Plan,
         other => return Err(format!("unknown command `{other}` (try `help`)")),
@@ -236,6 +262,66 @@ pub fn parse_tuple(csv: &str) -> Result<Tuple, String> {
             }
         })
         .collect())
+}
+
+// ----------------------------------------------------------------------
+// Canonical serialization
+// ----------------------------------------------------------------------
+//
+// The write-ahead log and replication features persist commands as the
+// exact text this grammar parses, so the serializers live next to the
+// parser they must round-trip through. `parse_tuple` trims cells, so a
+// `Str` cell can never carry leading/trailing whitespace (it was trimmed
+// on the way in) and the `Display` rendering below re-parses to an equal
+// tuple. Commas inside `Str` cells are impossible for the same reason:
+// the cell would have split on entry.
+
+/// Renders a tuple in the CSV form [`parse_tuple`] accepts.
+pub fn format_tuple(tuple: &Tuple) -> String {
+    let mut out = String::new();
+    push_tuple(&mut out, tuple);
+    out
+}
+
+/// Appends [`format_tuple`]'s rendering to `out` without allocating.
+pub fn push_tuple(out: &mut String, tuple: &Tuple) {
+    use std::fmt::Write as _;
+    for (i, v) in tuple.values().iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "{v}");
+    }
+}
+
+/// The `row` command line that stages `tuple` into `relation`.
+pub fn row_line(relation: &str, tuple: &Tuple) -> String {
+    format!("row {relation} {}", format_tuple(tuple))
+}
+
+/// The command line that applies a single update: `insert`/`delete` for
+/// delta ±1 (the common case, kept human-readable), the general
+/// `update <rel> <delta> <csv>` otherwise.
+pub fn update_line(relation: &str, tuple: &Tuple, delta: i64) -> String {
+    match delta {
+        1 => format!("insert {relation} {}", format_tuple(tuple)),
+        -1 => format!("delete {relation} {}", format_tuple(tuple)),
+        d => format!("update {relation} {d} {}", format_tuple(tuple)),
+    }
+}
+
+/// Serializes a whole delta batch as the command lines a connection
+/// would send: `.batch begin`, one line per consolidated entry (in the
+/// batch's deterministic sorted order), `.batch commit`. Replaying the
+/// lines through the normal execute path reapplies the batch atomically.
+pub fn batch_lines(batch: &ivme_data::DeltaBatch) -> String {
+    let mut out = String::from(".batch begin\n");
+    for u in batch.to_updates() {
+        out.push_str(&update_line(&u.relation, &u.tuple, u.delta));
+        out.push('\n');
+    }
+    out.push_str(".batch commit\n");
+    out
 }
 
 // ----------------------------------------------------------------------
@@ -317,6 +403,7 @@ commands:
   build                  compile the plan and preprocess the staged data
   insert <rel> <values>  apply a single-tuple insert (stages while a batch is open)
   delete <rel> <values>  apply a single-tuple delete (stages while a batch is open)
+  update <rel> <d> <values>  apply one update with an explicit signed delta d
   .load <rel> <csv path> bulk-load a CSV into the built engine as one timed batch
   .batch begin           open a batch: insert/delete stage instead of applying
   .batch commit          apply the staged batch atomically and report timing
@@ -328,6 +415,7 @@ commands:
   stats                  engine counters and sizes (per-shard when sharded)
   classify               class membership and widths of the query
   plan                   print the compiled view trees
+  shutdown               (server) drain writes, fsync the WAL, snapshot, exit
   quit
 ";
 
@@ -372,6 +460,14 @@ mod tests {
                 limit: 5
             })
         ));
+        assert!(matches!(
+            parse_command("update R -3 1,2").unwrap(),
+            Some(Command::Update { delta: -3, .. })
+        ));
+        assert!(matches!(
+            parse_command("shutdown").unwrap(),
+            Some(Command::Shutdown)
+        ));
         assert!(parse_command("").unwrap().is_none());
         assert!(parse_command("# comment").unwrap().is_none());
     }
@@ -385,6 +481,44 @@ mod tests {
         assert!(parse_command(".batch frobnicate").is_err());
         assert!(parse_command("page 0").is_err());
         assert!(parse_command("frobnicate").is_err());
+        assert!(parse_command("update R 0 1,2").is_err());
+        assert!(parse_command("update R x 1,2").is_err());
+    }
+
+    #[test]
+    fn canonical_serialization_round_trips() {
+        let t: Tuple = [Value::Int(7), Value::from("ab cd")].into_iter().collect();
+        assert_eq!(format_tuple(&t), "7,ab cd");
+        for delta in [-3i64, -1, 1, 5] {
+            let line = update_line("R", &t, delta);
+            match parse_command(&line).unwrap() {
+                Some(Command::Update {
+                    relation,
+                    tuple,
+                    delta: d,
+                }) => {
+                    assert_eq!(relation, "R");
+                    assert_eq!(tuple, t);
+                    assert_eq!(d, delta);
+                }
+                other => panic!("{line:?} parsed to {other:?}"),
+            }
+        }
+        match parse_command(&row_line("S", &t)).unwrap() {
+            Some(Command::Row { relation, tuple }) => {
+                assert_eq!(relation, "S");
+                assert_eq!(tuple, t);
+            }
+            other => panic!("row line parsed to {other:?}"),
+        }
+        let mut batch = ivme_data::DeltaBatch::new();
+        batch.insert("R", Tuple::ints(&[1, 2]));
+        batch.delete("S", Tuple::ints(&[3]));
+        let script = batch_lines(&batch);
+        let lines: Vec<&str> = script.lines().collect();
+        assert_eq!(lines[0], ".batch begin");
+        assert_eq!(*lines.last().unwrap(), ".batch commit");
+        assert_eq!(lines.len(), 2 + batch.distinct_len());
     }
 
     #[test]

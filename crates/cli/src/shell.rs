@@ -127,6 +127,9 @@ impl Shell {
             // `Quit` is handled by `execute`; treated as a no-op here so
             // programmatic callers never see a phantom output.
             Command::Quit => Ok(String::new()),
+            Command::Shutdown => {
+                Err("shutdown is a server-side command (the REPL has no durable state)".into())
+            }
             Command::Help => Ok(proto::HELP.to_owned()),
             Command::Query(q) => {
                 let c = classify(&q);

@@ -65,6 +65,14 @@ impl Database {
             .unwrap_or_default()
     }
 
+    /// All relation names, sorted — a deterministic iteration order for
+    /// serialization (the backing map is hash-ordered).
+    pub fn relations(&self) -> Vec<&str> {
+        let mut names: Vec<&str> = self.relations.keys().map(String::as_str).collect();
+        names.sort_unstable();
+        names
+    }
+
     /// Number of distinct tuples in `name`.
     pub fn len(&self, name: &str) -> usize {
         self.relations.get(name).map_or(0, FxHashMap::len)

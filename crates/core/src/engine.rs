@@ -370,6 +370,22 @@ impl IvmEngine {
             .collect()
     }
 
+    /// Exports the current base relations into `into` — one entry per
+    /// relation symbol (repeated-atom copies hold identical contents, so
+    /// occurrence 0 speaks for all). This is the engine half of
+    /// snapshotting: the exported rows, fed back through preprocessing,
+    /// rebuild an engine with the same served result.
+    pub fn export_base_relations(&self, into: &mut Database) {
+        for (i, atom) in self.query.atoms.iter().enumerate() {
+            if atom.occurrence != 0 {
+                continue;
+            }
+            for (t, m) in self.rt.rels[self.rt.base_rel[i]].iter() {
+                into.insert(&atom.relation, t.clone(), m);
+            }
+        }
+    }
+
     /// Collects and sorts the full result — test/bench helper.
     ///
     /// Materializes each component's distinct result once, sorts the

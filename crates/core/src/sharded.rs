@@ -255,6 +255,30 @@ impl ShardedEngine {
         out
     }
 
+    /// Exports every shard's base relations into one consolidated
+    /// [`Database`] — the input half of a durable snapshot. Feeding the
+    /// result back through [`ShardedEngine::new`] rebuilds an engine with
+    /// the same served result (shard placement may differ if the shard
+    /// count changes, which is fine: routing is content-addressed).
+    pub fn export_database(&self) -> Database {
+        let mut db = Database::new();
+        for s in &self.shards {
+            s.export_base_relations(&mut db);
+        }
+        db
+    }
+
+    /// Seeds the cumulative counters from recovered values. Called once
+    /// right after a snapshot rebuild so `stats` reflects lifetime totals
+    /// rather than restarting from zero. Rebalance counters are *not*
+    /// restored: the rebuild re-preprocesses from scratch, so its shards
+    /// genuinely have fresh rebalance histories.
+    pub fn restore_stats(&mut self, updates: u64, batches: u64, misroutes: u64) {
+        self.updates = updates;
+        self.batches = batches;
+        self.router.restore_misroutes(misroutes);
+    }
+
     // ------------------------------------------------------------------
     // Updates
     // ------------------------------------------------------------------

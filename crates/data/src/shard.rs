@@ -105,6 +105,13 @@ impl ShardRouter {
         self.misroutes.load(Ordering::Relaxed)
     }
 
+    /// Resets the misroute counter to a recovered value. Counters are
+    /// cumulative across process restarts — a server restoring from a
+    /// snapshot seeds the freshly built router with the persisted count.
+    pub fn restore_misroutes(&mut self, count: u64) {
+        self.misroutes.store(count, Ordering::Relaxed);
+    }
+
     /// Registers how `relation`'s tuples are routed. Registering the same
     /// route twice is idempotent (repeated atoms of one component);
     /// conflicting columns are an error — the caller decides whether to

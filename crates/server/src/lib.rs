@@ -62,10 +62,23 @@
 //! publishes the next, there is never a window where reads block or see
 //! partial state.
 
+//! * **Durability (PR 7).** With `--data-dir` the writer thread appends
+//!   every committed unit to a CRC-checksummed write-ahead log
+//!   ([`wal`]) — frames carry the same `proto` command text connections
+//!   send, so replay goes through the audited live apply path — with one
+//!   fsync per group-commit round (`--fsync group`), and periodically
+//!   checkpoints the whole state into an atomically renamed snapshot
+//!   ([`snapshot`]) that lets the log rotate. Boot loads the newest valid
+//!   snapshot and replays the log's tail; a torn or bit-flipped WAL tail
+//!   is truncated at the last valid frame, never served partially.
+
 pub mod publish;
+pub mod snapshot;
+pub mod wal;
 
 use std::io::{self, BufRead, BufReader, BufWriter, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc::{Receiver, SyncSender, TrySendError};
 use std::sync::{mpsc, Arc};
@@ -79,6 +92,9 @@ use ivme_data::Tuple;
 use ivme_query::{classify, Query};
 
 use publish::{Cached, Published};
+use snapshot::SnapshotData;
+pub use wal::FsyncMode;
+use wal::Wal;
 
 /// Server tuning knobs. `Default` is sized for tests and local serving.
 #[derive(Clone, Debug)]
@@ -90,6 +106,16 @@ pub struct ServerConfig {
     pub queue_depth: usize,
     /// Maximum client requests coalesced into one writer round.
     pub group_limit: usize,
+    /// Durability directory (WAL + snapshots). `None` serves from memory
+    /// only, exactly as before PR 7.
+    pub data_dir: Option<PathBuf>,
+    /// When the WAL is fsynced relative to acks (ignored without a data
+    /// dir). `Group` — the default — is one fsync per commit round, so
+    /// durability amortizes exactly like the group commit itself.
+    pub fsync: FsyncMode,
+    /// Snapshot (and rotate the WAL) every N dirty commit rounds; 0 means
+    /// only on clean shutdown, leaving the WAL to grow unboundedly.
+    pub snapshot_every: u64,
 }
 
 impl Default for ServerConfig {
@@ -98,6 +124,9 @@ impl Default for ServerConfig {
             addr: "127.0.0.1:0".to_owned(),
             queue_depth: 128,
             group_limit: 64,
+            data_dir: None,
+            fsync: FsyncMode::Group,
+            snapshot_every: 64,
         }
     }
 }
@@ -126,18 +155,26 @@ pub struct ServeSnapshot {
     query: Option<Query>,
     mode: Mode,
     view: Option<ShardedSnapshot>,
+    /// Durability state at publish time (`None` when serving memory-only).
+    dur: Option<DurInfo>,
+}
+
+/// The durability counters frozen into a [`ServeSnapshot`] — what the
+/// `stats` command reports without touching the writer thread.
+#[derive(Clone, Copy, Debug)]
+pub struct DurInfo {
+    /// Epoch of the newest durable WAL frame (= the epoch a crash right
+    /// now would recover to).
+    pub wal_epoch: u64,
+    /// Frames in the current (post-rotation) log.
+    pub wal_frames: u64,
+    /// Wall time of the most recent fsync, microseconds.
+    pub last_fsync_us: u64,
+    /// Distinct commit rounds replayed from the WAL at the last boot.
+    pub recovered_groups: u64,
 }
 
 impl ServeSnapshot {
-    /// The empty pre-`build` snapshot (epoch 0).
-    fn empty() -> ServeSnapshot {
-        ServeSnapshot {
-            query: None,
-            mode: Mode::Dynamic,
-            view: None,
-        }
-    }
-
     fn view(&self) -> Result<&ShardedSnapshot, String> {
         self.view.as_ref().ok_or_else(|| "run `build` first".into())
     }
@@ -161,6 +198,24 @@ struct OwnedState {
     engine: Option<ShardedEngine>,
     /// Epoch of the last published snapshot.
     epoch: u64,
+    /// Durability machinery — `None` when serving memory-only.
+    dur: Option<Durability>,
+}
+
+/// The writer thread's durability state: the open WAL plus the snapshot
+/// cadence. Owned by the writer like everything else mutable.
+struct Durability {
+    dir: PathBuf,
+    wal: Wal,
+    fsync: FsyncMode,
+    snapshot_every: u64,
+    /// Dirty rounds since the last snapshot (drives the cadence).
+    rounds_since_snapshot: u64,
+    /// Distinct commit rounds replayed at boot (reported in `stats`).
+    recovered_groups: u64,
+    /// Set when a WAL write failed: the server keeps serving (loudly)
+    /// without durability rather than crashing mid-flight.
+    broken: bool,
 }
 
 impl OwnedState {
@@ -173,7 +228,19 @@ impl OwnedState {
             staged: Database::new(),
             engine: None,
             epoch: 0,
+            dur: None,
         }
+    }
+
+    /// The durability counters to freeze into the next published
+    /// [`ServeSnapshot`].
+    fn dur_info(&self) -> Option<DurInfo> {
+        self.dur.as_ref().map(|d| DurInfo {
+            wal_epoch: d.wal.last_epoch(),
+            wal_frames: d.wal.frames(),
+            last_fsync_us: d.wal.last_fsync_us(),
+            recovered_groups: d.recovered_groups,
+        })
     }
 
     /// Executes one admin operation; `Ok` responses also mark the round
@@ -251,10 +318,216 @@ impl OwnedState {
             }
         }
     }
+
+    /// Appends one committed round's frames to the WAL and makes them
+    /// durable per the fsync mode. Called *after* the applies succeeded
+    /// and *before* any ack is sent — the fsync is the durability point a
+    /// client's `ok` promises. WAL I/O errors do not kill the server:
+    /// they are reported loudly once and the server degrades to
+    /// memory-only serving (a trading floor prefers stale durability to
+    /// an outage; the operator sees the message).
+    fn persist_round(&mut self, epoch: u64, frames: &[String]) {
+        let Some(d) = self.dur.as_mut() else { return };
+        if d.broken || frames.is_empty() {
+            return;
+        }
+        let mut write = || -> io::Result<()> {
+            for f in frames {
+                d.wal.append(epoch, f)?;
+                if matches!(d.fsync, FsyncMode::Always) {
+                    d.wal.sync()?;
+                }
+            }
+            if matches!(d.fsync, FsyncMode::Group) {
+                d.wal.sync()?;
+            }
+            Ok(())
+        };
+        if let Err(e) = write() {
+            eprintln!(
+                "ivme-server: WAL write failed ({e}); continuing WITHOUT durability — \
+                 commits from here on will not survive a crash"
+            );
+            d.broken = true;
+        }
+        d.rounds_since_snapshot += 1;
+    }
+
+    /// Writes a snapshot of the current state and rotates the WAL to it,
+    /// when the cadence (or `force`, on clean shutdown) says so. Runs
+    /// after acks — the WAL already holds everything a crash would need.
+    fn maybe_snapshot(&mut self, serve: (u64, u64, u64), force: bool) {
+        let due = match self.dur.as_ref() {
+            None => false,
+            Some(d) => {
+                !d.broken
+                    && (force
+                        || (d.snapshot_every > 0 && d.rounds_since_snapshot >= d.snapshot_every))
+            }
+        };
+        if !due {
+            return;
+        }
+        let data = self.snapshot_data(serve);
+        let d = self.dur.as_mut().unwrap();
+        let mut persist = || -> io::Result<()> {
+            snapshot::write(&d.dir, &data)?;
+            // Rotate: a fresh WAL whose base epoch is the snapshot's.
+            // Crash between the two renames is safe — the old log's
+            // frames are all ≤ the snapshot epoch and replay skips them.
+            d.wal = Wal::create(d.wal.path(), data.epoch)?;
+            snapshot::prune(&d.dir, 2)?;
+            Ok(())
+        };
+        match persist() {
+            Ok(()) => d.rounds_since_snapshot = 0,
+            Err(e) => {
+                eprintln!(
+                    "ivme-server: snapshot failed ({e}); continuing WITHOUT durability — \
+                     the WAL can no longer rotate"
+                );
+                d.broken = true;
+            }
+        }
+    }
+
+    /// Captures the full state (config, staged rows, engine base
+    /// relations, cumulative counters) as serializable [`SnapshotData`].
+    fn snapshot_data(&self, serve: (u64, u64, u64)) -> SnapshotData {
+        let engine_stats = self.engine.as_ref().map_or((0, 0, 0), |e| {
+            let s = e.stats();
+            (s.updates, s.batches, s.misroutes)
+        });
+        SnapshotData {
+            epoch: self.epoch,
+            engine_stats,
+            serve_stats: serve,
+            epsilon: self.epsilon,
+            mode: self.mode,
+            shards: self.shards,
+            query: self.query.as_ref().map(|q| q.to_string()),
+            built: self.engine.is_some(),
+            staged: self.staged.clone(),
+            base: self
+                .engine
+                .as_ref()
+                .map(ShardedEngine::export_database)
+                .unwrap_or_default(),
+        }
+    }
+
+    /// Rebuilds the writer state from a loaded snapshot — the inverse of
+    /// [`OwnedState::snapshot_data`]. The engine is reconstructed by
+    /// re-preprocessing the exported base relations (same entry point as
+    /// a live `build`), then seeded with the persisted counters.
+    fn restore(&mut self, snap: SnapshotData) -> Result<(), String> {
+        self.epsilon = snap.epsilon;
+        self.mode = snap.mode;
+        self.shards = snap.shards;
+        self.staged = snap.staged;
+        self.epoch = snap.epoch;
+        self.query = match &snap.query {
+            None => None,
+            Some(q) => Some(ivme_query::parse_query(q).map_err(|e| e.to_string())?),
+        };
+        self.engine = None;
+        if snap.built {
+            let q = self
+                .query
+                .as_ref()
+                .ok_or("snapshot marked built but has no query")?;
+            let opts = EngineOptions {
+                epsilon: self.epsilon,
+                mode: self.mode,
+            };
+            let mut eng =
+                ShardedEngine::new(q, &snap.base, opts, self.shards).map_err(|e| e.to_string())?;
+            let (u, b, m) = snap.engine_stats;
+            eng.restore_stats(u, b, m);
+            self.engine = Some(eng);
+        }
+        Ok(())
+    }
+
+    /// Replays one WAL frame through the same admin/apply code paths a
+    /// live connection uses. Frames are one committed unit each: a
+    /// `.batch begin … commit` script, a run of `row` lines, or a single
+    /// admin command. A CRC-valid frame that fails to replay is a logic
+    /// error (it committed once), so the caller refuses to start rather
+    /// than serving a diverged state.
+    fn replay_frame(&mut self, text: &str) -> Result<(), String> {
+        let mut pending: Option<DeltaBatch> = None;
+        for line in text.lines() {
+            let Some(cmd) = proto::parse_command(line)? else {
+                continue;
+            };
+            match cmd {
+                Command::BatchBegin => {
+                    if pending.is_some() {
+                        return Err("nested `.batch begin` in WAL frame".into());
+                    }
+                    pending = Some(DeltaBatch::new());
+                }
+                Command::Update {
+                    relation,
+                    tuple,
+                    delta,
+                } => match pending.as_mut() {
+                    Some(b) => b.push(&relation, tuple, delta),
+                    None => {
+                        let mut b = DeltaBatch::new();
+                        b.push(&relation, tuple, delta);
+                        self.apply_replayed(&b)?;
+                    }
+                },
+                Command::BatchCommit => {
+                    let b = pending.take().ok_or("`.batch commit` without begin")?;
+                    self.apply_replayed(&b)?;
+                }
+                Command::Query(q) => {
+                    self.admin(AdminOp::Query(q))?;
+                }
+                Command::Epsilon(e) => {
+                    self.admin(AdminOp::Epsilon(e))?;
+                }
+                Command::Mode(m) => {
+                    self.admin(AdminOp::Mode(m))?;
+                }
+                Command::Shards(n) => {
+                    self.admin(AdminOp::Shards(n))?;
+                }
+                Command::Row { relation, tuple } => {
+                    self.admin(AdminOp::Rows {
+                        relation,
+                        rows: vec![tuple],
+                    })?;
+                }
+                Command::Build => {
+                    self.admin(AdminOp::Build)?;
+                }
+                other => return Err(format!("unreplayable command in WAL: {other:?}")),
+            }
+        }
+        if pending.is_some() {
+            return Err("unterminated `.batch begin` in WAL frame".into());
+        }
+        Ok(())
+    }
+
+    fn apply_replayed(&mut self, batch: &DeltaBatch) -> Result<(), String> {
+        let eng = self
+            .engine
+            .as_mut()
+            .ok_or("WAL batch frame before any `build`")?;
+        eng.apply_delta_batch(batch).map_err(|e| e.to_string())
+    }
 }
 
 /// State shared by the accept loop, connection threads, and the writer.
 struct Shared {
+    /// The bound address — the writer uses it to wake the blocking accept
+    /// loop with a throwaway connection on clean shutdown.
+    addr: SocketAddr,
     published: Published<ServeSnapshot>,
     shutdown: AtomicBool,
     connections: AtomicU64,
@@ -276,6 +549,33 @@ enum AdminOp {
     Build,
 }
 
+impl AdminOp {
+    /// The command text that replays this op — the WAL frame payload,
+    /// captured *before* `admin` consumes the op. Rendering reuses the
+    /// grammar's own canonical forms so replay parses exactly what a
+    /// connection would have sent.
+    fn wal_text(&self) -> String {
+        match self {
+            AdminOp::Query(q) => format!("query {q}"),
+            // f64 Display is the shortest round-tripping decimal in Rust,
+            // so the replayed epsilon is bit-identical.
+            AdminOp::Epsilon(e) => format!("epsilon {e}"),
+            AdminOp::Mode(Mode::Dynamic) => "mode dynamic".to_owned(),
+            AdminOp::Mode(Mode::Static) => "mode static".to_owned(),
+            AdminOp::Shards(n) => format!(".shards {n}"),
+            AdminOp::Rows { relation, rows } => {
+                let mut out = String::new();
+                for t in rows {
+                    out.push_str(&proto::row_line(relation, t));
+                    out.push('\n');
+                }
+                out
+            }
+            AdminOp::Build => "build".to_owned(),
+        }
+    }
+}
+
 /// One submission into the writer channel.
 enum Request {
     /// A consolidated update batch and the channel to ack on.
@@ -286,6 +586,13 @@ enum Request {
     /// An admin operation and the channel its response rides back on.
     Admin {
         op: AdminOp,
+        ack: mpsc::Sender<Result<String, String>>,
+    },
+    /// A clean-shutdown request: the writer finishes the round, drains
+    /// what is still queued, fsyncs the WAL, writes a final snapshot,
+    /// stops the accept loop, and only then acks — nothing submitted
+    /// before the ack is lost.
+    Shutdown {
         ack: mpsc::Sender<Result<String, String>>,
     },
 }
@@ -310,39 +617,137 @@ pub struct GroupInfo {
     pub apply_micros: u128,
 }
 
-/// A running server. Dropping it stops the accept loop; established
-/// connections drain on their own when the clients disconnect.
+/// A running server. Dropping it stops the accept loop and waits for the
+/// writer thread to exit — which happens once every open connection has
+/// disconnected — so no background thread is still touching the data dir
+/// after the drop returns.
 pub struct Server {
     addr: SocketAddr,
     shared: Arc<Shared>,
     accept_handle: Option<JoinHandle<()>>,
+    writer_handle: Option<JoinHandle<()>>,
+    /// The server's own handle into the writer channel — what
+    /// [`Server::shutdown`] submits through. Dropped by [`Server::stop`]
+    /// so the writer's channel can actually close.
+    tx: Option<SyncSender<Request>>,
 }
 
 impl Server {
     /// Binds `config.addr`, spawns the accept loop and the group-commit
-    /// writer thread, and returns immediately.
+    /// writer thread, and returns immediately. With a data dir configured
+    /// this first runs crash recovery *synchronously* — newest valid
+    /// snapshot, then WAL replay — so by the time the listener accepts its
+    /// first connection, reads already see the recovered state; there is
+    /// no window where partial state is served.
     pub fn start(config: ServerConfig) -> io::Result<Server> {
+        let mut state = OwnedState::new();
+        // Serve-layer counters survive restarts too: seeded from the
+        // snapshot, advanced by replay, then live.
+        let mut serve_seed = (0u64, 0u64, 0u64);
+        if let Some(dir) = &config.data_dir {
+            std::fs::create_dir_all(dir)?;
+            let (snap, warnings) = snapshot::load_latest(dir)?;
+            for w in &warnings {
+                eprintln!("ivme-server: {w}");
+            }
+            let snap_epoch = snap.as_ref().map_or(0, |s| s.epoch);
+            if let Some(s) = snap {
+                serve_seed = s.serve_stats;
+                state.restore(s).map_err(invalid_data)?;
+            }
+            let wal_path = dir.join("wal.log");
+            let (wal, recovered) = if wal_path.exists() {
+                Wal::open(&wal_path)?
+            } else {
+                (
+                    Wal::create(&wal_path, snap_epoch)?,
+                    wal::Recovered::default(),
+                )
+            };
+            if wal.base_epoch() > state.epoch {
+                return Err(invalid_data(format!(
+                    "WAL {} continues from epoch {} but the newest loadable snapshot is epoch {} — \
+                     refusing to serve a state with a gap",
+                    wal_path.display(),
+                    wal.base_epoch(),
+                    state.epoch
+                )));
+            }
+            if let Some(reason) = &recovered.truncated {
+                eprintln!("ivme-server: WAL damage: {reason}");
+            }
+            let mut groups = 0u64;
+            let mut last = state.epoch;
+            for frame in &recovered.frames {
+                // Frames at or below the snapshot epoch were already
+                // checkpointed (the process died between the snapshot
+                // rename and the WAL rotation): skip, don't double-apply.
+                if frame.epoch <= snap_epoch {
+                    continue;
+                }
+                state.replay_frame(&frame.text).map_err(|e| {
+                    // A CRC-valid frame that fails replay is corruption of
+                    // a different kind (or a logic bug): refuse to start
+                    // rather than serve a silently diverged state.
+                    invalid_data(format!("WAL replay failed at epoch {}: {e}", frame.epoch))
+                })?;
+                if frame.epoch != last {
+                    groups += 1;
+                    last = frame.epoch;
+                }
+                if frame.text.starts_with(".batch begin") {
+                    serve_seed.0 += 1; // one group commit…
+                    serve_seed.1 += 1; // …of (at least) one batch
+                }
+                state.epoch = frame.epoch;
+            }
+            if groups > 0 {
+                eprintln!(
+                    "ivme-server: recovered {} commit round(s) ({} frame(s)) from {}",
+                    groups,
+                    wal.frames(),
+                    wal_path.display()
+                );
+            }
+            state.dur = Some(Durability {
+                dir: dir.clone(),
+                wal,
+                fsync: config.fsync,
+                snapshot_every: config.snapshot_every,
+                rounds_since_snapshot: 0,
+                recovered_groups: groups,
+                broken: false,
+            });
+        }
         let listener = TcpListener::bind(&config.addr)?;
         let addr = listener.local_addr()?;
+        let initial = ServeSnapshot {
+            query: state.query.clone(),
+            mode: state.mode,
+            view: state.engine.as_ref().map(|e| e.snapshot(state.epoch)),
+            dur: state.dur_info(),
+        };
         let shared = Arc::new(Shared {
-            published: Published::new(ServeSnapshot::empty()),
+            addr,
+            published: Published::new(initial),
             shutdown: AtomicBool::new(false),
             connections: AtomicU64::new(0),
-            group_commits: AtomicU64::new(0),
-            grouped_batches: AtomicU64::new(0),
-            group_retries: AtomicU64::new(0),
-            snapshots_published: AtomicU64::new(0),
+            group_commits: AtomicU64::new(serve_seed.0),
+            grouped_batches: AtomicU64::new(serve_seed.1),
+            group_retries: AtomicU64::new(serve_seed.2),
+            snapshots_published: AtomicU64::new(state.epoch),
         });
         let (tx, rx) = mpsc::sync_channel::<Request>(config.queue_depth);
-        {
+        let writer_handle = {
             let shared = Arc::clone(&shared);
             let group_limit = config.group_limit.max(1);
             std::thread::Builder::new()
                 .name("ivme-group-commit".into())
-                .spawn(move || writer_loop(rx, shared, group_limit))?;
-        }
+                .spawn(move || writer_loop(rx, shared, group_limit, state))?
+        };
         let accept_handle = {
             let shared = Arc::clone(&shared);
+            let tx = tx.clone();
             std::thread::Builder::new()
                 .name("ivme-accept".into())
                 .spawn(move || accept_loop(listener, shared, tx))?
@@ -351,6 +756,8 @@ impl Server {
             addr,
             shared,
             accept_handle: Some(accept_handle),
+            writer_handle: Some(writer_handle),
+            tx: Some(tx),
         })
     }
 
@@ -370,16 +777,61 @@ impl Server {
         }
     }
 
-    /// Stops accepting new connections and joins the accept loop. Open
-    /// connections keep being served until their clients disconnect; the
-    /// writer thread exits once the last connection is gone.
-    pub fn stop(&mut self) {
-        if self.shared.shutdown.swap(true, Ordering::SeqCst) {
-            return;
-        }
-        // Wake the blocking `accept` with a throwaway connection.
-        let _ = TcpStream::connect(self.addr);
+    /// Requests a clean shutdown through the writer thread: every
+    /// already-submitted request commits, the WAL is fsynced, a final
+    /// snapshot is written, and the accept loop stops — then the writer's
+    /// confirmation comes back. Equivalent to a client sending the
+    /// `shutdown` command.
+    pub fn shutdown(&mut self) -> Result<String, String> {
+        let tx = self.tx.as_ref().ok_or("server is shutting down")?;
+        let (ack_tx, ack_rx) = mpsc::channel();
+        send_request(tx, Request::Shutdown { ack: ack_tx })?;
+        let res = ack_rx
+            .recv()
+            .map_err(|_| "server is shutting down".to_owned())?;
+        // The writer broke out of its loop before acking, so both joins
+        // return promptly even while connections linger.
         if let Some(h) = self.accept_handle.take() {
+            let _ = h.join();
+        }
+        drop(self.tx.take());
+        if let Some(h) = self.writer_handle.take() {
+            let _ = h.join();
+        }
+        res
+    }
+
+    /// Whether the server has stopped accepting connections (via
+    /// [`Server::shutdown`], a client's `shutdown` command, or
+    /// [`Server::stop`]).
+    pub fn is_shutdown(&self) -> bool {
+        self.shared.shutdown.load(Ordering::SeqCst)
+    }
+
+    /// Stops accepting new connections, then waits for the writer thread
+    /// to exit — which it does once the last open connection disconnects
+    /// and closes its channel sender. This is the *abrupt* stop — no
+    /// final snapshot is written (committed state is still recoverable
+    /// from the WAL); see [`Server::shutdown`] for the clean path. The
+    /// join matters for durability: it guarantees no thread of this
+    /// server instance touches the data dir after `stop` returns, so a
+    /// successor can recover from the same dir immediately.
+    pub fn stop(&mut self) {
+        if !self.shared.shutdown.swap(true, Ordering::SeqCst) {
+            // Wake the blocking `accept` with a throwaway connection.
+            let _ = TcpStream::connect(self.addr);
+        }
+        if let Some(h) = self.accept_handle.take() {
+            let _ = h.join();
+        }
+        // Join the writer too: it exits when its channel closes, which
+        // needs our own sender gone (connection handlers drop theirs when
+        // their clients disconnect). Without this join, a just-stopped
+        // server could still be appending to the WAL or installing a
+        // snapshot while a successor `Server::start` recovers from the
+        // same data dir.
+        drop(self.tx.take());
+        if let Some(h) = self.writer_handle.take() {
             let _ = h.join();
         }
     }
@@ -423,8 +875,12 @@ fn accept_loop(listener: TcpListener, shared: Arc<Shared>, tx: SyncSender<Reques
 // Group-commit writer: sole owner of the engine, publisher of snapshots
 // ----------------------------------------------------------------------
 
-fn writer_loop(rx: Receiver<Request>, shared: Arc<Shared>, group_limit: usize) {
-    let mut state = OwnedState::new();
+fn writer_loop(
+    rx: Receiver<Request>,
+    shared: Arc<Shared>,
+    group_limit: usize,
+    mut state: OwnedState,
+) {
     while let Ok(first) = rx.recv() {
         let mut reqs = vec![first];
         while reqs.len() < group_limit {
@@ -433,61 +889,145 @@ fn writer_loop(rx: Receiver<Request>, shared: Arc<Shared>, group_limit: usize) {
                 Err(_) => break,
             }
         }
-        // Process the drained requests in arrival order: maximal runs of
-        // consecutive batches become one group commit each; admin ops are
-        // serialization points between runs. Every ack is held back until
-        // the publish below.
-        let mut acks: Vec<PendingAck> = Vec::with_capacity(reqs.len());
-        let mut dirty = false;
-        let mut run: Vec<(DeltaBatch, mpsc::Sender<WriteAck>)> = Vec::new();
-        for req in reqs {
-            match req {
-                Request::Batch { batch, ack } => run.push((batch, ack)),
-                Request::Admin { op, ack } => {
-                    commit_run(&mut run, &mut state, &shared, &mut acks, &mut dirty);
-                    let res = state.admin(op);
-                    dirty |= res.is_ok();
-                    acks.push(PendingAck::Admin(ack, res));
+        let mut shutdown_acks = process_round(reqs, &mut state, &shared);
+        if shutdown_acks.is_empty() {
+            continue;
+        }
+        // ---- clean shutdown ----
+        // Drain and commit whatever else was already queued: a request
+        // submitted before the shutdown ack is never dropped on the floor.
+        let mut rest = Vec::new();
+        while let Ok(r) = rx.try_recv() {
+            rest.push(r);
+        }
+        if !rest.is_empty() {
+            shutdown_acks.extend(process_round(rest, &mut state, &shared));
+        }
+        if let Some(d) = state.dur.as_mut() {
+            let _ = d.wal.sync();
+        }
+        state.maybe_snapshot(serve_counters(&shared), true);
+        shared.shutdown.store(true, Ordering::SeqCst);
+        // Wake the blocking accept with a throwaway connection so the
+        // accept loop observes the flag and exits.
+        let _ = TcpStream::connect(shared.addr);
+        let msg = if state.dur.is_some() {
+            "shutting down: channel drained, WAL synced, final snapshot written\n"
+        } else {
+            "shutting down: channel drained (no data dir — nothing persisted)\n"
+        };
+        for ack in shutdown_acks {
+            let _ = ack.send(Ok(msg.to_owned()));
+        }
+        break;
+        // Exiting without a shutdown request (channel closed: the Server
+        // and every connection are gone) is the abrupt path — no final
+        // snapshot, deliberately. Committed rounds are already durable in
+        // the WAL; writing a snapshot here would also make in-process
+        // "kill" tests meaninglessly gentle.
+    }
+}
+
+/// One writer round: processes the drained requests in arrival order —
+/// maximal runs of consecutive batches become one group commit each,
+/// admin ops are serialization points between runs — then persists the
+/// round's WAL frames, publishes the new snapshot, and fans out the
+/// held-back acks. Shutdown requests found in the round are returned to
+/// the caller ([`writer_loop`] runs the shutdown sequence).
+fn process_round(
+    reqs: Vec<Request>,
+    state: &mut OwnedState,
+    shared: &Shared,
+) -> Vec<mpsc::Sender<Result<String, String>>> {
+    let mut acks: Vec<PendingAck> = Vec::with_capacity(reqs.len());
+    let mut shutdown_acks = Vec::new();
+    let mut dirty = false;
+    let mut frames: Vec<String> = Vec::new();
+    let mut run: Vec<(DeltaBatch, mpsc::Sender<WriteAck>)> = Vec::new();
+    for req in reqs {
+        match req {
+            Request::Batch { batch, ack } => run.push((batch, ack)),
+            Request::Admin { op, ack } => {
+                commit_run(&mut run, state, shared, &mut acks, &mut dirty, &mut frames);
+                // Capture the replay text before `admin` consumes the op;
+                // it becomes a WAL frame only if the op succeeds.
+                let text = op.wal_text();
+                let res = state.admin(op);
+                if res.is_ok() {
+                    dirty = true;
+                    frames.push(text);
                 }
+                acks.push(PendingAck::Admin(ack, res));
             }
+            Request::Shutdown { ack } => shutdown_acks.push(ack),
         }
-        commit_run(&mut run, &mut state, &shared, &mut acks, &mut dirty);
-        // Publish before acking: a writer that sees `ok` reads its own
-        // write on its very next command. Rejected-only rounds publish
-        // nothing — readers cannot tell a rejection happened.
-        if dirty {
-            let epoch = state.epoch + 1;
-            shared.published.publish(ServeSnapshot {
-                query: state.query.clone(),
-                mode: state.mode,
-                view: state.engine.as_ref().map(|e| e.snapshot(epoch)),
-            });
-            state.epoch = epoch;
-            shared.snapshots_published.fetch_add(1, Ordering::Relaxed);
-        }
-        for ack in acks {
-            match ack {
-                PendingAck::Write(tx, res) => {
-                    let _ = tx.send(res);
-                }
-                PendingAck::Admin(tx, res) => {
-                    let _ = tx.send(res);
-                }
+    }
+    commit_run(&mut run, state, shared, &mut acks, &mut dirty, &mut frames);
+    // Persist, then publish, then ack — in that order. The fsync before
+    // the ack is the durability promise; the publish before the ack is
+    // the read-your-writes promise. Rejected-only rounds publish (and
+    // log) nothing — readers cannot tell a rejection happened.
+    if dirty {
+        let epoch = state.epoch + 1;
+        state.persist_round(epoch, &frames);
+        shared.published.publish(ServeSnapshot {
+            query: state.query.clone(),
+            mode: state.mode,
+            view: state.engine.as_ref().map(|e| e.snapshot(epoch)),
+            dur: state.dur_info(),
+        });
+        state.epoch = epoch;
+        shared.snapshots_published.fetch_add(1, Ordering::Relaxed);
+    }
+    for ack in acks {
+        match ack {
+            PendingAck::Write(tx, res) => {
+                let _ = tx.send(res);
+            }
+            PendingAck::Admin(tx, res) => {
+                let _ = tx.send(res);
             }
         }
     }
+    // Checkpoint cadence runs after the acks: the WAL already holds
+    // everything a crash needs, so the snapshot is off the ack path.
+    state.maybe_snapshot(serve_counters(shared), false);
+    shutdown_acks
+}
+
+/// The serve-layer counters a snapshot persists.
+fn serve_counters(shared: &Shared) -> (u64, u64, u64) {
+    (
+        shared.group_commits.load(Ordering::Relaxed),
+        shared.grouped_batches.load(Ordering::Relaxed),
+        shared.group_retries.load(Ordering::Relaxed),
+    )
+}
+
+fn invalid_data(msg: impl Into<String>) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg.into())
 }
 
 /// Applies one run of consecutive client batches as a single group
 /// commit (with per-member replay if the merged batch rejects), emptying
 /// `run`. Acks are deferred into `acks`; `dirty` is set if anything
-/// committed.
+/// committed; each *committed unit* pushes its replay script into
+/// `frames` (one WAL frame per unit).
+///
+/// Frames record what *committed*, after the apply — not what was
+/// submitted. The distinction matters on the fallback path: a merged
+/// group validates on its **net** delta (one member's over-delete can be
+/// cancelled by another member's insert), so replaying the raw member
+/// batches sequentially could reject a member that the merged commit
+/// accepted. Logging the merged batch on group success and each
+/// surviving member on fallback makes replay bit-exact by construction.
 fn commit_run(
     run: &mut Vec<(DeltaBatch, mpsc::Sender<WriteAck>)>,
     state: &mut OwnedState,
     shared: &Shared,
     acks: &mut Vec<PendingAck>,
     dirty: &mut bool,
+    frames: &mut Vec<String>,
 ) {
     if run.is_empty() {
         return;
@@ -513,7 +1053,10 @@ fn commit_run(
                 apply_micros: t0.elapsed().as_micros(),
             })
             .map_err(|e| e.to_string());
-        *dirty |= res.is_ok();
+        if res.is_ok() {
+            *dirty = true;
+            frames.push(proto::batch_lines(&batch));
+        }
         acks.push(PendingAck::Write(ack, res));
         return;
     }
@@ -529,6 +1072,7 @@ fn commit_run(
     match eng.apply_delta_batch(&merged) {
         Ok(()) => {
             *dirty = true;
+            frames.push(proto::batch_lines(&merged));
             let info = GroupInfo {
                 group: members.len(),
                 apply_micros: t0.elapsed().as_micros(),
@@ -552,7 +1096,10 @@ fn commit_run(
                         apply_micros: t0.elapsed().as_micros(),
                     })
                     .map_err(|e| e.to_string());
-                *dirty |= res.is_ok();
+                if res.is_ok() {
+                    *dirty = true;
+                    frames.push(proto::batch_lines(&batch));
+                }
                 acks.push(PendingAck::Write(ack, res));
             }
         }
@@ -563,12 +1110,10 @@ fn commit_run(
 // Connection handling
 // ----------------------------------------------------------------------
 
-/// Submits one batch to the writer thread and waits for its ack.
-fn submit(tx: &SyncSender<Request>, batch: DeltaBatch) -> Result<GroupInfo, String> {
-    let (ack_tx, ack_rx) = mpsc::channel();
-    let req = Request::Batch { batch, ack: ack_tx };
-    // Block on a full queue (back-pressure) without busy-waiting; `send`
-    // only fails when the writer thread is gone, which means shutdown.
+/// Places one request into the bounded writer channel. Blocks on a full
+/// queue (back-pressure) without busy-waiting; `send` only fails when the
+/// writer thread is gone, which means shutdown.
+fn send_request(tx: &SyncSender<Request>, req: Request) -> Result<(), String> {
     if let Err(e) = tx.try_send(req) {
         match e {
             TrySendError::Full(req) => tx
@@ -577,6 +1122,13 @@ fn submit(tx: &SyncSender<Request>, batch: DeltaBatch) -> Result<GroupInfo, Stri
             TrySendError::Disconnected(_) => return Err("server is shutting down".to_owned()),
         }
     }
+    Ok(())
+}
+
+/// Submits one batch to the writer thread and waits for its ack.
+fn submit(tx: &SyncSender<Request>, batch: DeltaBatch) -> Result<GroupInfo, String> {
+    let (ack_tx, ack_rx) = mpsc::channel();
+    send_request(tx, Request::Batch { batch, ack: ack_tx })?;
     ack_rx
         .recv()
         .map_err(|_| "server is shutting down".to_owned())?
@@ -585,15 +1137,7 @@ fn submit(tx: &SyncSender<Request>, batch: DeltaBatch) -> Result<GroupInfo, Stri
 /// Submits one admin op to the writer thread and waits for its response.
 fn admin(tx: &SyncSender<Request>, op: AdminOp) -> Result<String, String> {
     let (ack_tx, ack_rx) = mpsc::channel();
-    let req = Request::Admin { op, ack: ack_tx };
-    if let Err(e) = tx.try_send(req) {
-        match e {
-            TrySendError::Full(req) => tx
-                .send(req)
-                .map_err(|_| "server is shutting down".to_owned())?,
-            TrySendError::Disconnected(_) => return Err("server is shutting down".to_owned()),
-        }
-    }
+    send_request(tx, Request::Admin { op, ack: ack_tx })?;
     ack_rx
         .recv()
         .map_err(|_| "server is shutting down".to_owned())?
@@ -696,6 +1240,13 @@ fn execute(
     match cmd {
         Command::Quit => Ok("bye\n".to_owned()),
         Command::Help => Ok(proto::HELP.to_owned()),
+        Command::Shutdown => {
+            let (ack_tx, ack_rx) = mpsc::channel();
+            send_request(tx, Request::Shutdown { ack: ack_tx })?;
+            ack_rx
+                .recv()
+                .map_err(|_| "server is shutting down".to_owned())?
+        }
 
         // ---- admin/setup: serialized through the writer thread ----
         Command::Query(q) => admin(tx, AdminOp::Query(q)),
@@ -724,12 +1275,11 @@ fn execute(
             delta,
         } => {
             if let Some(batch) = pending.as_mut() {
-                // Normally unreachable: `handle_connection`'s staging hot
-                // path intercepts every update line while a batch is open
-                // (it accepts exactly the shapes `parse_command` would).
-                // Kept live so any future caller of `execute` still gets
-                // correct staging, with the same empty ack as the hot
-                // path.
+                // `handle_connection`'s staging hot path intercepts the
+                // `insert`/`delete` shapes while a batch is open; the
+                // general `update <rel> <delta> <csv>` verb (and any
+                // future caller of `execute`) stages here, with the same
+                // empty ack as the hot path.
                 batch.push(&relation, tuple, delta);
                 return Ok(String::new());
             }
@@ -812,7 +1362,18 @@ pub fn execute_read(cmd: Command, snap: &ServeSnapshot) -> Result<String, String
         Command::Get(t) => render::render_get(snap.view()?, snap.query()?, &t),
         Command::Page { offset, limit } => Ok(render::render_page(snap.view()?, offset, limit)),
         Command::Count => Ok(render::render_count(snap.view()?)),
-        Command::Stats => Ok(render::render_stats(snap.view()?)),
+        Command::Stats => {
+            let mut out = render::render_stats(snap.view()?);
+            if let Some(d) = &snap.dur {
+                use std::fmt::Write as _;
+                let _ = writeln!(
+                    out,
+                    "wal_epoch = {}, wal_frames = {}, last_fsync_us = {}, recovered_groups = {}",
+                    d.wal_epoch, d.wal_frames, d.last_fsync_us, d.recovered_groups
+                );
+            }
+            Ok(out)
+        }
         Command::Classify => Ok(format!("{:#?}\n", classify(snap.query()?))),
         Command::Plan => {
             let plan = ivme_plan::compile(snap.query()?, snap.mode).map_err(|e| e.to_string())?;
@@ -1082,6 +1643,7 @@ mod tests {
             query: Some(q),
             mode: Mode::Dynamic,
             view: Some(eng.snapshot(3)),
+            dur: None,
         };
         drop(eng);
         assert_eq!(execute_read(Command::Count, &snap).unwrap(), "2\n");

@@ -2,12 +2,47 @@
 //!
 //! ```text
 //! ivme-server [--addr 127.0.0.1:7143] [--queue-depth 128] [--group-limit 64]
+//!             [--data-dir DIR] [--fsync none|group|always] [--snapshot-every N]
 //! ```
 //!
 //! Clients speak the shell's command grammar, one command per line (drive
 //! it with `ivme client <addr>`, `nc`, or any line-oriented socket tool).
+//! With `--data-dir` the server recovers its state on boot (snapshot +
+//! WAL replay) and persists every committed write; SIGINT/SIGTERM (and
+//! the `shutdown` command) trigger a clean shutdown — drain, fsync,
+//! final snapshot — instead of dropping in-flight work.
 
-use ivme_server::{Server, ServerConfig};
+use ivme_server::{FsyncMode, Server, ServerConfig};
+
+#[cfg(unix)]
+mod sig {
+    //! Minimal async-signal-safe SIGINT/SIGTERM handling with no
+    //! dependency: the handler only stores to a static atomic; `main`
+    //! polls the flag. (A self-pipe would also work but needs more libc
+    //! surface than the one `signal` symbol.)
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    pub static REQUESTED: AtomicBool = AtomicBool::new(false);
+
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+
+    extern "C" fn handle(_sig: i32) {
+        REQUESTED.store(true, Ordering::SeqCst);
+    }
+
+    pub fn install() {
+        const SIGINT: i32 = 2;
+        const SIGTERM: i32 = 15;
+        #[allow(clippy::fn_to_numeric_cast)]
+        let h = handle as extern "C" fn(i32) as usize;
+        unsafe {
+            signal(SIGINT, h);
+            signal(SIGTERM, h);
+        }
+    }
+}
 
 fn main() {
     let mut config = ServerConfig {
@@ -32,21 +67,52 @@ fn main() {
                     .parse()
                     .unwrap_or_else(|_| die("--group-limit must be a positive integer"))
             }
+            "--data-dir" => config.data_dir = Some(value("--data-dir").into()),
+            "--fsync" => {
+                config.fsync = FsyncMode::parse(&value("--fsync")).unwrap_or_else(|e| die(&e))
+            }
+            "--snapshot-every" => {
+                config.snapshot_every = value("--snapshot-every").parse().unwrap_or_else(|_| {
+                    die("--snapshot-every must be an integer (0 = only on shutdown)")
+                })
+            }
             "--help" | "-h" => {
                 println!(
-                    "usage: ivme-server [--addr HOST:PORT] [--queue-depth N] [--group-limit N]"
+                    "usage: ivme-server [--addr HOST:PORT] [--queue-depth N] [--group-limit N]\n\
+                     \x20                  [--data-dir DIR] [--fsync none|group|always] [--snapshot-every N]"
                 );
                 return;
             }
             other => die(&format!("unknown argument `{other}` (try --help)")),
         }
     }
-    let server = match Server::start(config) {
+    let mut server = match Server::start(config) {
         Ok(s) => s,
         Err(e) => die(&format!("cannot start server: {e}")),
     };
     println!("ivme-server listening on {}", server.addr());
-    server.join();
+    // Poll for a signal or a client-issued `shutdown` instead of blocking
+    // in `join()`: the signal handler may only touch the atomic, so the
+    // orderly drain has to run here on the main thread.
+    #[cfg(unix)]
+    sig::install();
+    loop {
+        #[cfg(unix)]
+        if sig::REQUESTED.load(std::sync::atomic::Ordering::SeqCst) {
+            eprintln!("ivme-server: signal received, shutting down cleanly");
+            match server.shutdown() {
+                Ok(msg) => eprint!("ivme-server: {msg}"),
+                Err(e) => eprintln!("ivme-server: shutdown error: {e}"),
+            }
+            return;
+        }
+        if server.is_shutdown() {
+            // A client sent `shutdown` (or stop() ran): the writer has
+            // already drained and persisted; nothing left to do here.
+            return;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(100));
+    }
 }
 
 fn die(msg: &str) -> ! {

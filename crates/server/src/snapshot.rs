@@ -1,0 +1,440 @@
+//! Engine snapshots: the checkpoint half of the durability story.
+//!
+//! A snapshot is a full, self-contained serialization of the writer
+//! thread's [`OwnedState`](crate) — config, staged rows, the built
+//! engine's base relations, and the cumulative counters — written to
+//! `snapshot-<epoch>.ivme` in the data directory. Replaying the WAL from
+//! genesis would recover the same state; snapshots exist so recovery time
+//! is bounded by `O(state) + O(log since last snapshot)` instead of
+//! `O(entire history)`, and so the WAL can be truncated.
+//!
+//! The format is line-oriented text in the same vocabulary as the wire
+//! grammar (tuples render exactly as `ivme_cli::proto` prints them, and
+//! re-parse with the same `parse_tuple`), with a trailing whole-file
+//! CRC-32 line. Text round-trips faithfully here because every value in
+//! the engine *entered* through that grammar — there is nothing in a
+//! served database that the CSV tuple syntax cannot spell.
+//!
+//! Writing is crash-safe by construction: serialize to a sibling temp
+//! file, fsync it, atomically rename into place, fsync the directory.
+//! A crash at any point leaves either the old set of snapshots or the
+//! old set plus one complete new one — never a half-written file under
+//! the real name. Loading tries newest-first and skips (with a warning)
+//! any snapshot that fails its CRC or parse, so one bad file degrades to
+//! the previous checkpoint instead of a refused boot.
+
+use std::io::{self, Write};
+use std::path::{Path, PathBuf};
+
+use ivme_cli::proto;
+use ivme_core::{Database, Mode};
+
+use crate::wal::{crc32, sync_dir};
+
+/// First line of every snapshot file.
+pub const SNAP_MAGIC: &str = "IVMESNAP1";
+
+/// Everything a snapshot persists. Plain data — the server crate owns the
+/// conversion to and from its live `OwnedState`.
+#[derive(Clone)]
+pub struct SnapshotData {
+    /// Publish epoch the state was captured at (the WAL rotates to this
+    /// base epoch right after the snapshot lands).
+    pub epoch: u64,
+    /// Engine counters: (updates, batches, misroutes) — cumulative across
+    /// restarts, restored into the rebuilt engine.
+    pub engine_stats: (u64, u64, u64),
+    /// Server counters: (group_commits, grouped_batches, group_retries).
+    pub serve_stats: (u64, u64, u64),
+    pub epsilon: f64,
+    pub mode: Mode,
+    pub shards: usize,
+    /// The registered query in its display form (absent before `query`).
+    pub query: Option<String>,
+    /// Whether `build` had run (i.e. whether `base` is meaningful).
+    pub built: bool,
+    /// Rows staged via `row`/`load` — what a future `build` rebuilds from.
+    pub staged: Database,
+    /// The built engine's current base relations (empty when `!built`).
+    pub base: Database,
+}
+
+impl Default for SnapshotData {
+    /// A fresh pre-`query` server state at epoch 0.
+    fn default() -> SnapshotData {
+        SnapshotData {
+            epoch: 0,
+            engine_stats: (0, 0, 0),
+            serve_stats: (0, 0, 0),
+            epsilon: 0.5,
+            mode: Mode::Dynamic,
+            shards: 1,
+            query: None,
+            built: false,
+            staged: Database::new(),
+            base: Database::new(),
+        }
+    }
+}
+
+/// `snapshot-<epoch>.ivme` under `dir`.
+fn snapshot_path(dir: &Path, epoch: u64) -> PathBuf {
+    dir.join(format!("snapshot-{epoch}.ivme"))
+}
+
+/// The epoch encoded in a snapshot filename, if it is one.
+fn parse_snapshot_name(name: &str) -> Option<u64> {
+    name.strip_prefix("snapshot-")?
+        .strip_suffix(".ivme")?
+        .parse()
+        .ok()
+}
+
+fn render_db(out: &mut String, keyword: &str, db: &Database) {
+    use std::fmt::Write as _;
+    let mut rels = db.relations();
+    rels.sort_unstable();
+    for rel in rels {
+        let mut rows = db.rows(rel);
+        rows.sort_unstable();
+        for (t, m) in rows {
+            let _ = writeln!(out, "{keyword} {m} {rel} {}", proto::format_tuple(&t));
+        }
+    }
+}
+
+/// Serializes `data` and atomically installs it as
+/// `snapshot-<epoch>.ivme`. Returns the final path.
+pub fn write(dir: &Path, data: &SnapshotData) -> io::Result<PathBuf> {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(out, "{SNAP_MAGIC}");
+    let _ = writeln!(out, "epoch {}", data.epoch);
+    let (u, b, m) = data.engine_stats;
+    let _ = writeln!(out, "engine_stats {u} {b} {m}");
+    let (gc, gb, gr) = data.serve_stats;
+    let _ = writeln!(out, "serve_stats {gc} {gb} {gr}");
+    let _ = writeln!(out, "epsilon {}", data.epsilon);
+    let _ = writeln!(
+        out,
+        "mode {}",
+        match data.mode {
+            Mode::Dynamic => "dynamic",
+            Mode::Static => "static",
+        }
+    );
+    let _ = writeln!(out, "shards {}", data.shards);
+    if let Some(q) = &data.query {
+        let _ = writeln!(out, "query {q}");
+    }
+    let _ = writeln!(out, "built {}", u8::from(data.built));
+    render_db(&mut out, "staged", &data.staged);
+    render_db(&mut out, "base", &data.base);
+    let _ = writeln!(out, "crc {:08x}", crc32(out.as_bytes()));
+
+    let path = snapshot_path(dir, data.epoch);
+    let tmp = dir.join(format!("snapshot-{}.ivme.tmp", data.epoch));
+    let mut f = std::fs::File::create(&tmp)?;
+    f.write_all(out.as_bytes())?;
+    f.sync_all()?;
+    drop(f);
+    std::fs::rename(&tmp, &path)?;
+    sync_dir(&path)?;
+    Ok(path)
+}
+
+/// Parses one snapshot file, verifying the trailing CRC first.
+pub fn parse(text: &str) -> Result<SnapshotData, String> {
+    // The CRC line covers every byte before it.
+    let body_end = text
+        .trim_end_matches('\n')
+        .rfind('\n')
+        .map(|i| i + 1)
+        .ok_or("no CRC line")?;
+    let crc_line = text[body_end..].trim_end();
+    let stored: u32 = crc_line
+        .strip_prefix("crc ")
+        .and_then(|h| u32::from_str_radix(h, 16).ok())
+        .ok_or_else(|| format!("bad CRC line `{crc_line}`"))?;
+    let actual = crc32(&text.as_bytes()[..body_end]);
+    if actual != stored {
+        return Err(format!("CRC mismatch ({actual:08x} != {stored:08x})"));
+    }
+
+    let mut lines = text[..body_end].lines().peekable();
+    let mut expect = |keyword: &str| -> Result<&str, String> {
+        let line = lines.next().ok_or_else(|| format!("missing `{keyword}`"))?;
+        if keyword.is_empty() {
+            return Ok(line);
+        }
+        line.strip_prefix(keyword)
+            .map(str::trim_start)
+            .ok_or_else(|| format!("expected `{keyword} ...`, got `{line}`"))
+    };
+    if !expect(SNAP_MAGIC)?.is_empty() {
+        return Err("magic line has trailing junk".into());
+    }
+    let mut data = SnapshotData {
+        epoch: num(expect("epoch")?)?,
+        ..SnapshotData::default()
+    };
+    data.engine_stats = triple(expect("engine_stats")?)?;
+    data.serve_stats = triple(expect("serve_stats")?)?;
+    data.epsilon = expect("epsilon")?
+        .parse()
+        .map_err(|_| "bad epsilon".to_owned())?;
+    data.mode = match expect("mode")? {
+        "dynamic" => Mode::Dynamic,
+        "static" => Mode::Static,
+        other => return Err(format!("bad mode `{other}`")),
+    };
+    data.shards = num(expect("shards")?)? as usize;
+
+    let mut rest = lines.collect::<Vec<_>>().into_iter().peekable();
+    if let Some(line) = rest.peek() {
+        if let Some(q) = line.strip_prefix("query ") {
+            data.query = Some(q.to_owned());
+            rest.next();
+        }
+    }
+    let built = rest
+        .next()
+        .and_then(|l| l.strip_prefix("built "))
+        .ok_or("missing `built`")?;
+    data.built = match built {
+        "0" => false,
+        "1" => true,
+        other => return Err(format!("bad built flag `{other}`")),
+    };
+    for line in rest {
+        let (keyword, payload) = line.split_once(' ').ok_or_else(|| bad_row(line))?;
+        let db = match keyword {
+            "staged" => &mut data.staged,
+            "base" => &mut data.base,
+            other => return Err(format!("unexpected line keyword `{other}`")),
+        };
+        let mut parts = payload.splitn(3, ' ');
+        let mult: i64 = parts
+            .next()
+            .and_then(|m| m.parse().ok())
+            .ok_or_else(|| bad_row(line))?;
+        let rel = parts.next().ok_or_else(|| bad_row(line))?;
+        let csv = parts.next().unwrap_or("");
+        if mult <= 0 {
+            return Err(bad_row(line));
+        }
+        db.insert(rel, proto::parse_tuple(csv)?, mult);
+    }
+    Ok(data)
+}
+
+fn bad_row(line: &str) -> String {
+    format!("bad row line `{line}`")
+}
+
+fn num(s: &str) -> Result<u64, String> {
+    s.parse().map_err(|_| format!("bad number `{s}`"))
+}
+
+fn triple(s: &str) -> Result<(u64, u64, u64), String> {
+    let mut it = s.split_whitespace().map(num);
+    let mut next = || it.next().unwrap_or_else(|| Err("missing field".into()));
+    Ok((next()?, next()?, next()?))
+}
+
+/// Loads the newest parseable snapshot in `dir`, newest-first by epoch.
+/// Returns the snapshot (if any survives validation) and a warning line
+/// for every file that had to be skipped.
+pub fn load_latest(dir: &Path) -> io::Result<(Option<SnapshotData>, Vec<String>)> {
+    let mut epochs: Vec<u64> = Vec::new();
+    for entry in std::fs::read_dir(dir)? {
+        let entry = entry?;
+        if let Some(e) = parse_snapshot_name(&entry.file_name().to_string_lossy()) {
+            epochs.push(e);
+        }
+    }
+    epochs.sort_unstable_by(|a, b| b.cmp(a));
+    let mut warnings = Vec::new();
+    for epoch in epochs {
+        let path = snapshot_path(dir, epoch);
+        let attempt = std::fs::read_to_string(&path)
+            .map_err(|e| e.to_string())
+            .and_then(|text| parse(&text));
+        match attempt {
+            Ok(data) if data.epoch == epoch => return Ok((Some(data), warnings)),
+            Ok(data) => warnings.push(format!(
+                "{}: internal epoch {} disagrees with filename — skipping",
+                path.display(),
+                data.epoch
+            )),
+            Err(e) => warnings.push(format!("{}: {e} — skipping", path.display())),
+        }
+    }
+    Ok((None, warnings))
+}
+
+/// Deletes all but the newest `keep` snapshots, plus any stale temp files
+/// from interrupted writes. Damaged old snapshots are deleted too —
+/// `load_latest` has already chosen a good one by the time this runs.
+pub fn prune(dir: &Path, keep: usize) -> io::Result<()> {
+    let mut epochs: Vec<u64> = Vec::new();
+    for entry in std::fs::read_dir(dir)? {
+        let entry = entry?;
+        let name = entry.file_name().to_string_lossy().into_owned();
+        if name.starts_with("snapshot-") && name.ends_with(".ivme.tmp") {
+            let _ = std::fs::remove_file(entry.path());
+        } else if let Some(e) = parse_snapshot_name(&name) {
+            epochs.push(e);
+        }
+    }
+    epochs.sort_unstable_by(|a, b| b.cmp(a));
+    for &epoch in epochs.iter().skip(keep) {
+        let _ = std::fs::remove_file(snapshot_path(dir, epoch));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ivme_data::Tuple;
+
+    fn demo_data(epoch: u64) -> SnapshotData {
+        let mut staged = Database::new();
+        staged.insert("R", Tuple::ints(&[1, 10]), 1);
+        staged.insert("R", Tuple::ints(&[2, 10]), 2);
+        staged.insert(
+            "S",
+            Tuple::new(vec![
+                ivme_data::Value::from(10i64),
+                ivme_data::Value::from("ab cd"),
+            ]),
+            1,
+        );
+        let mut base = staged.clone();
+        base.insert("S", Tuple::ints(&[10, 5]), 3);
+        SnapshotData {
+            epoch,
+            engine_stats: (100, 12, 1),
+            serve_stats: (12, 40, 2),
+            epsilon: 0.25,
+            mode: Mode::Dynamic,
+            shards: 2,
+            query: Some("Q(A,C) :- R(A,B), S(B,C)".to_owned()),
+            built: true,
+            staged,
+            base,
+        }
+    }
+
+    fn tmp_dir(name: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!("ivme_snap_{}_{name}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&d);
+        std::fs::create_dir_all(&d).unwrap();
+        d
+    }
+
+    fn canon(db: &Database) -> Vec<(String, Tuple, i64)> {
+        let mut out: Vec<(String, Tuple, i64)> = Vec::new();
+        for rel in db.relations() {
+            for (t, m) in db.rows(rel) {
+                out.push((rel.to_owned(), t, m));
+            }
+        }
+        out.sort_unstable();
+        out
+    }
+
+    #[test]
+    fn snapshot_round_trips_exactly() {
+        let dir = tmp_dir("roundtrip");
+        let data = demo_data(42);
+        let path = write(&dir, &data).unwrap();
+        assert!(path.ends_with("snapshot-42.ivme"));
+        let (loaded, warnings) = load_latest(&dir).unwrap();
+        assert!(warnings.is_empty(), "{warnings:?}");
+        let loaded = loaded.unwrap();
+        assert_eq!(loaded.epoch, 42);
+        assert_eq!(loaded.engine_stats, (100, 12, 1));
+        assert_eq!(loaded.serve_stats, (12, 40, 2));
+        assert_eq!(loaded.epsilon, 0.25);
+        assert_eq!(loaded.shards, 2);
+        assert_eq!(loaded.query.as_deref(), Some("Q(A,C) :- R(A,B), S(B,C)"));
+        assert!(loaded.built);
+        assert_eq!(canon(&loaded.staged), canon(&data.staged));
+        assert_eq!(canon(&loaded.base), canon(&data.base));
+        // Writing the loaded data again produces byte-identical files:
+        // the serialization is canonical (sorted), not map-order soup.
+        let text1 = std::fs::read_to_string(&path).unwrap();
+        let dir2 = tmp_dir("roundtrip2");
+        let path2 = write(&dir2, &loaded).unwrap();
+        assert_eq!(text1, std::fs::read_to_string(path2).unwrap());
+        std::fs::remove_dir_all(&dir).unwrap();
+        std::fs::remove_dir_all(&dir2).unwrap();
+    }
+
+    #[test]
+    fn corrupt_snapshots_fall_back_to_older_ones() {
+        let dir = tmp_dir("fallback");
+        write(&dir, &demo_data(10)).unwrap();
+        write(&dir, &demo_data(20)).unwrap();
+        // Corrupt the newest: one flipped character fails the CRC.
+        let newest = snapshot_path(&dir, 20);
+        let mut text = std::fs::read_to_string(&newest).unwrap();
+        text = text.replacen("epoch 20", "epoch 21", 1);
+        std::fs::write(&newest, text).unwrap();
+        let (loaded, warnings) = load_latest(&dir).unwrap();
+        assert_eq!(loaded.unwrap().epoch, 10);
+        assert_eq!(warnings.len(), 1);
+        assert!(warnings[0].contains("CRC mismatch"), "{warnings:?}");
+        // A truncated file (torn write before the rename would prevent
+        // this, but belt and braces) is also skipped.
+        let text = std::fs::read_to_string(snapshot_path(&dir, 10)).unwrap();
+        std::fs::write(snapshot_path(&dir, 30), &text[..text.len() / 2]).unwrap();
+        let (loaded, warnings) = load_latest(&dir).unwrap();
+        assert_eq!(loaded.unwrap().epoch, 10);
+        assert_eq!(warnings.len(), 2);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn prune_keeps_the_newest_and_sweeps_temp_files() {
+        let dir = tmp_dir("prune");
+        for e in [5, 10, 15, 20] {
+            write(&dir, &demo_data(e)).unwrap();
+        }
+        std::fs::write(dir.join("snapshot-99.ivme.tmp"), "half").unwrap();
+        prune(&dir, 2).unwrap();
+        let mut names: Vec<String> = std::fs::read_dir(&dir)
+            .unwrap()
+            .map(|e| e.unwrap().file_name().to_string_lossy().into_owned())
+            .collect();
+        names.sort();
+        assert_eq!(names, ["snapshot-15.ivme", "snapshot-20.ivme"]);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn unbuilt_state_round_trips_without_query_or_base() {
+        let dir = tmp_dir("unbuilt");
+        let mut staged = Database::new();
+        staged.insert("R", Tuple::ints(&[1]), 1);
+        let data = SnapshotData {
+            epoch: 3,
+            epsilon: 0.5,
+            mode: Mode::Static,
+            shards: 1,
+            staged,
+            ..SnapshotData::default()
+        };
+        write(&dir, &data).unwrap();
+        let (loaded, _) = load_latest(&dir).unwrap();
+        let loaded = loaded.unwrap();
+        assert_eq!(loaded.query, None);
+        assert!(!loaded.built);
+        assert!(matches!(loaded.mode, Mode::Static));
+        assert_eq!(loaded.staged.rows("R"), vec![(Tuple::ints(&[1]), 1)]);
+        assert_eq!(loaded.base.total_rows(), 0);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -1,0 +1,542 @@
+//! Write-ahead log: length-prefixed, CRC-checksummed command frames.
+//!
+//! The WAL makes the group-commit writer's state survive the process. Its
+//! records are not a private binary format — each frame's payload is
+//! command text in the shared wire grammar ([`ivme_cli::proto`]), the same
+//! lines a client could have typed, so a WAL is replayed through exactly
+//! the admin/apply path that produced it live, and `strings wal.log` is a
+//! legible transcript of every committed change.
+//!
+//! # On-disk layout
+//!
+//! ```text
+//! header   "IVMEWAL1" (8 bytes) | base_epoch (u64 LE)
+//! frame    len (u32 LE) | crc32 (u32 LE) | epoch (u64 LE) | payload (len bytes, UTF-8)
+//! ```
+//!
+//! `base_epoch` is the snapshot epoch this log continues from: a frame
+//! with `epoch ≤` the loaded snapshot's epoch is skipped on replay, which
+//! is what makes the snapshot-then-rotate sequence crash-safe at every
+//! intermediate point. The CRC (IEEE 802.3, table-driven, no external
+//! crate) covers the epoch and payload bytes, so a frame whose length
+//! field survived a torn write but whose body did not still fails closed.
+//!
+//! # What is logged, and when
+//!
+//! One frame per **committed unit** — a merged group batch that applied,
+//! an individually replayed member that applied, or a successful admin op
+//! — appended *after* the in-memory apply and fsynced *before* the ack.
+//! Logging inputs before applying them sounds more traditional but would
+//! be wrong here: a merged group can validate on its *net* delta (one
+//! member's over-delete cancelled by another's insert) where sequential
+//! replay of the raw member batches would reject a member, so only the
+//! units that actually committed are deterministic to replay. The
+//! durability point is therefore fsync-before-ack: an acked write is on
+//! disk (in `group`/`always` mode), an unacked write may be lost with the
+//! process — the same contract the ack already carried for visibility.
+//!
+//! # Recovery
+//!
+//! [`Wal::open`] scans the file frame by frame and stops at the first
+//! sign of damage — a truncated header-or-body, an absurd length, a CRC
+//! mismatch, invalid UTF-8, or a non-monotonic epoch — then truncates the
+//! file back to the last valid frame boundary and reports what it cut.
+//! A crash mid-append (the expected failure) loses at most the unacked
+//! tail; a flipped bit mid-file loses the suffix from the damaged frame
+//! on, never panics, and never serves a half-parsed frame.
+
+use std::fs::{File, OpenOptions};
+use std::io::{self, Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+use std::time::Instant;
+
+/// File magic: 8 bytes, version-suffixed.
+pub const WAL_MAGIC: &[u8; 8] = b"IVMEWAL1";
+
+/// Header size: magic + base epoch.
+const HEADER_LEN: u64 = 16;
+
+/// Frame prefix: len + crc + epoch.
+const FRAME_PREFIX: usize = 16;
+
+/// Upper bound on a single frame payload. Far above any real command
+/// batch; a "length" beyond it is treated as corruption, not an
+/// allocation request.
+const MAX_FRAME: u32 = 1 << 30;
+
+/// When the writer calls `fsync` on the log.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FsyncMode {
+    /// Never fsync — the OS page cache decides. Fastest; a crash can lose
+    /// acked writes (but never corrupt the recoverable prefix).
+    None,
+    /// One fsync per committed group, after all of the round's frames —
+    /// durability amortized exactly like the group-commit round itself.
+    Group,
+    /// fsync after every frame. The strictest (and slowest) setting.
+    Always,
+}
+
+impl FsyncMode {
+    /// Parses the `--fsync` flag value.
+    pub fn parse(s: &str) -> Result<FsyncMode, String> {
+        match s {
+            "none" => Ok(FsyncMode::None),
+            "group" => Ok(FsyncMode::Group),
+            "always" => Ok(FsyncMode::Always),
+            other => Err(format!("unknown fsync mode `{other}` (none|group|always)")),
+        }
+    }
+
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            FsyncMode::None => "none",
+            FsyncMode::Group => "group",
+            FsyncMode::Always => "always",
+        }
+    }
+}
+
+/// One decoded WAL frame: the epoch of the commit round it belongs to and
+/// its command text.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Frame {
+    pub epoch: u64,
+    pub text: String,
+}
+
+/// What [`Wal::open`] found: the replayable frames plus a description of
+/// any damaged tail it truncated away.
+#[derive(Default)]
+pub struct Recovered {
+    pub frames: Vec<Frame>,
+    /// `Some(reason)` when the file was cut back to the last valid frame.
+    pub truncated: Option<String>,
+}
+
+/// An open write-ahead log positioned for appends.
+pub struct Wal {
+    file: File,
+    path: PathBuf,
+    base_epoch: u64,
+    frames: u64,
+    last_epoch: u64,
+    /// Wall time of the most recent fsync, in microseconds.
+    last_fsync_us: u64,
+}
+
+impl Wal {
+    /// Creates a fresh log at `path` continuing from `base_epoch`,
+    /// replacing any existing file atomically (write a sibling temp file,
+    /// fsync it, rename over). Used both for first boot and for the
+    /// truncate-after-snapshot rotation: if the process dies between the
+    /// snapshot rename and this rotation, the old log's frames are all
+    /// `≤ base_epoch` and replay skips them.
+    pub fn create(path: &Path, base_epoch: u64) -> io::Result<Wal> {
+        let tmp = path.with_extension("tmp");
+        let mut file = OpenOptions::new()
+            .create(true)
+            .write(true)
+            .truncate(true)
+            .open(&tmp)?;
+        file.write_all(WAL_MAGIC)?;
+        file.write_all(&base_epoch.to_le_bytes())?;
+        file.sync_all()?;
+        std::fs::rename(&tmp, path)?;
+        sync_dir(path)?;
+        // Reopen through the final path so the handle survives the rename
+        // on platforms where it would not.
+        let mut file = OpenOptions::new().read(true).write(true).open(path)?;
+        file.seek(SeekFrom::End(0))?;
+        Ok(Wal {
+            file,
+            path: path.to_owned(),
+            base_epoch,
+            frames: 0,
+            last_epoch: base_epoch,
+            last_fsync_us: 0,
+        })
+    }
+
+    /// Opens an existing log, scanning and validating every frame.
+    /// Damage truncates the file back to the last valid frame boundary
+    /// (see the module docs); a bad *header* is an error instead — a log
+    /// whose provenance is unreadable should stop the boot, not be
+    /// silently discarded.
+    pub fn open(path: &Path) -> io::Result<(Wal, Recovered)> {
+        let mut file = OpenOptions::new().read(true).write(true).open(path)?;
+        let mut bytes = Vec::new();
+        file.read_to_end(&mut bytes)?;
+        if bytes.len() < HEADER_LEN as usize || &bytes[..8] != WAL_MAGIC {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("{}: not an IVMEWAL1 file", path.display()),
+            ));
+        }
+        let base_epoch = u64::from_le_bytes(bytes[8..16].try_into().unwrap());
+        let mut frames = Vec::new();
+        let mut last_epoch = base_epoch;
+        let mut pos = HEADER_LEN as usize;
+        let mut damage: Option<String> = None;
+        while pos < bytes.len() {
+            let Some((frame, end)) = decode_frame(&bytes, pos, last_epoch, &mut damage) else {
+                break;
+            };
+            last_epoch = frame.epoch;
+            frames.push(frame);
+            pos = end;
+        }
+        let truncated = if pos < bytes.len() {
+            let reason = format!(
+                "{}: {} — truncating {} damaged byte(s) at offset {pos}, keeping {} valid frame(s)",
+                path.display(),
+                damage.as_deref().unwrap_or("torn tail record"),
+                bytes.len() - pos,
+                frames.len(),
+            );
+            file.set_len(pos as u64)?;
+            file.sync_all()?;
+            Some(reason)
+        } else {
+            None
+        };
+        file.seek(SeekFrom::Start(pos as u64))?;
+        let wal = Wal {
+            file,
+            path: path.to_owned(),
+            base_epoch,
+            frames: frames.len() as u64,
+            last_epoch,
+            last_fsync_us: 0,
+        };
+        Ok((wal, Recovered { frames, truncated }))
+    }
+
+    /// The snapshot epoch this log continues from.
+    pub fn base_epoch(&self) -> u64 {
+        self.base_epoch
+    }
+
+    /// Frames currently in the log (recovered + appended).
+    pub fn frames(&self) -> u64 {
+        self.frames
+    }
+
+    /// The epoch of the newest frame, or the base epoch for an empty log —
+    /// the durable frontier the log can recover up to.
+    pub fn last_epoch(&self) -> u64 {
+        self.last_epoch
+    }
+
+    /// Wall time of the most recent [`Wal::sync`], in microseconds.
+    pub fn last_fsync_us(&self) -> u64 {
+        self.last_fsync_us
+    }
+
+    /// The log's path (rotation rewrites it in place).
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Appends one frame. Epochs must be non-decreasing (frames of one
+    /// commit round share the round's epoch). Not yet durable: call
+    /// [`Wal::sync`] per the configured [`FsyncMode`].
+    pub fn append(&mut self, epoch: u64, text: &str) -> io::Result<()> {
+        debug_assert!(epoch >= self.last_epoch, "WAL epochs must be monotonic");
+        let payload = text.as_bytes();
+        assert!(payload.len() as u64 <= MAX_FRAME as u64, "oversized frame");
+        let mut buf = Vec::with_capacity(FRAME_PREFIX + payload.len());
+        buf.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        let mut crc = Crc32::new();
+        crc.update(&epoch.to_le_bytes());
+        crc.update(payload);
+        buf.extend_from_slice(&crc.finish().to_le_bytes());
+        buf.extend_from_slice(&epoch.to_le_bytes());
+        buf.extend_from_slice(payload);
+        self.file.write_all(&buf)?;
+        self.frames += 1;
+        self.last_epoch = epoch;
+        Ok(())
+    }
+
+    /// Flushes the log to stable storage, recording the fsync's wall time
+    /// (surfaced as `last_fsync_us` in `stats`).
+    pub fn sync(&mut self) -> io::Result<()> {
+        let t0 = Instant::now();
+        self.file.sync_all()?;
+        self.last_fsync_us = t0.elapsed().as_micros() as u64;
+        Ok(())
+    }
+}
+
+/// Decodes the frame at `pos`, or records why it cannot be trusted.
+/// Returns the frame and the offset one past it.
+fn decode_frame(
+    bytes: &[u8],
+    pos: usize,
+    last_epoch: u64,
+    damage: &mut Option<String>,
+) -> Option<(Frame, usize)> {
+    let fail = |damage: &mut Option<String>, why: String| {
+        *damage = Some(why);
+        None
+    };
+    if bytes.len() - pos < FRAME_PREFIX {
+        // A bare prefix fragment: the expected crash-mid-append shape.
+        return None;
+    }
+    let len = u32::from_le_bytes(bytes[pos..pos + 4].try_into().unwrap());
+    if len > MAX_FRAME {
+        return fail(damage, format!("absurd frame length {len}"));
+    }
+    let body = pos + FRAME_PREFIX;
+    let end = body + len as usize;
+    if end > bytes.len() {
+        // Payload cut short: torn tail.
+        return None;
+    }
+    let crc_stored = u32::from_le_bytes(bytes[pos + 4..pos + 8].try_into().unwrap());
+    let epoch = u64::from_le_bytes(bytes[pos + 8..pos + 16].try_into().unwrap());
+    let mut crc = Crc32::new();
+    crc.update(&bytes[pos + 8..end]);
+    if crc.finish() != crc_stored {
+        return fail(
+            damage,
+            format!("CRC mismatch ({:08x} != {crc_stored:08x})", crc.finish()),
+        );
+    }
+    if epoch < last_epoch {
+        return fail(
+            damage,
+            format!("epoch went backwards ({last_epoch} -> {epoch})"),
+        );
+    }
+    let Ok(text) = std::str::from_utf8(&bytes[body..end]) else {
+        return fail(damage, "frame payload is not UTF-8".to_owned());
+    };
+    Some((
+        Frame {
+            epoch,
+            text: text.to_owned(),
+        },
+        end,
+    ))
+}
+
+/// fsyncs the directory containing `path`, making a just-renamed file's
+/// directory entry durable (Linux allows opening a directory read-only
+/// for exactly this).
+pub fn sync_dir(path: &Path) -> io::Result<()> {
+    if let Some(dir) = path.parent() {
+        if !dir.as_os_str().is_empty() {
+            File::open(dir)?.sync_all()?;
+        }
+    }
+    Ok(())
+}
+
+// ----------------------------------------------------------------------
+// CRC-32 (IEEE 802.3), table-driven — the offline toolchain has no crc
+// crate, and 20 lines beat a dependency.
+// ----------------------------------------------------------------------
+
+/// Streaming CRC-32 with the reflected IEEE polynomial (the `cksum`/zip/
+/// PNG variant), table built at compile time.
+pub struct Crc32(u32);
+
+const CRC_TABLE: [u32; 256] = {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 {
+                0xEDB8_8320 ^ (c >> 1)
+            } else {
+                c >> 1
+            };
+            k += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+};
+
+impl Crc32 {
+    pub fn new() -> Crc32 {
+        Crc32(0xFFFF_FFFF)
+    }
+
+    pub fn update(&mut self, bytes: &[u8]) {
+        let mut c = self.0;
+        for &b in bytes {
+            c = CRC_TABLE[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
+        }
+        self.0 = c;
+    }
+
+    pub fn finish(&self) -> u32 {
+        self.0 ^ 0xFFFF_FFFF
+    }
+}
+
+impl Default for Crc32 {
+    fn default() -> Crc32 {
+        Crc32::new()
+    }
+}
+
+/// One-shot convenience.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut c = Crc32::new();
+    c.update(bytes);
+    c.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> PathBuf {
+        let p = std::env::temp_dir().join(format!("ivme_wal_{}_{name}", std::process::id()));
+        let _ = std::fs::remove_file(&p);
+        p
+    }
+
+    #[test]
+    fn crc32_matches_known_vectors() {
+        // The classic IEEE test vector.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+        // Streaming == one-shot.
+        let mut c = Crc32::new();
+        c.update(b"1234");
+        c.update(b"56789");
+        assert_eq!(c.finish(), 0xCBF4_3926);
+    }
+
+    #[test]
+    fn append_and_reopen_round_trips() {
+        let path = tmp("roundtrip");
+        let mut w = Wal::create(&path, 7).unwrap();
+        w.append(8, "insert R 1,2\n").unwrap();
+        w.append(8, "query Q(A) :- R(A,B), S(B)\n").unwrap();
+        w.append(9, ".batch begin\ninsert S 3\n.batch commit\n")
+            .unwrap();
+        w.sync().unwrap();
+        assert_eq!(w.frames(), 3);
+        drop(w);
+        let (w, rec) = Wal::open(&path).unwrap();
+        assert_eq!(w.base_epoch(), 7);
+        assert_eq!(w.frames(), 3);
+        assert!(rec.truncated.is_none());
+        assert_eq!(rec.frames.len(), 3);
+        assert_eq!(rec.frames[0].epoch, 8);
+        assert_eq!(rec.frames[0].text, "insert R 1,2\n");
+        assert_eq!(rec.frames[2].epoch, 9);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn torn_tail_is_truncated_to_the_last_valid_frame() {
+        let path = tmp("torn");
+        let mut w = Wal::create(&path, 0).unwrap();
+        w.append(1, "insert R 1,2\n").unwrap();
+        w.append(2, "insert R 3,4\n").unwrap();
+        drop(w);
+        let full = std::fs::metadata(&path).unwrap().len();
+        // Cut the second frame short at every possible torn length.
+        for cut in 1..29 {
+            let mut bytes = std::fs::read(&path).unwrap();
+            bytes.truncate((full - cut) as usize);
+            let torn = tmp(&format!("torn_{cut}"));
+            std::fs::write(&torn, &bytes).unwrap();
+            let (w2, rec) = Wal::open(&torn).unwrap();
+            assert_eq!(rec.frames.len(), 1, "cut {cut}");
+            assert_eq!(rec.frames[0].text, "insert R 1,2\n");
+            assert!(rec.truncated.is_some(), "cut {cut}");
+            // The file itself was repaired: reopening is clean.
+            drop(w2);
+            let (mut w3, rec) = Wal::open(&torn).unwrap();
+            assert!(rec.truncated.is_none(), "cut {cut}");
+            assert_eq!(rec.frames.len(), 1);
+            // And appendable: the next frame lands after the valid prefix.
+            w3.append(5, "insert S 9\n").unwrap();
+            drop(w3);
+            let (_, rec) = Wal::open(&torn).unwrap();
+            assert_eq!(rec.frames.len(), 2);
+            assert_eq!(rec.frames[1].text, "insert S 9\n");
+            std::fs::remove_file(&torn).unwrap();
+        }
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn flipped_bit_truncates_from_the_damaged_frame() {
+        let path = tmp("flip");
+        let mut w = Wal::create(&path, 0).unwrap();
+        w.append(1, "insert R 1,2\n").unwrap();
+        w.append(2, "insert R 3,4\n").unwrap();
+        w.append(3, "insert R 5,6\n").unwrap();
+        drop(w);
+        let clean = std::fs::read(&path).unwrap();
+        // Flip one bit in every byte of the middle frame (prefix and
+        // payload): recovery must keep exactly the first frame.
+        let frame_len = (clean.len() - HEADER_LEN as usize) / 3;
+        let second = HEADER_LEN as usize + frame_len;
+        for off in second..second + frame_len {
+            let mut bytes = clean.clone();
+            bytes[off] ^= 0x10;
+            std::fs::write(&path, &bytes).unwrap();
+            let (_, rec) = Wal::open(&path).unwrap();
+            // A flipped *length* byte can also masquerade as a longer torn
+            // frame; either way nothing past frame 1 survives and nothing
+            // invalid is returned.
+            assert!(rec.frames.len() <= 1, "offset {off} kept too much");
+            assert!(rec.truncated.is_some(), "offset {off}");
+            if let Some(f) = rec.frames.first() {
+                assert_eq!(f.text, "insert R 1,2\n", "offset {off}");
+            }
+        }
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn absurd_length_and_bad_magic_fail_closed() {
+        let path = tmp("absurd");
+        let mut w = Wal::create(&path, 0).unwrap();
+        w.append(1, "insert R 1,2\n").unwrap();
+        drop(w);
+        let mut bytes = std::fs::read(&path).unwrap();
+        // Append a frame whose length field claims 2 GiB.
+        bytes.extend_from_slice(&(u32::MAX).to_le_bytes());
+        bytes.extend_from_slice(&[0u8; 12]);
+        std::fs::write(&path, &bytes).unwrap();
+        let (_, rec) = Wal::open(&path).unwrap();
+        assert_eq!(rec.frames.len(), 1);
+        assert!(rec.truncated.unwrap().contains("absurd"));
+        // A file that is not a WAL at all is an error, not a silent wipe.
+        std::fs::write(&path, b"definitely not a wal").unwrap();
+        assert!(Wal::open(&path).is_err());
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn rotation_replaces_the_log_atomically() {
+        let path = tmp("rotate");
+        let mut w = Wal::create(&path, 0).unwrap();
+        w.append(1, "insert R 1,2\n").unwrap();
+        w.sync().unwrap();
+        drop(w);
+        let w = Wal::create(&path, 42).unwrap();
+        assert_eq!(w.base_epoch(), 42);
+        assert_eq!(w.frames(), 0);
+        drop(w);
+        let (w, rec) = Wal::open(&path).unwrap();
+        assert_eq!(w.base_epoch(), 42);
+        assert!(rec.frames.is_empty());
+        std::fs::remove_file(&path).unwrap();
+    }
+}

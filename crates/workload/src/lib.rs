@@ -9,14 +9,19 @@
 //!   lower-bound experiment (Prop. 10),
 //! * [`serve`] — a closed-loop multi-client TCP driver for the
 //!   `ivme-server` serving layer (readers + group-commit writers over
-//!   loopback, latency percentiles and throughput).
+//!   loopback, latency percentiles and throughput),
+//! * [`recovery`] — deterministic kill-and-recover workloads with
+//!   brute-force prefix oracles, for the durability tests and the
+//!   `fig_recovery` bench.
 
 pub mod gen;
 pub mod omv;
+pub mod recovery;
 pub mod serve;
 pub mod zipf;
 
 pub use gen::{chunk_stream, star_db, two_path_db, update_stream, StreamOp};
 pub use omv::OmvInstance;
+pub use recovery::{parse_listing, RecoveryWorkload};
 pub use serve::{delete_batch_script, drive, insert_batch_script, Client, DriveReport, Script};
 pub use zipf::Zipf;

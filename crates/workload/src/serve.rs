@@ -57,12 +57,8 @@ fn update_batch_script(relation: &str, tuples: &[Tuple], insert: bool) -> Script
     text.push_str(".batch begin\n");
     for t in tuples {
         let _ = write!(text, "{verb} {relation} ");
-        for (i, v) in t.values().iter().enumerate() {
-            if i > 0 {
-                text.push(',');
-            }
-            let _ = write!(text, "{v}");
-        }
+        // Canonical tuple rendering, shared with the WAL's serializers.
+        proto::push_tuple(&mut text, t);
         text.push('\n');
     }
     text.push_str(".batch commit\n");

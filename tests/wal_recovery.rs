@@ -1,0 +1,262 @@
+//! Crash recovery: a killed server restarts into exactly the state the
+//! last acked commit left behind.
+//!
+//! Pattern mirrors `tests/snapshot_stability.rs`: drive a randomized
+//! batch history whose every prefix has a brute-force oracle, kill the
+//! server at chosen points (including mid-append, by truncating or
+//! corrupting the WAL tail on disk), restart against the same data dir,
+//! and compare the recovered result — over the wire, through the same
+//! `list`/`stats` commands a client would use — against the prefix
+//! oracle. Dropping a [`Server`] is the in-process "hard kill": it stops
+//! the threads without the clean-shutdown path, so nothing is persisted
+//! beyond what the WAL already made durable (fsync-before-ack).
+
+use std::net::SocketAddr;
+use std::path::{Path, PathBuf};
+
+use ivme::core::brute_force;
+use ivme::data::Tuple;
+use ivme::query::parse_query;
+use ivme::workload::{parse_listing, Client, RecoveryWorkload};
+use ivme_server::{FsyncMode, Server, ServerConfig};
+
+fn temp_dir(name: &str) -> PathBuf {
+    let d = std::env::temp_dir().join(format!("ivme_rec_{}_{name}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&d);
+    d
+}
+
+fn start(dir: &Path, snapshot_every: u64) -> Server {
+    Server::start(ServerConfig {
+        data_dir: Some(dir.to_owned()),
+        fsync: FsyncMode::Group,
+        snapshot_every,
+        ..ServerConfig::default()
+    })
+    .expect("server must start")
+}
+
+/// Runs every line of `script` closed-loop, panicking on any `err`.
+fn run_script(c: &mut Client, script: &str) {
+    for line in script.lines() {
+        c.expect_ok(line);
+    }
+}
+
+/// The served result, parsed and sorted — comparable to `brute_force`.
+fn listing(addr: SocketAddr) -> Vec<(Tuple, i64)> {
+    let mut c = Client::connect(addr).unwrap();
+    parse_listing(&c.expect_ok("list")).unwrap()
+}
+
+fn oracle(wl: &RecoveryWorkload, k: usize) -> Vec<(Tuple, i64)> {
+    let q = parse_query(ivme::workload::recovery::QUERY).unwrap();
+    brute_force(&q, &wl.database_after(k))
+}
+
+fn stat_field(stats: &str, key: &str) -> u64 {
+    stats
+        .split(&format!("{key} = "))
+        .nth(1)
+        .and_then(|s| s.split(|c: char| c == ',' || c.is_whitespace()).next())
+        .unwrap_or_else(|| panic!("no `{key}` in stats: {stats}"))
+        .parse()
+        .unwrap_or_else(|_| panic!("unparsable `{key}` in stats: {stats}"))
+}
+
+#[test]
+fn kill_and_recover_matches_the_prefix_oracle() {
+    for shards in [1usize, 2, 4] {
+        let wl = RecoveryWorkload::generate(0xD1E + shards as u64, 20, 24, 5);
+        let dir = temp_dir(&format!("kill_{shards}"));
+        const K1: usize = 10;
+
+        // Phase 1: setup + 10 batches, then a hard kill. snapshot_every=7
+        // makes several checkpoint/rotation cycles happen mid-run, so
+        // recovery exercises snapshot-load + WAL-tail replay together.
+        {
+            let server = start(&dir, 7);
+            let mut c = Client::connect(server.addr()).unwrap();
+            run_script(&mut c, &wl.setup_script(shards));
+            for k in 0..K1 {
+                run_script(&mut c, &wl.batch_script(k));
+            }
+            assert_eq!(listing(server.addr()), oracle(&wl, K1), "S={shards} live");
+            // drop(server): hard kill — no final snapshot.
+        }
+
+        // Phase 2: restart, verify the recovered state byte-for-byte,
+        // then keep committing on top of it.
+        let server = start(&dir, 7);
+        assert_eq!(
+            listing(server.addr()),
+            oracle(&wl, K1),
+            "S={shards} recovered"
+        );
+        let mut c = Client::connect(server.addr()).unwrap();
+        let stats = c.expect_ok("stats");
+        assert_eq!(
+            stat_field(&stats, "updates"),
+            wl.total_updates_after(K1),
+            "S={shards}: cumulative updates must survive recovery: {stats}"
+        );
+        assert!(
+            stat_field(&stats, "recovered_groups") > 0,
+            "S={shards}: some rounds must have replayed from the WAL: {stats}"
+        );
+        assert_eq!(stat_field(&stats, "misroutes"), 0, "S={shards}");
+        for k in K1..wl.batches.len() {
+            run_script(&mut c, &wl.batch_script(k));
+        }
+        let k_all = wl.batches.len();
+        assert_eq!(listing(server.addr()), oracle(&wl, k_all), "S={shards}");
+        drop(c);
+        drop(server);
+
+        // Phase 3: one more kill/recover cycle over the full history.
+        let server = start(&dir, 7);
+        assert_eq!(
+            listing(server.addr()),
+            oracle(&wl, k_all),
+            "S={shards} second recovery"
+        );
+        let mut c = Client::connect(server.addr()).unwrap();
+        let stats = c.expect_ok("stats");
+        assert_eq!(
+            stat_field(&stats, "updates"),
+            wl.total_updates_after(k_all),
+            "S={shards}: {stats}"
+        );
+        drop(c);
+        drop(server);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
+
+#[test]
+fn torn_final_wal_record_recovers_to_the_previous_batch() {
+    let wl = RecoveryWorkload::generate(0x70A7, 15, 8, 4);
+    let dir = temp_dir("torn");
+    const K: usize = 8;
+    {
+        // snapshot_every = 0: no checkpoints, the WAL carries everything —
+        // so the injected tear provably lands in the last batch's frame.
+        let server = start(&dir, 0);
+        let mut c = Client::connect(server.addr()).unwrap();
+        run_script(&mut c, &wl.setup_script(2));
+        for k in 0..K {
+            run_script(&mut c, &wl.batch_script(k));
+        }
+    }
+    // Fault injection: chop one byte off the log, as if the process died
+    // mid-append of its final frame.
+    let wal = dir.join("wal.log");
+    let bytes = std::fs::read(&wal).unwrap();
+    std::fs::write(&wal, &bytes[..bytes.len() - 1]).unwrap();
+
+    let server = start(&dir, 0);
+    assert_eq!(
+        listing(server.addr()),
+        oracle(&wl, K - 1),
+        "a torn final record must roll back exactly one committed batch"
+    );
+    let mut c = Client::connect(server.addr()).unwrap();
+    let stats = c.expect_ok("stats");
+    assert_eq!(stat_field(&stats, "updates"), wl.total_updates_after(K - 1));
+    // The truncated log is clean again: new commits append and survive.
+    run_script(&mut c, &wl.batch_script(K - 1));
+    assert_eq!(listing(server.addr()), oracle(&wl, K));
+    drop(c);
+    drop(server);
+    let server = start(&dir, 0);
+    assert_eq!(listing(server.addr()), oracle(&wl, K));
+    drop(server);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn flipped_bit_recovers_a_valid_prefix_and_never_panics() {
+    let wl = RecoveryWorkload::generate(0xB17F, 12, 8, 4);
+    let dir = temp_dir("flip");
+    const K: usize = 8;
+    {
+        let server = start(&dir, 0);
+        let mut c = Client::connect(server.addr()).unwrap();
+        run_script(&mut c, &wl.setup_script(1));
+        for k in 0..K {
+            run_script(&mut c, &wl.batch_script(k));
+        }
+    }
+    // Corrupt a byte in the last quarter of the log — inside some batch
+    // frame past the setup prefix. Recovery must truncate from the
+    // damaged frame and serve the surviving prefix, never partial state.
+    let wal = dir.join("wal.log");
+    let mut bytes = std::fs::read(&wal).unwrap();
+    let pos = bytes.len() - bytes.len() / 4;
+    bytes[pos] ^= 0x10;
+    std::fs::write(&wal, &bytes).unwrap();
+
+    let server = start(&dir, 0);
+    let served = listing(server.addr());
+    let matched = (0..=K).rev().find(|&k| served == oracle(&wl, k));
+    let Some(k) = matched else {
+        panic!("recovered state matches no prefix oracle: {served:?}");
+    };
+    assert!(k < K, "corruption must cost at least the damaged frame");
+    drop(server);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn clean_shutdown_persists_everything_and_replays_nothing() {
+    let wl = RecoveryWorkload::generate(0xC1EA, 15, 6, 4);
+    let dir = temp_dir("clean");
+    const K: usize = 6;
+    {
+        let server = start(&dir, 0);
+        let mut c = Client::connect(server.addr()).unwrap();
+        run_script(&mut c, &wl.setup_script(2));
+        for k in 0..K {
+            run_script(&mut c, &wl.batch_script(k));
+        }
+        // The wire-level clean shutdown: drains, fsyncs, snapshots.
+        let msg = c.expect_ok("shutdown");
+        assert!(msg.contains("snapshot written"), "{msg}");
+        assert!(server.is_shutdown());
+    }
+    let server = start(&dir, 0);
+    assert_eq!(listing(server.addr()), oracle(&wl, K));
+    let mut c = Client::connect(server.addr()).unwrap();
+    let stats = c.expect_ok("stats");
+    assert_eq!(stat_field(&stats, "updates"), wl.total_updates_after(K));
+    assert_eq!(
+        stat_field(&stats, "recovered_groups"),
+        0,
+        "a clean shutdown leaves nothing to replay: {stats}"
+    );
+    // Serve-layer counters also survive, via the snapshot header.
+    assert!(
+        server.serve_stats().group_commits >= K as u64,
+        "group_commits must be cumulative across restarts: {:?}",
+        server.serve_stats()
+    );
+    drop(c);
+    drop(server);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn unreadable_wal_refuses_to_start() {
+    let dir = temp_dir("badmagic");
+    std::fs::create_dir_all(&dir).unwrap();
+    std::fs::write(dir.join("wal.log"), b"definitely not a wal file").unwrap();
+    let err = Server::start(ServerConfig {
+        data_dir: Some(dir.clone()),
+        ..ServerConfig::default()
+    });
+    assert!(
+        err.is_err(),
+        "a WAL with a bad header must stop the boot, not be wiped"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
