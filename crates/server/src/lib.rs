@@ -62,16 +62,32 @@
 //! publishes the next, there is never a window where reads block or see
 //! partial state.
 
-//! * **Durability (PR 7).** With `--data-dir` the writer thread appends
-//!   every committed unit to a CRC-checksummed write-ahead log
+//! * **Durability (PR 7), pipelined (PR 8).** With `--data-dir` every
+//!   committed unit is appended to a CRC-checksummed write-ahead log
 //!   ([`wal`]) — frames carry the same `proto` command text connections
 //!   send, so replay goes through the audited live apply path — with one
-//!   fsync per group-commit round (`--fsync group`), and periodically
-//!   checkpoints the whole state into an atomically renamed snapshot
+//!   fsync per group-commit round (`--fsync group`), and the state is
+//!   periodically checkpointed into an atomically renamed snapshot
 //!   ([`snapshot`]) that lets the log rotate. Boot loads the newest valid
 //!   snapshot and replays the log's tail; a torn or bit-flipped WAL tail
 //!   is truncated at the last valid frame, never served partially.
+//!
+//!   The commit path is a two-stage pipeline: the writer applies and
+//!   *publishes* round N+1 while a dedicated sync thread appends and
+//!   fsyncs round N, and each round's acks ride to the sync thread as a
+//!   closure it runs only after that round's fsync. Both promises
+//!   survive the split — publish-before-ack (read-your-writes) because
+//!   the writer publishes before it hands the round over, and
+//!   no-acked-write-lost because the hand-off, not the writer, releases
+//!   the acks. Snapshots moved off the writer thread entirely: the
+//!   writer captures its state (a cheap structured clone) and a
+//!   background snapshot thread serializes and installs it, with WAL
+//!   rotation deferred until the install and frames committed meanwhile
+//!   preserved across the rotation — so a commit round never waits on
+//!   snapshot serialization, and `--fsync group` costs one *overlapped*
+//!   fsync per round instead of a serialized one.
 
+pub mod crc;
 pub mod publish;
 pub mod snapshot;
 pub mod wal;
@@ -91,10 +107,10 @@ use ivme_core::{Database, DeltaBatch, EngineOptions, Mode, ShardedEngine, Sharde
 use ivme_data::Tuple;
 use ivme_query::{classify, Query};
 
-use publish::{Cached, Published};
-use snapshot::SnapshotData;
+use publish::{Cached, DurTracker, Published};
+use snapshot::{SnapshotData, SnapshotWorker};
 pub use wal::FsyncMode;
-use wal::Wal;
+use wal::{Wal, WalPipeline};
 
 /// Server tuning knobs. `Default` is sized for tests and local serving.
 #[derive(Clone, Debug)]
@@ -116,6 +132,17 @@ pub struct ServerConfig {
     /// Snapshot (and rotate the WAL) every N dirty commit rounds; 0 means
     /// only on clean shutdown, leaving the WAL to grow unboundedly.
     pub snapshot_every: u64,
+    /// Pipelined commit (the default): the writer applies round N+1 while
+    /// the sync thread fsyncs round N. `false` inserts a flush barrier
+    /// after every round — PR 7's serialized timing through the same code
+    /// path, kept for comparison benchmarks and debugging.
+    pub pipeline: bool,
+    /// Threads for the boot-time WAL replay front end (frame scanning,
+    /// CRC validation, command parsing; application stays sequential).
+    /// 0 — the default — means `available_parallelism`, capped at 8.
+    pub replay_threads: usize,
+    /// Test-only fault-injection hooks; `Default` is all-`None`.
+    pub hooks: TestHooks,
 }
 
 impl Default for ServerConfig {
@@ -127,7 +154,34 @@ impl Default for ServerConfig {
             data_dir: None,
             fsync: FsyncMode::Group,
             snapshot_every: 64,
+            pipeline: true,
+            replay_threads: 0,
+            hooks: TestHooks::default(),
         }
+    }
+}
+
+/// Barrier hooks the durability tests inject to freeze a background
+/// thread at a precise point. Both are `None` in production; neither is
+/// ever called on the writer thread.
+#[derive(Clone, Default)]
+pub struct TestHooks {
+    /// Runs on the sync thread with the round's epoch, *before* any of
+    /// its frames reach the file — a panicking hook simulates a crash
+    /// between publish and fsync.
+    pub sync_barrier: Option<Arc<dyn Fn(u64) + Send + Sync>>,
+    /// Runs on the snapshot thread with the snapshot's epoch, before any
+    /// serialization — a blocking hook simulates an arbitrarily slow
+    /// snapshot.
+    pub snapshot_barrier: Option<Arc<dyn Fn(u64) + Send + Sync>>,
+}
+
+impl std::fmt::Debug for TestHooks {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TestHooks")
+            .field("sync_barrier", &self.sync_barrier.is_some())
+            .field("snapshot_barrier", &self.snapshot_barrier.is_some())
+            .finish()
     }
 }
 
@@ -155,21 +209,62 @@ pub struct ServeSnapshot {
     query: Option<Query>,
     mode: Mode,
     view: Option<ShardedSnapshot>,
-    /// Durability state at publish time (`None` when serving memory-only).
-    dur: Option<DurInfo>,
+    /// Live durability handle (`None` when serving memory-only). The
+    /// *counters* are not frozen with the view: `stats` samples the
+    /// shared tracker at read time, so a quiescent server converges to
+    /// `durable_epoch = wal_epoch, fsync_backlog = 0` instead of forever
+    /// displaying the backlog as it stood when the last round published.
+    dur: Option<DurHandle>,
 }
 
-/// The durability counters frozen into a [`ServeSnapshot`] — what the
-/// `stats` command reports without touching the writer thread.
+/// A [`ServeSnapshot`]'s window into the durability pipeline: the shared
+/// atomic tracker plus the boot-time replay count.
+#[derive(Clone)]
+struct DurHandle {
+    tracker: Arc<DurTracker>,
+    recovered_groups: u64,
+}
+
+impl DurHandle {
+    /// A coherent point-in-time sample. `durable` is read *before*
+    /// `inflight`: durable only ever chases inflight, so this order keeps
+    /// the reported `durable_epoch ≤ wal_epoch` even when a commit lands
+    /// between the two loads.
+    fn sample(&self) -> DurInfo {
+        let durable = self.tracker.durable();
+        let inflight = self.tracker.inflight().max(durable);
+        DurInfo {
+            wal_epoch: inflight,
+            durable_epoch: durable,
+            fsync_backlog: inflight - durable,
+            wal_frames: self.tracker.wal_frames(),
+            last_fsync_us: self.tracker.last_fsync_us(),
+            snapshot_in_progress: self.tracker.snapshot_in_progress(),
+            recovered_groups: self.recovered_groups,
+        }
+    }
+}
+
+/// The durability counters the `stats` command reports — a read-time
+/// sample of the shared [`DurTracker`], never a lock on the writer or
+/// sync thread. `durable_epoch ≤ wal_epoch` always holds.
 #[derive(Clone, Copy, Debug)]
 pub struct DurInfo {
-    /// Epoch of the newest durable WAL frame (= the epoch a crash right
-    /// now would recover to).
+    /// Newest epoch handed to the WAL pipeline (its frames are published
+    /// and queued, possibly not yet on disk).
     pub wal_epoch: u64,
+    /// Newest epoch the sync thread has made durable (= the epoch a
+    /// crash right now would recover to).
+    pub durable_epoch: u64,
+    /// Commit rounds applied and published but not yet durable
+    /// (`wal_epoch - durable_epoch`); none of them has been acked.
+    pub fsync_backlog: u64,
     /// Frames in the current (post-rotation) log.
     pub wal_frames: u64,
     /// Wall time of the most recent fsync, microseconds.
     pub last_fsync_us: u64,
+    /// A background snapshot is being serialized right now.
+    pub snapshot_in_progress: bool,
     /// Distinct commit rounds replayed from the WAL at the last boot.
     pub recovered_groups: u64,
 }
@@ -202,20 +297,25 @@ struct OwnedState {
     dur: Option<Durability>,
 }
 
-/// The writer thread's durability state: the open WAL plus the snapshot
-/// cadence. Owned by the writer like everything else mutable.
+/// The writer thread's handles into the durability pipeline. The open
+/// [`Wal`] itself lives on the sync thread; the snapshot serializer lives
+/// on its own thread; the writer only dispatches jobs and reads the
+/// shared [`DurTracker`].
 struct Durability {
-    dir: PathBuf,
-    wal: Wal,
-    fsync: FsyncMode,
+    /// Field order is drop order, and it matters: the snapshot worker
+    /// holds a sender into the WAL queue (it may still emit a `Rotate`),
+    /// so it must drain and join *before* the pipeline does.
+    snap: SnapshotWorker,
+    pipeline: WalPipeline,
+    /// Shared durability frontiers (inflight/durable epochs, broken flag).
+    tracker: Arc<DurTracker>,
     snapshot_every: u64,
     /// Dirty rounds since the last snapshot (drives the cadence).
     rounds_since_snapshot: u64,
     /// Distinct commit rounds replayed at boot (reported in `stats`).
     recovered_groups: u64,
-    /// Set when a WAL write failed: the server keeps serving (loudly)
-    /// without durability rather than crashing mid-flight.
-    broken: bool,
+    /// `--serial-commit`: flush-barrier after every round (PR 7 timing).
+    serial: bool,
 }
 
 impl OwnedState {
@@ -232,13 +332,11 @@ impl OwnedState {
         }
     }
 
-    /// The durability counters to freeze into the next published
-    /// [`ServeSnapshot`].
-    fn dur_info(&self) -> Option<DurInfo> {
-        self.dur.as_ref().map(|d| DurInfo {
-            wal_epoch: d.wal.last_epoch(),
-            wal_frames: d.wal.frames(),
-            last_fsync_us: d.wal.last_fsync_us(),
+    /// The live durability handle to embed in published
+    /// [`ServeSnapshot`]s (readers sample it at `stats` time).
+    fn dur_info(&self) -> Option<DurHandle> {
+        self.dur.as_ref().map(|d| DurHandle {
+            tracker: Arc::clone(&d.tracker),
             recovered_groups: d.recovered_groups,
         })
     }
@@ -319,50 +417,21 @@ impl OwnedState {
         }
     }
 
-    /// Appends one committed round's frames to the WAL and makes them
-    /// durable per the fsync mode. Called *after* the applies succeeded
-    /// and *before* any ack is sent — the fsync is the durability point a
-    /// client's `ok` promises. WAL I/O errors do not kill the server:
-    /// they are reported loudly once and the server degrades to
-    /// memory-only serving (a trading floor prefers stale durability to
-    /// an outage; the operator sees the message).
-    fn persist_round(&mut self, epoch: u64, frames: &[String]) {
-        let Some(d) = self.dur.as_mut() else { return };
-        if d.broken || frames.is_empty() {
-            return;
-        }
-        let mut write = || -> io::Result<()> {
-            for f in frames {
-                d.wal.append(epoch, f)?;
-                if matches!(d.fsync, FsyncMode::Always) {
-                    d.wal.sync()?;
-                }
-            }
-            if matches!(d.fsync, FsyncMode::Group) {
-                d.wal.sync()?;
-            }
-            Ok(())
-        };
-        if let Err(e) = write() {
-            eprintln!(
-                "ivme-server: WAL write failed ({e}); continuing WITHOUT durability — \
-                 commits from here on will not survive a crash"
-            );
-            d.broken = true;
-        }
-        d.rounds_since_snapshot += 1;
-    }
-
-    /// Writes a snapshot of the current state and rotates the WAL to it,
-    /// when the cadence (or `force`, on clean shutdown) says so. Runs
-    /// after acks — the WAL already holds everything a crash would need.
-    fn maybe_snapshot(&mut self, serve: (u64, u64, u64), force: bool) {
+    /// Dispatches a background snapshot when the cadence says so. The
+    /// writer's only cost is capturing [`SnapshotData`] (a structured
+    /// clone — no serialization, no I/O); the `SnapshotStarted` marker
+    /// sent down the WAL queue *before* the snapshot job makes the sync
+    /// thread start buffering the tail frames the eventual rotation must
+    /// preserve. At most one snapshot is in flight at a time — the
+    /// cadence check just waits for the current one.
+    fn maybe_dispatch_snapshot(&mut self, serve: (u64, u64, u64)) {
         let due = match self.dur.as_ref() {
             None => false,
             Some(d) => {
-                !d.broken
-                    && (force
-                        || (d.snapshot_every > 0 && d.rounds_since_snapshot >= d.snapshot_every))
+                !d.tracker.is_broken()
+                    && !d.tracker.snapshot_in_progress()
+                    && d.snapshot_every > 0
+                    && d.rounds_since_snapshot >= d.snapshot_every
             }
         };
         if !due {
@@ -370,25 +439,47 @@ impl OwnedState {
         }
         let data = self.snapshot_data(serve);
         let d = self.dur.as_mut().unwrap();
-        let mut persist = || -> io::Result<()> {
-            snapshot::write(&d.dir, &data)?;
-            // Rotate: a fresh WAL whose base epoch is the snapshot's.
-            // Crash between the two renames is safe — the old log's
-            // frames are all ≤ the snapshot epoch and replay skips them.
-            d.wal = Wal::create(d.wal.path(), data.epoch)?;
-            snapshot::prune(&d.dir, 2)?;
-            Ok(())
-        };
-        match persist() {
-            Ok(()) => d.rounds_since_snapshot = 0,
-            Err(e) => {
-                eprintln!(
-                    "ivme-server: snapshot failed ({e}); continuing WITHOUT durability — \
-                     the WAL can no longer rotate"
-                );
-                d.broken = true;
-            }
+        d.tracker.begin_snapshot();
+        if d.pipeline.send(wal::Job::SnapshotStarted).is_err() {
+            d.tracker.end_snapshot();
+            d.tracker.set_broken();
+            eprintln!("ivme-server: WAL sync thread is gone; continuing WITHOUT durability");
+            return;
         }
+        if !d.snap.submit(data, None) {
+            let _ = d.pipeline.send(wal::Job::SnapshotAborted);
+            d.tracker.end_snapshot();
+            d.tracker.set_broken();
+            eprintln!("ivme-server: snapshot thread is gone; continuing WITHOUT durability");
+            return;
+        }
+        d.rounds_since_snapshot = 0;
+    }
+
+    /// Clean-shutdown checkpoint: same dispatch as the background path,
+    /// but waits for the install and the rotation to land before
+    /// returning. Callers have already drained the snapshot and WAL
+    /// queues, so at most this one snapshot is in flight.
+    fn final_snapshot(&mut self, serve: (u64, u64, u64)) {
+        let due = self.dur.as_ref().is_some_and(|d| !d.tracker.is_broken());
+        if !due {
+            return;
+        }
+        let data = self.snapshot_data(serve);
+        let d = self.dur.as_mut().unwrap();
+        d.tracker.begin_snapshot();
+        let (done_tx, done_rx) = mpsc::channel();
+        if d.pipeline.send(wal::Job::SnapshotStarted).is_err()
+            || !d.snap.submit(data, Some(done_tx))
+        {
+            d.tracker.end_snapshot();
+            return;
+        }
+        let _ = done_rx.recv();
+        // The install queued a `Rotate`; flush so the rotation is on disk
+        // before the shutdown ack promises "final snapshot written".
+        d.pipeline.flush();
+        d.rounds_since_snapshot = 0;
     }
 
     /// Captures the full state (config, staged rows, engine base
@@ -449,71 +540,6 @@ impl OwnedState {
         Ok(())
     }
 
-    /// Replays one WAL frame through the same admin/apply code paths a
-    /// live connection uses. Frames are one committed unit each: a
-    /// `.batch begin … commit` script, a run of `row` lines, or a single
-    /// admin command. A CRC-valid frame that fails to replay is a logic
-    /// error (it committed once), so the caller refuses to start rather
-    /// than serving a diverged state.
-    fn replay_frame(&mut self, text: &str) -> Result<(), String> {
-        let mut pending: Option<DeltaBatch> = None;
-        for line in text.lines() {
-            let Some(cmd) = proto::parse_command(line)? else {
-                continue;
-            };
-            match cmd {
-                Command::BatchBegin => {
-                    if pending.is_some() {
-                        return Err("nested `.batch begin` in WAL frame".into());
-                    }
-                    pending = Some(DeltaBatch::new());
-                }
-                Command::Update {
-                    relation,
-                    tuple,
-                    delta,
-                } => match pending.as_mut() {
-                    Some(b) => b.push(&relation, tuple, delta),
-                    None => {
-                        let mut b = DeltaBatch::new();
-                        b.push(&relation, tuple, delta);
-                        self.apply_replayed(&b)?;
-                    }
-                },
-                Command::BatchCommit => {
-                    let b = pending.take().ok_or("`.batch commit` without begin")?;
-                    self.apply_replayed(&b)?;
-                }
-                Command::Query(q) => {
-                    self.admin(AdminOp::Query(q))?;
-                }
-                Command::Epsilon(e) => {
-                    self.admin(AdminOp::Epsilon(e))?;
-                }
-                Command::Mode(m) => {
-                    self.admin(AdminOp::Mode(m))?;
-                }
-                Command::Shards(n) => {
-                    self.admin(AdminOp::Shards(n))?;
-                }
-                Command::Row { relation, tuple } => {
-                    self.admin(AdminOp::Rows {
-                        relation,
-                        rows: vec![tuple],
-                    })?;
-                }
-                Command::Build => {
-                    self.admin(AdminOp::Build)?;
-                }
-                other => return Err(format!("unreplayable command in WAL: {other:?}")),
-            }
-        }
-        if pending.is_some() {
-            return Err("unterminated `.batch begin` in WAL frame".into());
-        }
-        Ok(())
-    }
-
     fn apply_replayed(&mut self, batch: &DeltaBatch) -> Result<(), String> {
         let eng = self
             .engine
@@ -521,6 +547,129 @@ impl OwnedState {
             .ok_or("WAL batch frame before any `build`")?;
         eng.apply_delta_batch(batch).map_err(|e| e.to_string())
     }
+}
+
+/// One operation decoded from a WAL frame, ready to apply.
+enum ReplayOp {
+    Admin(AdminOp),
+    Batch(DeltaBatch),
+}
+
+/// One WAL frame, fully parsed: what to apply at which epoch. Producing
+/// these is the CPU-bound half of replay (command parsing, tuple
+/// parsing, query parsing) and is trivially parallel per frame; applying
+/// them is stateful and stays sequential in epoch order.
+struct ReplayUnit {
+    epoch: u64,
+    /// The frame was a group-commit batch (seeds the serve counters).
+    batch_frame: bool,
+    ops: Vec<ReplayOp>,
+}
+
+/// Below this many frames the parallel replay parse stays serial.
+const PAR_REPLAY_MIN: usize = 64;
+
+/// Decodes one frame's command text into the operations it committed —
+/// the parse-only half of what live connections do. Frames are one
+/// committed unit each: a `.batch begin … commit` script, a run of
+/// `row` lines, or a single admin command. A CRC-valid frame that fails
+/// to parse is a logic error (it committed once), so the boot refuses to
+/// start rather than serving a diverged state.
+fn parse_replay_ops(text: &str) -> Result<Vec<ReplayOp>, String> {
+    let mut ops = Vec::new();
+    let mut pending: Option<DeltaBatch> = None;
+    for line in text.lines() {
+        let Some(cmd) = proto::parse_command(line)? else {
+            continue;
+        };
+        match cmd {
+            Command::BatchBegin => {
+                if pending.is_some() {
+                    return Err("nested `.batch begin` in WAL frame".into());
+                }
+                pending = Some(DeltaBatch::new());
+            }
+            Command::Update {
+                relation,
+                tuple,
+                delta,
+            } => match pending.as_mut() {
+                Some(b) => b.push(&relation, tuple, delta),
+                None => {
+                    let mut b = DeltaBatch::new();
+                    b.push(&relation, tuple, delta);
+                    ops.push(ReplayOp::Batch(b));
+                }
+            },
+            Command::BatchCommit => {
+                let b = pending.take().ok_or("`.batch commit` without begin")?;
+                ops.push(ReplayOp::Batch(b));
+            }
+            Command::Query(q) => ops.push(ReplayOp::Admin(AdminOp::Query(q))),
+            Command::Epsilon(e) => ops.push(ReplayOp::Admin(AdminOp::Epsilon(e))),
+            Command::Mode(m) => ops.push(ReplayOp::Admin(AdminOp::Mode(m))),
+            Command::Shards(n) => ops.push(ReplayOp::Admin(AdminOp::Shards(n))),
+            Command::Row { relation, tuple } => ops.push(ReplayOp::Admin(AdminOp::Rows {
+                relation,
+                rows: vec![tuple],
+            })),
+            Command::Build => ops.push(ReplayOp::Admin(AdminOp::Build)),
+            other => return Err(format!("unreplayable command in WAL: {other:?}")),
+        }
+    }
+    if pending.is_some() {
+        return Err("unterminated `.batch begin` in WAL frame".into());
+    }
+    Ok(ops)
+}
+
+/// Parses every frame newer than the snapshot into [`ReplayUnit`]s,
+/// fanning the parse across `threads` scoped threads for long logs.
+/// Output order (and the first error surfaced) is frame order either
+/// way.
+fn parse_replay_units(
+    frames: &[wal::Frame],
+    snap_epoch: u64,
+    threads: usize,
+) -> io::Result<Vec<ReplayUnit>> {
+    // Frames at or below the snapshot epoch were already checkpointed
+    // (the process died between the snapshot rename and the WAL
+    // rotation): skip, don't double-apply.
+    let keep: Vec<&wal::Frame> = frames.iter().filter(|f| f.epoch > snap_epoch).collect();
+    let parse_one = |f: &wal::Frame| -> io::Result<ReplayUnit> {
+        let ops = parse_replay_ops(&f.text)
+            .map_err(|e| invalid_data(format!("WAL replay failed at epoch {}: {e}", f.epoch)))?;
+        Ok(ReplayUnit {
+            epoch: f.epoch,
+            batch_frame: f.text.starts_with(".batch begin"),
+            ops,
+        })
+    };
+    if threads <= 1 || keep.len() < PAR_REPLAY_MIN {
+        return keep.into_iter().map(parse_one).collect();
+    }
+    let chunk = keep.len().div_ceil(threads);
+    let mut out: Vec<Option<io::Result<ReplayUnit>>> = Vec::new();
+    out.resize_with(keep.len(), || None);
+    std::thread::scope(|s| {
+        for (frame_chunk, out_chunk) in keep.chunks(chunk).zip(out.chunks_mut(chunk)) {
+            s.spawn(move || {
+                for (f, slot) in frame_chunk.iter().zip(out_chunk.iter_mut()) {
+                    *slot = Some(parse_one(f));
+                }
+            });
+        }
+    });
+    out.into_iter().map(|r| r.unwrap()).collect()
+}
+
+/// Resolves `ServerConfig::replay_threads`: 0 means all available cores,
+/// capped — replay parsing saturates well before 8 threads.
+fn resolve_replay_threads(n: usize) -> usize {
+    if n != 0 {
+        return n;
+    }
+    std::thread::available_parallelism().map_or(1, |p| p.get().min(8))
 }
 
 /// State shared by the accept loop, connection threads, and the writer.
@@ -656,8 +805,9 @@ impl Server {
                 state.restore(s).map_err(invalid_data)?;
             }
             let wal_path = dir.join("wal.log");
+            let replay_threads = resolve_replay_threads(config.replay_threads);
             let (wal, recovered) = if wal_path.exists() {
-                Wal::open(&wal_path)?
+                Wal::open_threaded(&wal_path, replay_threads)?
             } else {
                 (
                     Wal::create(&wal_path, snap_epoch)?,
@@ -676,30 +826,37 @@ impl Server {
             if let Some(reason) = &recovered.truncated {
                 eprintln!("ivme-server: WAL damage: {reason}");
             }
+            // Parse (parallel) then apply (sequential, epoch order).
+            let units = parse_replay_units(&recovered.frames, snap_epoch, replay_threads)?;
             let mut groups = 0u64;
             let mut last = state.epoch;
-            for frame in &recovered.frames {
-                // Frames at or below the snapshot epoch were already
-                // checkpointed (the process died between the snapshot
-                // rename and the WAL rotation): skip, don't double-apply.
-                if frame.epoch <= snap_epoch {
-                    continue;
+            for ReplayUnit {
+                epoch,
+                batch_frame,
+                ops,
+            } in units
+            {
+                for op in ops {
+                    let res = match op {
+                        ReplayOp::Admin(op) => state.admin(op).map(|_| ()),
+                        ReplayOp::Batch(b) => state.apply_replayed(&b),
+                    };
+                    res.map_err(|e| {
+                        // A CRC-valid frame that fails replay is corruption
+                        // of a different kind (or a logic bug): refuse to
+                        // start rather than serve a diverged state.
+                        invalid_data(format!("WAL replay failed at epoch {epoch}: {e}"))
+                    })?;
                 }
-                state.replay_frame(&frame.text).map_err(|e| {
-                    // A CRC-valid frame that fails replay is corruption of
-                    // a different kind (or a logic bug): refuse to start
-                    // rather than serve a silently diverged state.
-                    invalid_data(format!("WAL replay failed at epoch {}: {e}", frame.epoch))
-                })?;
-                if frame.epoch != last {
+                if epoch != last {
                     groups += 1;
-                    last = frame.epoch;
+                    last = epoch;
                 }
-                if frame.text.starts_with(".batch begin") {
+                if batch_frame {
                     serve_seed.0 += 1; // one group commit…
                     serve_seed.1 += 1; // …of (at least) one batch
                 }
-                state.epoch = frame.epoch;
+                state.epoch = epoch;
             }
             if groups > 0 {
                 eprintln!(
@@ -709,14 +866,30 @@ impl Server {
                     wal_path.display()
                 );
             }
-            state.dur = Some(Durability {
-                dir: dir.clone(),
+            // Both frontiers start at the recovered epoch: everything
+            // replayed is on disk by definition. The WAL itself moves to
+            // the sync thread; the writer keeps only job handles.
+            let tracker = Arc::new(DurTracker::new(state.epoch, wal.frames()));
+            let pipeline = WalPipeline::start(
                 wal,
-                fsync: config.fsync,
+                config.fsync,
+                Arc::clone(&tracker),
+                config.hooks.sync_barrier.clone(),
+            )?;
+            let snap = SnapshotWorker::start(
+                dir.clone(),
+                pipeline.sender(),
+                Arc::clone(&tracker),
+                config.hooks.snapshot_barrier.clone(),
+            )?;
+            state.dur = Some(Durability {
+                snap,
+                pipeline,
+                tracker,
                 snapshot_every: config.snapshot_every,
                 rounds_since_snapshot: 0,
                 recovered_groups: groups,
-                broken: false,
+                serial: !config.pipeline,
             });
         }
         let listener = TcpListener::bind(&config.addr)?;
@@ -903,10 +1076,15 @@ fn writer_loop(
         if !rest.is_empty() {
             shutdown_acks.extend(process_round(rest, &mut state, &shared));
         }
-        if let Some(d) = state.dur.as_mut() {
-            let _ = d.wal.sync();
+        if let Some(d) = state.dur.as_ref() {
+            // Drain the background lanes in dependency order: any
+            // in-flight snapshot installs (and queues its rotation), then
+            // the WAL queue processes every pending commit, the rotation,
+            // and a final fsync.
+            d.snap.barrier();
+            d.pipeline.flush();
         }
-        state.maybe_snapshot(serve_counters(&shared), true);
+        state.final_snapshot(serve_counters(&shared));
         shared.shutdown.store(true, Ordering::SeqCst);
         // Wake the blocking accept with a throwaway connection so the
         // accept loop observes the flag and exits.
@@ -963,13 +1141,24 @@ fn process_round(
         }
     }
     commit_run(&mut run, state, shared, &mut acks, &mut dirty, &mut frames);
-    // Persist, then publish, then ack — in that order. The fsync before
-    // the ack is the durability promise; the publish before the ack is
-    // the read-your-writes promise. Rejected-only rounds publish (and
-    // log) nothing — readers cannot tell a rejection happened.
+    // Publish, then hand the round to the sync thread *with its acks* —
+    // in that order. The publish before the hand-off is the
+    // read-your-writes promise; the sync thread running the acks only
+    // after the fsync is the durability promise. The writer is then free
+    // to apply the next round while this one's fsync is in flight.
+    // Rejected-only rounds publish (and log) nothing — readers cannot
+    // tell a rejection happened.
     if dirty {
         let epoch = state.epoch + 1;
-        state.persist_round(epoch, &frames);
+        let log = state
+            .dur
+            .as_ref()
+            .is_some_and(|d| !d.tracker.is_broken() && !frames.is_empty());
+        if log {
+            // Advertise the new inflight frontier before the publish so
+            // any read against the new snapshot already sees it.
+            state.dur.as_ref().unwrap().tracker.set_inflight(epoch);
+        }
         shared.published.publish(ServeSnapshot {
             query: state.query.clone(),
             mode: state.mode,
@@ -978,7 +1167,47 @@ fn process_round(
         });
         state.epoch = epoch;
         shared.snapshots_published.fetch_add(1, Ordering::Relaxed);
+        if log {
+            let d = state.dur.as_mut().unwrap();
+            let pending = std::mem::take(&mut acks);
+            let release: wal::Release = Box::new(move || release_acks(pending));
+            match d.pipeline.send(wal::Job::Commit {
+                epoch,
+                frames: std::mem::take(&mut frames),
+                release,
+            }) {
+                Ok(()) => {
+                    d.rounds_since_snapshot += 1;
+                    if d.serial {
+                        // --serial-commit: reinstate PR 7's timing by
+                        // waiting for this round's fsync before the next.
+                        d.pipeline.flush();
+                    }
+                }
+                Err(job) => {
+                    eprintln!(
+                        "ivme-server: WAL sync thread is gone; continuing WITHOUT durability"
+                    );
+                    d.tracker.set_broken();
+                    if let wal::Job::Commit { release, .. } = job {
+                        release();
+                    }
+                }
+            }
+        }
     }
+    // Rounds that logged nothing ack here; logged rounds ack from the
+    // sync thread after their fsync (`acks` is empty then).
+    release_acks(acks);
+    // Checkpoint cadence runs after the hand-off: the WAL queue already
+    // holds everything a crash needs, so the snapshot is off the ack
+    // path — and off the writer thread entirely.
+    state.maybe_dispatch_snapshot(serve_counters(shared));
+    shutdown_acks
+}
+
+/// Fans a round's held-back acks out to their waiting clients.
+fn release_acks(acks: Vec<PendingAck>) {
     for ack in acks {
         match ack {
             PendingAck::Write(tx, res) => {
@@ -989,10 +1218,6 @@ fn process_round(
             }
         }
     }
-    // Checkpoint cadence runs after the acks: the WAL already holds
-    // everything a crash needs, so the snapshot is off the ack path.
-    state.maybe_snapshot(serve_counters(shared), false);
-    shutdown_acks
 }
 
 /// The serve-layer counters a snapshot persists.
@@ -1364,12 +1589,19 @@ pub fn execute_read(cmd: Command, snap: &ServeSnapshot) -> Result<String, String
         Command::Count => Ok(render::render_count(snap.view()?)),
         Command::Stats => {
             let mut out = render::render_stats(snap.view()?);
-            if let Some(d) = &snap.dur {
+            if let Some(d) = snap.dur.as_ref().map(DurHandle::sample) {
                 use std::fmt::Write as _;
                 let _ = writeln!(
                     out,
-                    "wal_epoch = {}, wal_frames = {}, last_fsync_us = {}, recovered_groups = {}",
-                    d.wal_epoch, d.wal_frames, d.last_fsync_us, d.recovered_groups
+                    "wal_epoch = {}, durable_epoch = {}, fsync_backlog = {}, wal_frames = {}, \
+                     last_fsync_us = {}, snapshot_in_progress = {}, recovered_groups = {}",
+                    d.wal_epoch,
+                    d.durable_epoch,
+                    d.fsync_backlog,
+                    d.wal_frames,
+                    d.last_fsync_us,
+                    u8::from(d.snapshot_in_progress),
+                    d.recovered_groups
                 );
             }
             Ok(out)

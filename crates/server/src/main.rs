@@ -3,6 +3,7 @@
 //! ```text
 //! ivme-server [--addr 127.0.0.1:7143] [--queue-depth 128] [--group-limit 64]
 //!             [--data-dir DIR] [--fsync none|group|always] [--snapshot-every N]
+//!             [--serial-commit] [--replay-threads N]
 //! ```
 //!
 //! Clients speak the shell's command grammar, one command per line (drive
@@ -76,10 +77,17 @@ fn main() {
                     die("--snapshot-every must be an integer (0 = only on shutdown)")
                 })
             }
+            "--serial-commit" => config.pipeline = false,
+            "--replay-threads" => {
+                config.replay_threads = value("--replay-threads")
+                    .parse()
+                    .unwrap_or_else(|_| die("--replay-threads must be an integer (0 = auto)"))
+            }
             "--help" | "-h" => {
                 println!(
                     "usage: ivme-server [--addr HOST:PORT] [--queue-depth N] [--group-limit N]\n\
-                     \x20                  [--data-dir DIR] [--fsync none|group|always] [--snapshot-every N]"
+                     \x20                  [--data-dir DIR] [--fsync none|group|always] [--snapshot-every N]\n\
+                     \x20                  [--serial-commit] [--replay-threads N]"
                 );
                 return;
             }

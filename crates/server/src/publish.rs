@@ -19,8 +19,103 @@
 //! path can never read back a value older than `e` (no ABA between the
 //! load and the clone).
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
+
+/// Shared durability frontier counters — how the writer thread, the WAL
+/// sync thread, and the snapshot thread expose their progress to each
+/// other (and, frozen into each published snapshot, to `stats`) without
+/// any of them taking a lock.
+///
+/// Two epochs matter once commit is pipelined: `inflight` is the newest
+/// epoch the writer has *handed to the log* (its frames are published and
+/// queued, but maybe not yet on disk), and `durable` is the newest epoch
+/// the sync thread has made durable per the configured fsync mode. The
+/// gap between them — `fsync_backlog` in `stats` — is the set of rounds a
+/// crash right now would roll back; none of them has been acked.
+pub struct DurTracker {
+    /// Newest epoch handed to the WAL pipeline by the writer.
+    inflight: AtomicU64,
+    /// Newest epoch the sync thread has appended (and fsynced, per mode).
+    durable: AtomicU64,
+    /// Frames in the current (post-rotation) log.
+    wal_frames: AtomicU64,
+    /// Wall time of the most recent fsync, microseconds.
+    last_fsync_us: AtomicU64,
+    /// A background snapshot is being serialized/installed right now.
+    snapshotting: AtomicBool,
+    /// Durability I/O failed; the server serves on (loudly) without it.
+    broken: AtomicBool,
+}
+
+impl DurTracker {
+    /// Both frontiers start at the recovered epoch: everything replayed
+    /// at boot is by definition already on disk.
+    pub fn new(epoch: u64, wal_frames: u64) -> DurTracker {
+        DurTracker {
+            inflight: AtomicU64::new(epoch),
+            durable: AtomicU64::new(epoch),
+            wal_frames: AtomicU64::new(wal_frames),
+            last_fsync_us: AtomicU64::new(0),
+            snapshotting: AtomicBool::new(false),
+            broken: AtomicBool::new(false),
+        }
+    }
+
+    pub fn set_inflight(&self, epoch: u64) {
+        self.inflight.store(epoch, Ordering::Release);
+    }
+
+    pub fn inflight(&self) -> u64 {
+        self.inflight.load(Ordering::Acquire)
+    }
+
+    /// Called by the sync thread after a round's frames hit the disk (or
+    /// the page cache, in `--fsync none`).
+    pub fn record_durable(&self, epoch: u64, wal_frames: u64, fsync_us: u64) {
+        self.wal_frames.store(wal_frames, Ordering::Relaxed);
+        self.last_fsync_us.store(fsync_us, Ordering::Relaxed);
+        self.durable.store(epoch, Ordering::Release);
+    }
+
+    pub fn durable(&self) -> u64 {
+        self.durable.load(Ordering::Acquire)
+    }
+
+    /// Called by the sync thread after a WAL rotation (the durable
+    /// frontier is unchanged — rotated-away frames are checkpointed).
+    pub fn record_rotate(&self, wal_frames: u64) {
+        self.wal_frames.store(wal_frames, Ordering::Relaxed);
+    }
+
+    pub fn wal_frames(&self) -> u64 {
+        self.wal_frames.load(Ordering::Relaxed)
+    }
+
+    pub fn last_fsync_us(&self) -> u64 {
+        self.last_fsync_us.load(Ordering::Relaxed)
+    }
+
+    pub fn begin_snapshot(&self) {
+        self.snapshotting.store(true, Ordering::Release);
+    }
+
+    pub fn end_snapshot(&self) {
+        self.snapshotting.store(false, Ordering::Release);
+    }
+
+    pub fn snapshot_in_progress(&self) -> bool {
+        self.snapshotting.load(Ordering::Acquire)
+    }
+
+    pub fn set_broken(&self) {
+        self.broken.store(true, Ordering::Release);
+    }
+
+    pub fn is_broken(&self) -> bool {
+        self.broken.load(Ordering::Acquire)
+    }
+}
 
 /// Writer-side cell: the current value plus its epoch.
 pub struct Published<T> {

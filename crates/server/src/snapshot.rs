@@ -25,11 +25,15 @@
 
 use std::io::{self, Write};
 use std::path::{Path, PathBuf};
+use std::sync::{mpsc, Arc};
+use std::thread::JoinHandle;
 
 use ivme_cli::proto;
 use ivme_core::{Database, Mode};
 
-use crate::wal::{crc32, sync_dir};
+use crate::crc::crc32;
+use crate::publish::DurTracker;
+use crate::wal::{self, sync_dir};
 
 /// First line of every snapshot file.
 pub const SNAP_MAGIC: &str = "IVMESNAP1";
@@ -292,6 +296,143 @@ pub fn prune(dir: &Path, keep: usize) -> io::Result<()> {
         let _ = std::fs::remove_file(snapshot_path(dir, epoch));
     }
     Ok(())
+}
+
+// ----------------------------------------------------------------------
+// The background snapshot thread (PR 8)
+// ----------------------------------------------------------------------
+
+/// Test-only hook (`TestHooks` in the crate root): called with the
+/// snapshot's epoch before any serialization work — a blocking hook
+/// simulates an arbitrarily slow snapshot.
+pub(crate) type SnapHook = Arc<dyn Fn(u64) + Send + Sync>;
+
+pub(crate) enum SnapJob {
+    /// Serialize + install one snapshot; signal `done` (if present) after
+    /// the install attempt and the rotation message are finished.
+    Write {
+        data: Box<SnapshotData>,
+        done: Option<mpsc::Sender<()>>,
+    },
+    /// Pure barrier: signals once every previously queued job has run.
+    Barrier(mpsc::Sender<()>),
+}
+
+/// Writer-side handle to the snapshot thread. The writer captures a
+/// [`SnapshotData`] (a cheap structured clone of its state — no
+/// serialization) and submits it; the expensive work — rendering the
+/// canonical text, CRC, temp-file write, fsync, rename, prune — all
+/// happens here, off the commit path. After a successful install the
+/// thread sends [`wal::Job::Rotate`] down the WAL pipeline, which holds
+/// the buffered tail frames (see [`crate::wal`]); on failure it sends
+/// `SnapshotAborted` and marks the tracker broken, so a snapshot that
+/// cannot land never silently truncates the log that still covers it.
+pub(crate) struct SnapshotWorker {
+    tx: Option<mpsc::Sender<SnapJob>>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl SnapshotWorker {
+    pub fn start(
+        dir: PathBuf,
+        wal_tx: mpsc::Sender<wal::Job>,
+        tracker: Arc<DurTracker>,
+        hook: Option<SnapHook>,
+    ) -> io::Result<SnapshotWorker> {
+        let (tx, rx) = mpsc::channel();
+        let handle = std::thread::Builder::new()
+            .name("ivme-snapshot".into())
+            .spawn(move || snapshot_loop(dir, rx, wal_tx, tracker, hook))?;
+        Ok(SnapshotWorker {
+            tx: Some(tx),
+            handle: Some(handle),
+        })
+    }
+
+    /// Queues one snapshot; `false` if the thread is gone.
+    pub fn submit(&self, data: SnapshotData, done: Option<mpsc::Sender<()>>) -> bool {
+        self.tx
+            .as_ref()
+            .expect("snapshot worker running")
+            .send(SnapJob::Write {
+                data: Box::new(data),
+                done,
+            })
+            .is_ok()
+    }
+
+    /// Waits until every previously submitted snapshot has been processed.
+    /// Returns `false` if the thread is gone.
+    pub fn barrier(&self) -> bool {
+        let (done_tx, done_rx) = mpsc::channel();
+        let sent = self
+            .tx
+            .as_ref()
+            .expect("snapshot worker running")
+            .send(SnapJob::Barrier(done_tx))
+            .is_ok();
+        sent && done_rx.recv().is_ok()
+    }
+}
+
+impl Drop for SnapshotWorker {
+    /// Drains queued snapshots, then joins. Must drop *before* the
+    /// `WalPipeline` (field order in `Durability` guarantees it): this
+    /// thread holds a WAL-queue sender and may still emit a `Rotate`.
+    fn drop(&mut self) {
+        drop(self.tx.take());
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+fn snapshot_loop(
+    dir: PathBuf,
+    rx: mpsc::Receiver<SnapJob>,
+    wal_tx: mpsc::Sender<wal::Job>,
+    tracker: Arc<DurTracker>,
+    hook: Option<SnapHook>,
+) {
+    while let Ok(job) = rx.recv() {
+        match job {
+            SnapJob::Write { data, done } => {
+                if let Some(h) = &hook {
+                    h(data.epoch);
+                }
+                match write(&dir, &data) {
+                    Ok(_) => {
+                        // Rotation is processed by the sync thread, which
+                        // has been buffering the tail since the
+                        // `SnapshotStarted` marker the writer sent ahead
+                        // of this snapshot.
+                        let _ = wal_tx.send(wal::Job::Rotate {
+                            base_epoch: data.epoch,
+                        });
+                        if let Err(e) = prune(&dir, 2) {
+                            eprintln!("ivme-server: snapshot prune failed ({e})");
+                        }
+                    }
+                    Err(e) => {
+                        eprintln!(
+                            "ivme-server: background snapshot at epoch {} failed ({e}); \
+                             the WAL can no longer rotate — continuing WITHOUT durability",
+                            data.epoch
+                        );
+                        tracker.set_broken();
+                        let _ = wal_tx.send(wal::Job::SnapshotAborted);
+                    }
+                }
+                tracker.end_snapshot();
+                if let Some(done) = done {
+                    let _ = done.send(());
+                }
+            }
+            SnapJob::Barrier(done) => {
+                let _ = done.send(());
+            }
+        }
+    }
 }
 
 #[cfg(test)]

@@ -13,12 +13,14 @@
 
 use std::net::SocketAddr;
 use std::path::{Path, PathBuf};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
 
 use ivme::core::brute_force;
 use ivme::data::Tuple;
 use ivme::query::parse_query;
 use ivme::workload::{parse_listing, Client, RecoveryWorkload};
-use ivme_server::{FsyncMode, Server, ServerConfig};
+use ivme_server::{FsyncMode, Server, ServerConfig, TestHooks};
 
 fn temp_dir(name: &str) -> PathBuf {
     let d = std::env::temp_dir().join(format!("ivme_rec_{}_{name}", std::process::id()));
@@ -239,6 +241,225 @@ fn clean_shutdown_persists_everything_and_replays_nothing() {
         server.serve_stats().group_commits >= K as u64,
         "group_commits must be cumulative across restarts: {:?}",
         server.serve_stats()
+    );
+    drop(c);
+    drop(server);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Three-position valve for the durability barrier hooks: `PASS` lets
+/// the hooked thread through, `BLOCK` freezes it at the barrier, `CRASH`
+/// panics it — killing the thread exactly at the injection point.
+struct Gate {
+    state: Mutex<u8>,
+    cv: Condvar,
+}
+
+const PASS: u8 = 0;
+const BLOCK: u8 = 1;
+const CRASH: u8 = 2;
+
+impl Gate {
+    fn new(initial: u8) -> Arc<Gate> {
+        Arc::new(Gate {
+            state: Mutex::new(initial),
+            cv: Condvar::new(),
+        })
+    }
+
+    // The CRASH panic unwinds out of `check` while the lock is held,
+    // poisoning the mutex — deliberate, so both methods shrug off poison.
+    fn set(&self, v: u8) {
+        *self.state.lock().unwrap_or_else(|e| e.into_inner()) = v;
+        self.cv.notify_all();
+    }
+
+    /// The hook body: waits while blocked, panics on crash.
+    fn check(&self) {
+        let mut s = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        while *s == BLOCK {
+            s = self.cv.wait(s).unwrap_or_else(|e| e.into_inner());
+        }
+        if *s == CRASH {
+            panic!("injected crash before WAL append");
+        }
+    }
+}
+
+/// The pipelined ordering contract, pinned by fault injection: a write
+/// that was *published* but whose fsync never completed is (a) never
+/// acked `ok` and (b) rolled back by recovery, while every write acked
+/// before the crash survives. The sync-barrier hook freezes the sync
+/// thread between the writer's publish and the WAL append, then kills it
+/// there — the crash window the pipeline opened.
+#[test]
+fn crash_between_publish_and_fsync_loses_only_unacked_writes() {
+    for shards in [1usize, 2, 4] {
+        let wl = RecoveryWorkload::generate(0xFA57 + shards as u64, 16, 10, 4);
+        let dir = temp_dir(&format!("inject_{shards}"));
+        const K: usize = 6;
+        let gate = Gate::new(PASS);
+        {
+            let hook_gate = Arc::clone(&gate);
+            let server = Server::start(ServerConfig {
+                data_dir: Some(dir.clone()),
+                fsync: FsyncMode::Group,
+                snapshot_every: 0,
+                hooks: TestHooks {
+                    sync_barrier: Some(Arc::new(move |_epoch| hook_gate.check())),
+                    ..TestHooks::default()
+                },
+                ..ServerConfig::default()
+            })
+            .expect("server must start");
+            let addr = server.addr();
+            let mut c = Client::connect(addr).unwrap();
+            run_script(&mut c, &wl.setup_script(shards));
+            for k in 0..K {
+                run_script(&mut c, &wl.batch_script(k));
+            }
+            assert_eq!(listing(addr), oracle(&wl, K), "S={shards} acked prefix");
+
+            // Freeze the sync thread, then submit exactly one more batch:
+            // the writer applies and publishes it, but its frames never
+            // reach the disk and its ack is held behind the frozen fsync.
+            gate.set(BLOCK);
+            let script = wl.batch_script(K);
+            let blocked = std::thread::spawn(move || {
+                let mut c = Client::connect(addr).unwrap();
+                let mut last: Result<String, String> = Ok(String::new());
+                for line in script.lines() {
+                    last = c.request(line).expect("connection must stay alive");
+                }
+                last
+            });
+            // Publish-before-ack means other readers see the gated batch
+            // while its submitter is still waiting on durability.
+            let deadline = Instant::now() + Duration::from_secs(10);
+            while listing(addr) != oracle(&wl, K + 1) {
+                assert!(
+                    Instant::now() < deadline,
+                    "S={shards}: the gated batch never became visible"
+                );
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            let stats = Client::connect(addr).unwrap().expect_ok("stats");
+            assert!(
+                stat_field(&stats, "fsync_backlog") >= 1,
+                "S={shards}: the gated round must show as backlog: {stats}"
+            );
+            assert!(
+                stat_field(&stats, "durable_epoch") < stat_field(&stats, "snapshot_epoch"),
+                "S={shards}: durable frontier must lag the published epoch: {stats}"
+            );
+
+            // Crash: the sync thread dies at the barrier, before the
+            // append. The gated submitter must see an error, not an ok.
+            gate.set(CRASH);
+            let last = blocked.join().unwrap();
+            assert!(
+                last.is_err(),
+                "S={shards}: a write whose fsync never ran must not ack ok: {last:?}"
+            );
+            drop(c);
+        }
+        // Recovery: the acked prefix survives byte-for-byte; the
+        // published-but-unacked batch rolled back.
+        gate.set(PASS);
+        let server = start(&dir, 0);
+        assert_eq!(
+            listing(server.addr()),
+            oracle(&wl, K),
+            "S={shards}: acked writes must survive, unacked may roll back"
+        );
+        drop(server);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
+
+/// The background-snapshot contract: commit rounds never wait on
+/// snapshot serialization. The snapshot-barrier hook freezes the
+/// snapshot thread mid-snapshot while a client keeps committing —
+/// every ack arrives (`expect_ok` panics otherwise) and the published
+/// epoch advances — and after release the installed snapshot plus the
+/// rotated WAL tail reproduce the full acked history.
+#[test]
+fn commits_proceed_while_a_snapshot_is_in_progress() {
+    let wl = RecoveryWorkload::generate(0x51AB, 16, 10, 4);
+    let dir = temp_dir("slowsnap");
+    const K: usize = 10;
+    let gate = Gate::new(BLOCK); // the first snapshot freezes immediately
+    {
+        let hook_gate = Arc::clone(&gate);
+        let server = Server::start(ServerConfig {
+            data_dir: Some(dir.clone()),
+            fsync: FsyncMode::Group,
+            snapshot_every: 3,
+            hooks: TestHooks {
+                snapshot_barrier: Some(Arc::new(move |_epoch| hook_gate.check())),
+                ..TestHooks::default()
+            },
+            ..ServerConfig::default()
+        })
+        .expect("server must start");
+        let addr = server.addr();
+        let mut c = Client::connect(addr).unwrap();
+        run_script(&mut c, &wl.setup_script(2));
+        // The cadence (every 3 dirty rounds) has dispatched a snapshot by
+        // now; it is frozen inside the hook. Everything below runs with
+        // that snapshot "in progress".
+        let e0 = stat_field(&c.expect_ok("stats"), "snapshot_epoch");
+        for k in 0..K {
+            run_script(&mut c, &wl.batch_script(k));
+        }
+        let stats = c.expect_ok("stats");
+        let e1 = stat_field(&stats, "snapshot_epoch");
+        assert!(
+            e1 >= e0 + K as u64,
+            "epochs must advance while the snapshot thread is frozen: {e0} -> {e1}"
+        );
+        assert_eq!(
+            stat_field(&stats, "snapshot_in_progress"),
+            1,
+            "the frozen snapshot must be visible in stats: {stats}"
+        );
+        assert!(
+            stat_field(&stats, "durable_epoch") <= stat_field(&stats, "snapshot_epoch"),
+            "{stats}"
+        );
+        assert_eq!(listing(addr), oracle(&wl, K));
+        // Release the snapshot thread; dropping the server drains the
+        // install and the WAL rotation it queues.
+        gate.set(PASS);
+        drop(c);
+    }
+    let snapshots = std::fs::read_dir(&dir)
+        .unwrap()
+        .filter(|e| {
+            let name = e
+                .as_ref()
+                .unwrap()
+                .file_name()
+                .to_string_lossy()
+                .into_owned();
+            name.starts_with("snapshot-") && name.ends_with(".ivme")
+        })
+        .count();
+    assert!(
+        snapshots >= 1,
+        "the background snapshot must have installed"
+    );
+    let server = start(&dir, 0);
+    assert_eq!(
+        listing(server.addr()),
+        oracle(&wl, K),
+        "snapshot + rotated WAL tail must reproduce the acked history"
+    );
+    let mut c = Client::connect(server.addr()).unwrap();
+    let stats = c.expect_ok("stats");
+    assert!(
+        stat_field(&stats, "recovered_groups") >= 1,
+        "frames committed during the snapshot must survive its rotation: {stats}"
     );
     drop(c);
     drop(server);
