@@ -2,7 +2,7 @@
 //!
 //! Maintains the *entire* query result `Q(F)` as one materialized relation.
 //! A single-tuple update `δR = {x → m}` is processed with the classical
-//! delta query `δQ = R_1 ⋈ ... ⋈ δR ⋈ ... ⋈ R_n` [16], evaluated by
+//! delta query `δQ = R_1 ⋈ ... ⋈ δR ⋈ ... ⋈ R_n` \[16\], evaluated by
 //! index-nested-loop join seeded with the update's variable bindings.
 //!
 //! This is the strategy of first-order IVM systems (and the ε = 1 corner of

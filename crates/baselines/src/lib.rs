@@ -5,7 +5,7 @@
 //! * [`recompute::Recompute`] — static evaluation on demand (no state): the
 //!   classical "evaluate the query when asked" strategy; updates are O(1),
 //!   answering costs a full join.
-//! * [`delta_ivm::DeltaIvm`] — classical first-order IVM [16]: keeps the
+//! * [`delta_ivm::DeltaIvm`] — classical first-order IVM \[16\]: keeps the
 //!   *full* query result materialized and maintains it with delta queries
 //!   `δQ = δR ⋈ (other relations)`; constant-delay enumeration, but updates
 //!   cost up to O(N^δ) — the ε = 1 corner of the trade-off space.

@@ -1,9 +1,9 @@
 //! Delta propagation (paper Figs. 17–18), batched over dirty keys.
 //!
-//! [`Runtime::propagate`] implements `Apply` for a *set* of leaf deltas: the
+//! `Runtime::propagate` implements `Apply` for a *set* of leaf deltas: the
 //! consolidated delta is pushed along the path from the leaf to the root of
 //! its view tree; at each view the delta is joined with the *current* state
-//! of the sibling subtrees (classical delta rules [16]). Since children
+//! of the sibling subtrees (classical delta rules \[16\]). Since children
 //! share the view's join key and are disjoint elsewhere, the delta is first
 //! grouped by that key and each **distinct dirty key** then costs one
 //! sibling semi-join check plus one group-product recomputation — O(1)
@@ -14,13 +14,13 @@
 //! drops zero entries between levels) stop propagating early.
 //!
 //! All per-level state (delta vectors, accumulator maps, grouping maps,
-//! segment buffers) lives in a [`PropScratch`] arena owned by the
-//! [`Runtime`]: it is taken out when a propagation starts and put back when
+//! segment buffers) lives in a `PropScratch` arena owned by the
+//! `Runtime`: it is taken out when a propagation starts and put back when
 //! it ends, so the hot path performs no map or vector allocations after
 //! warm-up — the zero-allocation contract of this storage engine's
 //! maintenance path.
 //!
-//! [`Runtime::refresh_heavy`] realizes `UpdateIndTree` for the derived
+//! `Runtime::refresh_heavy` realizes `UpdateIndTree` for the derived
 //! heavy indicator `H = ∃All ∧ ∄L`: after the All/L indicator trees have
 //! absorbed a delta, the support of `H` at the update's key is recomputed
 //! and the ±1 change in `∃H` is returned for further propagation.
@@ -33,7 +33,7 @@ use crate::runtime::{NodeId, Runtime};
 /// A set of per-tuple multiplicity changes over one node's schema.
 pub(crate) type Delta = Vec<(Tuple, i64)>;
 
-/// Reusable buffers for [`Runtime::propagate`] and `view_delta`. Owned by
+/// Reusable buffers for `Runtime::propagate` and `view_delta`. Owned by
 /// the runtime; `std::mem::take`n for the duration of one propagation
 /// (propagation never re-enters itself, so the take can't observe an empty
 /// arena mid-flight — and even if it did, a fresh default is correct, just
@@ -144,7 +144,7 @@ impl Runtime {
         self.scratch = scr;
     }
 
-    /// [`Runtime::propagate`] to every leaf reading atom `atom` directly.
+    /// `Runtime::propagate` to every leaf reading atom `atom` directly.
     /// The leaf list is taken out for the walk instead of cloned.
     pub(crate) fn propagate_atom_leaves(&mut self, atom: usize, delta: &[(Tuple, i64)]) {
         let leaves = std::mem::take(&mut self.leaves_by_atom[atom]);
@@ -154,7 +154,7 @@ impl Runtime {
         self.leaves_by_atom[atom] = leaves;
     }
 
-    /// [`Runtime::propagate`] to every leaf reading partition `pi`'s light
+    /// `Runtime::propagate` to every leaf reading partition `pi`'s light
     /// part. The leaf list is taken out for the walk instead of cloned.
     pub(crate) fn propagate_part_leaves(&mut self, pi: usize, delta: &[(Tuple, i64)]) {
         let leaves = std::mem::take(&mut self.leaves_by_part[pi]);
@@ -164,7 +164,7 @@ impl Runtime {
         self.leaves_by_part[pi] = leaves;
     }
 
-    /// [`Runtime::propagate`] to every leaf reading heavy indicator `ind`.
+    /// `Runtime::propagate` to every leaf reading heavy indicator `ind`.
     /// The leaf list is taken out for the walk instead of cloned.
     pub(crate) fn propagate_ind_leaves(&mut self, ind: usize, delta: &[(Tuple, i64)]) {
         let leaves = std::mem::take(&mut self.leaves_by_ind[ind]);

@@ -2,7 +2,7 @@
 //!
 //! [`IvmEngine`] ties everything together: it compiles a hierarchical query
 //! into skew-aware view trees (`ivme-plan`), materializes them over an
-//! input [`Database`](crate::Database) (preprocessing, Thm. 2/4:
+//! input [`Database`] (preprocessing, Thm. 2/4:
 //! `O(N^{1+(w−1)ε})`), answers enumeration requests with `O(N^{1−ε})` delay,
 //! and — in dynamic mode — maintains everything under single-tuple updates
 //! in `O(N^{δε})` amortized time via the trigger procedure `OnUpdate`
@@ -392,7 +392,7 @@ impl IvmEngine {
     /// components (`O(Σ |C_i| log |C_i|)`), and emits the cross-component
     /// product in order — the final `O(P log P)` sort of the assembled
     /// product runs only when the components' free variables interleave
-    /// (see [`sorted_product`]). Shared with
+    /// (see `sorted_product`). Shared with
     /// [`ShardedEngine::result_sorted`](crate::ShardedEngine::result_sorted).
     pub fn result_sorted(&self) -> Vec<(Tuple, i64)> {
         let comps: Vec<OwnedComponent> = (0..self.enums.len())

@@ -1,7 +1,7 @@
 //! Enumeration of the query result from the materialized view trees
 //! (paper Sec. 5, Figs. 13–16).
 //!
-//! Each view-tree node is compiled into an [`EnumNode`]:
+//! Each view-tree node is compiled into an `EnumNode`:
 //!
 //! * **Covering** — the node's schema contains every free variable of its
 //!   subtree: enumerate its stored tuples directly (Fig. 13 line 4).
@@ -401,7 +401,7 @@ impl Scan {
     }
 }
 
-/// Runtime iterator state for an [`EnumNode`].
+/// Runtime iterator state for an `EnumNode`.
 ///
 /// Iterators write into a buffer shared by *all* iterators of the
 /// enumeration (including sibling union buckets over the same output

@@ -15,7 +15,7 @@
 //! * **Preprocessing** materializes all shards in parallel
 //!   (`std::thread::scope`), each over its own sub-database.
 //! * **Maintenance** splits a [`DeltaBatch`] with a
-//!   [`ShardRouter`](ivme_data::ShardRouter) — single-column hashing that
+//!   [`ShardRouter`] — single-column hashing that
 //!   reuses the tuples' cached 64-bit hashes where the routing key is the
 //!   whole tuple — and applies the per-shard sub-batches concurrently.
 //!   Each shard propagates through its own `PropScratch` arena, so

@@ -6,7 +6,7 @@
 //! * [`build`] — `BuildVT` (Fig. 6), `NewVT` (Fig. 7), `AuxView` (Fig. 8),
 //! * [`tau`] — `IndicatorVTs` (Fig. 10) and the planner `τ` (Fig. 11).
 //!
-//! The output [`Plan`](ir::Plan) lists, per connected component of the
+//! The output [`Plan`] lists, per connected component of the
 //! query, the set of view trees whose union is equivalent to the query
 //! (Prop. 20), plus the heavy/light partitions and indicator triples the
 //! trees depend on. Materialization, maintenance, and enumeration live in

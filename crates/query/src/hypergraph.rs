@@ -1,8 +1,9 @@
 //! Query hypergraphs: α-acyclicity (GYO reduction) and free-connexity.
 //!
-//! These are the generic CQ notions of Sec. 3 of the paper. The hierarchical
-//! specializations (with cheaper tests) live in [`crate::hierarchy`]; the two
-//! are cross-checked by property tests.
+//! These are the generic CQ notions of Sec. 3 of the paper, alongside the
+//! hierarchical specializations ([`is_hierarchical`], [`is_q_hierarchical`])
+//! with their cheaper direct tests; the two are cross-checked by property
+//! tests.
 
 use ivme_data::{Schema, Var};
 
@@ -57,7 +58,7 @@ pub fn is_alpha_acyclic(q: &Query) -> bool {
 }
 
 /// Whether the query is free-connex: α-acyclic and still α-acyclic after
-/// adding the head atom `Q(F)` as a hyperedge (paper Sec. 3, citing [14]).
+/// adding the head atom `Q(F)` as a hyperedge (paper Sec. 3, citing \[14\]).
 pub fn is_free_connex(q: &Query) -> bool {
     if !is_alpha_acyclic(q) {
         return false;
@@ -87,7 +88,7 @@ pub fn is_hierarchical(q: &Query) -> bool {
     true
 }
 
-/// Whether the query is q-hierarchical (paper Sec. 3, citing [10]):
+/// Whether the query is q-hierarchical (paper Sec. 3, citing \[10\]):
 /// hierarchical, and whenever `atoms(A) ⊂ atoms(B)` with `A` free, `B` is
 /// free too.
 pub fn is_q_hierarchical(q: &Query) -> bool {

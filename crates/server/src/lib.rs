@@ -51,7 +51,7 @@
 //!   batch publishes nothing.
 //!
 //! Admin/setup commands (`query`, `row`, `load`, `build`, `epsilon`,
-//! `mode`, `.shards`) ride the same channel as [`AdminOp`]s — they are
+//! `mode`, `.shards`) ride the same channel as `AdminOp`s — they are
 //! rare, and serializing them through the writer keeps the engine
 //! single-owner with no lock anywhere in the crate. CSV file I/O stays on
 //! the connection thread; only the parsed rows travel through the
@@ -86,9 +86,17 @@
 //!   preserved across the rotation — so a commit round never waits on
 //!   snapshot serialization, and `--fsync group` costs one *overlapped*
 //!   fsync per round instead of a serialized one.
+//!
+//! * **Log-shipping read replicas (PR 10).** With `--repl-listen` the
+//!   primary streams committed WAL frames to follower processes
+//!   ([`repl`]); each follower applies them through the same replay path
+//!   and serves the full read API at a bounded, observable staleness
+//!   epoch. See `docs/ARCHITECTURE.md` for the dataflow and
+//!   `docs/PROTOCOL.md` for the wire format.
 
 pub mod crc;
 pub mod publish;
+pub mod repl;
 pub mod snapshot;
 pub mod wal;
 
@@ -141,6 +149,14 @@ pub struct ServerConfig {
     /// CRC validation, command parsing; application stays sequential).
     /// 0 — the default — means `available_parallelism`, capped at 8.
     pub replay_threads: usize,
+    /// Replication listener for log-shipping followers ([`repl`]);
+    /// requires `data_dir` (followers bootstrap from the snapshot + WAL).
+    /// `None` — the default — serves without replication.
+    pub repl_listen: Option<String>,
+    /// Bounded per-follower fan-out queue (in commit rounds). A follower
+    /// that falls this far behind the sync thread is disconnected rather
+    /// than allowed to stall commits; it reconnects and resumes.
+    pub repl_queue_depth: usize,
     /// Test-only fault-injection hooks; `Default` is all-`None`.
     pub hooks: TestHooks,
 }
@@ -156,6 +172,8 @@ impl Default for ServerConfig {
             snapshot_every: 64,
             pipeline: true,
             replay_threads: 0,
+            repl_listen: None,
+            repl_queue_depth: 256,
             hooks: TestHooks::default(),
         }
     }
@@ -174,6 +192,11 @@ pub struct TestHooks {
     /// serialization — a blocking hook simulates an arbitrarily slow
     /// snapshot.
     pub snapshot_barrier: Option<Arc<dyn Fn(u64) + Send + Sync>>,
+    /// Runs on a replication follower's *sender* thread with each round's
+    /// epoch, before the round is written to the socket — a blocking hook
+    /// simulates an arbitrarily slow follower (its bounded queue fills;
+    /// the sync thread disconnects it and is never delayed).
+    pub repl_barrier: Option<Arc<dyn Fn(u64) + Send + Sync>>,
 }
 
 impl std::fmt::Debug for TestHooks {
@@ -181,6 +204,7 @@ impl std::fmt::Debug for TestHooks {
         f.debug_struct("TestHooks")
             .field("sync_barrier", &self.sync_barrier.is_some())
             .field("snapshot_barrier", &self.snapshot_barrier.is_some())
+            .field("repl_barrier", &self.repl_barrier.is_some())
             .finish()
     }
 }
@@ -215,6 +239,31 @@ pub struct ServeSnapshot {
     /// `durable_epoch = wal_epoch, fsync_backlog = 0` instead of forever
     /// displaying the backlog as it stood when the last round published.
     dur: Option<DurHandle>,
+    /// Replication role (`None` when serving standalone): `stats` renders
+    /// follower/staleness counters from it, sampled at read time like
+    /// `dur`.
+    repl: Option<ReplRole>,
+}
+
+/// Which replication role this process serves in — embedded in every
+/// published [`ServeSnapshot`] so `stats` renders replication counters
+/// without any lock on the serving path.
+#[derive(Clone)]
+enum ReplRole {
+    /// A primary with a `--repl-listen` listener: the hub registry of
+    /// connected followers.
+    Primary(Arc<repl::ReplHub>),
+    /// A follower: the counters its apply thread maintains.
+    Replica(Arc<repl::ReplicaStats>),
+}
+
+impl ReplRole {
+    fn stats_lines(&self, out: &mut String) {
+        match self {
+            ReplRole::Primary(h) => h.stats_lines(out),
+            ReplRole::Replica(s) => s.stats_lines(out),
+        }
+    }
 }
 
 /// A [`ServeSnapshot`]'s window into the durability pipeline: the shared
@@ -295,6 +344,9 @@ struct OwnedState {
     epoch: u64,
     /// Durability machinery — `None` when serving memory-only.
     dur: Option<Durability>,
+    /// Replication hub — `Some` when this server is a `--repl-listen`
+    /// primary; embedded in every published snapshot for `stats`.
+    repl: Option<Arc<repl::ReplHub>>,
 }
 
 /// The writer thread's handles into the durability pipeline. The open
@@ -329,7 +381,13 @@ impl OwnedState {
             engine: None,
             epoch: 0,
             dur: None,
+            repl: None,
         }
+    }
+
+    /// The replication role to embed in published [`ServeSnapshot`]s.
+    fn repl_role(&self) -> Option<ReplRole> {
+        self.repl.as_ref().map(|h| ReplRole::Primary(Arc::clone(h)))
     }
 
     /// The live durability handle to embed in published
@@ -779,6 +837,8 @@ pub struct Server {
     /// [`Server::shutdown`] submits through. Dropped by [`Server::stop`]
     /// so the writer's channel can actually close.
     tx: Option<SyncSender<Request>>,
+    /// Replication accept loop + follower hub (`--repl-listen` only).
+    repl: Option<repl::ReplListener>,
 }
 
 impl Server {
@@ -789,7 +849,28 @@ impl Server {
     /// first connection, reads already see the recovered state; there is
     /// no window where partial state is served.
     pub fn start(config: ServerConfig) -> io::Result<Server> {
+        // Replication requires durability: followers bootstrap from the
+        // snapshot files and the WAL. Bind (and fail) early, before any
+        // recovery work.
+        let repl_listener = match (&config.repl_listen, &config.data_dir) {
+            (Some(addr), Some(_)) => Some(TcpListener::bind(addr)?),
+            (Some(_), None) => {
+                return Err(invalid_data(
+                    "--repl-listen requires --data-dir: followers bootstrap from the \
+                     snapshot and WAL",
+                ));
+            }
+            (None, _) => None,
+        };
+        let hub = match &repl_listener {
+            Some(l) => Some(Arc::new(repl::ReplHub::new(
+                l.local_addr()?,
+                config.repl_queue_depth,
+            ))),
+            None => None,
+        };
         let mut state = OwnedState::new();
+        state.repl = hub.clone();
         // Serve-layer counters survive restarts too: seeded from the
         // snapshot, advanced by replay, then live.
         let mut serve_seed = (0u64, 0u64, 0u64);
@@ -875,6 +956,7 @@ impl Server {
                 config.fsync,
                 Arc::clone(&tracker),
                 config.hooks.sync_barrier.clone(),
+                hub.clone(),
             )?;
             let snap = SnapshotWorker::start(
                 dir.clone(),
@@ -892,6 +974,18 @@ impl Server {
                 serial: !config.pipeline,
             });
         }
+        // Followers may connect from here on: recovery is complete, the
+        // WAL and snapshots are consistent on disk, and live rounds now
+        // flow through the hub.
+        let repl = match (repl_listener, &hub) {
+            (Some(l), Some(h)) => Some(repl::ReplListener::start(
+                l,
+                Arc::clone(h),
+                config.data_dir.clone().expect("checked above"),
+                config.hooks.repl_barrier.clone(),
+            )?),
+            _ => None,
+        };
         let listener = TcpListener::bind(&config.addr)?;
         let addr = listener.local_addr()?;
         let initial = ServeSnapshot {
@@ -899,6 +993,7 @@ impl Server {
             mode: state.mode,
             view: state.engine.as_ref().map(|e| e.snapshot(state.epoch)),
             dur: state.dur_info(),
+            repl: state.repl_role(),
         };
         let shared = Arc::new(Shared {
             addr,
@@ -931,12 +1026,24 @@ impl Server {
             accept_handle: Some(accept_handle),
             writer_handle: Some(writer_handle),
             tx: Some(tx),
+            repl,
         })
     }
 
     /// The bound address (resolves port 0 to the actual ephemeral port).
     pub fn addr(&self) -> SocketAddr {
         self.addr
+    }
+
+    /// The replication listener's address, when `repl_listen` is set
+    /// (resolves port 0 to the actual ephemeral port).
+    pub fn repl_addr(&self) -> Option<SocketAddr> {
+        self.repl.as_ref().map(|r| r.addr())
+    }
+
+    /// Connected replication followers (0 when `repl_listen` is unset).
+    pub fn follower_count(&self) -> usize {
+        self.repl.as_ref().map_or(0, |r| r.follower_count())
     }
 
     /// Server-layer counters (connections, group-commit shapes).
@@ -970,6 +1077,11 @@ impl Server {
         drop(self.tx.take());
         if let Some(h) = self.writer_handle.take() {
             let _ = h.join();
+        }
+        // Disconnect followers last, so everything the final rounds
+        // committed was offered to them first.
+        if let Some(r) = self.repl.as_mut() {
+            r.stop();
         }
         res
     }
@@ -1006,6 +1118,9 @@ impl Server {
         drop(self.tx.take());
         if let Some(h) = self.writer_handle.take() {
             let _ = h.join();
+        }
+        if let Some(r) = self.repl.as_mut() {
+            r.stop();
         }
     }
 
@@ -1164,6 +1279,7 @@ fn process_round(
             mode: state.mode,
             view: state.engine.as_ref().map(|e| e.snapshot(epoch)),
             dur: state.dur_info(),
+            repl: state.repl_role(),
         });
         state.epoch = epoch;
         shared.snapshots_published.fetch_add(1, Ordering::Relaxed);
@@ -1604,6 +1720,9 @@ pub fn execute_read(cmd: Command, snap: &ServeSnapshot) -> Result<String, String
                     d.recovered_groups
                 );
             }
+            if let Some(r) = snap.repl.as_ref() {
+                r.stats_lines(&mut out);
+            }
             Ok(out)
         }
         Command::Classify => Ok(format!("{:#?}\n", classify(snap.query()?))),
@@ -1876,6 +1995,7 @@ mod tests {
             mode: Mode::Dynamic,
             view: Some(eng.snapshot(3)),
             dur: None,
+            repl: None,
         };
         drop(eng);
         assert_eq!(execute_read(Command::Count, &snap).unwrap(), "2\n");

@@ -3,7 +3,8 @@
 //! ```text
 //! ivme-server [--addr 127.0.0.1:7143] [--queue-depth 128] [--group-limit 64]
 //!             [--data-dir DIR] [--fsync none|group|always] [--snapshot-every N]
-//!             [--serial-commit] [--replay-threads N]
+//!             [--serial-commit] [--replay-threads N] [--repl-listen HOST:PORT]
+//! ivme-server replica PRIMARY:PORT [--listen 127.0.0.1:7145]
 //! ```
 //!
 //! Clients speak the shell's command grammar, one command per line (drive
@@ -12,7 +13,13 @@
 //! WAL replay) and persists every committed write; SIGINT/SIGTERM (and
 //! the `shutdown` command) trigger a clean shutdown — drain, fsync,
 //! final snapshot — instead of dropping in-flight work.
+//!
+//! With `--repl-listen` the server additionally streams committed WAL
+//! frames to follower processes started with the `replica` subcommand;
+//! see `docs/PROTOCOL.md` for the wire format and the README's
+//! "Running a replicated deployment" guide for operations.
 
+use ivme_server::repl::{Replica, ReplicaConfig};
 use ivme_server::{FsyncMode, Server, ServerConfig};
 
 #[cfg(unix)]
@@ -46,11 +53,16 @@ mod sig {
 }
 
 fn main() {
+    let mut args = std::env::args().skip(1).peekable();
+    if args.peek().map(String::as_str) == Some("replica") {
+        args.next();
+        run_replica(args);
+        return;
+    }
     let mut config = ServerConfig {
         addr: "127.0.0.1:7143".to_owned(),
         ..ServerConfig::default()
     };
-    let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         let mut value = |name: &str| {
             args.next()
@@ -83,11 +95,13 @@ fn main() {
                     .parse()
                     .unwrap_or_else(|_| die("--replay-threads must be an integer (0 = auto)"))
             }
+            "--repl-listen" => config.repl_listen = Some(value("--repl-listen")),
             "--help" | "-h" => {
                 println!(
                     "usage: ivme-server [--addr HOST:PORT] [--queue-depth N] [--group-limit N]\n\
                      \x20                  [--data-dir DIR] [--fsync none|group|always] [--snapshot-every N]\n\
-                     \x20                  [--serial-commit] [--replay-threads N]"
+                     \x20                  [--serial-commit] [--replay-threads N] [--repl-listen HOST:PORT]\n\
+                     \x20      ivme-server replica PRIMARY:PORT [--listen HOST:PORT]"
                 );
                 return;
             }
@@ -99,6 +113,9 @@ fn main() {
         Err(e) => die(&format!("cannot start server: {e}")),
     };
     println!("ivme-server listening on {}", server.addr());
+    if let Some(addr) = server.repl_addr() {
+        println!("ivme-server replication listener on {addr}");
+    }
     // Poll for a signal or a client-issued `shutdown` instead of blocking
     // in `join()`: the signal handler may only touch the atomic, so the
     // orderly drain has to run here on the main thread.
@@ -117,6 +134,52 @@ fn main() {
         if server.is_shutdown() {
             // A client sent `shutdown` (or stop() ran): the writer has
             // already drained and persisted; nothing left to do here.
+            return;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(100));
+    }
+}
+
+/// `ivme-server replica PRIMARY:PORT [--listen HOST:PORT]` — a read-only
+/// follower that bootstraps from the primary's replication listener and
+/// serves every read command at a bounded staleness epoch.
+fn run_replica(mut args: std::iter::Peekable<impl Iterator<Item = String>>) {
+    let Some(primary) = args.next() else {
+        die("replica needs the primary's replication address (ivme-server replica HOST:PORT)")
+    };
+    if primary.starts_with('-') {
+        die("replica needs the primary's replication address before any flags");
+    }
+    let mut config = ReplicaConfig {
+        primary,
+        listen: "127.0.0.1:7145".to_owned(),
+    };
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--listen" => {
+                config.listen = args.next().unwrap_or_else(|| die("--listen needs a value"));
+            }
+            "--help" | "-h" => {
+                println!("usage: ivme-server replica PRIMARY:PORT [--listen HOST:PORT]");
+                return;
+            }
+            other => die(&format!("unknown replica argument `{other}` (try --help)")),
+        }
+    }
+    let replica = match Replica::start(config) {
+        Ok(r) => r,
+        Err(e) => die(&format!("cannot start replica: {e}")),
+    };
+    println!("ivme replica serving reads on {}", replica.addr());
+    #[cfg(unix)]
+    sig::install();
+    loop {
+        #[cfg(unix)]
+        if sig::REQUESTED.load(std::sync::atomic::Ordering::SeqCst) {
+            eprintln!("ivme replica: signal received, stopping");
+            return; // Drop joins every thread.
+        }
+        if replica.is_shutdown() {
             return;
         }
         std::thread::sleep(std::time::Duration::from_millis(100));

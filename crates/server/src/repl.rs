@@ -1,0 +1,1096 @@
+//! Log-shipping replication: a primary that streams committed WAL
+//! frames to follower processes, each serving the full lock-free read
+//! API with a bounded, observable staleness epoch.
+//!
+//! # Primary side
+//!
+//! With `--repl-listen <addr>` the server binds a second listener for
+//! followers. Live fan-out rides the existing durability pipeline: the
+//! WAL sync thread, right after a round's frames reach their durability
+//! point, hands the round to `ReplHub::broadcast_round`, which
+//! `try_send`s it into each follower's *bounded* queue. A follower whose
+//! queue is full is disconnected on the spot — the sync thread never
+//! blocks on a slow follower, so commit acks are completely insulated
+//! from replication backpressure (pinned by `tests/replication.rs` with
+//! a [`TestHooks::repl_barrier`](crate::TestHooks) freeze).
+//!
+//! Bootstrap is the subtle half. The per-follower handler **registers
+//! with the hub first**, then takes a read-only [`wal::scan`] of the log
+//! and loads the newest snapshot bytes. That ordering closes the gap by
+//! construction: any committed round either finished its append before
+//! the scan read the file (so the scan has it) or was broadcast after
+//! the registration (so the queue has it) — possibly both, which is why
+//! the sender keeps a cursor `(epoch, frames sent within that epoch)`
+//! and drops duplicates at frame granularity. A torn tail in the scan
+//! (an append racing the read) is equally harmless: the torn round's
+//! broadcast is on the queue. Scanning the WAL *before* loading the
+//! snapshot leans on the snapshot worker's install-before-rotate order —
+//! whatever base epoch the scanned log continues from, a snapshot at
+//! least that new is already on disk.
+//!
+//! # Follower side
+//!
+//! [`Replica`] runs three thread groups: a *stream* thread that dials
+//! the primary (capped exponential backoff, resuming from the applied
+//! frontier in its `hello`), a single *apply* thread that owns an
+//! [`OwnedState`](crate) and pushes every received frame through the
+//! same parse/apply path WAL recovery uses, publishing an epoch-stamped
+//! [`ServeSnapshot`] per round, and the serving
+//! listener, whose connections answer every read command via
+//! [`execute_read`](crate::execute_read) and refuse writes/admin with a
+//! redirect error naming the primary. The apply thread dedups with the
+//! same `(epoch, frames)` cursor as the primary's sender, so replays
+//! after a reconnect are idempotent; its acks flow back over the same
+//! socket as best-effort progress reports (`stats` on the primary shows
+//! them per follower).
+//!
+//! The staleness contract is the prefix property, one hop out: a replica
+//! always serves the state some prefix of the primary's committed frame
+//! sequence produces — never a torn round, never a rolled-back write
+//! (frames are broadcast only after their durability point).
+
+use std::io::{self, BufRead, BufReader, BufWriter, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{self, Receiver, SyncSender, TrySendError};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use ivme_cli::proto::{self, Command, ReplHeader};
+
+use crate::publish::Published;
+use crate::wal::BarrierHook;
+use crate::{
+    invalid_data, parse_replay_ops, snapshot, wal, OwnedState, ReplRole, ReplayOp, ServeSnapshot,
+};
+
+/// Upper bound on a single replicated payload (snapshot or frame) — the
+/// same "a length beyond this is corruption, not an allocation request"
+/// guard the WAL applies on disk.
+const MAX_PAYLOAD: usize = 1 << 30;
+
+/// Events buffered between a replica's stream thread and its apply
+/// thread. Bounded: a replica that cannot apply as fast as it receives
+/// pushes back on its own socket reads (and, transitively, into the
+/// primary's per-follower queue, whose overflow policy is disconnect).
+const REPLICA_QUEUE: usize = 1024;
+
+// ----------------------------------------------------------------------
+// Primary: the hub and the per-follower handlers
+// ----------------------------------------------------------------------
+
+/// One message fanned from the WAL sync thread to a follower sender.
+enum Feed {
+    Round {
+        epoch: u64,
+        frames: Arc<Vec<String>>,
+    },
+    Rebase {
+        epoch: u64,
+    },
+}
+
+struct FollowerEntry {
+    id: u64,
+    peer: String,
+    tx: SyncSender<Feed>,
+    acked_epoch: Arc<AtomicU64>,
+    acked_frames: Arc<AtomicU64>,
+    sent_frames: Arc<AtomicU64>,
+}
+
+/// What [`ReplHub::register`] hands a follower handler: its queue end
+/// plus the shared counters the `stats` command reads.
+struct FollowerReg {
+    id: u64,
+    rx: Receiver<Feed>,
+    acked_epoch: Arc<AtomicU64>,
+    acked_frames: Arc<AtomicU64>,
+    sent_frames: Arc<AtomicU64>,
+}
+
+/// The primary's registry of connected followers — written by handler
+/// threads (register/deregister), fanned into by the WAL sync thread,
+/// sampled by `stats`. The only lock is around the follower list itself,
+/// held for a `try_send` per follower: the sync thread can never block
+/// here.
+pub struct ReplHub {
+    addr: SocketAddr,
+    queue_depth: usize,
+    followers: Mutex<Vec<FollowerEntry>>,
+    next_id: AtomicU64,
+    closed: AtomicBool,
+}
+
+impl ReplHub {
+    pub(crate) fn new(addr: SocketAddr, queue_depth: usize) -> ReplHub {
+        ReplHub {
+            addr,
+            queue_depth: queue_depth.max(1),
+            followers: Mutex::new(Vec::new()),
+            next_id: AtomicU64::new(1),
+            closed: AtomicBool::new(false),
+        }
+    }
+
+    /// The replication listener's bound address.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Connected followers right now.
+    pub fn follower_count(&self) -> usize {
+        self.followers.lock().unwrap().len()
+    }
+
+    /// Registers a follower before its bootstrap scan (see the module
+    /// docs for why the order matters). `None` once the hub is closed.
+    fn register(&self, peer: String) -> Option<FollowerReg> {
+        if self.closed.load(Ordering::SeqCst) {
+            return None;
+        }
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        let (tx, rx) = mpsc::sync_channel(self.queue_depth);
+        let entry = FollowerEntry {
+            id,
+            peer,
+            tx,
+            acked_epoch: Arc::new(AtomicU64::new(0)),
+            acked_frames: Arc::new(AtomicU64::new(0)),
+            sent_frames: Arc::new(AtomicU64::new(0)),
+        };
+        let reg = FollowerReg {
+            id,
+            rx,
+            acked_epoch: Arc::clone(&entry.acked_epoch),
+            acked_frames: Arc::clone(&entry.acked_frames),
+            sent_frames: Arc::clone(&entry.sent_frames),
+        };
+        let mut fs = self.followers.lock().unwrap();
+        if self.closed.load(Ordering::SeqCst) {
+            return None; // closed while we were building the entry
+        }
+        fs.push(entry);
+        Some(reg)
+    }
+
+    fn deregister(&self, id: u64) {
+        self.followers.lock().unwrap().retain(|f| f.id != id);
+    }
+
+    /// Fans one durable round out to every follower queue. Called on the
+    /// WAL sync thread; never blocks — a follower whose bounded queue is
+    /// full (or whose sender thread is gone) is dropped from the
+    /// registry, which closes its queue and, transitively, its socket.
+    pub(crate) fn broadcast_round(&self, epoch: u64, frames: &[String]) {
+        let mut fs = self.followers.lock().unwrap();
+        if fs.is_empty() {
+            return;
+        }
+        let payload = Arc::new(frames.to_vec());
+        fs.retain(|f| {
+            match f.tx.try_send(Feed::Round {
+                epoch,
+                frames: Arc::clone(&payload),
+            }) {
+                Ok(()) => true,
+                Err(e) => {
+                    let why = match e {
+                        TrySendError::Full(_) => "queue full — follower too slow",
+                        TrySendError::Disconnected(_) => "sender gone",
+                    };
+                    eprintln!(
+                        "ivme-server: disconnecting replication follower {} ({}): {why}",
+                        f.id, f.peer
+                    );
+                    false
+                }
+            }
+        });
+    }
+
+    /// Tells every follower the WAL rotated onto a snapshot at `epoch`
+    /// (informational — connected followers already hold those rounds).
+    pub(crate) fn broadcast_rebase(&self, epoch: u64) {
+        self.followers
+            .lock()
+            .unwrap()
+            .retain(|f| f.tx.try_send(Feed::Rebase { epoch }).is_ok());
+    }
+
+    /// Closes the hub: no new registrations, every follower queue drops
+    /// (sender threads drain and exit, closing their sockets).
+    fn close(&self) {
+        self.closed.store(true, Ordering::SeqCst);
+        self.followers.lock().unwrap().clear();
+    }
+
+    /// The primary's `stats` lines: follower count plus one line per
+    /// follower with its acked frontier and in-flight frame lag.
+    pub(crate) fn stats_lines(&self, out: &mut String) {
+        use std::fmt::Write as _;
+        let fs = self.followers.lock().unwrap();
+        let _ = writeln!(
+            out,
+            "repl_listen = {}, repl_followers = {}",
+            self.addr,
+            fs.len()
+        );
+        for f in fs.iter() {
+            let sent = f.sent_frames.load(Ordering::Relaxed);
+            let acked = f.acked_frames.load(Ordering::Relaxed);
+            let _ = writeln!(
+                out,
+                "repl_follower {} {}: acked_epoch = {}, lag_frames = {}",
+                f.id,
+                f.peer,
+                f.acked_epoch.load(Ordering::Relaxed),
+                sent.saturating_sub(acked)
+            );
+        }
+    }
+}
+
+/// The primary's replication accept loop plus the hub it feeds.
+pub(crate) struct ReplListener {
+    hub: Arc<ReplHub>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl ReplListener {
+    /// The replication listener's bound address.
+    pub fn addr(&self) -> SocketAddr {
+        self.hub.addr()
+    }
+
+    /// Connected followers right now.
+    pub fn follower_count(&self) -> usize {
+        self.hub.follower_count()
+    }
+
+    /// Spawns the accept loop. `dir` is the data directory the follower
+    /// handlers bootstrap from (scan `wal.log`, ship the newest
+    /// snapshot); `barrier` is the test-only per-round freeze hook, run
+    /// on the follower *sender* thread.
+    pub fn start(
+        listener: TcpListener,
+        hub: Arc<ReplHub>,
+        dir: PathBuf,
+        barrier: Option<BarrierHook>,
+    ) -> io::Result<ReplListener> {
+        let accept_hub = Arc::clone(&hub);
+        let handle = std::thread::Builder::new()
+            .name("ivme-repl-accept".into())
+            .spawn(move || {
+                for stream in listener.incoming() {
+                    if accept_hub.closed.load(Ordering::SeqCst) {
+                        break;
+                    }
+                    let Ok(stream) = stream else { continue };
+                    let hub = Arc::clone(&accept_hub);
+                    let dir = dir.clone();
+                    let barrier = barrier.clone();
+                    let _ = std::thread::Builder::new()
+                        .name("ivme-repl-sender".into())
+                        .spawn(move || {
+                            let _ = serve_follower(stream, hub, dir, barrier);
+                        });
+                }
+            })?;
+        Ok(ReplListener {
+            hub,
+            handle: Some(handle),
+        })
+    }
+
+    /// Closes the hub and stops the accept loop (idempotent).
+    pub fn stop(&mut self) {
+        self.hub.close();
+        // Wake the blocking accept with a throwaway connection.
+        let _ = TcpStream::connect(self.hub.addr());
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for ReplListener {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+/// The sender's dedup cursor: frames of epochs `< epoch`, plus the first
+/// `frames` frames of round `epoch`, have been shipped. `u64::MAX`
+/// frames means "all of that round" (the follower holds a snapshot at
+/// that epoch, which by construction covers the whole round).
+struct SendCursor {
+    epoch: u64,
+    frames: u64,
+}
+
+/// Ships the not-yet-sent suffix of one round through `w`, advancing the
+/// cursor. Duplicate deliveries (a round both scanned from the file and
+/// received from the queue) reduce to a no-op here.
+fn send_round(
+    w: &mut BufWriter<TcpStream>,
+    cursor: &mut SendCursor,
+    epoch: u64,
+    frames: &[String],
+    sent_frames: &AtomicU64,
+) -> io::Result<()> {
+    if epoch < cursor.epoch {
+        return Ok(());
+    }
+    let skip = if epoch == cursor.epoch {
+        usize::try_from(cursor.frames).unwrap_or(usize::MAX)
+    } else {
+        0
+    };
+    if skip < frames.len() {
+        let send = &frames[skip..];
+        writeln!(
+            w,
+            "{}",
+            proto::repl_header_line(&ReplHeader::Round {
+                epoch,
+                frames: send.len(),
+            })
+        )?;
+        for f in send {
+            writeln!(w, "{}", proto::repl_frame_line(f.len()))?;
+            w.write_all(f.as_bytes())?;
+        }
+        w.flush()?;
+        sent_frames.fetch_add(send.len() as u64, Ordering::Relaxed);
+    }
+    cursor.frames = if epoch == cursor.epoch {
+        cursor.frames.max(frames.len() as u64)
+    } else {
+        frames.len() as u64
+    };
+    cursor.epoch = epoch;
+    Ok(())
+}
+
+/// One follower connection, start to finish: handshake, register,
+/// bootstrap (snapshot + scanned WAL tail), then live tailing of the
+/// hub queue. The paired ack-reader thread shares only the two acked
+/// atomics and dies with the socket.
+fn serve_follower(
+    stream: TcpStream,
+    hub: Arc<ReplHub>,
+    dir: PathBuf,
+    barrier: Option<BarrierHook>,
+) -> io::Result<()> {
+    stream.set_nodelay(true)?;
+    // A throwaway connection (e.g. the shutdown wake-up) must not pin
+    // this thread: bound the handshake read, then lift the bound for the
+    // long-lived ack reader.
+    stream.set_read_timeout(Some(Duration::from_secs(10)))?;
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut line = String::new();
+    if reader.read_line(&mut line)? == 0 {
+        return Ok(());
+    }
+    let (hello_epoch, hello_frames) = proto::parse_repl_hello(&line).map_err(invalid_data)?;
+    stream.set_read_timeout(None)?;
+    let peer = stream
+        .peer_addr()
+        .map_or_else(|_| "?".to_owned(), |a| a.to_string());
+    let mut writer = BufWriter::new(stream);
+
+    // Register BEFORE scanning: from here on, every durable round is
+    // either in the file the scan reads or in our queue (or both — the
+    // cursor drops duplicates).
+    let Some(reg) = hub.register(peer) else {
+        return Ok(()); // hub closed: shutting down
+    };
+    let acked_epoch = Arc::clone(&reg.acked_epoch);
+    let acked_frames = Arc::clone(&reg.acked_frames);
+    let _ = std::thread::Builder::new()
+        .name("ivme-repl-ack".into())
+        .spawn(move || ack_loop(reader, acked_epoch, acked_frames));
+
+    let res = follower_stream(&mut writer, &reg, &dir, hello_epoch, hello_frames, barrier);
+    hub.deregister(reg.id);
+    // The ack-reader thread holds a clone of this socket; dropping the
+    // writer alone would leave the connection half-alive and the follower
+    // blocked in a read that never EOFs. Shut the socket down fully so
+    // the follower notices immediately and re-dials.
+    let _ = writer.get_ref().shutdown(std::net::Shutdown::Both);
+    res
+}
+
+/// The bootstrap + live-tail body of a follower handler, split out so
+/// deregistration runs on every exit path.
+fn follower_stream(
+    writer: &mut BufWriter<TcpStream>,
+    reg: &FollowerReg,
+    dir: &Path,
+    hello_epoch: u64,
+    hello_frames: u64,
+    barrier: Option<BarrierHook>,
+) -> io::Result<()> {
+    let mut cursor = SendCursor {
+        epoch: hello_epoch,
+        frames: hello_frames,
+    };
+    // Scan first, snapshot second (see module docs for the ordering
+    // argument). The scan is read-only: it never repairs the live log.
+    let (wal_base, frames) = wal::scan(&dir.join("wal.log"))?;
+    let snap = snapshot::load_latest_raw(dir)?;
+    let tip = frames.last().map_or_else(
+        || wal_base.max(snap.as_ref().map_or(0, |s| s.0)),
+        |f| f.epoch,
+    );
+    if hello_epoch > tip {
+        // The follower is ahead of us (e.g. this primary recovered to an
+        // older epoch): its state cannot be extended, only replaced.
+        writeln!(writer, "{}", proto::repl_header_line(&ReplHeader::Reset))?;
+        return writer.flush();
+    }
+    if let Some((snap_epoch, text)) = snap {
+        if snap_epoch > cursor.epoch {
+            writeln!(
+                writer,
+                "{}",
+                proto::repl_header_line(&ReplHeader::Snapshot {
+                    epoch: snap_epoch,
+                    len: text.len(),
+                })
+            )?;
+            writer.write_all(text.as_bytes())?;
+            writer.flush()?;
+            // The snapshot covers all of round `snap_epoch`.
+            cursor.epoch = snap_epoch;
+            cursor.frames = u64::MAX;
+        }
+    }
+    // Ship the scanned tail, one round per distinct epoch.
+    let mut i = 0;
+    while i < frames.len() {
+        let epoch = frames[i].epoch;
+        let mut j = i;
+        while j < frames.len() && frames[j].epoch == epoch {
+            j += 1;
+        }
+        let texts: Vec<String> = frames[i..j].iter().map(|f| f.text.clone()).collect();
+        send_round(writer, &mut cursor, epoch, &texts, &reg.sent_frames)?;
+        i = j;
+    }
+    // Live tail: rounds the sync thread fans out, until the socket dies
+    // or the hub drops us (queue overflow or shutdown).
+    while let Ok(feed) = reg.rx.recv() {
+        match feed {
+            Feed::Round { epoch, frames } => {
+                if let Some(b) = &barrier {
+                    b(epoch);
+                }
+                send_round(writer, &mut cursor, epoch, &frames, &reg.sent_frames)?;
+            }
+            Feed::Rebase { epoch } => {
+                writeln!(
+                    writer,
+                    "{}",
+                    proto::repl_header_line(&ReplHeader::Rebase { epoch })
+                )?;
+                writer.flush()?;
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Reads best-effort `ack` lines from a follower until the socket dies.
+/// An ack EOF means the follower is gone: the loop shuts the socket down
+/// fully so the paired sender thread's next write fails fast instead of
+/// buffering into a dead connection.
+fn ack_loop(
+    mut reader: BufReader<TcpStream>,
+    acked_epoch: Arc<AtomicU64>,
+    acked_frames: Arc<AtomicU64>,
+) {
+    let mut line = String::new();
+    loop {
+        line.clear();
+        match reader.read_line(&mut line) {
+            Ok(0) | Err(_) => {
+                let _ = reader.get_ref().shutdown(std::net::Shutdown::Both);
+                return;
+            }
+            Ok(_) => {
+                if let Ok((epoch, frames)) = proto::parse_repl_ack(&line) {
+                    acked_epoch.store(epoch, Ordering::Relaxed);
+                    acked_frames.store(frames, Ordering::Relaxed);
+                }
+            }
+        }
+    }
+}
+
+// ----------------------------------------------------------------------
+// Follower: the replica process
+// ----------------------------------------------------------------------
+
+/// Replica tuning knobs.
+#[derive(Clone, Debug)]
+pub struct ReplicaConfig {
+    /// The primary's replication listener (`--repl-listen` address).
+    pub primary: String,
+    /// Address the replica serves reads on; port 0 picks an ephemeral
+    /// port (see [`Replica::addr`]).
+    pub listen: String,
+}
+
+impl Default for ReplicaConfig {
+    fn default() -> ReplicaConfig {
+        ReplicaConfig {
+            primary: "127.0.0.1:7146".to_owned(),
+            listen: "127.0.0.1:0".to_owned(),
+        }
+    }
+}
+
+/// The replication counters a replica's `stats` command reports.
+pub struct ReplicaStats {
+    primary: String,
+    applied_epoch: AtomicU64,
+    /// Frames applied within `applied_epoch` (`u64::MAX` = all of it, set
+    /// by a snapshot restore) — the second half of the resume handshake.
+    applied_epoch_frames: AtomicU64,
+    applied_frames: AtomicU64,
+    received_frames: AtomicU64,
+    primary_epoch_seen: AtomicU64,
+    connected: AtomicBool,
+    /// A frame failed to apply: the replica serves its last good state
+    /// and stops consuming the stream (divergence is loud, not silent).
+    broken: AtomicBool,
+}
+
+impl ReplicaStats {
+    fn new(primary: String) -> ReplicaStats {
+        ReplicaStats {
+            primary,
+            applied_epoch: AtomicU64::new(0),
+            applied_epoch_frames: AtomicU64::new(0),
+            applied_frames: AtomicU64::new(0),
+            received_frames: AtomicU64::new(0),
+            primary_epoch_seen: AtomicU64::new(0),
+            connected: AtomicBool::new(false),
+            broken: AtomicBool::new(false),
+        }
+    }
+
+    /// Primary epoch of the newest fully applied round.
+    pub fn applied_epoch(&self) -> u64 {
+        self.applied_epoch.load(Ordering::Acquire)
+    }
+
+    /// Whether the stream thread currently holds a live connection.
+    pub fn connected(&self) -> bool {
+        self.connected.load(Ordering::Acquire)
+    }
+
+    /// Frames applied within the current epoch — the second half of the
+    /// resume handshake. `u64::MAX` encodes "all of it" (snapshot
+    /// restore).
+    fn applied_frames_in_epoch(&self) -> u64 {
+        self.applied_epoch_frames.load(Ordering::Acquire)
+    }
+
+    /// The replica's `stats` line (see docs/PROTOCOL.md).
+    pub(crate) fn stats_lines(&self, out: &mut String) {
+        use std::fmt::Write as _;
+        let received = self.received_frames.load(Ordering::Relaxed);
+        let applied = self.applied_frames.load(Ordering::Relaxed);
+        let _ = writeln!(
+            out,
+            "replica_epoch = {}, primary_epoch_seen = {}, replication_lag_frames = {}, \
+             replica_connected = {}, replica_broken = {}, primary = {}",
+            self.applied_epoch.load(Ordering::Relaxed),
+            self.primary_epoch_seen.load(Ordering::Relaxed),
+            received.saturating_sub(applied),
+            u8::from(self.connected.load(Ordering::Relaxed)),
+            u8::from(self.broken.load(Ordering::Relaxed)),
+            self.primary
+        );
+    }
+}
+
+/// What the stream thread hands the apply thread.
+enum Event {
+    Snapshot {
+        epoch: u64,
+        text: String,
+    },
+    Round {
+        epoch: u64,
+        frames: Vec<String>,
+    },
+    /// The primary declared our state unextendable: start over.
+    Reset,
+}
+
+struct ReplicaShared {
+    addr: SocketAddr,
+    published: Published<ServeSnapshot>,
+    shutdown: AtomicBool,
+    stats: Arc<ReplicaStats>,
+}
+
+/// A running replica process: stream + apply + serving listener.
+/// Dropping it disconnects from the primary and stops serving.
+pub struct Replica {
+    addr: SocketAddr,
+    shared: Arc<ReplicaShared>,
+    /// Write half of the live primary connection — the apply thread's
+    /// ack channel, and the shutdown path's handle for unblocking the
+    /// stream thread's reads.
+    ack_sock: Arc<Mutex<Option<TcpStream>>>,
+    accept_handle: Option<JoinHandle<()>>,
+    stream_handle: Option<JoinHandle<()>>,
+    apply_handle: Option<JoinHandle<()>>,
+}
+
+impl Replica {
+    /// Binds the serving listener, spawns the stream/apply threads, and
+    /// returns immediately — the replica serves its (empty) state while
+    /// the bootstrap downloads, exactly as a primary serves during
+    /// recovery replay.
+    pub fn start(config: ReplicaConfig) -> io::Result<Replica> {
+        let listener = TcpListener::bind(&config.listen)?;
+        let addr = listener.local_addr()?;
+        let stats = Arc::new(ReplicaStats::new(config.primary.clone()));
+        let shared = Arc::new(ReplicaShared {
+            addr,
+            published: Published::new(ServeSnapshot {
+                query: None,
+                mode: ivme_core::Mode::Dynamic,
+                view: None,
+                dur: None,
+                repl: Some(ReplRole::Replica(Arc::clone(&stats))),
+            }),
+            shutdown: AtomicBool::new(false),
+            stats,
+        });
+        let ack_sock: Arc<Mutex<Option<TcpStream>>> = Arc::new(Mutex::new(None));
+        let (tx, rx) = mpsc::sync_channel::<Event>(REPLICA_QUEUE);
+        let stream_handle = {
+            let shared = Arc::clone(&shared);
+            let primary = config.primary.clone();
+            let ack_sock = Arc::clone(&ack_sock);
+            std::thread::Builder::new()
+                .name("ivme-replica-stream".into())
+                .spawn(move || stream_loop(shared, primary, tx, ack_sock))?
+        };
+        let apply_handle = {
+            let shared = Arc::clone(&shared);
+            let ack_sock = Arc::clone(&ack_sock);
+            std::thread::Builder::new()
+                .name("ivme-replica-apply".into())
+                .spawn(move || apply_loop(shared, rx, ack_sock))?
+        };
+        let accept_handle = {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("ivme-replica-accept".into())
+                .spawn(move || {
+                    for stream in listener.incoming() {
+                        if shared.shutdown.load(Ordering::SeqCst) {
+                            break;
+                        }
+                        let Ok(stream) = stream else { continue };
+                        let shared = Arc::clone(&shared);
+                        let _ = std::thread::Builder::new()
+                            .name("ivme-replica-conn".into())
+                            .spawn(move || {
+                                let _ = replica_connection(stream, shared);
+                            });
+                    }
+                })?
+        };
+        Ok(Replica {
+            addr,
+            shared,
+            ack_sock,
+            accept_handle: Some(accept_handle),
+            stream_handle: Some(stream_handle),
+            apply_handle: Some(apply_handle),
+        })
+    }
+
+    /// The serving address (resolves port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The replication counters (the same numbers `stats` renders).
+    pub fn stats(&self) -> &Arc<ReplicaStats> {
+        &self.shared.stats
+    }
+
+    /// Whether [`Replica::stop`] (or a client's `shutdown`) has run.
+    pub fn is_shutdown(&self) -> bool {
+        self.shared.shutdown.load(Ordering::SeqCst)
+    }
+
+    /// Stops serving and disconnects from the primary; joins every
+    /// thread, so nothing of this replica touches its sockets after the
+    /// call returns.
+    pub fn stop(&mut self) {
+        if !self.shared.shutdown.swap(true, Ordering::SeqCst) {
+            let _ = TcpStream::connect(self.addr);
+        }
+        // Unblock the stream thread if it sits in a read on the primary
+        // connection.
+        if let Some(s) = self.ack_sock.lock().unwrap().take() {
+            let _ = s.shutdown(std::net::Shutdown::Both);
+        }
+        if let Some(h) = self.accept_handle.take() {
+            let _ = h.join();
+        }
+        if let Some(h) = self.stream_handle.take() {
+            let _ = h.join();
+        }
+        if let Some(h) = self.apply_handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for Replica {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+/// Dials the primary with capped exponential backoff and pumps stream
+/// messages into the apply queue until shutdown.
+fn stream_loop(
+    shared: Arc<ReplicaShared>,
+    primary: String,
+    tx: SyncSender<Event>,
+    ack_sock: Arc<Mutex<Option<TcpStream>>>,
+) {
+    let mut backoff = Duration::from_millis(100);
+    while !shared.shutdown.load(Ordering::SeqCst) {
+        match TcpStream::connect(&primary) {
+            Ok(stream) => {
+                backoff = Duration::from_millis(100);
+                shared.stats.connected.store(true, Ordering::Release);
+                let res = pump_stream(&shared, stream, &tx, &ack_sock);
+                shared.stats.connected.store(false, Ordering::Release);
+                ack_sock.lock().unwrap().take();
+                match res {
+                    // The apply thread is gone: we are shutting down.
+                    Err(PumpEnd::Closed) => return,
+                    Err(PumpEnd::Io(e)) => {
+                        if !shared.shutdown.load(Ordering::SeqCst) {
+                            eprintln!("ivme replica: connection to primary lost: {e}");
+                        }
+                    }
+                    Ok(()) => {}
+                }
+            }
+            Err(_) => {
+                backoff = (backoff * 2).min(Duration::from_secs(5));
+            }
+        }
+        // Sleep in small slices so `stop()` never waits out a full
+        // backoff interval.
+        let mut remaining = backoff;
+        while !remaining.is_zero() && !shared.shutdown.load(Ordering::SeqCst) {
+            let slice = remaining.min(Duration::from_millis(50));
+            std::thread::sleep(slice);
+            remaining -= slice;
+        }
+    }
+}
+
+/// Why one connection's pump ended.
+enum PumpEnd {
+    /// Socket error or EOF: reconnect.
+    Io(io::Error),
+    /// The apply queue is closed: shut down.
+    Closed,
+}
+
+impl From<io::Error> for PumpEnd {
+    fn from(e: io::Error) -> PumpEnd {
+        PumpEnd::Io(e)
+    }
+}
+
+/// One connection: handshake from the applied frontier, then decode
+/// stream messages into apply-queue events until the socket dies.
+fn pump_stream(
+    shared: &ReplicaShared,
+    stream: TcpStream,
+    tx: &SyncSender<Event>,
+    ack_sock: &Arc<Mutex<Option<TcpStream>>>,
+) -> Result<(), PumpEnd> {
+    stream.set_nodelay(true)?;
+    let mut reader = BufReader::new(stream.try_clone()?);
+    {
+        let mut w = stream.try_clone()?;
+        // The applied frontier is read from the stats the apply thread
+        // maintains; it can lag reality (events still queued) but never
+        // lead it, and the apply thread dedups redelivery either way.
+        let epoch = shared.stats.applied_epoch.load(Ordering::Acquire);
+        let frames = shared.stats.applied_frames_in_epoch();
+        writeln!(w, "{}", proto::repl_hello_line(epoch, frames))?;
+        w.flush()?;
+    }
+    *ack_sock.lock().unwrap() = Some(stream);
+    let mut line = String::new();
+    loop {
+        if shared.shutdown.load(Ordering::SeqCst) {
+            return Ok(());
+        }
+        line.clear();
+        if reader.read_line(&mut line)? == 0 {
+            return Ok(());
+        }
+        let header = proto::parse_repl_header(&line).map_err(invalid_data)?;
+        match header {
+            ReplHeader::Snapshot { epoch, len } => {
+                let text = read_payload(&mut reader, len)?;
+                tx.send(Event::Snapshot { epoch, text })
+                    .map_err(|_| PumpEnd::Closed)?;
+            }
+            ReplHeader::Round { epoch, frames } => {
+                let mut texts = Vec::with_capacity(frames);
+                for _ in 0..frames {
+                    line.clear();
+                    if reader.read_line(&mut line)? == 0 {
+                        return Err(PumpEnd::Io(io::Error::new(
+                            io::ErrorKind::UnexpectedEof,
+                            "stream closed mid-round",
+                        )));
+                    }
+                    let len = proto::parse_repl_frame(&line).map_err(invalid_data)?;
+                    texts.push(read_payload(&mut reader, len)?);
+                }
+                shared
+                    .stats
+                    .primary_epoch_seen
+                    .fetch_max(epoch, Ordering::AcqRel);
+                shared
+                    .stats
+                    .received_frames
+                    .fetch_add(texts.len() as u64, Ordering::Relaxed);
+                tx.send(Event::Round {
+                    epoch,
+                    frames: texts,
+                })
+                .map_err(|_| PumpEnd::Closed)?;
+            }
+            ReplHeader::Rebase { epoch } => {
+                shared
+                    .stats
+                    .primary_epoch_seen
+                    .fetch_max(epoch, Ordering::AcqRel);
+            }
+            ReplHeader::Reset => {
+                tx.send(Event::Reset).map_err(|_| PumpEnd::Closed)?;
+                // Reconnect from scratch; the apply thread has (or will
+                // have) cleared the resume point by then — redelivered
+                // rounds dedup regardless.
+                return Ok(());
+            }
+        }
+    }
+}
+
+/// Reads exactly `len` UTF-8 payload bytes.
+fn read_payload(reader: &mut BufReader<TcpStream>, len: usize) -> io::Result<String> {
+    if len > MAX_PAYLOAD {
+        return Err(invalid_data(format!("absurd payload length {len}")));
+    }
+    let mut buf = vec![0u8; len];
+    reader.read_exact(&mut buf)?;
+    String::from_utf8(buf).map_err(|_| invalid_data("payload is not UTF-8"))
+}
+
+/// The replica's writer-equivalent: sole owner of an [`OwnedState`],
+/// applying bootstrap snapshots and streamed rounds through the same
+/// parse/apply path WAL recovery uses, publishing after every event.
+fn apply_loop(shared: Arc<ReplicaShared>, rx: Receiver<Event>, ack: Arc<Mutex<Option<TcpStream>>>) {
+    let mut state = OwnedState::new();
+    // The authoritative dedup cursor (the stats atomics mirror it).
+    let mut cur_epoch = 0u64;
+    let mut cur_frames = 0u64;
+    while let Ok(ev) = rx.recv() {
+        if shared.stats.broken.load(Ordering::Acquire) {
+            continue; // diverged: drain without applying, serve last good state
+        }
+        match ev {
+            Event::Snapshot { epoch, text } => {
+                if epoch <= cur_epoch {
+                    continue;
+                }
+                match snapshot::parse(&text).and_then(|d| state.restore(d)) {
+                    Ok(()) => {
+                        cur_epoch = state.epoch;
+                        cur_frames = u64::MAX;
+                    }
+                    Err(e) => {
+                        eprintln!("ivme replica: bootstrap snapshot failed to load: {e}");
+                        shared.stats.broken.store(true, Ordering::Release);
+                        continue;
+                    }
+                }
+            }
+            Event::Round { epoch, frames } => {
+                if epoch < cur_epoch {
+                    continue;
+                }
+                let skip = if epoch == cur_epoch {
+                    usize::try_from(cur_frames).unwrap_or(usize::MAX)
+                } else {
+                    0
+                };
+                if skip >= frames.len() && epoch == cur_epoch {
+                    continue;
+                }
+                let mut failed = false;
+                for f in &frames[skip.min(frames.len())..] {
+                    if let Err(e) = apply_frame(&mut state, f) {
+                        eprintln!(
+                            "ivme replica: frame at epoch {epoch} failed to apply ({e}); \
+                             freezing at epoch {cur_epoch} — reconnect will not help, \
+                             restart the replica to re-bootstrap"
+                        );
+                        shared.stats.broken.store(true, Ordering::Release);
+                        failed = true;
+                        break;
+                    }
+                    shared.stats.applied_frames.fetch_add(1, Ordering::Relaxed);
+                    cur_frames = if epoch == cur_epoch {
+                        cur_frames.saturating_add(1)
+                    } else {
+                        1
+                    };
+                    cur_epoch = epoch;
+                }
+                if failed {
+                    continue;
+                }
+                state.epoch = epoch;
+            }
+            Event::Reset => {
+                eprintln!(
+                    "ivme replica: primary requested a reset — dropping local state and \
+                     re-bootstrapping"
+                );
+                state = OwnedState::new();
+                cur_epoch = 0;
+                cur_frames = 0;
+                shared.stats.received_frames.store(0, Ordering::Relaxed);
+                shared.stats.applied_frames.store(0, Ordering::Relaxed);
+            }
+        }
+        shared
+            .stats
+            .applied_epoch
+            .store(cur_epoch, Ordering::Release);
+        shared
+            .stats
+            .applied_epoch_frames
+            .store(cur_frames, Ordering::Release);
+        shared.published.publish(ServeSnapshot {
+            query: state.query.clone(),
+            mode: state.mode,
+            view: state.engine.as_ref().map(|e| e.snapshot(state.epoch)),
+            dur: None,
+            repl: Some(ReplRole::Replica(Arc::clone(&shared.stats))),
+        });
+        // Best-effort progress report to the primary.
+        if let Some(s) = ack.lock().unwrap().as_mut() {
+            let total = shared.stats.applied_frames.load(Ordering::Relaxed);
+            let _ = writeln!(s, "{}", proto::repl_ack_line(cur_epoch, total));
+        }
+    }
+}
+
+/// Applies one WAL frame's command text — the exact parse/apply pair
+/// boot-time recovery uses.
+fn apply_frame(state: &mut OwnedState, text: &str) -> Result<(), String> {
+    for op in parse_replay_ops(text)? {
+        match op {
+            ReplayOp::Admin(op) => {
+                state.admin(op)?;
+            }
+            ReplayOp::Batch(b) => state.apply_replayed(&b)?,
+        }
+    }
+    Ok(())
+}
+
+/// One serving connection on a replica: reads dispatch through
+/// [`crate::execute_read`] against the published snapshot, writes and
+/// admin commands are refused with a redirect naming the primary.
+fn replica_connection(stream: TcpStream, shared: Arc<ReplicaShared>) -> io::Result<()> {
+    stream.set_nodelay(true)?;
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut writer = BufWriter::new(stream);
+    let mut cache = shared.published.cache();
+    let mut line = String::new();
+    loop {
+        if reader.buffer().is_empty() {
+            writer.flush()?;
+        }
+        line.clear();
+        if reader.read_line(&mut line)? == 0 {
+            break;
+        }
+        let cmd = match proto::parse_command(&line) {
+            Ok(Some(c)) => c,
+            Ok(None) => {
+                proto::write_ok(&mut writer, "")?;
+                continue;
+            }
+            Err(e) => {
+                proto::write_err(&mut writer, &e)?;
+                continue;
+            }
+        };
+        match cmd {
+            Command::Quit => {
+                proto::write_ok(&mut writer, "bye\n")?;
+                break;
+            }
+            Command::Help => proto::write_ok(&mut writer, proto::HELP)?,
+            Command::Shutdown => {
+                if !shared.shutdown.swap(true, Ordering::SeqCst) {
+                    let _ = TcpStream::connect(shared.addr);
+                }
+                proto::write_ok(&mut writer, "replica shutting down\n")?;
+                break;
+            }
+            cmd @ (Command::List { .. }
+            | Command::Get(_)
+            | Command::Page { .. }
+            | Command::Count
+            | Command::Stats
+            | Command::Classify
+            | Command::Plan) => {
+                match crate::execute_read(cmd, shared.published.refresh(&mut cache)) {
+                    Ok(out) => proto::write_ok(&mut writer, &out)?,
+                    Err(e) => proto::write_err(&mut writer, &e)?,
+                }
+            }
+            _ => proto::write_err(
+                &mut writer,
+                &format!(
+                    "read-only replica: writes and admin commands must go to the primary at {}",
+                    shared.stats.primary
+                ),
+            )?,
+        }
+    }
+    writer.flush()
+}

@@ -277,6 +277,30 @@ pub fn load_latest(dir: &Path) -> io::Result<(Option<SnapshotData>, Vec<String>)
     Ok((None, warnings))
 }
 
+/// Loads the newest valid snapshot as its raw on-disk text (plus its
+/// epoch) — what the replication bootstrap ships to a connecting
+/// follower verbatim. Validation is the same CRC-first parse as
+/// [`load_latest`]; files that fail are skipped silently here (the boot
+/// path has already warned about them).
+pub fn load_latest_raw(dir: &Path) -> io::Result<Option<(u64, String)>> {
+    let mut epochs: Vec<u64> = Vec::new();
+    for entry in std::fs::read_dir(dir)? {
+        let entry = entry?;
+        if let Some(e) = parse_snapshot_name(&entry.file_name().to_string_lossy()) {
+            epochs.push(e);
+        }
+    }
+    epochs.sort_unstable_by(|a, b| b.cmp(a));
+    for epoch in epochs {
+        if let Ok(text) = std::fs::read_to_string(snapshot_path(dir, epoch)) {
+            if parse(&text).is_ok_and(|d| d.epoch == epoch) {
+                return Ok(Some((epoch, text)));
+            }
+        }
+    }
+    Ok(None)
+}
+
 /// Deletes all but the newest `keep` snapshots, plus any stale temp files
 /// from interrupted writes. Damaged old snapshots are deleted too —
 /// `load_latest` has already chosen a good one by the time this runs.

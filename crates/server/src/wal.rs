@@ -40,16 +40,16 @@
 //! # The pipeline (PR 8)
 //!
 //! Appending and fsyncing no longer happen on the writer thread at all.
-//! [`WalPipeline`] owns the open [`Wal`] on a dedicated sync thread; the
-//! writer hands each committed round over as a [`Job::Commit`] carrying
+//! `WalPipeline` owns the open [`Wal`] on a dedicated sync thread; the
+//! writer hands each committed round over as a `Job::Commit` carrying
 //! the frames *and* the round's held-back acks (as a boxed release
 //! closure), then immediately starts applying the next round. The sync
 //! thread appends, fsyncs per the [`FsyncMode`], and only then runs the
 //! release — so the fsync of group N overlaps the apply of group N+1
 //! while every ack still waits for its durability point. The same queue
-//! carries snapshot-rotation control messages: a [`Job::SnapshotStarted`]
+//! carries snapshot-rotation control messages: a `Job::SnapshotStarted`
 //! marker makes the sync thread buffer every later frame in memory, and
-//! the [`Job::Rotate`] that follows a successful snapshot install rewrites
+//! the `Job::Rotate` that follows a successful snapshot install rewrites
 //! the log as `header(snapshot epoch) + buffered tail` — frames committed
 //! while the snapshot was being written survive the rotation, atomically,
 //! at every crash point. I/O errors never kill the server: the sync
@@ -232,90 +232,39 @@ impl Wal {
         let mut file = OpenOptions::new().read(true).write(true).open(path)?;
         let mut bytes = Vec::new();
         file.read_to_end(&mut bytes)?;
-        if bytes.len() < HEADER_LEN as usize || &bytes[..8] != WAL_MAGIC {
-            return Err(io::Error::new(
-                io::ErrorKind::InvalidData,
-                format!("{}: not an IVMEWAL1 file", path.display()),
-            ));
-        }
-        let base_epoch = u64::from_le_bytes(bytes[8..16].try_into().unwrap());
-
-        // Pass 1 (sequential): walk the length fields to find candidate
-        // frame boundaries. Cheap — it reads 4 bytes per frame.
-        let mut spans: Vec<(usize, usize)> = Vec::new();
-        let mut pos = HEADER_LEN as usize;
-        let mut damage: Option<String> = None;
-        while pos < bytes.len() {
-            if bytes.len() - pos < FRAME_PREFIX {
-                // A bare prefix fragment: the expected crash-mid-append
-                // shape (torn tail, no reason recorded).
-                break;
-            }
-            let len = u32::from_le_bytes(bytes[pos..pos + 4].try_into().unwrap());
-            if len > MAX_FRAME {
-                damage = Some(format!("absurd frame length {len}"));
-                break;
-            }
-            let end = pos + FRAME_PREFIX + len as usize;
-            if end > bytes.len() {
-                // Payload cut short: torn tail.
-                break;
-            }
-            spans.push((pos, end));
-            pos = end;
-        }
-
-        // Pass 2 (parallel): CRC + UTF-8 validation of every candidate.
-        let decoded = validate_spans(&bytes, &spans, threads);
-
-        // Pass 3 (sequential): epoch monotonicity plus earliest-failure
-        // truncation — a bad frame invalidates everything after it, even
-        // candidates that validated in pass 2.
-        let mut frames = Vec::with_capacity(spans.len());
-        let mut last_epoch = base_epoch;
-        let mut cut = pos;
-        for (i, res) in decoded.into_iter().enumerate() {
-            let why = match res {
-                Ok(frame) => {
-                    if frame.epoch >= last_epoch {
-                        last_epoch = frame.epoch;
-                        frames.push(frame);
-                        continue;
-                    }
-                    format!("epoch went backwards ({last_epoch} -> {})", frame.epoch)
-                }
-                Err(why) => why,
-            };
-            damage = Some(why);
-            cut = spans[i].0;
-            break;
-        }
-
-        let truncated = if cut < bytes.len() {
+        let scan = scan_bytes(path, &bytes, threads)?;
+        let truncated = if scan.cut < bytes.len() {
             let reason = format!(
-                "{}: {} — truncating {} damaged byte(s) at offset {cut}, keeping {} valid frame(s)",
+                "{}: {} — truncating {} damaged byte(s) at offset {}, keeping {} valid frame(s)",
                 path.display(),
-                damage.as_deref().unwrap_or("torn tail record"),
-                bytes.len() - cut,
-                frames.len(),
+                scan.damage.as_deref().unwrap_or("torn tail record"),
+                bytes.len() - scan.cut,
+                scan.cut,
+                scan.frames.len(),
             );
-            file.set_len(cut as u64)?;
+            file.set_len(scan.cut as u64)?;
             file.sync_all()?;
             Some(reason)
         } else {
             None
         };
-        file.seek(SeekFrom::Start(cut as u64))?;
+        file.seek(SeekFrom::Start(scan.cut as u64))?;
         let wal = Wal {
             file,
             path: path.to_owned(),
-            base_epoch,
-            frames: frames.len() as u64,
-            last_epoch,
+            base_epoch: scan.base_epoch,
+            frames: scan.frames.len() as u64,
+            last_epoch: scan.last_epoch,
             last_fsync_us: 0,
             buf: Vec::new(),
         };
-        Ok((wal, Recovered { frames, truncated }))
+        Ok((
+            wal,
+            Recovered {
+                frames: scan.frames,
+                truncated,
+            },
+        ))
     }
 
     /// The snapshot epoch this log continues from.
@@ -411,6 +360,109 @@ impl Wal {
         self.last_epoch = last_epoch;
         Ok(())
     }
+}
+
+/// What the three-pass frame scan found in a byte image of a log.
+struct Scan {
+    base_epoch: u64,
+    frames: Vec<Frame>,
+    /// Byte offset of the first torn/damaged byte; `bytes.len()` when the
+    /// whole file is valid frames.
+    cut: usize,
+    /// Why the scan stopped early, when a reason beyond a bare torn tail
+    /// is known.
+    damage: Option<String>,
+    /// Epoch of the newest valid frame (the base epoch for an empty log).
+    last_epoch: u64,
+}
+
+/// The three scan passes shared by [`Wal::open_threaded`] (which then
+/// repairs damage in place) and the read-only [`scan`]: a sequential
+/// boundary walk over the length fields, parallel CRC/UTF-8 validation,
+/// and a sequential epoch-monotonicity pass with earliest-failure cut.
+fn scan_bytes(path: &Path, bytes: &[u8], threads: usize) -> io::Result<Scan> {
+    if bytes.len() < HEADER_LEN as usize || &bytes[..8] != WAL_MAGIC {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("{}: not an IVMEWAL1 file", path.display()),
+        ));
+    }
+    let base_epoch = u64::from_le_bytes(bytes[8..16].try_into().unwrap());
+
+    // Pass 1 (sequential): walk the length fields to find candidate
+    // frame boundaries. Cheap — it reads 4 bytes per frame.
+    let mut spans: Vec<(usize, usize)> = Vec::new();
+    let mut pos = HEADER_LEN as usize;
+    let mut damage: Option<String> = None;
+    while pos < bytes.len() {
+        if bytes.len() - pos < FRAME_PREFIX {
+            // A bare prefix fragment: the expected crash-mid-append
+            // shape (torn tail, no reason recorded).
+            break;
+        }
+        let len = u32::from_le_bytes(bytes[pos..pos + 4].try_into().unwrap());
+        if len > MAX_FRAME {
+            damage = Some(format!("absurd frame length {len}"));
+            break;
+        }
+        let end = pos + FRAME_PREFIX + len as usize;
+        if end > bytes.len() {
+            // Payload cut short: torn tail.
+            break;
+        }
+        spans.push((pos, end));
+        pos = end;
+    }
+
+    // Pass 2 (parallel): CRC + UTF-8 validation of every candidate.
+    let decoded = validate_spans(bytes, &spans, threads);
+
+    // Pass 3 (sequential): epoch monotonicity plus earliest-failure
+    // truncation — a bad frame invalidates everything after it, even
+    // candidates that validated in pass 2.
+    let mut frames = Vec::with_capacity(spans.len());
+    let mut last_epoch = base_epoch;
+    let mut cut = pos;
+    for (i, res) in decoded.into_iter().enumerate() {
+        let why = match res {
+            Ok(frame) => {
+                if frame.epoch >= last_epoch {
+                    last_epoch = frame.epoch;
+                    frames.push(frame);
+                    continue;
+                }
+                format!("epoch went backwards ({last_epoch} -> {})", frame.epoch)
+            }
+            Err(why) => why,
+        };
+        damage = Some(why);
+        cut = spans[i].0;
+        break;
+    }
+    Ok(Scan {
+        base_epoch,
+        frames,
+        cut,
+        damage,
+        last_epoch,
+    })
+}
+
+/// Read-only scan of a WAL file: the valid frames and the base epoch,
+/// with damage (or a torn tail) simply cut off — the file is never
+/// opened for writing, let alone repaired.
+///
+/// This is the replication bootstrap's view of the primary's log. It is
+/// safe to run *concurrently with the live sync thread appending*: an
+/// append in progress at read time shows up as a torn tail and stops the
+/// scan at the last complete frame, and the round being appended reaches
+/// the follower through the live broadcast channel instead (the follower
+/// handler registers with the hub *before* scanning, so nothing falls
+/// between the file and the channel).
+pub fn scan(path: &Path) -> io::Result<(u64, Vec<Frame>)> {
+    let bytes = std::fs::read(path)?;
+    let scan = scan_bytes(path, &bytes, 1)?;
+    Ok((scan.base_epoch, scan.frames))
 }
 
 /// CRC + UTF-8 validation of every candidate span, fanned out across
@@ -521,16 +573,21 @@ pub(crate) struct WalPipeline {
 
 impl WalPipeline {
     /// Moves `wal` onto a dedicated sync thread and returns the handle.
+    /// With a `hub`, every durable round (and every rotation) is also
+    /// fanned out to connected replication followers — from this thread,
+    /// *after* the round's durability point, so a follower can never see
+    /// a commit the primary could still lose.
     pub fn start(
         wal: Wal,
         mode: FsyncMode,
         tracker: Arc<DurTracker>,
         hook: Option<BarrierHook>,
+        hub: Option<Arc<crate::repl::ReplHub>>,
     ) -> io::Result<WalPipeline> {
         let (tx, rx) = mpsc::channel();
         let handle = std::thread::Builder::new()
             .name("ivme-wal-sync".into())
-            .spawn(move || sync_loop(wal, mode, rx, tracker, hook))?;
+            .spawn(move || sync_loop(wal, mode, rx, tracker, hook, hub))?;
         Ok(WalPipeline {
             tx: Some(tx),
             handle: Some(handle),
@@ -581,6 +638,7 @@ fn sync_loop(
     rx: mpsc::Receiver<Job>,
     tracker: Arc<DurTracker>,
     hook: Option<BarrierHook>,
+    hub: Option<Arc<crate::repl::ReplHub>>,
 ) {
     // Frames appended while a background snapshot is being serialized;
     // `Rotate` carries them into the fresh log.
@@ -601,6 +659,13 @@ fn sync_loop(
                 }
                 match append_round(&mut wal, mode, epoch, &frames) {
                     Ok(()) => {
+                        // Fan the durable round out to followers — a
+                        // bounded `try_send` per follower, never a block:
+                        // a follower that cannot keep up is disconnected
+                        // here rather than allowed to stall commits.
+                        if let Some(h) = &hub {
+                            h.broadcast_round(epoch, &frames);
+                        }
                         if let Some(t) = tail.as_mut() {
                             t.extend(frames.into_iter().map(|f| (epoch, f)));
                         }
@@ -624,7 +689,12 @@ fn sync_loop(
                     continue;
                 }
                 match wal.rotate(base_epoch, &keep) {
-                    Ok(()) => tracker.record_rotate(wal.frames()),
+                    Ok(()) => {
+                        tracker.record_rotate(wal.frames());
+                        if let Some(h) = &hub {
+                            h.broadcast_rebase(base_epoch);
+                        }
+                    }
                     Err(e) => {
                         eprintln!(
                             "ivme-server: WAL rotation failed ({e}); continuing WITHOUT \
@@ -881,13 +951,39 @@ mod tests {
     }
 
     #[test]
+    fn read_only_scan_matches_open_and_never_repairs() {
+        let path = tmp("scan");
+        let mut w = Wal::create(&path, 3).unwrap();
+        w.append(4, "insert R 1,2\n").unwrap();
+        w.append(5, "insert R 3,4\n").unwrap();
+        w.sync().unwrap();
+        drop(w);
+        let (base, frames) = scan(&path).unwrap();
+        assert_eq!(base, 3);
+        assert_eq!(frames.len(), 2);
+        assert_eq!(frames[1].epoch, 5);
+        // Tear the tail: the scan returns the valid prefix but leaves the
+        // file byte-identical — it is someone else's live log.
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &bytes[..bytes.len() - 5]).unwrap();
+        let (_, frames) = scan(&path).unwrap();
+        assert_eq!(frames.len(), 1);
+        assert_eq!(
+            std::fs::metadata(&path).unwrap().len(),
+            (bytes.len() - 5) as u64
+        );
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
     fn pipeline_releases_acks_only_after_the_append() {
         use std::sync::atomic::{AtomicU64, Ordering};
         let path = tmp("pipeline");
         let wal = Wal::create(&path, 0).unwrap();
         let tracker = Arc::new(DurTracker::new(0, 0));
         let released = Arc::new(AtomicU64::new(0));
-        let p = WalPipeline::start(wal, FsyncMode::Group, Arc::clone(&tracker), None).unwrap();
+        let p =
+            WalPipeline::start(wal, FsyncMode::Group, Arc::clone(&tracker), None, None).unwrap();
         for e in 1..=3u64 {
             let released = Arc::clone(&released);
             p.send(Job::Commit {

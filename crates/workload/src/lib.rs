@@ -12,16 +12,22 @@
 //!   loopback, latency percentiles and throughput),
 //! * [`recovery`] — deterministic kill-and-recover workloads with
 //!   brute-force prefix oracles, for the durability tests and the
-//!   `fig_recovery` bench.
+//!   `fig_recovery` bench,
+//! * [`replica`] — replication stats parsing and convergence polling for
+//!   the replication tests and the `fig_replication` bench.
 
 pub mod gen;
 pub mod omv;
 pub mod recovery;
+pub mod replica;
 pub mod serve;
 pub mod zipf;
 
 pub use gen::{chunk_stream, star_db, two_path_db, update_stream, StreamOp};
 pub use omv::OmvInstance;
 pub use recovery::{parse_listing, RecoveryWorkload};
-pub use serve::{delete_batch_script, drive, insert_batch_script, Client, DriveReport, Script};
+pub use replica::{poll_stat, stat_field, wait_for_epoch, wait_for_stat};
+pub use serve::{
+    delete_batch_script, drive, drive_multi, insert_batch_script, Client, DriveReport, Script,
+};
 pub use zipf::Zipf;

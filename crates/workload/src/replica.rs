@@ -1,0 +1,77 @@
+//! Helpers for driving replicated deployments in tests and benches:
+//! parsing the `stats` replication counters and polling a replica until
+//! its applied epoch catches up to the primary.
+
+use std::net::SocketAddr;
+use std::time::{Duration, Instant};
+
+use crate::serve::Client;
+
+/// Extracts a `key = value` integer field from a `stats` payload (the
+/// serving grammar renders every counter in that shape, one or more per
+/// line, comma-separated).
+pub fn stat_field(stats: &str, key: &str) -> Option<u64> {
+    for line in stats.lines() {
+        for piece in line.split(',') {
+            let mut it = piece.splitn(2, '=');
+            let k = it.next()?.trim();
+            if k == key {
+                return it.next()?.trim().parse().ok();
+            }
+        }
+    }
+    None
+}
+
+/// One `stats` request against `addr`; `None` while the endpoint refuses
+/// connections or the field is not (yet) reported.
+pub fn poll_stat(addr: SocketAddr, key: &str) -> Option<u64> {
+    let mut c = Client::connect(addr).ok()?;
+    match c.request("stats") {
+        Ok(Ok(payload)) => stat_field(&payload, key),
+        _ => None,
+    }
+}
+
+/// Polls `addr`'s `stats` until `key` reaches at least `target`.
+/// Returns the last observed value (`None` if nothing was observable
+/// within the timeout). Connection refusals count as "not yet" — the
+/// replica may still be booting or reconnecting.
+pub fn wait_for_stat(addr: SocketAddr, key: &str, target: u64, timeout: Duration) -> Option<u64> {
+    let deadline = Instant::now() + timeout;
+    let mut last = None;
+    loop {
+        if let Some(v) = poll_stat(addr, key) {
+            last = Some(v);
+            if v >= target {
+                return last;
+            }
+        }
+        if Instant::now() >= deadline {
+            return last;
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    }
+}
+
+/// Polls a replica until its `replica_epoch` reaches `target` (the
+/// primary's committed epoch). Returns whether it converged in time.
+pub fn wait_for_epoch(addr: SocketAddr, target: u64, timeout: Duration) -> bool {
+    wait_for_stat(addr, "replica_epoch", target, timeout).is_some_and(|v| v >= target)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stat_field_parses_comma_separated_counters() {
+        let stats = "updates = 7, batches = 3\n\
+                     replica_epoch = 42, primary_epoch_seen = 43, replication_lag_frames = 1\n";
+        assert_eq!(stat_field(stats, "replica_epoch"), Some(42));
+        assert_eq!(stat_field(stats, "primary_epoch_seen"), Some(43));
+        assert_eq!(stat_field(stats, "replication_lag_frames"), Some(1));
+        assert_eq!(stat_field(stats, "updates"), Some(7));
+        assert_eq!(stat_field(stats, "absent"), None);
+    }
+}

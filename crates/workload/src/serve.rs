@@ -197,12 +197,36 @@ pub fn drive(
     reads_per_client: usize,
     writer_scripts: &[Vec<Script>],
 ) -> DriveReport {
+    drive_multi(
+        &[addr],
+        readers,
+        read_cmd,
+        warmup_per_client,
+        reads_per_client,
+        writer_scripts,
+    )
+}
+
+/// [`drive`] across a replicated deployment: reader clients are assigned
+/// round-robin over `addrs` (so aggregate read throughput scales with the
+/// fleet), while every writer goes to `addrs[0]` — the primary, the only
+/// member that accepts writes. With a single address this is exactly
+/// [`drive`].
+pub fn drive_multi(
+    addrs: &[SocketAddr],
+    readers: usize,
+    read_cmd: &str,
+    warmup_per_client: usize,
+    reads_per_client: usize,
+    writer_scripts: &[Vec<Script>],
+) -> DriveReport {
+    assert!(!addrs.is_empty(), "drive_multi needs at least one address");
     let mut reader_conns: Vec<Client> = (0..readers)
-        .map(|_| Client::connect(addr).expect("reader connect"))
+        .map(|i| Client::connect(addrs[i % addrs.len()]).expect("reader connect"))
         .collect();
     let mut writer_conns: Vec<Client> = writer_scripts
         .iter()
-        .map(|_| Client::connect(addr).expect("writer connect"))
+        .map(|_| Client::connect(addrs[0]).expect("writer connect"))
         .collect();
     let mut report = DriveReport::default();
     std::thread::scope(|scope| {
